@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper at the
+default (production) grid resolution, times it with pytest-benchmark,
+prints the paper-style rows, and writes them to
+``benchmarks/output/<name>.txt`` for inspection.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Grid resolution for benchmark-grade runs.
+BENCH_GRID = 20
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_output(output_dir, request):
+    """Return a writer that prints and persists a figure/table rendering."""
+
+    def write(text: str, name: str = None) -> None:
+        stem = name or request.node.name
+        path = output_dir / f"{stem}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

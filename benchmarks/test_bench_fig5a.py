@@ -1,0 +1,21 @@
+"""Fig. 5a — power-TSV array EM-damage-free lifetime vs layer count."""
+
+from conftest import BENCH_GRID
+
+from repro.core.experiments.fig5 import run_fig5a
+
+
+def test_fig5a_tsv_mttf(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_fig5a, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+    )
+    summary = result.format() + "\n\n" + "\n".join(
+        [
+            f"V-S / Reg(Few) at 8 layers: {result.improvement_at(8):.2f}x (paper: >3x)",
+            f"Reg(Few) lifetime loss 2->8 layers: "
+            f"{result.regular_degradation():.0%} (paper: up to 84%)",
+        ]
+    )
+    record_output(summary, "fig5a_tsv_mttf")
+    assert result.improvement_at(8) > 3.0
+    assert result.series["Reg. PDN, Few TSV"][0] > 1.0  # V-S worse at 2 layers

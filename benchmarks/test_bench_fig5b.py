@@ -1,0 +1,22 @@
+"""Fig. 5b — power-C4 array EM-damage-free lifetime vs layer count."""
+
+from conftest import BENCH_GRID
+
+from repro.core.experiments.fig5 import run_fig5b
+
+
+def test_fig5b_c4_mttf(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_fig5b, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+    )
+    summary = result.format() + "\n\n" + (
+        f"V-S / Reg(25%) at 8 layers: {result.improvement_at(8):.2f}x "
+        "(paper: up to ~5x)"
+    )
+    record_output(summary, "fig5b_c4_mttf")
+    assert result.improvement_at(8) > 4.0
+    # Even 100% power pads cannot catch the V-S PDN at 8 layers.
+    assert (
+        result.series["Reg. PDN (100% Power C4)"][-1]
+        < result.series["V-S PDN (25% Power C4)"][-1]
+    )

@@ -1,0 +1,30 @@
+"""Fig. 6 — max on-chip IR drop vs workload imbalance (8 layers)."""
+
+from conftest import BENCH_GRID
+
+from repro.core.experiments.fig6 import run_fig6
+
+
+def test_fig6_ir_drop(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_fig6, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+    )
+    lines = [result.format()]
+    cross = result.crossover_imbalance(converters=8, regular="Dense")
+    lines.append(
+        f"\nV-S(8 conv, Few TSV) crosses Reg(Dense) at ~{cross:.0%} imbalance "
+        "(paper: ~50%)"
+        if cross is not None
+        else "\nV-S(8 conv) never exceeds Reg(Dense) in this sweep"
+    )
+    record_output("\n".join(lines), "fig6_ir_drop")
+
+    # Shape assertions mirroring the paper's reading of the figure.
+    assert result.vs_at(8, 0.0) < result.regular_lines["Dense"]  # V-S wins balanced
+    assert result.vs_at(8, 1.0) > result.regular_lines["Dense"]  # loses at extreme
+    assert result.vs_series[2][-1] is None  # 2-conv bank saturates (skipped points)
+    assert (
+        result.regular_lines["Dense"]
+        <= result.regular_lines["Sparse"]
+        <= result.regular_lines["Few"]
+    )

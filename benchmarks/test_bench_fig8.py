@@ -1,0 +1,19 @@
+"""Fig. 8 — system power efficiency vs workload imbalance (8 layers)."""
+
+from conftest import BENCH_GRID
+
+from repro.core.experiments.fig8 import run_fig8
+
+
+def test_fig8_power_efficiency(benchmark, record_output):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+    )
+    record_output(result.format(), "fig8_efficiency")
+
+    # Paper's reading: efficiency falls with imbalance; more converters
+    # cost efficiency; V-S beats the SC-for-all-power regular PDN.
+    series8 = [v for v in result.vs_series[8] if v is not None]
+    assert series8 == sorted(series8, reverse=True)
+    assert result.vs_at(2, 0.1) > result.vs_at(8, 0.1)
+    assert result.vs_at(2, 0.1) > result.regular_sc[0]

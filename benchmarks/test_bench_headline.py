@@ -1,0 +1,17 @@
+"""End-to-end headline report: every abstract claim in one run."""
+
+from conftest import BENCH_GRID
+
+from repro.core.experiments.headline import run_headline
+
+
+def test_headline_claims(benchmark, record_output):
+    report = benchmark.pedantic(
+        run_headline, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+    )
+    record_output(report.format(), "headline_claims")
+    assert report.c4_improvement_8l > 4.0
+    assert report.tsv_improvement_8l > 3.0
+    assert 0.7 < report.regular_tsv_degradation < 0.95
+    assert abs(report.average_imbalance - 0.65) < 0.05
+    assert report.vs_extra_ir_drop_at_average < 0.02

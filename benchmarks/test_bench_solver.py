@@ -1,0 +1,52 @@
+"""Engine-level benchmarks: PDN build/factorise/solve cost.
+
+Not a paper figure — these time the substrate itself so regressions in
+the sparse engine are visible, and they quantify the factorisation-reuse
+design choice called out in DESIGN.md (RHS-only sweeps are much cheaper
+than rebuilds).
+"""
+
+import numpy as np
+
+from conftest import BENCH_GRID
+
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.workload.imbalance import interleaved_layer_activities
+
+
+def test_build_regular_8layer(benchmark):
+    pdn = benchmark(lambda: build_regular_pdn(8, grid_nodes=BENCH_GRID))
+    assert pdn.stack.n_layers == 8
+
+
+def test_first_solve_regular_8layer(benchmark):
+    def build_and_solve():
+        return build_regular_pdn(8, grid_nodes=BENCH_GRID).solve()
+
+    result = benchmark.pedantic(build_and_solve, rounds=3, iterations=1)
+    assert result.max_ir_drop_fraction() > 0
+
+
+def test_resolve_reuses_factorisation(benchmark):
+    """RHS-only re-solves (the Fig. 6/8 inner loop) after one warm-up."""
+    pdn = build_stacked_pdn(8, converters_per_core=8, grid_nodes=BENCH_GRID)
+    pdn.solve()  # factorise once
+    activities = interleaved_layer_activities(8, 0.5)
+
+    result = benchmark(lambda: pdn.solve(layer_activities=activities))
+    assert result.max_ir_drop_fraction() > 0
+
+
+def test_em_lifetime_evaluation(benchmark):
+    """Black's equation + array-CDF root find over a full TSV array."""
+    from repro.em import TSV_CROSS_SECTION, expected_em_lifetime, median_lifetimes_from_currents
+
+    pdn = build_regular_pdn(8, grid_nodes=BENCH_GRID)
+    currents = pdn.solve().conductor_currents("tsv")
+
+    def evaluate():
+        medians = median_lifetimes_from_currents(currents, TSV_CROSS_SECTION)
+        return expected_em_lifetime(medians)
+
+    lifetime = benchmark(evaluate)
+    assert lifetime > 0

@@ -1,0 +1,16 @@
+"""Tables 1 and 2 — parameter echo and derived TSV metrics."""
+
+from repro.core.experiments.tables import table1_report, table2_report
+
+
+def test_table1_parameters(benchmark, record_output):
+    text = benchmark(table1_report)
+    record_output(text, "table1_parameters")
+    assert "44.539" in text
+
+
+def test_table2_tsv_configs(benchmark, record_output):
+    text = benchmark(table2_report)
+    record_output(text, "table2_tsv_configs")
+    for count in ("6650", "1675", "110"):
+        assert count in text

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""SC converter design-space walk (the Sec. 3.1 circuit study).
+
+Sweeps the 2:1 push-pull converter's fly capacitance and switching
+frequency, evaluates each design point with the compact model, checks a
+few points against the transient switched-capacitor simulator, and
+prices the fly caps in the three integrated-capacitor technologies.
+
+Run:  python examples/converter_design_space.py
+"""
+
+from repro import SCConverterSpec, SCCompactModel, SwitchCapSimulator
+from repro.config.converters import CAPACITOR_TECHNOLOGIES
+from repro.regulator.control import ClosedLoopControl, OpenLoopControl
+
+LOAD = 0.05  # evaluation load: 50 mA (half rating)
+
+
+def sweep_capacitance_and_frequency() -> None:
+    print("Design sweep at 50 mA load (open loop):")
+    print(f"{'C_fly (nF)':>10} {'fsw (MHz)':>10} {'RSERIES':>8} {'eff (%)':>8} "
+          f"{'droop (mV)':>10}")
+    for c_nf in (2, 4, 8, 16):
+        for f_mhz in (25, 50, 100):
+            spec = SCConverterSpec(
+                fly_capacitance=c_nf * 1e-9, switching_frequency=f_mhz * 1e6
+            )
+            model = SCCompactModel(spec)
+            op = model.operating_point(2.0, 0.0, LOAD)
+            print(
+                f"{c_nf:>10} {f_mhz:>10} {model.r_series():>8.3f} "
+                f"{op.efficiency * 100:>8.1f} {op.voltage_drop * 1e3:>10.1f}"
+            )
+    print()
+
+
+def validate_chosen_design() -> None:
+    spec = SCConverterSpec()  # the paper's 8 nF / 50 MHz design
+    model = SCCompactModel(spec)
+    sim = SwitchCapSimulator(spec)
+    print("Validation of the chosen design against the transient simulator:")
+    print(f"{'policy':>12} {'I (mA)':>7} {'eff model':>10} {'eff sim':>8} "
+          f"{'droop model':>12} {'droop sim':>10}")
+    for policy in (OpenLoopControl(), ClosedLoopControl()):
+        for load in (0.01, 0.05, 0.09):
+            fsw = policy.frequency(spec, load)
+            op = model.operating_point(2.0, 0.0, load, fsw=fsw)
+            tr = sim.steady_state(load, fsw=fsw)
+            print(
+                f"{policy.name:>12} {load * 1e3:>7.0f} "
+                f"{op.efficiency * 100:>9.1f}% {tr.efficiency * 100:>7.1f}% "
+                f"{op.voltage_drop * 1e3:>10.1f}mV {tr.voltage_drop * 1e3:>8.1f}mV"
+            )
+    print()
+
+
+def price_capacitor_technologies() -> None:
+    print("Fly-capacitor technology options for the 8 nF design:")
+    for name, tech in CAPACITOR_TECHNOLOGIES.items():
+        spec = SCConverterSpec(capacitor_technology=name)
+        print(
+            f"  {name:<14} converter area {spec.area * 1e6:.3f} mm^2 "
+            f"(density {tech.density * 1e-12 * 1e6:.1f} fF/um^2)"
+        )
+    print()
+    print("The paper's Fig. 6 equal-area comparison assumes the trench option:")
+    from repro.config.stackups import ProcessorSpec
+    from repro.regulator.area import converters_area_overhead
+
+    overhead = converters_area_overhead(
+        SCConverterSpec(), 8, ProcessorSpec().core_area, technology="trench"
+    )
+    print(f"  8 converters/core cost {overhead:.1%} of a core "
+          "(~= the Dense TSV topology's 24% KoZ overhead).")
+
+
+def main() -> None:
+    sweep_capacitance_and_frequency()
+    validate_chosen_design()
+    price_capacitor_technologies()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Electro-thermal reliability: coupling every model in the tool chain.
+
+An end-to-end cross-layer walk that goes beyond the paper's fixed-
+temperature EM analysis:
+
+1. converge the leakage-temperature loop (McPAT-lite <-> HotSpot-lite)
+   for 2/4/8-layer stacks,
+2. solve the PDN with the self-consistent power maps,
+3. evaluate EM lifetime with per-tier temperatures (Black's equation is
+   steeply Arrhenius, and the bottom tiers are both the most loaded and
+   the hottest),
+4. render the bottom layer's temperature and IR-drop fields.
+
+Run:  python examples/electrothermal_reliability.py
+"""
+
+import numpy as np
+
+from repro.analysis.heatmap import ascii_heatmap
+from repro.config.stackups import StackConfig
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.em.thermal_coupling import thermally_coupled_lifetime
+from repro.power.thermal_feedback import LeakageThermalLoop
+
+GRID = 10
+
+
+def main() -> None:
+    print("Self-consistent leakage/temperature, then thermally-coupled EM:\n")
+    print(f"{'layers':>7} | {'hotspot (C)':>11} | {'leak uplift':>11} | "
+          f"{'reg TSV life':>12} | {'V-S TSV life':>12}")
+    print("-" * 66)
+    reference = None
+    for n in (2, 4, 8):
+        loop = LeakageThermalLoop(StackConfig(n_layers=n, grid_nodes=GRID))
+        op = loop.converge()
+        activities = np.ones(n)
+
+        reg = build_regular_pdn(n, grid_nodes=GRID)
+        reg_result = reg.solve(power_maps=op.power_maps)
+        reg_life = thermally_coupled_lifetime(reg_result, op.thermal, "tsv")
+
+        vs = build_stacked_pdn(n, converters_per_core=8, grid_nodes=GRID)
+        vs_result = vs.solve(power_maps=op.power_maps)
+        vs_life = thermally_coupled_lifetime(vs_result, op.thermal, "tsv")
+
+        if reference is None:
+            reference = vs_life
+        print(
+            f"{n:>7} | {op.thermal.hotspot:>11.1f} | {op.leakage_uplift:>10.1%} | "
+            f"{reg_life / reference:>12.3f} | {vs_life / reference:>12.3f}"
+        )
+
+    # Spatial view of the 8-layer bottom layer, with component-level
+    # (floorplanned) power density so real hotspots appear.
+    loop = LeakageThermalLoop(
+        StackConfig(n_layers=8, grid_nodes=GRID), floorplanned=True
+    )
+    op = loop.converge()
+    pdn = build_regular_pdn(8, grid_nodes=GRID)
+    result = pdn.solve(power_maps=op.power_maps)
+    print()
+    print(ascii_heatmap(
+        op.thermal.layer_temperatures[0],
+        title="bottom-layer temperature (8 layers, self-consistent)",
+        unit=" C",
+    ))
+    print()
+    print(ascii_heatmap(
+        result.ir_drop_map(7) * 1e3,
+        title="top-layer IR drop (regular PDN)",
+        unit=" mV",
+    ))
+    print(
+        "\nBeyond the paper's fixed-temperature analysis: the Arrhenius\n"
+        "factor now dominates tall stacks -- the 8-layer hotspot erodes BOTH\n"
+        "arrangements' lifetimes -- but the regular PDN is hit on two fronts\n"
+        "(hotter AND higher current density), so the V-S advantage survives\n"
+        "the coupling, and cooling quality becomes an EM knob, not just a\n"
+        "thermal one."
+    )
+
+
+if __name__ == "__main__":
+    main()

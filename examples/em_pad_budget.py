@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Pads-as-a-scarce-resource study (the Fig. 5b design question).
+
+A fixed pad array must be split between power delivery and I/O.  This
+example asks: for a target EM lifetime, how many pads does each PDN
+arrangement leave for I/O as the stack grows?  It reproduces the paper's
+conclusion that voltage stacking "reduces the requirement for power
+supply pads and allows more pads to be used for I/O".
+
+Run:  python examples/em_pad_budget.py
+"""
+
+import numpy as np
+
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.em import C4_CROSS_SECTION, expected_em_lifetime, median_lifetimes_from_currents
+
+GRID = 12
+LAYER_COUNTS = (2, 4, 8)
+PAD_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def c4_lifetime(result) -> float:
+    medians = median_lifetimes_from_currents(
+        result.conductor_currents("c4"), C4_CROSS_SECTION
+    )
+    return expected_em_lifetime(medians)
+
+
+def main() -> None:
+    # Reference target: the 2-layer V-S PDN with a 25% pad budget.
+    reference = c4_lifetime(
+        build_stacked_pdn(2, power_pad_fraction=0.25, grid_nodes=GRID).solve()
+    )
+    print("Target: match the 2-layer V-S PDN's C4 EM lifetime (1.00x).\n")
+
+    header = f"{'layers':>7} | " + " ".join(f"reg@{int(f*100)}%".rjust(9) for f in PAD_FRACTIONS)
+    print(header + " |   V-S@25% | pads freed for I/O by V-S")
+    print("-" * (len(header) + 42))
+    for n in LAYER_COUNTS:
+        cells = []
+        smallest_ok = None
+        for fraction in PAD_FRACTIONS:
+            pdn = build_regular_pdn(n, power_pad_fraction=fraction, grid_nodes=GRID)
+            life = c4_lifetime(pdn.solve()) / reference
+            cells.append(f"{life:>8.2f}x")
+            if smallest_ok is None and life >= 1.0:
+                smallest_ok = fraction
+        vs = build_stacked_pdn(n, power_pad_fraction=0.25, grid_nodes=GRID)
+        vs_result = vs.solve()
+        vs_life = c4_lifetime(vs_result) / reference
+        total_sites = vs.pad_array.total_sites
+        if smallest_ok is None:
+            freed = f"regular cannot reach target even at 100%"
+        else:
+            freed_pads = int(total_sites * (smallest_ok - 0.25))
+            freed = f"{freed_pads} pads ({smallest_ok:.0%} -> 25%)"
+        print(f"{n:>7} | " + " ".join(cells) + f" | {vs_life:>8.2f}x | {freed}")
+
+    print(
+        "\nReading: each added layer multiplies the regular PDN's per-pad\n"
+        "current, so matching the V-S lifetime requires an ever-larger pad\n"
+        "budget -- and beyond ~4 layers no budget suffices, while the V-S\n"
+        "PDN holds the target with 25% of the sites regardless of height."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Multi-story power delivery: between the paper's two extremes.
+
+The paper compares fully-parallel and fully-stacked power delivery; its
+reference [6] (Jain et al., ISLPED 2008) proposed the middle ground:
+stories of ``h`` voltage-stacked layers, stories paralleled.  This
+example sweeps ``h`` for an 8-layer stack at the PARSEC-average
+imbalance and prints the whole trade-off surface, then translates the
+noise column into frequency guardbands.
+
+Run:  python examples/multi_story_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.config.stackups import StackConfig
+from repro.core.guardband import AlphaPowerModel
+from repro.em import (
+    C4_CROSS_SECTION,
+    expected_em_lifetime,
+    median_lifetimes_from_currents,
+)
+from repro.pdn.hybrid3d import HybridPDN3D
+from repro.workload.imbalance import interleaved_layer_activities
+from repro.workload.parsec import average_max_imbalance
+
+GRID = 12
+N_LAYERS = 8
+
+
+def main() -> None:
+    imbalance = average_max_imbalance()
+    stack = StackConfig(n_layers=N_LAYERS, grid_nodes=GRID)
+    activities = interleaved_layer_activities(N_LAYERS, imbalance)
+    guardband = AlphaPowerModel()
+
+    print(
+        f"{N_LAYERS}-layer stack at {imbalance:.0%} workload imbalance, "
+        "8 converters/core where stories are stacked\n"
+    )
+    print(
+        f"{'h':>3} | {'supply':>7} | {'IR drop':>8} | {'f guard':>8} | "
+        f"{'eff':>6} | {'pad I max':>10} | {'C4 EM life':>10}"
+    )
+    print("-" * 72)
+    reference = None
+    for h in (1, 2, 4, 8):
+        pdn = HybridPDN3D(stack, story_height=h, converters_per_core=8)
+        result = pdn.solve(layer_activities=activities)
+        c4 = result.conductor_currents("c4")
+        life = expected_em_lifetime(
+            median_lifetimes_from_currents(c4, C4_CROSS_SECTION)
+        )
+        if reference is None:
+            reference = life
+        drop = result.max_ir_drop_fraction()
+        print(
+            f"{h:>3} | {pdn.supply_voltage:>6.0f}V | {drop:>7.2%} | "
+            f"{guardband.guardband_for_droop(drop):>7.2%} | "
+            f"{result.efficiency():>5.1%} | {c4.max() * 1e3:>8.1f}mA | "
+            f"{life / reference:>9.2f}x"
+        )
+
+    print(
+        "\nReading: per-pad current (and hence C4 EM lifetime) scales with\n"
+        "the story height, but the noise/guardband optimum is an\n"
+        "*intermediate* height -- tall ladders pay regulation noise, flat\n"
+        "ones pay delivery current.  Partial stacking is a real design\n"
+        "point between the paper's two endpoints."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Transient (di/dt) droop after a full-chip power step — an extension.
+
+The paper's results are static IR drop; this example exercises the
+transient extension: settle a stack at idle, step every core to full
+activity in one cycle, and watch the local supply headroom at the top
+layer.  Compares the regular and voltage-stacked arrangements and the
+effect of on-chip decap budget.
+
+Run:  python examples/transient_droop.py
+"""
+
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.pdn.transient import TransientPDNAnalysis
+
+N_LAYERS = 2
+GRID = 8
+
+
+def droop_for(factory, decap_nf: float) -> float:
+    analysis = TransientPDNAnalysis(
+        factory, decap_per_layer=decap_nf * 1e-9, dt=50e-12
+    )
+    trace = analysis.load_step(warmup_steps=400, step_steps=400)
+    return analysis.first_droop(trace)
+
+
+def main() -> None:
+    print(f"{N_LAYERS}-layer stack, idle -> full-power step, 50 ps timestep\n")
+    print(f"{'decap/layer':>12} | {'regular droop':>14} | {'V-S droop':>10}")
+    print("-" * 44)
+    for decap_nf in (50, 100, 200, 400):
+        reg = droop_for(
+            lambda: build_regular_pdn(
+                N_LAYERS, grid_nodes=GRID, package_inductor_nodes=True
+            ),
+            decap_nf,
+        )
+        vs = droop_for(
+            lambda: build_stacked_pdn(
+                N_LAYERS,
+                converters_per_core=4,
+                grid_nodes=GRID,
+                package_inductor_nodes=True,
+            ),
+            decap_nf,
+        )
+        print(
+            f"{decap_nf:>9} nF | {reg * 1e3:>11.2f} mV | {vs * 1e3:>7.2f} mV"
+        )
+    print(
+        "\nBoth arrangements recover to their static IR-drop level within a\n"
+        "few RC time constants.  The V-S PDN's recycled (one-layer-worth)\n"
+        "supply current keeps its transient excursion smaller too.  With the\n"
+        "260 uF on-package decap holding the rails, the on-chip decap budget\n"
+        "barely moves the first droop -- remove the package capacitor from\n"
+        "PackageModel to see the on-chip budget take over."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Imbalance-aware scheduling on a voltage-stacked processor (Sec. 5.2).
+
+The paper suggests that "by scheduling different instances of the same
+application ... onto the cores in the same core-stack, we can reduce the
+workload-imbalance and a V-S PDN's noise".  This example quantifies that
+end to end: sample PARSEC-like workloads, schedule them onto a 4-layer
+voltage-stacked processor either naively (random mix) or same-app-
+per-stack, and compare the resulting supply noise from full PDN solves.
+
+Run:  python examples/workload_scheduling.py
+"""
+
+import numpy as np
+
+from repro import ProcessorSpec, build_stacked_pdn
+from repro.utils.rng import make_rng
+from repro.workload.sampling import sample_suite
+
+N_LAYERS = 4
+GRID = 12
+TRIALS = 8
+
+
+def layer_activities_for(apps, suite, proc, rng):
+    """Draw one activity factor per layer from each layer's application."""
+    activities = []
+    for app in apps:
+        dynamic = suite[app].dynamic_powers
+        sample = dynamic[rng.integers(len(dynamic))]
+        activities.append(sample / proc.dynamic_power)
+    return np.clip(np.array(activities), 0.0, 1.0)
+
+
+def main() -> None:
+    proc = ProcessorSpec()
+    rng = make_rng(7)
+    suite = sample_suite(proc, n_samples=1000, rng=rng)
+    names = sorted(suite)
+    pdn = build_stacked_pdn(
+        N_LAYERS, converters_per_core=8, grid_nodes=GRID
+    )
+
+    def run_policy(pick_apps):
+        drops = []
+        for _ in range(TRIALS):
+            apps = pick_apps()
+            acts = layer_activities_for(apps, suite, proc, rng)
+            result = pdn.solve(layer_activities=acts)
+            drops.append(result.max_ir_drop_fraction())
+        return np.array(drops)
+
+    mixed = run_policy(
+        lambda: [names[rng.integers(len(names))] for _ in range(N_LAYERS)]
+    )
+    same = run_policy(
+        lambda: [names[rng.integers(len(names))]] * N_LAYERS
+    )
+
+    print(f"{N_LAYERS}-layer V-S stack, 8 converters/core, {TRIALS} trials per policy\n")
+    print(f"{'policy':<28}{'mean IR drop':>14}{'worst IR drop':>15}")
+    print("-" * 57)
+    print(
+        f"{'random application mix':<28}"
+        f"{mixed.mean() * 100:>13.2f}%{mixed.max() * 100:>14.2f}%"
+    )
+    print(
+        f"{'same app per core-stack':<28}"
+        f"{same.mean() * 100:>13.2f}%{same.max() * 100:>14.2f}%"
+    )
+    reduction = 1 - same.mean() / mixed.mean()
+    print(
+        f"\nSame-application scheduling cuts average V-S supply noise by "
+        f"{reduction:.0%},\nbecause samples of one application cluster tightly "
+        "(Fig. 7) while mixes\nexpose the full cross-application spread."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""ASCII box plots (for the Fig. 7 power-distribution rendering)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary of one distribution."""
+
+    label: str
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        ordered = (self.minimum, self.q25, self.median, self.q75, self.maximum)
+        if any(a > b for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(f"box statistics for {self.label!r} are not sorted")
+
+
+def ascii_boxplot(
+    boxes: Sequence[BoxStats],
+    width: int = 60,
+    lo: float = None,
+    hi: float = None,
+    unit: str = "",
+) -> str:
+    """Render horizontal box-and-whisker rows over a shared axis.
+
+    ``|---[==M==]---|`` per row: whiskers at min/max, box at the
+    quartiles, ``M`` at the median.
+    """
+    if not boxes:
+        raise ValueError("boxes must be non-empty")
+    if width < 20:
+        raise ValueError("width must be at least 20")
+    lo = min(b.minimum for b in boxes) if lo is None else lo
+    hi = max(b.maximum for b in boxes) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    label_w = max(len(b.label) for b in boxes)
+
+    def col(value: float) -> int:
+        clipped = min(max(value, lo), hi)
+        return int(round((clipped - lo) / span * (width - 1)))
+
+    lines = []
+    for b in boxes:
+        row = [" "] * width
+        for x in range(col(b.minimum), col(b.maximum) + 1):
+            row[x] = "-"
+        for x in range(col(b.q25), col(b.q75) + 1):
+            row[x] = "="
+        row[col(b.minimum)] = "|"
+        row[col(b.maximum)] = "|"
+        row[col(b.q25)] = "["
+        row[col(b.q75)] = "]"
+        row[col(b.median)] = "M"
+        lines.append(f"{b.label.rjust(label_w)} {''.join(row)}")
+    axis = f"{lo:.2f}{unit}".ljust(width // 2) + f"{hi:.2f}{unit}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * (label_w + 1) + axis)
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Exporting experiment results to CSV / JSON.
+
+Every figure driver returns a structured dataclass; these helpers
+flatten the common shapes (XY series keyed by label, plain tables) into
+files so results can be re-plotted outside the terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def export_series_csv(
+    path: PathLike,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+) -> pathlib.Path:
+    """Write ``x`` plus one column per series; ``None`` cells stay empty."""
+    path = pathlib.Path(path)
+    labels = list(series)
+    for label in labels:
+        if len(series[label]) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(series[label])} values for "
+                f"{len(x_values)} x points"
+            )
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + labels)
+        for i, x in enumerate(x_values):
+            row = [x] + [
+                "" if series[label][i] is None else series[label][i]
+                for label in labels
+            ]
+            writer.writerow(row)
+    return path
+
+
+def export_table_csv(
+    path: PathLike, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> pathlib.Path:
+    """Write a plain table; ``None`` cells stay empty."""
+    path = pathlib.Path(path)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match {len(headers)} headers")
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(["" if cell is None else cell for cell in row])
+    return path
+
+
+def export_json(path: PathLike, payload: dict) -> pathlib.Path:
+    """Write a JSON document (numpy scalars are coerced)."""
+    import numpy as np
+
+    def coerce(obj):
+        if isinstance(obj, (np.floating, np.integer)):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
+
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, default=coerce) + "\n")
+    return path
+
+
+def fig6_to_csv(result, path: PathLike) -> pathlib.Path:
+    """Export a Fig. 6 result's sweep plus regular lines."""
+    series = {
+        f"vs_{k}_conv_per_core": values for k, values in result.vs_series.items()
+    }
+    for name, value in result.regular_lines.items():
+        series[f"regular_{name.lower()}"] = [value] * len(result.imbalances)
+    return export_series_csv(path, "imbalance", list(result.imbalances), series)
+
+
+def fig8_to_csv(result, path: PathLike) -> pathlib.Path:
+    """Export a Fig. 8 result's sweep plus the regular+SC line."""
+    series = {
+        f"vs_{k}_conv_per_core": values for k, values in result.vs_series.items()
+    }
+    series["regular_sc_all_power"] = list(result.regular_sc)
+    return export_series_csv(path, "imbalance", list(result.imbalances), series)

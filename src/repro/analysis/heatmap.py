@@ -1,0 +1,49 @@
+"""ASCII heat maps (spatial IR-drop / temperature / power rendering)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Character ramp from cold to hot.
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    values: np.ndarray,
+    title: str = "",
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    ramp: str = DEFAULT_RAMP,
+    unit: str = "",
+) -> str:
+    """Render a 2-D array as a character heat map.
+
+    Rows are printed top-to-bottom as the array's last row first, so the
+    output matches the usual plot orientation (row 0 at the bottom).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least two characters")
+    lo = float(values.min()) if lo is None else lo
+    hi = float(values.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    scaled = np.clip((values - lo) / (hi - lo), 0.0, 1.0)
+    indices = np.minimum((scaled * len(ramp)).astype(int), len(ramp) - 1)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in indices[::-1]:
+        lines.append("".join(ramp[i] for i in row))
+    # Pick enough decimals that the two endpoints actually differ.
+    span = hi - lo
+    decimals = max(0, int(np.ceil(-np.log10(span))) + 2) if span > 0 else 2
+    lines.append(
+        f"scale: '{ramp[0]}' = {lo:.{decimals}f}{unit}  ...  "
+        f"'{ramp[-1]}' = {hi:.{decimals}f}{unit}"
+    )
+    return "\n".join(lines)

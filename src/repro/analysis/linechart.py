@@ -1,0 +1,79 @@
+"""ASCII line charts (terminal rendering of Fig. 6 / Fig. 8 sweeps)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line of an XY chart; ``None`` y-values are gaps."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[Optional[float]]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+        if len(self.marker) != 1:
+            raise ValueError("marker must be a single character")
+
+
+def ascii_linechart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot several series on a shared character canvas.
+
+    Horizontal reference lines can be drawn by passing a series whose y
+    values are all equal.  Values are clipped to the data range.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if width < 16 or height < 6:
+        raise ValueError("canvas too small")
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y if y is not None]
+    if not ys:
+        raise ValueError("no finite data points to plot")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    def col(x: float) -> int:
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in zip(s.x, s.y):
+            if y is None:
+                continue
+            canvas[row(y)][col(x)] = s.marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, line in enumerate(canvas):
+        edge = f"{y_hi:8.2f} |" if r == 0 else (
+            f"{y_lo:8.2f} |" if r == height - 1 else "         |"
+        )
+        lines.append(edge + "".join(line))
+    lines.append("         +" + "-" * width)
+    axis = f"{x_lo:<10.2f}" + x_label.center(width - 20) + f"{x_hi:>10.2f}"
+    lines.append("          " + axis)
+    legend = "   ".join(f"{s.marker} {s.label}" for s in series)
+    lines.append("          " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Minimal fixed-width ASCII table rendering for bench output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width table.
+
+    ``None`` cells render as ``-`` (the paper's skipped data points);
+    floats are shown with 3 significant decimals.
+    """
+    def fmt(cell: object) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    materialised: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in materialised)) if materialised
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""One driver per figure/table of the paper's evaluation.
+
+=============  ==========================================================
+Module         Reproduces
+=============  ==========================================================
+``fig3``       SC compact-model validation vs transient circuit sim
+``fig5``       EM-damage-free lifetime of TSV (5a) and C4 (5b) arrays
+``fig6``       Max on-chip IR drop vs workload imbalance (8 layers)
+``fig7``       PARSEC power-sample distributions (box plot)
+``fig8``       System power efficiency vs workload imbalance
+``tables``     Tables 1 (parameters) and 2 (TSV topologies)
+``headline``   The abstract's headline claims in one report
+=============  ==========================================================
+"""
+
+from repro.core.experiments.fig3 import Fig3Result, run_fig3
+from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
+from repro.core.experiments.fig6 import Fig6Result, run_fig6
+from repro.core.experiments.fig7 import Fig7Result, run_fig7
+from repro.core.experiments.fig8 import Fig8Result, run_fig8
+from repro.core.experiments.tables import table1_report, table2_report
+from repro.core.experiments.headline import HeadlineReport, run_headline
+
+__all__ = [
+    "Fig3Result",
+    "run_fig3",
+    "Fig5aResult",
+    "Fig5bResult",
+    "run_fig5a",
+    "run_fig5b",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "table1_report",
+    "table2_report",
+    "HeadlineReport",
+    "run_headline",
+]

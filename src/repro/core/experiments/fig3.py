@@ -1,0 +1,129 @@
+"""Fig. 3 — SC converter model validation.
+
+Compares the compact model's power efficiency and output voltage drop
+against the transient switched-capacitor circuit simulation, for both
+frequency-control policies:
+
+* Fig. 3a (closed-loop): load swept 1.6 -> 100 mA in octaves.
+* Fig. 3b (open-loop, 50 MHz): load swept 10 -> 90 mA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.config.converters import SCConverterSpec, default_sc_spec
+from repro.regulator.compact import SCCompactModel
+from repro.regulator.control import ClosedLoopControl, ControlPolicy, OpenLoopControl
+from repro.regulator.switchcap_sim import SwitchCapSimulator
+
+#: Fig. 3a load points (A): 1.6 mA doubling to 100 mA.
+CLOSED_LOOP_LOADS: Tuple[float, ...] = (1.6e-3, 3.1e-3, 6.3e-3, 12.5e-3, 25e-3, 50e-3, 100e-3)
+#: Fig. 3b load points (A): 10 mA to 90 mA.
+OPEN_LOOP_LOADS: Tuple[float, ...] = (10e-3, 30e-3, 50e-3, 70e-3, 90e-3)
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One load point of the model-vs-simulation comparison."""
+
+    load_current: float
+    switching_frequency: float
+    efficiency_model: float
+    efficiency_sim: float
+    vdrop_model: float
+    vdrop_sim: float
+
+    @property
+    def efficiency_error(self) -> float:
+        """Absolute model-vs-sim efficiency gap (fraction of 1)."""
+        return abs(self.efficiency_model - self.efficiency_sim)
+
+    @property
+    def vdrop_error(self) -> float:
+        """Absolute droop gap (V)."""
+        return abs(self.vdrop_model - self.vdrop_sim)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Validation sweeps for both control policies."""
+
+    closed_loop: List[ValidationPoint]
+    open_loop: List[ValidationPoint]
+
+    def max_efficiency_error(self) -> float:
+        points = self.closed_loop + self.open_loop
+        return max(p.efficiency_error for p in points)
+
+    def max_vdrop_error(self) -> float:
+        points = self.closed_loop + self.open_loop
+        return max(p.vdrop_error for p in points)
+
+    def format(self) -> str:
+        def rows(points):
+            return [
+                (
+                    p.load_current * 1e3,
+                    p.switching_frequency / 1e6,
+                    p.efficiency_model * 100,
+                    p.efficiency_sim * 100,
+                    p.vdrop_model * 1e3,
+                    p.vdrop_sim * 1e3,
+                )
+                for p in points
+            ]
+
+        headers = ["I_load (mA)", "fsw (MHz)", "eff model (%)", "eff sim (%)",
+                   "Vdrop model (mV)", "Vdrop sim (mV)"]
+        return "\n\n".join(
+            [
+                format_table(headers, rows(self.closed_loop),
+                             title="Fig. 3a: closed-loop control"),
+                format_table(headers, rows(self.open_loop),
+                             title="Fig. 3b: open-loop control (50 MHz)"),
+            ]
+        )
+
+
+def _sweep(
+    loads,
+    policy: ControlPolicy,
+    model: SCCompactModel,
+    sim: SwitchCapSimulator,
+    v_top: float,
+    v_bottom: float,
+) -> List[ValidationPoint]:
+    points = []
+    for load in loads:
+        fsw = policy.frequency(model.spec, load)
+        op = model.operating_point(v_top, v_bottom, load, fsw=fsw)
+        tr = sim.steady_state(load, v_top=v_top, v_bottom=v_bottom, fsw=fsw)
+        points.append(
+            ValidationPoint(
+                load_current=load,
+                switching_frequency=fsw,
+                efficiency_model=op.efficiency,
+                efficiency_sim=tr.efficiency,
+                vdrop_model=op.voltage_drop,
+                vdrop_sim=tr.voltage_drop,
+            )
+        )
+    return points
+
+
+def run_fig3(
+    spec: Optional[SCConverterSpec] = None,
+    v_top: float = 2.0,
+    v_bottom: float = 0.0,
+) -> Fig3Result:
+    """Run both validation sweeps on a 2-layer stack's converter."""
+    spec = spec or default_sc_spec()
+    model = SCCompactModel(spec)
+    sim = SwitchCapSimulator(spec)
+    return Fig3Result(
+        closed_loop=_sweep(CLOSED_LOOP_LOADS, ClosedLoopControl(), model, sim, v_top, v_bottom),
+        open_loop=_sweep(OPEN_LOOP_LOADS, OpenLoopControl(), model, sim, v_top, v_bottom),
+    )

@@ -1,0 +1,160 @@
+"""Fig. 5 — EM-damage-free lifetime of the TSV and C4 pad arrays.
+
+Both panels sweep the layer count (2, 4, 6, 8) at peak power (all layers
+fully active — the EM stress condition) and report the expected
+EM-damage-free lifetime normalised to the 2-layer V-S PDN:
+
+* Fig. 5a: the power-TSV array.  Regular PDN with the Dense / Sparse /
+  Few topologies vs the V-S PDN (Few topology, 32 Vdd pads per core
+  feeding through-via stacks).
+* Fig. 5b: the power-C4 array.  Regular PDN with 25/50/75/100% of pad
+  sites used for power vs the V-S PDN at 25%.  The C4 array's stress is
+  insensitive to the TSV topology, so a single (Few) topology is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.config.technology import EMParameters, default_em
+from repro.core.scenarios import (
+    VS_VDD_PADS_PER_CORE,
+    build_regular_pdn,
+    build_stacked_pdn,
+)
+from repro.em import (
+    C4_CROSS_SECTION,
+    TSV_CROSS_SECTION,
+    expected_em_lifetime,
+    median_lifetimes_from_currents,
+)
+from repro.pdn.results import PDNResult
+
+LayerSweep = Tuple[int, ...]
+DEFAULT_LAYERS: LayerSweep = (2, 4, 6, 8)
+
+
+def _tsv_array_lifetime(result: PDNResult, em: EMParameters) -> float:
+    """Array lifetime over all TSV conductors (tiers + through-vias)."""
+    currents = [result.conductor_currents("tsv")]
+    if result.has_group_prefix("tvia"):
+        currents.append(result.conductor_currents("tvia"))
+    medians = median_lifetimes_from_currents(
+        np.concatenate(currents), TSV_CROSS_SECTION, em
+    )
+    return expected_em_lifetime(medians, em)
+
+
+def _c4_array_lifetime(result: PDNResult, em: EMParameters) -> float:
+    """Array lifetime over all power C4 pads."""
+    medians = median_lifetimes_from_currents(
+        result.conductor_currents("c4"), C4_CROSS_SECTION, em
+    )
+    return expected_em_lifetime(medians, em)
+
+
+@dataclass(frozen=True)
+class Fig5aResult:
+    """Normalised TSV-array lifetimes per design and layer count."""
+
+    layers: LayerSweep
+    #: Series name -> lifetime per layer count, normalised to 2-layer V-S.
+    series: Dict[str, List[float]]
+
+    def improvement_at(self, n_layers: int, baseline: str = "Reg. PDN, Few TSV") -> float:
+        """V-S / regular lifetime ratio at a layer count."""
+        idx = self.layers.index(n_layers)
+        return self.series["V-S PDN, Few TSV"][idx] / self.series[baseline][idx]
+
+    def regular_degradation(self, name: str = "Reg. PDN, Few TSV") -> float:
+        """Fractional lifetime loss of a regular series from 2 to max layers."""
+        values = self.series[name]
+        return 1.0 - values[-1] / values[0]
+
+    def format(self) -> str:
+        headers = ["design"] + [f"{n} layers" for n in self.layers]
+        rows = [[name] + values for name, values in self.series.items()]
+        return format_table(
+            headers, rows,
+            title="Fig. 5a: normalised TSV EM-damage-free MTTF (vs 2-layer V-S)",
+        )
+
+
+@dataclass(frozen=True)
+class Fig5bResult:
+    """Normalised C4-array lifetimes per design and layer count."""
+
+    layers: LayerSweep
+    series: Dict[str, List[float]]
+
+    def improvement_at(self, n_layers: int, baseline: str = "Reg. PDN (25% Power C4)") -> float:
+        idx = self.layers.index(n_layers)
+        return self.series["V-S PDN (25% Power C4)"][idx] / self.series[baseline][idx]
+
+    def format(self) -> str:
+        headers = ["design"] + [f"{n} layers" for n in self.layers]
+        rows = [[name] + values for name, values in self.series.items()]
+        return format_table(
+            headers, rows,
+            title="Fig. 5b: normalised C4 EM-damage-free MTTF (vs 2-layer V-S)",
+        )
+
+
+def run_fig5a(
+    layers: LayerSweep = DEFAULT_LAYERS,
+    grid_nodes: int = 20,
+    em: Optional[EMParameters] = None,
+) -> Fig5aResult:
+    """Reproduce Fig. 5a (TSV array lifetimes)."""
+    em = em or default_em()
+    raw: Dict[str, List[float]] = {}
+    for topology in ("Dense", "Sparse", "Few"):
+        name = f"Reg. PDN, {topology} TSV"
+        raw[name] = []
+        for n in layers:
+            pdn = build_regular_pdn(n, topology=topology, grid_nodes=grid_nodes)
+            raw[name].append(_tsv_array_lifetime(pdn.solve(), em))
+    vs_name = "V-S PDN, Few TSV"
+    raw[vs_name] = []
+    for n in layers:
+        pdn = build_stacked_pdn(
+            n, topology="Few", vdd_pads_per_core=VS_VDD_PADS_PER_CORE,
+            grid_nodes=grid_nodes,
+        )
+        raw[vs_name].append(_tsv_array_lifetime(pdn.solve(), em))
+    reference = raw[vs_name][layers.index(2)] if 2 in layers else raw[vs_name][0]
+    series = {k: [v / reference for v in vals] for k, vals in raw.items()}
+    return Fig5aResult(layers=layers, series=series)
+
+
+def run_fig5b(
+    layers: LayerSweep = DEFAULT_LAYERS,
+    pad_fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
+    grid_nodes: int = 20,
+    em: Optional[EMParameters] = None,
+) -> Fig5bResult:
+    """Reproduce Fig. 5b (C4 pad array lifetimes)."""
+    em = em or default_em()
+    raw: Dict[str, List[float]] = {}
+    for fraction in pad_fractions:
+        name = f"Reg. PDN ({int(round(fraction * 100))}% Power C4)"
+        raw[name] = []
+        for n in layers:
+            pdn = build_regular_pdn(
+                n, topology="Few", power_pad_fraction=fraction, grid_nodes=grid_nodes
+            )
+            raw[name].append(_c4_array_lifetime(pdn.solve(), em))
+    vs_name = "V-S PDN (25% Power C4)"
+    raw[vs_name] = []
+    for n in layers:
+        pdn = build_stacked_pdn(
+            n, topology="Few", power_pad_fraction=0.25, grid_nodes=grid_nodes
+        )
+        raw[vs_name].append(_c4_array_lifetime(pdn.solve(), em))
+    reference = raw[vs_name][layers.index(2)] if 2 in layers else raw[vs_name][0]
+    series = {k: [v / reference for v in vals] for k, vals in raw.items()}
+    return Fig5bResult(layers=layers, series=series)

@@ -1,0 +1,110 @@
+"""Fig. 6 — load-imbalance-induced voltage noise of the 8-layer stack.
+
+The V-S PDN (Few TSV) is swept over the interleaved high-low workload
+pattern at 0-100% imbalance for 2/4/6/8 converters per core; data points
+whose converters exceed the 100 mA rating are skipped, exactly as the
+paper does.  The regular PDN's worst case is all-layers-active and is
+therefore a single horizontal line per TSV topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.workload.imbalance import interleaved_layer_activities
+
+DEFAULT_IMBALANCES: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+DEFAULT_CONVERTERS: Tuple[int, ...] = (2, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """IR-drop sweep results (fractions of Vdd)."""
+
+    n_layers: int
+    imbalances: Tuple[float, ...]
+    #: converters/core -> IR drop per imbalance (None = rating violated).
+    vs_series: Dict[int, List[Optional[float]]]
+    #: TSV topology name -> flat regular-PDN worst-case IR drop.
+    regular_lines: Dict[str, float]
+
+    def vs_at(self, converters: int, imbalance: float) -> Optional[float]:
+        idx = self.imbalances.index(imbalance)
+        return self.vs_series[converters][idx]
+
+    def crossover_imbalance(
+        self, converters: int = 8, regular: str = "Dense"
+    ) -> Optional[float]:
+        """First swept imbalance where V-S noise exceeds the regular line."""
+        threshold = self.regular_lines[regular]
+        for imbalance, value in zip(self.imbalances, self.vs_series[converters]):
+            if value is not None and value > threshold:
+                return imbalance
+        return None
+
+    def format(self) -> str:
+        headers = ["imbalance"] + [
+            f"V-S {k} conv/core" for k in sorted(self.vs_series)
+        ]
+        rows = []
+        for i, imbalance in enumerate(self.imbalances):
+            row: List[object] = [f"{imbalance:.0%}"]
+            for k in sorted(self.vs_series):
+                value = self.vs_series[k][i]
+                row.append(None if value is None else value * 100)
+            rows.append(row)
+        table = format_table(
+            headers, rows,
+            title=(
+                f"Fig. 6: max on-chip IR drop (% Vdd), {self.n_layers}-layer V-S PDN "
+                "(Few TSV; '-' = converter rating exceeded)"
+            ),
+        )
+        lines = [
+            f"Reg. PDN {name} TSV (worst case, any imbalance): {value * 100:.2f}% Vdd"
+            for name, value in self.regular_lines.items()
+        ]
+        return table + "\n" + "\n".join(lines)
+
+
+def run_fig6(
+    n_layers: int = 8,
+    imbalances: Sequence[float] = DEFAULT_IMBALANCES,
+    converters_per_core: Sequence[int] = DEFAULT_CONVERTERS,
+    grid_nodes: int = 20,
+) -> Fig6Result:
+    """Reproduce the Fig. 6 noise comparison."""
+    imbalances = tuple(imbalances)
+    vs_series: Dict[int, List[Optional[float]]] = {}
+    for k in converters_per_core:
+        pdn = build_stacked_pdn(
+            n_layers, converters_per_core=k, topology="Few", grid_nodes=grid_nodes
+        )
+        values: List[Optional[float]] = []
+        for imbalance in imbalances:
+            activities = interleaved_layer_activities(n_layers, imbalance)
+            result = pdn.solve(layer_activities=activities)
+            if result.converters_within_rating():
+                values.append(result.max_ir_drop_fraction())
+            else:
+                values.append(None)  # the paper skips these points
+        vs_series[k] = values
+
+    regular_lines: Dict[str, float] = {}
+    for topology in ("Dense", "Sparse", "Few"):
+        pdn = build_regular_pdn(n_layers, topology=topology, grid_nodes=grid_nodes)
+        regular_lines[topology] = pdn.solve(
+            layer_activities=np.ones(n_layers)
+        ).max_ir_drop_fraction()
+
+    return Fig6Result(
+        n_layers=n_layers,
+        imbalances=imbalances,
+        vs_series=vs_series,
+        regular_lines=regular_lines,
+    )

@@ -1,0 +1,127 @@
+"""Fig. 8 — system power efficiency of the 8-layer stack.
+
+For the V-S PDN, efficiency (total load power / off-chip source power)
+comes straight from the grid solve: it accounts for converter series and
+parasitic losses plus all resistive PDN losses.  The regular-PDN
+comparison line — SC converters providing *all* the power, stepping a
+2 Vdd rail down to Vdd — is evaluated with the compact model, with each
+core served by the minimal number of converters that respects the
+100 mA rating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.config.converters import SCConverterSpec, default_sc_spec
+from repro.config.stackups import ProcessorSpec
+from repro.core.scenarios import build_stacked_pdn
+from repro.regulator.compact import SCCompactModel
+from repro.workload.imbalance import interleaved_layer_activities
+
+DEFAULT_IMBALANCES: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
+DEFAULT_CONVERTERS: Tuple[int, ...] = (2, 4, 6, 8)
+
+
+def regular_sc_efficiency(
+    imbalance: float,
+    n_layers: int = 8,
+    processor: Optional[ProcessorSpec] = None,
+    spec: Optional[SCConverterSpec] = None,
+) -> float:
+    """Efficiency of a regular PDN whose SC converters carry all power.
+
+    Unlike the V-S case the converters see the full per-core current of
+    every layer (high and low layers alike under the interleaved
+    pattern), converting a 2 Vdd input rail down to Vdd.
+    """
+    processor = processor or ProcessorSpec()
+    spec = spec or default_sc_spec()
+    model = SCCompactModel(spec)
+    peak_core_current = processor.peak_core_power / processor.vdd
+    converters_per_core = max(1, math.ceil(peak_core_current / spec.max_load_current))
+    total_out = 0.0
+    total_in = 0.0
+    for activity in interleaved_layer_activities(n_layers, imbalance):
+        core_current = processor.layer_power(float(activity)) / (
+            processor.vdd * processor.core_count
+        )
+        per_converter = core_current / converters_per_core
+        op = model.operating_point(
+            2.0 * processor.vdd, 0.0, per_converter
+        )
+        total_out += op.output_power * converters_per_core * processor.core_count
+        total_in += op.input_power * converters_per_core * processor.core_count
+    return total_out / total_in
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Efficiency sweep results (fractions of 1)."""
+
+    n_layers: int
+    imbalances: Tuple[float, ...]
+    #: converters/core -> efficiency per imbalance (None = rating violated).
+    vs_series: Dict[int, List[Optional[float]]]
+    #: regular PDN + SC-for-all-power line.
+    regular_sc: List[float]
+
+    def vs_at(self, converters: int, imbalance: float) -> Optional[float]:
+        idx = self.imbalances.index(imbalance)
+        return self.vs_series[converters][idx]
+
+    def format(self) -> str:
+        headers = (
+            ["imbalance"]
+            + [f"V-S {k} conv/core" for k in sorted(self.vs_series)]
+            + ["Reg. PDN + SC all power"]
+        )
+        rows = []
+        for i, imbalance in enumerate(self.imbalances):
+            row: List[object] = [f"{imbalance:.0%}"]
+            for k in sorted(self.vs_series):
+                value = self.vs_series[k][i]
+                row.append(None if value is None else value * 100)
+            row.append(self.regular_sc[i] * 100)
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title=(
+                f"Fig. 8: system power efficiency (%), {self.n_layers}-layer stack "
+                "('-' = converter rating exceeded)"
+            ),
+        )
+
+
+def run_fig8(
+    n_layers: int = 8,
+    imbalances: Sequence[float] = DEFAULT_IMBALANCES,
+    converters_per_core: Sequence[int] = DEFAULT_CONVERTERS,
+    grid_nodes: int = 20,
+) -> Fig8Result:
+    """Reproduce the Fig. 8 efficiency comparison."""
+    imbalances = tuple(imbalances)
+    vs_series: Dict[int, List[Optional[float]]] = {}
+    for k in converters_per_core:
+        pdn = build_stacked_pdn(
+            n_layers, converters_per_core=k, topology="Few", grid_nodes=grid_nodes
+        )
+        values: List[Optional[float]] = []
+        for imbalance in imbalances:
+            activities = interleaved_layer_activities(n_layers, imbalance)
+            result = pdn.solve(layer_activities=activities)
+            if result.converters_within_rating():
+                values.append(result.efficiency())
+            else:
+                values.append(None)
+        vs_series[k] = values
+    regular = [regular_sc_efficiency(i, n_layers) for i in imbalances]
+    return Fig8Result(
+        n_layers=n_layers,
+        imbalances=imbalances,
+        vs_series=vs_series,
+        regular_sc=regular,
+    )

@@ -1,0 +1,98 @@
+"""The paper's headline claims, evaluated end-to-end in one report.
+
+Abstract / conclusions checked:
+
+1. V-S improves the 8-layer C4 array's EM lifetime by up to ~5x.
+2. V-S improves the 8-layer TSV array's EM lifetime by more than 3x.
+3. Stacking layers degrades the regular PDN's TSV lifetime by up to
+   ~84%, while the V-S PDN's is nearly insensitive to layer count.
+4. At the suite-average 65% workload imbalance, the V-S PDN's IR drop
+   exceeds the equal-area regular PDN (Dense TSV) by only ~0.75% Vdd,
+   and V-S wins outright below ~50% imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
+from repro.core.experiments.fig6 import Fig6Result, run_fig6
+from repro.core.experiments.fig7 import Fig7Result, run_fig7
+
+
+@dataclass(frozen=True)
+class HeadlineReport:
+    """Measured values behind each headline claim."""
+
+    c4_improvement_8l: float
+    tsv_improvement_8l: float
+    regular_tsv_degradation: float
+    vs_tsv_degradation: float
+    average_imbalance: float
+    vs_extra_ir_drop_at_average: float
+    crossover_imbalance: Optional[float]
+
+    def format(self) -> str:
+        crossover = (
+            f"{self.crossover_imbalance:.0%}"
+            if self.crossover_imbalance is not None
+            else "none observed"
+        )
+        return "\n".join(
+            [
+                "Headline claims (paper -> measured):",
+                f"  C4 EM lifetime gain at 8 layers (up to ~5x): {self.c4_improvement_8l:.2f}x",
+                f"  TSV EM lifetime gain at 8 layers (>3x): {self.tsv_improvement_8l:.2f}x",
+                f"  Regular-PDN TSV lifetime loss, 2->8 layers (up to 84%): "
+                f"{self.regular_tsv_degradation:.0%}",
+                f"  V-S PDN TSV lifetime loss, 2->8 layers (slight): "
+                f"{self.vs_tsv_degradation:.0%}",
+                f"  Suite-average max imbalance (65%): {self.average_imbalance:.0%}",
+                f"  V-S IR drop above Reg/Dense at that imbalance (~0.75% Vdd): "
+                f"{self.vs_extra_ir_drop_at_average * 100:+.2f}% Vdd",
+                f"  V-S/regular noise crossover (~50%): {crossover}",
+            ]
+        )
+
+
+def run_headline(
+    grid_nodes: int = 20,
+    fig5a: Optional[Fig5aResult] = None,
+    fig5b: Optional[Fig5bResult] = None,
+    fig6: Optional[Fig6Result] = None,
+    fig7: Optional[Fig7Result] = None,
+) -> HeadlineReport:
+    """Evaluate every headline claim (reusing results when supplied)."""
+    fig5a = fig5a or run_fig5a(grid_nodes=grid_nodes)
+    fig5b = fig5b or run_fig5b(grid_nodes=grid_nodes)
+    fig6 = fig6 or run_fig6(grid_nodes=grid_nodes)
+    fig7 = fig7 or run_fig7()
+
+    vs_series = fig5a.series["V-S PDN, Few TSV"]
+    reg_series = fig5a.series["Reg. PDN, Few TSV"]
+    average = fig7.average_max_imbalance
+    # Interpolate the Fig. 6 sweep at the suite-average imbalance.
+    sweep = [
+        (imb, val)
+        for imb, val in zip(fig6.imbalances, fig6.vs_series[8])
+        if val is not None
+    ]
+    vs_at_avg = None
+    for (x0, y0), (x1, y1) in zip(sweep, sweep[1:]):
+        if x0 <= average <= x1:
+            vs_at_avg = y0 + (y1 - y0) * (average - x0) / (x1 - x0)
+            break
+    if vs_at_avg is None:
+        vs_at_avg = sweep[-1][1]
+    dense = fig6.regular_lines["Dense"]
+
+    return HeadlineReport(
+        c4_improvement_8l=fig5b.improvement_at(8),
+        tsv_improvement_8l=fig5a.improvement_at(8),
+        regular_tsv_degradation=fig5a.regular_degradation(),
+        vs_tsv_degradation=1.0 - vs_series[-1] / vs_series[0],
+        average_imbalance=average,
+        vs_extra_ir_drop_at_average=vs_at_avg - dense,
+        crossover_imbalance=fig6.crossover_imbalance(),
+    )

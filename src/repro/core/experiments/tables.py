@@ -1,0 +1,74 @@
+"""Tables 1 and 2 — configuration echo and derived TSV metrics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.tables import format_table
+from repro.config.stackups import ProcessorSpec, TSV_TOPOLOGIES
+from repro.config.technology import (
+    C4Technology,
+    OnChipMetal,
+    TSVTechnology,
+    default_c4,
+    default_metal,
+    default_tsv,
+)
+from repro.pdn.tsv import tsv_topology_report
+from repro.utils.units import format_engineering, to_micro
+
+
+def table1_report(
+    c4: Optional[C4Technology] = None,
+    tsv: Optional[TSVTechnology] = None,
+    metal: Optional[OnChipMetal] = None,
+) -> str:
+    """Render Table 1 (major PDN modeling parameters)."""
+    c4 = c4 or default_c4()
+    tsv = tsv or default_tsv()
+    metal = metal or default_metal()
+    rows = [
+        ("C4 Pad Pitch (um)", to_micro(c4.pitch)),
+        ("C4 Pad Resistance (mOhm)", c4.resistance * 1e3),
+        ("Minimum TSV Pitch (um)", to_micro(tsv.min_pitch)),
+        ("TSV Diameter (um)", to_micro(tsv.diameter)),
+        ("Single TSV's Resistance (mOhm)", tsv.resistance * 1e3),
+        ("TSV Keep-Out Zone's Side Length (um)", to_micro(tsv.koz_side)),
+        (
+            "On-chip PDN's Pitch,Width,Thickness (um)",
+            f"{to_micro(metal.pitch):.0f},{to_micro(metal.width):.0f},"
+            f"{to_micro(metal.thickness):.0f}",
+        ),
+        (
+            "(derived) power-net sheet resistance",
+            format_engineering(metal.sheet_resistance, "Ohm/sq"),
+        ),
+    ]
+    return format_table(
+        ["parameter", "value"], rows, title="Table 1: major PDN modeling parameters"
+    )
+
+
+def table2_report(
+    processor: Optional[ProcessorSpec] = None,
+    tsv: Optional[TSVTechnology] = None,
+) -> str:
+    """Render Table 2 (TSV configurations) with derived quantities."""
+    processor = processor or ProcessorSpec()
+    tsv = tsv or default_tsv()
+    rows = []
+    for name in ("Dense", "Sparse", "Few"):
+        report = tsv_topology_report(TSV_TOPOLOGIES[name], processor.core_area, tsv)
+        rows.append(
+            (
+                f"{name} TSV",
+                report["effective_pitch_um"],
+                report["tsvs_per_core"],
+                report["area_overhead_percent"],
+            )
+        )
+    return format_table(
+        ["topology", "effective pitch (um)", "TSVs per core", "area overhead (%)"],
+        rows,
+        title="Table 2: TSV configurations",
+    )

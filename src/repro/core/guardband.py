@@ -1,0 +1,82 @@
+"""Frequency guardbanding: translating supply noise into performance.
+
+Architects ultimately pay for PDN noise in clock frequency: the worst
+droop must be covered by a voltage/frequency guardband.  Using the
+alpha-power delay model — gate delay ``~ V / (V - Vth)^alpha`` — this
+module converts the IR-drop numbers of the Fig. 6 comparison into the
+currency that matters: how much peak frequency each power-delivery
+design costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.experiments.fig6 import Fig6Result
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class AlphaPowerModel:
+    """Alpha-power-law delay model of the critical path."""
+
+    #: Effective threshold voltage (V); ~0.35 V at 40 nm LP.
+    threshold_voltage: float = 0.35
+    #: Velocity-saturation exponent; ~1.3 for short-channel devices.
+    alpha: float = 1.3
+    #: Nominal supply (V).
+    nominal_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("threshold_voltage", self.threshold_voltage)
+        check_positive("alpha", self.alpha)
+        check_positive("nominal_vdd", self.nominal_vdd)
+        if self.threshold_voltage >= self.nominal_vdd:
+            raise ValueError("threshold must be below the nominal supply")
+
+    # ------------------------------------------------------------------
+    def fmax_ratio(self, supply: float) -> float:
+        """Achievable frequency at ``supply`` relative to nominal.
+
+        ``f(V) ~ (V - Vth)^alpha / V``; 1.0 at the nominal supply.
+        """
+        if supply <= self.threshold_voltage:
+            return 0.0
+        v = self.nominal_vdd
+        nominal = (v - self.threshold_voltage) ** self.alpha / v
+        actual = (supply - self.threshold_voltage) ** self.alpha / supply
+        return actual / nominal
+
+    def guardband_for_droop(self, droop_fraction: float) -> float:
+        """Frequency guardband (fraction of fmax) covering a droop.
+
+        The clock must be safe at the *worst* supply, so the guardband
+        is ``1 - fmax_ratio(Vnom * (1 - droop))``.
+        """
+        check_fraction("droop_fraction", droop_fraction)
+        worst = self.nominal_vdd * (1.0 - droop_fraction)
+        return 1.0 - self.fmax_ratio(worst)
+
+
+def fig6_guardbands(
+    result: Fig6Result,
+    imbalance: float,
+    model: Optional[AlphaPowerModel] = None,
+) -> Dict[str, Optional[float]]:
+    """Frequency guardband every Fig. 6 design needs at one imbalance.
+
+    Returns ``{design: guardband fraction}`` for the regular topologies
+    (imbalance-independent) and each V-S converter count (``None`` where
+    the paper skips the point).
+    """
+    model = model or AlphaPowerModel()
+    out: Dict[str, Optional[float]] = {}
+    for name, drop in result.regular_lines.items():
+        out[f"Reg. PDN, {name} TSV"] = model.guardband_for_droop(drop)
+    for k in sorted(result.vs_series):
+        drop = result.vs_at(k, imbalance)
+        out[f"V-S PDN, {k} conv/core"] = (
+            None if drop is None else model.guardband_for_droop(drop)
+        )
+    return out

@@ -1,0 +1,156 @@
+"""SC-converter placement optimisation — beyond uniform distribution.
+
+The paper "uniformly distribute[s]" the converters within each core
+(Sec. 3.2) and notes that more regulators reduce IR drop "by amortising
+the per-converter current load and reducing the average load-to-
+regulator distance".  This module asks the next question: given a fixed
+converter budget, does *where* they sit matter?  A greedy placer adds
+one converter site at a time at the candidate cell that most reduces
+the solved worst-case IR drop.
+
+Because every candidate evaluation is a full PDN build + solve, the
+optimiser is meant for small model grids; its value is the insight
+(how much headroom uniform placement leaves on the table), not speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.stackups import StackConfig
+from repro.pdn.geometry import Cell, CellMultiplicity, GridGeometry
+from repro.pdn.stacked3d import StackedPDN3D
+from repro.utils.validation import check_positive_int
+from repro.workload.imbalance import interleaved_layer_activities
+
+
+class PlacedStackedPDN3D(StackedPDN3D):
+    """A voltage-stacked PDN with an explicit converter placement.
+
+    ``converter_cells`` maps grid cells to converter multiplicities and
+    replaces the per-core uniform distribution (the placement is shared
+    by every rail bank, as in the base model).
+    """
+
+    def __init__(self, stack: StackConfig, converter_cells: CellMultiplicity, **kwargs):
+        if not converter_cells:
+            raise ValueError("converter_cells must be non-empty")
+        self._placement = dict(converter_cells)
+        total = sum(converter_cells.values())
+        core_count = stack.processor.core_count
+        per_core = max(1, total // core_count)
+        super().__init__(stack, converters_per_core=per_core, **kwargs)
+
+    def _converter_cells(self) -> CellMultiplicity:
+        return self._placement
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a greedy placement run."""
+
+    #: Chosen converter cells with multiplicities.
+    placement: CellMultiplicity
+    #: Worst-case IR drop (fraction of Vdd) of the optimised placement.
+    ir_drop: float
+    #: IR drop of the uniform baseline with the same budget.
+    uniform_ir_drop: float
+    #: IR drop after each greedy addition (length = budget).
+    history: List[float]
+
+    @property
+    def improvement(self) -> float:
+        """Fractional noise reduction vs the uniform baseline."""
+        if self.uniform_ir_drop == 0:
+            return 0.0
+        return 1.0 - self.ir_drop / self.uniform_ir_drop
+
+
+class GreedyConverterPlacer:
+    """Greedy per-cell converter placement for one workload pattern.
+
+    Candidates are restricted to one representative core tile and the
+    chosen pattern is replicated to every core (the die is core-
+    periodic, which keeps the search tractable and the result fair
+    against the per-core uniform baseline).
+    """
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        imbalance: float = 0.65,
+        candidate_stride: int = 1,
+        **pdn_kwargs,
+    ):
+        if not 0.0 <= imbalance <= 1.0:
+            raise ValueError("imbalance must be within [0, 1]")
+        check_positive_int("candidate_stride", candidate_stride)
+        self.stack = stack
+        self.imbalance = imbalance
+        self.geometry = GridGeometry.from_stack(stack)
+        self.pdn_kwargs = pdn_kwargs
+        self.activities = interleaved_layer_activities(stack.n_layers, imbalance)
+        # Candidate cells within core (0, 0)'s tile.
+        g = self.geometry.grid_nodes
+        cells = []
+        for j in range(0, g, candidate_stride):
+            for i in range(0, g, candidate_stride):
+                if self.geometry.core_of_cell((j, i)) == (0, 0):
+                    cells.append((j, i))
+        if not cells:
+            raise RuntimeError("no candidate cells found in the core tile")
+        self.candidates: List[Cell] = cells
+
+    # ------------------------------------------------------------------
+    def _replicate(self, core_cells: Dict[Cell, int]) -> CellMultiplicity:
+        """Replicate a core-(0,0) pattern to every core tile."""
+        g = self.geometry.grid_nodes
+        rows, cols = self.geometry.core_rows, self.geometry.core_cols
+        cell_j = g // rows
+        cell_i = g // cols
+        placement: CellMultiplicity = {}
+        for (j, i), mult in core_cells.items():
+            for r in range(rows):
+                for c in range(cols):
+                    jj = min(g - 1, j + r * cell_j)
+                    ii = min(g - 1, i + c * cell_i)
+                    placement[(jj, ii)] = placement.get((jj, ii), 0) + mult
+        return placement
+
+    def _evaluate(self, core_cells: Dict[Cell, int]) -> float:
+        placement = self._replicate(core_cells)
+        pdn = PlacedStackedPDN3D(self.stack, placement, **self.pdn_kwargs)
+        return pdn.solve(layer_activities=self.activities).max_ir_drop_fraction()
+
+    def uniform_baseline(self, budget_per_core: int) -> float:
+        pdn = StackedPDN3D(
+            self.stack, converters_per_core=budget_per_core, **self.pdn_kwargs
+        )
+        return pdn.solve(layer_activities=self.activities).max_ir_drop_fraction()
+
+    def optimise(self, budget_per_core: int) -> PlacementResult:
+        """Place ``budget_per_core`` converters greedily."""
+        check_positive_int("budget_per_core", budget_per_core)
+        chosen: Dict[Cell, int] = {}
+        history: List[float] = []
+        for _ in range(budget_per_core):
+            best_cell = None
+            best_value = np.inf
+            for cell in self.candidates:
+                trial = dict(chosen)
+                trial[cell] = trial.get(cell, 0) + 1
+                value = self._evaluate(trial)
+                if value < best_value:
+                    best_value = value
+                    best_cell = cell
+            chosen[best_cell] = chosen.get(best_cell, 0) + 1
+            history.append(best_value)
+        return PlacementResult(
+            placement=self._replicate(chosen),
+            ir_drop=history[-1],
+            uniform_ir_drop=self.uniform_baseline(budget_per_core),
+            history=history,
+        )

@@ -1,0 +1,113 @@
+"""Builders for the paper's design scenarios (Sec. 4).
+
+The evaluation revolves around a small family of design points:
+
+* the regular PDN with one of the Table 2 TSV topologies and a power-pad
+  fraction (25% default, swept in Fig. 5b), and
+* the voltage-stacked PDN with the "Few" TSV topology, 2-8 converters
+  per core, and — for the TSV lifetime study — 32 Vdd pads per core,
+  each feeding one through-via stack (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.stackups import (
+    PadAllocation,
+    ProcessorSpec,
+    StackConfig,
+    TSV_TOPOLOGIES,
+)
+from repro.pdn.regular3d import RegularPDN3D
+from repro.pdn.stacked3d import StackedPDN3D
+
+#: Grid resolution used by the benchmark harness (nodes per die side).
+DEFAULT_GRID_NODES = 20
+
+#: Vdd pads per core for the V-S PDN's through-via supply (paper
+#: Sec. 5.1: "the number of Vdd pads (32 per-core in this case)").
+VS_VDD_PADS_PER_CORE = 32
+
+
+def regular_stack(
+    n_layers: int,
+    topology: str = "Few",
+    power_pad_fraction: float = 0.25,
+    grid_nodes: int = DEFAULT_GRID_NODES,
+    processor: Optional[ProcessorSpec] = None,
+) -> StackConfig:
+    """Stack configuration for a regular-PDN design point."""
+    if topology not in TSV_TOPOLOGIES:
+        raise ValueError(
+            f"unknown TSV topology {topology!r}; choose from {sorted(TSV_TOPOLOGIES)}"
+        )
+    return StackConfig(
+        n_layers=n_layers,
+        processor=processor or ProcessorSpec(),
+        tsv_topology=TSV_TOPOLOGIES[topology],
+        pads=PadAllocation(power_fraction=power_pad_fraction),
+        grid_nodes=grid_nodes,
+    )
+
+
+def stacked_stack(
+    n_layers: int,
+    topology: str = "Few",
+    power_pad_fraction: float = 0.25,
+    vdd_pads_per_core: int = 0,
+    grid_nodes: int = DEFAULT_GRID_NODES,
+    processor: Optional[ProcessorSpec] = None,
+) -> StackConfig:
+    """Stack configuration for a voltage-stacked design point.
+
+    Pass ``vdd_pads_per_core=VS_VDD_PADS_PER_CORE`` for the paper's
+    through-via pad allocation of the TSV EM study; leave 0 to allocate
+    by ``power_pad_fraction`` (the C4 EM study's 25%).
+    """
+    if topology not in TSV_TOPOLOGIES:
+        raise ValueError(
+            f"unknown TSV topology {topology!r}; choose from {sorted(TSV_TOPOLOGIES)}"
+        )
+    return StackConfig(
+        n_layers=n_layers,
+        processor=processor or ProcessorSpec(),
+        tsv_topology=TSV_TOPOLOGIES[topology],
+        pads=PadAllocation(
+            power_fraction=power_pad_fraction,
+            vdd_pads_per_core_override=vdd_pads_per_core,
+        ),
+        grid_nodes=grid_nodes,
+    )
+
+
+def build_regular_pdn(
+    n_layers: int,
+    topology: str = "Few",
+    power_pad_fraction: float = 0.25,
+    grid_nodes: int = DEFAULT_GRID_NODES,
+    **kwargs,
+) -> RegularPDN3D:
+    """Construct and return a ready-to-solve regular 3D PDN."""
+    return RegularPDN3D(
+        regular_stack(n_layers, topology, power_pad_fraction, grid_nodes), **kwargs
+    )
+
+
+def build_stacked_pdn(
+    n_layers: int,
+    converters_per_core: int = 8,
+    topology: str = "Few",
+    power_pad_fraction: float = 0.25,
+    vdd_pads_per_core: int = 0,
+    grid_nodes: int = DEFAULT_GRID_NODES,
+    **kwargs,
+) -> StackedPDN3D:
+    """Construct and return a ready-to-solve voltage-stacked 3D PDN."""
+    return StackedPDN3D(
+        stacked_stack(
+            n_layers, topology, power_pad_fraction, vdd_pads_per_core, grid_nodes
+        ),
+        converters_per_core=converters_per_core,
+        **kwargs,
+    )

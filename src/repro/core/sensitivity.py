@@ -1,0 +1,190 @@
+"""Parameter-sensitivity (tornado) analysis of the PDN metrics.
+
+The reproduction fixes several technology parameters the paper
+publishes and a few it does not (DESIGN.md §5b).  This module quantifies
+how much each parameter moves a chosen metric — worst-case IR drop or
+system efficiency — by re-evaluating the design at low/high excursions
+of one parameter at a time, which is both a robustness check on the
+reproduced conclusions and a practical design aid ("which knob do I
+turn?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.config.stackups import StackConfig
+from repro.config.technology import (
+    C4Technology,
+    OnChipMetal,
+    PackageModel,
+    TSVTechnology,
+    default_c4,
+    default_metal,
+    default_package,
+    default_tsv,
+)
+from repro.pdn.regular3d import RegularPDN3D
+from repro.pdn.stacked3d import StackedPDN3D
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Metric excursion caused by one parameter."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    metric_at_low: float
+    metric_at_high: float
+    metric_nominal: float
+
+    @property
+    def swing(self) -> float:
+        """Total metric excursion |high - low|."""
+        return abs(self.metric_at_high - self.metric_at_low)
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing as a fraction of the nominal metric."""
+        if self.metric_nominal == 0:
+            return 0.0
+        return self.swing / abs(self.metric_nominal)
+
+
+#: The tunable technology parameters: name -> (component, field).
+_PARAMETERS = {
+    "package_resistance": ("package", "resistance"),
+    "c4_pad_resistance": ("c4", "resistance"),
+    "tsv_resistance": ("tsv", "resistance"),
+    "metal_thickness": ("metal", "thickness"),
+    "metal_width": ("metal", "width"),
+}
+
+
+class SensitivityAnalysis:
+    """One-at-a-time excursions of the PDN technology parameters.
+
+    Parameters
+    ----------
+    stack:
+        The design point to perturb.
+    arrangement:
+        ``"regular"`` or ``"voltage-stacked"``.
+    metric:
+        ``"ir_drop"`` (max on-chip IR drop fraction) or ``"efficiency"``.
+    excursion:
+        Fractional low/high perturbation (default ±50%).
+    """
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        arrangement: str = "regular",
+        metric: str = "ir_drop",
+        excursion: float = 0.5,
+        converters_per_core: int = 8,
+    ):
+        if arrangement not in ("regular", "voltage-stacked"):
+            raise ValueError("arrangement must be 'regular' or 'voltage-stacked'")
+        if metric not in ("ir_drop", "efficiency"):
+            raise ValueError("metric must be 'ir_drop' or 'efficiency'")
+        check_positive("excursion", excursion)
+        if excursion >= 1.0:
+            raise ValueError("excursion must be < 1 (parameters must stay positive)")
+        self.stack = stack
+        self.arrangement = arrangement
+        self.metric = metric
+        self.excursion = excursion
+        self.converters_per_core = converters_per_core
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        c4: C4Technology,
+        tsv: TSVTechnology,
+        metal: OnChipMetal,
+        package: PackageModel,
+    ) -> float:
+        if self.arrangement == "regular":
+            pdn = RegularPDN3D(self.stack, c4=c4, tsv=tsv, metal=metal, package=package)
+        else:
+            pdn = StackedPDN3D(
+                self.stack,
+                converters_per_core=self.converters_per_core,
+                c4=c4,
+                tsv=tsv,
+                metal=metal,
+                package=package,
+            )
+        result = pdn.solve()
+        if self.metric == "ir_drop":
+            return result.max_ir_drop_fraction()
+        return result.efficiency()
+
+    def run(self, parameters: Optional[Sequence[str]] = None) -> List[SensitivityEntry]:
+        """Evaluate the tornado entries, sorted by swing (largest first)."""
+        names = list(_PARAMETERS) if parameters is None else list(parameters)
+        unknown = [n for n in names if n not in _PARAMETERS]
+        if unknown:
+            raise ValueError(f"unknown parameters {unknown}; choose from {sorted(_PARAMETERS)}")
+        components = {
+            "c4": default_c4(),
+            "tsv": default_tsv(),
+            "metal": default_metal(),
+            "package": default_package(),
+        }
+        nominal = self._evaluate(**components)
+        entries = []
+        for name in names:
+            component_key, field_name = _PARAMETERS[name]
+            base = components[component_key]
+            value = getattr(base, field_name)
+            results = {}
+            for direction, factor in (("low", 1 - self.excursion), ("high", 1 + self.excursion)):
+                perturbed = dict(components)
+                perturbed[component_key] = replace(base, **{field_name: value * factor})
+                results[direction] = self._evaluate(**perturbed)
+            entries.append(
+                SensitivityEntry(
+                    parameter=name,
+                    low_value=value * (1 - self.excursion),
+                    high_value=value * (1 + self.excursion),
+                    metric_at_low=results["low"],
+                    metric_at_high=results["high"],
+                    metric_nominal=nominal,
+                )
+            )
+        entries.sort(key=lambda e: e.swing, reverse=True)
+        return entries
+
+    def format(self, entries: Sequence[SensitivityEntry]) -> str:
+        unit = "%Vdd" if self.metric == "ir_drop" else "%"
+        scale = 100.0
+        rows = [
+            (
+                e.parameter,
+                e.metric_at_low * scale,
+                e.metric_nominal * scale,
+                e.metric_at_high * scale,
+                e.swing * scale,
+            )
+            for e in entries
+        ]
+        return format_table(
+            [
+                "parameter (+/-{:.0%})".format(self.excursion),
+                f"metric @low ({unit})",
+                f"nominal ({unit})",
+                f"metric @high ({unit})",
+                f"swing ({unit})",
+            ],
+            rows,
+            title=(
+                f"Sensitivity of {self.metric} — {self.arrangement} PDN, "
+                f"{self.stack.n_layers} layers"
+            ),
+        )

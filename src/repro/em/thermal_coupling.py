@@ -1,0 +1,139 @@
+"""Temperature-aware EM lifetime — a cross-layer extension.
+
+The paper evaluates Black's equation at a single junction temperature.
+In a real 3D stack the bottom layers run markedly hotter than the top
+(heat exits through the sink above), and Black's ``exp(Ea / kT)`` factor
+is steeply temperature-sensitive, so the conductor tiers nearest the
+pads are doubly stressed: they carry the most current *and* sit at the
+highest temperature.  This module couples the PDN current profile with
+the HotSpot-lite temperature field.
+
+Group-to-temperature mapping (by tag):
+
+* ``c4.*``           — the bottom layer's mean temperature,
+* ``tsv.*.t{k}`` / ``tsv.rail{k}`` — the mean of the two layers the tier
+  connects,
+* ``tvia.*``         — the stack-average temperature (the via crosses
+  every layer).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config.technology import BOLTZMANN_EV, EMParameters, default_em
+from repro.em.array_mttf import expected_em_lifetime
+from repro.em.black import C4_CROSS_SECTION, TSV_CROSS_SECTION, _J_FLOOR
+from repro.pdn.results import PDNResult
+from repro.thermal.grid3d import ThermalResult
+
+_TIER_PATTERN = re.compile(r"\.(?:t|rail)(\d+)$")
+
+#: Celsius-to-kelvin offset.
+_KELVIN = 273.15
+
+
+def median_lifetimes_at_temperature(
+    currents: np.ndarray,
+    cross_section: float,
+    temperature_celsius: float,
+    em: Optional[EMParameters] = None,
+) -> np.ndarray:
+    """Black's medians evaluated at an explicit junction temperature."""
+    em = em or default_em()
+    currents = np.abs(np.asarray(currents, dtype=float))
+    density = np.maximum(currents / cross_section, _J_FLOOR)
+    kelvin = temperature_celsius + _KELVIN
+    thermal = np.exp(em.activation_energy / (BOLTZMANN_EV * kelvin))
+    return em.prefactor * density ** (-em.exponent) * thermal
+
+
+def _layer_mean_temperatures(thermal: ThermalResult) -> List[float]:
+    return [float(t.mean()) for t in thermal.layer_temperatures]
+
+
+def group_temperatures(
+    result: PDNResult, thermal: ThermalResult
+) -> Dict[str, float]:
+    """Operating temperature (C) assigned to each conductor group."""
+    layer_t = _layer_mean_temperatures(thermal)
+    n = len(layer_t)
+    stack_mean = float(np.mean(layer_t))
+    temps: Dict[str, float] = {}
+    for tag in result.conductor_groups:
+        if tag.startswith("c4"):
+            temps[tag] = layer_t[0]
+        elif tag.startswith("tvia"):
+            temps[tag] = stack_mean
+        elif tag.startswith("tsv"):
+            match = _TIER_PATTERN.search(tag)
+            if match:
+                tier = int(match.group(1))
+                # Regular tiers are 0-based between layers t and t+1;
+                # V-S rail tiers are 1-based between layers r-1 and r.
+                if ".rail" in tag:
+                    lo, hi = tier - 1, min(tier, n - 1)
+                else:
+                    lo, hi = tier, min(tier + 1, n - 1)
+                temps[tag] = 0.5 * (layer_t[lo] + layer_t[hi])
+            else:
+                temps[tag] = stack_mean
+        else:
+            temps[tag] = stack_mean
+    return temps
+
+
+def thermally_coupled_lifetime(
+    result: PDNResult,
+    thermal: ThermalResult,
+    kind: str = "tsv",
+    em: Optional[EMParameters] = None,
+) -> float:
+    """Expected EM-damage-free lifetime with per-tier temperatures.
+
+    ``kind`` selects the conductor family: ``"tsv"`` (tiers plus
+    through-vias) or ``"c4"``.
+    """
+    em = em or default_em()
+    if kind not in ("tsv", "c4"):
+        raise ValueError("kind must be 'tsv' or 'c4'")
+    temps = group_temperatures(result, thermal)
+    cross = TSV_CROSS_SECTION if kind == "tsv" else C4_CROSS_SECTION
+    prefixes = ("tsv", "tvia") if kind == "tsv" else ("c4",)
+    medians = []
+    for tag, group in result.conductor_groups.items():
+        if not tag.startswith(prefixes):
+            continue
+        currents = group.per_conductor_currents(result.solution)
+        medians.append(
+            median_lifetimes_at_temperature(currents, cross, temps[tag], em)
+        )
+    if not medians:
+        raise KeyError(f"no conductor groups of kind {kind!r}")
+    return expected_em_lifetime(np.concatenate(medians), em)
+
+
+def uniform_temperature_lifetime(
+    result: PDNResult,
+    temperature_celsius: float,
+    kind: str = "tsv",
+    em: Optional[EMParameters] = None,
+) -> float:
+    """Same metric with one shared temperature (the paper's assumption)."""
+    em = em or default_em()
+    cross = TSV_CROSS_SECTION if kind == "tsv" else C4_CROSS_SECTION
+    prefixes = ("tsv", "tvia") if kind == "tsv" else ("c4",)
+    currents = [
+        group.per_conductor_currents(result.solution)
+        for tag, group in result.conductor_groups.items()
+        if tag.startswith(prefixes)
+    ]
+    if not currents:
+        raise KeyError(f"no conductor groups of kind {kind!r}")
+    medians = median_lifetimes_at_temperature(
+        np.concatenate(currents), cross, temperature_celsius, em
+    )
+    return expected_em_lifetime(medians, em)

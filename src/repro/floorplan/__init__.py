@@ -1,0 +1,13 @@
+"""ArchFP-lite: rapid pre-RTL floorplanning.
+
+The paper generates its processor floorplan with ArchFP (Faust et al.,
+VLSI-SoC 2012), a constructive slicing-tree floorplanner.  This package
+reimplements the part the PDN study needs: turn a list of blocks with
+target areas into non-overlapping rectangles tiling a fixed die outline,
+and replicate a core floorplan across a regular grid of core tiles.
+"""
+
+from repro.floorplan.blocks import Block, Rect
+from repro.floorplan.slicing import floorplan_blocks, grid_of_cores
+
+__all__ = ["Block", "Rect", "floorplan_blocks", "grid_of_cores"]

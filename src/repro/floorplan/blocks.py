@@ -1,0 +1,69 @@
+"""Geometric primitives for floorplanning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (metres); ``(x, y)`` is the lower-left."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    @property
+    def center(self) -> tuple:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """max(w, h) / min(w, h); 1.0 is square."""
+        return max(self.width, self.height) / min(self.width, self.height)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of intersection with ``other`` (0 if disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+    def contains_point(self, px: float, py: float) -> bool:
+        return self.x <= px <= self.x2 and self.y <= py <= self.y2
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A named floorplan block with a target area (m^2)."""
+
+    name: str
+    area: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("block name must be non-empty")
+        check_positive("area", self.area)

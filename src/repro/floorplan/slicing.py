@@ -1,0 +1,99 @@
+"""Slicing-tree floorplanning (the ArchFP approach, simplified).
+
+:func:`floorplan_blocks` recursively bisects the outline: the block list
+is split into two groups of roughly equal area, the outline is cut along
+its longer dimension proportionally to the group areas, and each half is
+floorplanned recursively.  Every block receives exactly its area share of
+the outline, so the result always tiles the outline with no overlap and
+no dead space (areas are scaled to fill the outline; ArchFP similarly
+swells whitespace into blocks at this abstraction level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.floorplan.blocks import Block, Rect
+from repro.utils.validation import check_positive_int
+
+
+def floorplan_blocks(blocks: Sequence[Block], outline: Rect) -> Dict[str, Rect]:
+    """Place ``blocks`` inside ``outline``; returns name -> rectangle.
+
+    Block areas are treated as *relative* weights: the outline is fully
+    tiled and each block gets ``outline.area * area_i / sum(areas)``.
+    Names must be unique.
+    """
+    if not blocks:
+        raise ValueError("blocks must be non-empty")
+    names = [b.name for b in blocks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate block names in {names}")
+    placements: Dict[str, Rect] = {}
+    _place(list(blocks), outline, placements)
+    return placements
+
+
+def _place(blocks: List[Block], outline: Rect, out: Dict[str, Rect]) -> None:
+    if len(blocks) == 1:
+        out[blocks[0].name] = outline
+        return
+    left, right = _balanced_split(blocks)
+    total = sum(b.area for b in blocks)
+    fraction = sum(b.area for b in left) / total
+    if outline.width >= outline.height:
+        cut = outline.width * fraction
+        rect_left = Rect(outline.x, outline.y, cut, outline.height)
+        rect_right = Rect(outline.x + cut, outline.y, outline.width - cut, outline.height)
+    else:
+        cut = outline.height * fraction
+        rect_left = Rect(outline.x, outline.y, outline.width, cut)
+        rect_right = Rect(outline.x, outline.y + cut, outline.width, outline.height - cut)
+    _place(left, rect_left, out)
+    _place(right, rect_right, out)
+
+
+def _balanced_split(blocks: List[Block]) -> Tuple[List[Block], List[Block]]:
+    """Greedy partition of blocks into two near-equal-area halves.
+
+    Blocks are considered in decreasing area order and assigned to the
+    lighter side; both sides are guaranteed non-empty.
+    """
+    ordered = sorted(blocks, key=lambda b: b.area, reverse=True)
+    left: List[Block] = []
+    right: List[Block] = []
+    area_left = 0.0
+    area_right = 0.0
+    for block in ordered:
+        if area_left <= area_right:
+            left.append(block)
+            area_left += block.area
+        else:
+            right.append(block)
+            area_right += block.area
+    if not right:  # can only happen for a single block, handled upstream
+        right.append(left.pop())
+    return left, right
+
+
+def grid_of_cores(
+    die: Rect, rows: int, cols: int, core_blocks: Sequence[Block]
+) -> Dict[str, Rect]:
+    """Tile the die with ``rows x cols`` identical core tiles.
+
+    Each tile is floorplanned with ``core_blocks``; block names are
+    prefixed ``core{r}_{c}.`` so the result maps every block instance on
+    the die to its rectangle.
+    """
+    check_positive_int("rows", rows)
+    check_positive_int("cols", cols)
+    tile_w = die.width / cols
+    tile_h = die.height / rows
+    result: Dict[str, Rect] = {}
+    for r in range(rows):
+        for c in range(cols):
+            tile = Rect(die.x + c * tile_w, die.y + r * tile_h, tile_w, tile_h)
+            placed = floorplan_blocks(core_blocks, tile)
+            for name, rect in placed.items():
+                result[f"core{r}_{c}.{name}"] = rect
+    return result

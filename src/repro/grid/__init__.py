@@ -1,0 +1,33 @@
+"""Sparse resistive-network (modified nodal analysis) engine.
+
+This package is the reproduction of the electrical core of VoltSpot that
+the paper builds on: a node/element netlist builder (:mod:`netlist`), the
+sparse MNA assembly and LU solve (:mod:`solver`), and the solution object
+exposing node voltages, per-branch currents and power bookkeeping
+(:mod:`solution`).
+
+The one non-standard element is the 2:1 switched-capacitor converter
+stamp: an ideal 2:1 transformer (output voltage = the mean of its two
+input rails) in series with the converter's output resistance, following
+the compact model of paper Fig. 2.
+"""
+
+from repro.grid.ac import ACAnalysis, ImpedanceProfile, pdn_impedance_profile
+from repro.grid.dynamic import Capacitor, Inductor, TransientEngine, TransientTrace
+from repro.grid.netlist import Circuit, ElementRef
+from repro.grid.solution import Solution
+from repro.grid.solver import AssembledCircuit
+
+__all__ = [
+    "Circuit",
+    "ElementRef",
+    "AssembledCircuit",
+    "Solution",
+    "Capacitor",
+    "Inductor",
+    "TransientEngine",
+    "TransientTrace",
+    "ACAnalysis",
+    "ImpedanceProfile",
+    "pdn_impedance_profile",
+]

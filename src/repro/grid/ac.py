@@ -1,0 +1,218 @@
+"""Small-signal AC (impedance vs frequency) analysis.
+
+Classic PDN methodology alongside the DC IR-drop and time-domain
+analyses: solve the complex-valued MNA system at each frequency with
+capacitors stamped as ``jwC`` admittances and inductors as ``1/(jwL)``,
+then probe the impedance seen by a load — the anti-resonance peaks
+between the package inductance and the on-chip/package decap are what
+set the worst di/dt noise.
+
+The implementation builds its own complex sparse system from a
+:class:`repro.grid.netlist.Circuit` plus explicit storage-element lists
+(shared with the transient engine's :class:`Capacitor` /
+:class:`Inductor` descriptions).  Voltage sources are shorted (ideal
+supplies have zero small-signal impedance), current-source loads are
+opened, and a 1 A probe current is injected at the node of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import splu
+
+from repro.grid.dynamic import Capacitor, Inductor
+from repro.grid.netlist import RESISTOR, VSOURCE, Circuit, NodeKey
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ImpedanceProfile:
+    """|Z| seen at a probe node across frequency."""
+
+    frequencies: np.ndarray
+    impedance: np.ndarray  # complex Z per frequency
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        return np.abs(self.impedance)
+
+    def peak(self) -> Tuple[float, float]:
+        """(frequency, |Z|) of the largest impedance peak."""
+        idx = int(np.argmax(self.magnitude))
+        return float(self.frequencies[idx]), float(self.magnitude[idx])
+
+    def at(self, frequency: float) -> complex:
+        """Z interpolated at one frequency (nearest sample)."""
+        idx = int(np.argmin(np.abs(self.frequencies - frequency)))
+        return complex(self.impedance[idx])
+
+
+class ACAnalysis:
+    """Impedance analysis of a resistive circuit + storage elements.
+
+    The circuit's voltage sources are treated as AC shorts and its
+    current sources as AC opens, per standard small-signal practice.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        capacitors: Sequence[Capacitor] = (),
+        inductors: Sequence[Inductor] = (),
+    ):
+        if circuit.ground is None:
+            raise ValueError("circuit needs a ground reference")
+        self.circuit = circuit
+        self.capacitors = list(capacitors)
+        self.inductors = list(inductors)
+        self._ground = circuit.ground
+        # Resolve every storage-element node key FIRST: keys not yet in
+        # the circuit create new nodes, and the row mapping below must
+        # see the final node count.
+        cap_ids = [
+            (circuit.node(c.n1), circuit.node(c.n2)) for c in self.capacitors
+        ]
+        ind_ids = [
+            (circuit.node(i.n1), circuit.node(i.n2)) for i in self.inductors
+        ]
+        self._n = circuit.node_count
+        # Static (resistive) stamps, reused at every frequency.
+        res = circuit.store(RESISTOR)
+        self._res_n1 = self._rows(res.column("n1"))
+        self._res_n2 = self._rows(res.column("n2"))
+        self._res_g = 1.0 / res.column("resistance")
+        vsrc = circuit.store(VSOURCE)
+        self._vs_pos = self._rows(vsrc.column("pos"))
+        self._vs_neg = self._rows(vsrc.column("neg"))
+        self._cap_nodes = [(self._row(a), self._row(b)) for a, b in cap_ids]
+        self._ind_nodes = [(self._row(a), self._row(b)) for a, b in ind_ids]
+
+    # ------------------------------------------------------------------
+    def _row(self, node_id: int) -> int:
+        if node_id == self._ground:
+            return -1
+        return node_id if node_id < self._ground else node_id - 1
+
+    def _rows(self, ids: np.ndarray) -> np.ndarray:
+        rows = np.where(ids < self._ground, ids, ids - 1)
+        return np.where(ids == self._ground, -1, rows)
+
+    def _system(self, omega: float):
+        dim = self._n - 1 + len(self._vs_pos)
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+
+        def stamp(r, c, v):
+            r = np.atleast_1d(np.asarray(r))
+            c = np.atleast_1d(np.asarray(c))
+            v = np.atleast_1d(np.asarray(v, dtype=complex))
+            keep = (r >= 0) & (c >= 0)
+            rows.append(r[keep])
+            cols.append(c[keep])
+            vals.append(v[keep])
+
+        def stamp_admittance(n1, n2, y):
+            stamp(n1, n1, y)
+            stamp(n2, n2, y)
+            stamp(n1, n2, -y)
+            stamp(n2, n1, -y)
+
+        stamp_admittance(self._res_n1, self._res_n2, self._res_g.astype(complex))
+        for (a, b), cap in zip(self._cap_nodes, self.capacitors):
+            stamp_admittance(a, b, 1j * omega * cap.capacitance)
+        for (a, b), ind in zip(self._ind_nodes, self.inductors):
+            if omega == 0:
+                stamp_admittance(a, b, 1e12)  # DC short
+            else:
+                stamp_admittance(a, b, 1.0 / (1j * omega * ind.inductance))
+        # Voltage sources -> 0 V constraints (AC shorts).
+        offset = self._n - 1
+        for k, (p, q) in enumerate(zip(self._vs_pos, self._vs_neg)):
+            col = offset + k
+            stamp(p, col, 1.0)
+            stamp(q, col, -1.0)
+            stamp(col, p, 1.0)
+            stamp(col, q, -1.0)
+        matrix = coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(dim, dim),
+        ).tocsc()
+        return matrix, dim
+
+    # ------------------------------------------------------------------
+    def impedance(
+        self,
+        probe_pos: NodeKey,
+        probe_neg: NodeKey,
+        frequencies: Sequence[float],
+    ) -> ImpedanceProfile:
+        """|Z(f)| between two nodes (1 A injected, voltage read back)."""
+        frequencies = np.asarray(list(frequencies), dtype=float)
+        if frequencies.size == 0:
+            raise ValueError("frequencies must be non-empty")
+        if np.any(frequencies < 0):
+            raise ValueError("frequencies must be non-negative")
+        pos = self._row(self.circuit.node(probe_pos))
+        neg = self._row(self.circuit.node(probe_neg))
+        z_values = np.empty(frequencies.size, dtype=complex)
+        for i, f in enumerate(frequencies):
+            omega = 2.0 * np.pi * f
+            matrix, dim = self._system(omega)
+            rhs = np.zeros(dim, dtype=complex)
+            if pos >= 0:
+                rhs[pos] += 1.0
+            if neg >= 0:
+                rhs[neg] -= 1.0
+            solution = splu(matrix).solve(rhs)
+            v_pos = solution[pos] if pos >= 0 else 0.0
+            v_neg = solution[neg] if neg >= 0 else 0.0
+            z_values[i] = v_pos - v_neg
+        return ImpedanceProfile(frequencies=frequencies, impedance=z_values)
+
+
+def pdn_impedance_profile(
+    pdn,
+    frequencies: Optional[Sequence[float]] = None,
+    decap_per_layer: float = 100e-9,
+    probe_layer: Optional[int] = None,
+) -> ImpedanceProfile:
+    """Impedance seen by a load at the centre of ``probe_layer``.
+
+    The PDN must be built with ``package_inductor_nodes=True`` so the
+    package inductors participate; per-cell decap is added like the
+    transient analysis does.
+    """
+    check_positive("decap_per_layer", decap_per_layer)
+    from repro.pdn.builder import PKG_GND, PKG_GND_IND, PKG_VDD, PKG_VDD_IND
+
+    g = pdn.geometry.grid_nodes
+    n_layers = pdn.stack.n_layers
+    per_cell = decap_per_layer / (g * g)
+    capacitors = [
+        Capacitor(("vdd", layer, j, i), ("gnd", layer, j, i), per_cell)
+        for layer in range(n_layers)
+        for j in range(g)
+        for i in range(g)
+    ]
+    inductors = []
+    if pdn.package_inductor_nodes:
+        pkg = pdn.package
+        inductors = [
+            Inductor(PKG_VDD_IND, PKG_VDD, pkg.inductance),
+            Inductor(PKG_GND, PKG_GND_IND, pkg.inductance),
+        ]
+        if pkg.decap > 0:
+            capacitors.append(Capacitor(PKG_VDD, PKG_GND, pkg.decap))
+    analysis = ACAnalysis(pdn.circuit, capacitors, inductors)
+    if frequencies is None:
+        frequencies = np.logspace(5, 10, 41)  # 100 kHz .. 10 GHz
+    layer = n_layers - 1 if probe_layer is None else probe_layer
+    mid = g // 2
+    return analysis.impedance(
+        ("vdd", layer, mid, mid), ("gnd", layer, mid, mid), frequencies
+    )

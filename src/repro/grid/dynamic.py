@@ -1,0 +1,213 @@
+"""Transient (time-domain) analysis via companion models.
+
+Extends the DC engine to RC/RL networks using the standard backward-
+Euler companion stamps:
+
+* a capacitor ``C`` becomes a resistor ``dt/C`` in parallel with a
+  history current source ``(C/dt) * v_prev`` (injected so that
+  ``i = C (v - v_prev) / dt``),
+* an inductor ``L`` becomes a resistor ``L/dt`` in parallel with a
+  history current source ``i_prev``.
+
+Because the companion conductances depend only on ``dt``, a fixed-step
+simulation assembles and LU-factorises the MNA matrix **once** and then
+performs one cheap RHS update + triangular solve per timestep — the same
+amortisation trick the DC sweeps use.
+
+The paper's own results are all static IR drop; this module implements
+the natural transient extension (di/dt droop into on-chip decap), used
+by :mod:`repro.pdn.transient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.netlist import ISOURCE, Circuit, NodeKey
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """An ideal capacitor between two nodes (F)."""
+
+    n1: NodeKey
+    n2: NodeKey
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        check_positive("capacitance", self.capacitance)
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """An ideal inductor between two nodes (H)."""
+
+    n1: NodeKey
+    n2: NodeKey
+    inductance: float
+
+    def __post_init__(self) -> None:
+        check_positive("inductance", self.inductance)
+
+
+@dataclass
+class TransientTrace:
+    """Sampled waveforms of a transient run."""
+
+    #: Time points (s), length ``steps + 1`` including t = 0.
+    time: np.ndarray
+    #: Node voltages per probe, keyed by probe label -> array over time.
+    probes: Dict[str, np.ndarray]
+
+    def probe(self, label: str) -> np.ndarray:
+        return self.probes[label]
+
+    def worst_droop(self, label: str, reference: float) -> float:
+        """Largest dip of a probe below ``reference`` (V, >= 0)."""
+        return float(max(0.0, reference - self.probes[label].min()))
+
+
+class TransientEngine:
+    """Fixed-step backward-Euler simulator over a DC circuit.
+
+    The engine *augments* the given circuit with companion elements, so
+    construct it before the circuit's first ``assemble()``; the circuit
+    should not be reused for DC solves afterwards.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        capacitors: Sequence[Capacitor],
+        inductors: Sequence[Inductor] = (),
+        dt: float = 1e-10,
+    ):
+        check_positive("dt", dt)
+        if not capacitors and not inductors:
+            raise ValueError("transient analysis needs at least one storage element")
+        self.circuit = circuit
+        self.dt = dt
+        self.capacitors = list(capacitors)
+        self.inductors = list(inductors)
+
+        # Stamp companion conductances (topology-constant).
+        for cap in self.capacitors:
+            circuit.add_resistor(cap.n1, cap.n2, dt / cap.capacitance, tag="_comp.c")
+        for ind in self.inductors:
+            circuit.add_resistor(ind.n1, ind.n2, ind.inductance / dt, tag="_comp.l")
+        # History current sources, updated every step.  Direction: a
+        # positive history value injects current into n1 (capacitor) /
+        # into n2 (inductor), matching the companion derivations.
+        self._cap_refs = [
+            circuit.add_current_source(c.n2, c.n1, 0.0, tag="_hist.c")
+            for c in self.capacitors
+        ]
+        self._ind_refs = [
+            circuit.add_current_source(i.n1, i.n2, 0.0, tag="_hist.l")
+            for i in self.inductors
+        ]
+        self._assembled = circuit.assemble()
+        self._cap_nodes = [
+            (circuit.node(c.n1), circuit.node(c.n2)) for c in self.capacitors
+        ]
+        self._ind_nodes = [
+            (circuit.node(i.n1), circuit.node(i.n2)) for i in self.inductors
+        ]
+        self._n_isources = circuit.count(ISOURCE)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        steps: int,
+        load_currents: Optional[Callable[[float], np.ndarray]] = None,
+        probes: Optional[Dict[str, NodeKey]] = None,
+        initial_cap_voltages: Optional[np.ndarray] = None,
+        initial_inductor_currents: Optional[np.ndarray] = None,
+    ) -> TransientTrace:
+        """Simulate ``steps`` backward-Euler steps.
+
+        Parameters
+        ----------
+        steps:
+            Number of timesteps.
+        load_currents:
+            ``f(t) -> array`` giving the values of the circuit's
+            *original* (non-companion) current sources at time ``t``;
+            defaults to their netlist values.  The array length must
+            equal the number of original current sources (companions are
+            managed internally).
+        probes:
+            label -> node key to record.
+        initial_cap_voltages, initial_inductor_currents:
+            Storage-element state at t = 0 (defaults: all zero).  Start
+            near the intended DC point — e.g. capacitors pre-charged to
+            their nominal rail voltages — and let a short warm-up settle
+            the residual; a zero start of a large decap behaves like a
+            momentary short across its rails.
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        probes = probes or {}
+        circuit = self.circuit
+        n_hist = len(self._cap_refs) + len(self._ind_refs)
+        n_orig = self._n_isources - n_hist
+        base_values = circuit.store(ISOURCE).column("current")[:n_orig]
+
+        if initial_cap_voltages is None:
+            cap_v = np.zeros(len(self.capacitors))
+        else:
+            cap_v = np.asarray(initial_cap_voltages, dtype=float).copy()
+            if cap_v.shape != (len(self.capacitors),):
+                raise ValueError(
+                    f"initial_cap_voltages must have shape "
+                    f"({len(self.capacitors)},), got {cap_v.shape}"
+                )
+        if initial_inductor_currents is None:
+            ind_i = np.zeros(len(self.inductors))
+        else:
+            ind_i = np.asarray(initial_inductor_currents, dtype=float).copy()
+            if ind_i.shape != (len(self.inductors),):
+                raise ValueError(
+                    f"initial_inductor_currents must have shape "
+                    f"({len(self.inductors)},), got {ind_i.shape}"
+                )
+
+        time = np.zeros(steps + 1)
+        recorded: Dict[str, List[float]] = {label: [] for label in probes}
+        solution = None
+        for k in range(steps + 1):
+            t = k * self.dt
+            time[k] = t
+            loads = (
+                np.asarray(load_currents(t), dtype=float)
+                if load_currents is not None
+                else base_values
+            )
+            if loads.shape != (n_orig,):
+                raise ValueError(
+                    f"load_currents must return shape ({n_orig},), got {loads.shape}"
+                )
+            hist_c = cap_v * np.array(
+                [c.capacitance / self.dt for c in self.capacitors]
+            )
+            hist_l = ind_i
+            overrides = np.concatenate([loads, hist_c, hist_l])
+            solution = self._assembled.solve(isource_current=overrides)
+            volts = solution.node_voltage
+            cap_v = np.array([volts[a] - volts[b] for a, b in self._cap_nodes])
+            ind_i = hist_l + np.array(
+                [
+                    (volts[a] - volts[b]) / (ind.inductance / self.dt)
+                    for (a, b), ind in zip(self._ind_nodes, self.inductors)
+                ]
+            )
+            for label, key in probes.items():
+                recorded[label].append(solution.voltage(key))
+        return TransientTrace(
+            time=time,
+            probes={label: np.array(vals) for label, vals in recorded.items()},
+        )

@@ -1,0 +1,175 @@
+"""Solved operating point of an assembled circuit.
+
+A :class:`Solution` exposes node voltages plus per-element branch
+currents, voltage drops and dissipated power, addressable by element tag.
+The EM-lifetime analysis reads per-tag branch currents (C4 pads, TSV
+tiers); the noise analysis reads node voltages; the efficiency analysis
+reads source and load power.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, NodeKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.solver import AssembledCircuit
+
+
+class Solution:
+    """Node voltages and derived branch quantities for one DC solve."""
+
+    def __init__(
+        self,
+        assembled: "AssembledCircuit",
+        x: np.ndarray,
+        isource_current: np.ndarray,
+        vsource_voltage: np.ndarray,
+    ):
+        self._assembled = assembled
+        self._circuit = assembled.circuit
+        self._x = x
+        self._isource_current = isource_current
+        self._vsource_voltage = vsource_voltage
+        # Expand to a full per-node voltage vector including ground = 0.
+        n = assembled.n_nodes
+        volts = np.empty(n)
+        ground = assembled.ground_node
+        volts[:ground] = x[:ground]
+        volts[ground] = 0.0
+        volts[ground + 1 :] = x[ground : n - 1]
+        self._node_voltage = volts
+
+    # ------------------------------------------------------------------
+    # voltages
+    # ------------------------------------------------------------------
+    def voltage(self, key: NodeKey) -> float:
+        """Voltage of one node (V, relative to ground)."""
+        return float(self._node_voltage[self._circuit.node(key)])
+
+    def voltages(self, keys: Iterable[NodeKey]) -> np.ndarray:
+        """Voltages of several nodes (V)."""
+        ids = self._circuit.nodes(keys)
+        return self._node_voltage[ids]
+
+    def voltage_by_id(self, node_ids: np.ndarray) -> np.ndarray:
+        """Voltages for pre-resolved integer node ids."""
+        return self._node_voltage[np.asarray(node_ids, dtype=int)]
+
+    @property
+    def node_voltage(self) -> np.ndarray:
+        """Full node-voltage vector indexed by node id."""
+        return self._node_voltage
+
+    # ------------------------------------------------------------------
+    # resistors
+    # ------------------------------------------------------------------
+    def _resistor_fields(self, tag: Optional[str]):
+        store = self._circuit.store(RESISTOR)
+        idx = (
+            np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        )
+        v1 = self._node_voltage[store.column("n1")[idx]]
+        v2 = self._node_voltage[store.column("n2")[idx]]
+        r = store.column("resistance")[idx]
+        return idx, v1, v2, r
+
+    def resistor_currents(self, tag: Optional[str] = None) -> np.ndarray:
+        """Branch currents (A) flowing n1 -> n2, optionally one tag only."""
+        _, v1, v2, r = self._resistor_fields(tag)
+        return (v1 - v2) / r
+
+    def resistor_drops(self, tag: Optional[str] = None) -> np.ndarray:
+        """Voltage drops v1 - v2 (V)."""
+        _, v1, v2, _ = self._resistor_fields(tag)
+        return v1 - v2
+
+    def resistor_power(self, tag: Optional[str] = None) -> float:
+        """Total power dissipated in the selected resistors (W)."""
+        _, v1, v2, r = self._resistor_fields(tag)
+        return float(np.sum((v1 - v2) ** 2 / r))
+
+    # ------------------------------------------------------------------
+    # voltage sources
+    # ------------------------------------------------------------------
+    def vsource_currents(self, tag: Optional[str] = None) -> np.ndarray:
+        """Current delivered out of each source's + terminal (A).
+
+        Positive values mean the source is supplying power.
+        """
+        store = self._circuit.store(VSOURCE)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        offset = self._assembled.vsource_offset
+        stamped = self._x[offset + idx]
+        return -stamped  # stamped current flows + -> - inside the source
+
+    def vsource_power(self, tag: Optional[str] = None) -> float:
+        """Total power delivered by the selected voltage sources (W)."""
+        store = self._circuit.store(VSOURCE)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        vpos = self._node_voltage[store.column("pos")[idx]]
+        vneg = self._node_voltage[store.column("neg")[idx]]
+        return float(np.sum((vpos - vneg) * self.vsource_currents(tag)))
+
+    # ------------------------------------------------------------------
+    # current sources (loads)
+    # ------------------------------------------------------------------
+    def isource_power(self, tag: Optional[str] = None) -> float:
+        """Power absorbed by the selected current sources (W).
+
+        For loads drawing from Vdd into GND this is the power actually
+        delivered to the logic (which shrinks as IR drop grows).
+        """
+        store = self._circuit.store(ISOURCE)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        vsrc = self._node_voltage[store.column("src")[idx]]
+        vdst = self._node_voltage[store.column("dst")[idx]]
+        return float(np.sum((vsrc - vdst) * self._isource_current[idx]))
+
+    def isource_values(self, tag: Optional[str] = None) -> np.ndarray:
+        """The current values used for this solve (A)."""
+        store = self._circuit.store(ISOURCE)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        return self._isource_current[idx]
+
+    # ------------------------------------------------------------------
+    # SC converters
+    # ------------------------------------------------------------------
+    def converter_output_currents(self, tag: Optional[str] = None) -> np.ndarray:
+        """Output current j of each converter (A, positive = sourcing)."""
+        store = self._circuit.store(CONVERTER)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        offset = self._assembled.converter_offset
+        return self._x[offset + idx]
+
+    def converter_series_loss(self, tag: Optional[str] = None) -> float:
+        """Total conduction loss j^2 * r_series across converters (W)."""
+        store = self._circuit.store(CONVERTER)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        j = self.converter_output_currents(tag)
+        rser = store.column("r_series")[idx]
+        return float(np.sum(j * j * rser))
+
+    def converter_output_voltages(self, tag: Optional[str] = None) -> np.ndarray:
+        """Voltage at each converter's output (mid) node (V)."""
+        store = self._circuit.store(CONVERTER)
+        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        return self._node_voltage[store.column("mid")[idx]]
+
+    # ------------------------------------------------------------------
+    # global energy bookkeeping
+    # ------------------------------------------------------------------
+    def power_balance_error(self) -> float:
+        """|source power - (load + resistive + converter) power| (W).
+
+        Should be ~0 for a correct solve; exposed as an invariant for the
+        test suite.
+        """
+        supplied = self.vsource_power()
+        absorbed = (
+            self.isource_power() + self.resistor_power() + self.converter_series_loss()
+        )
+        return abs(supplied - absorbed)

@@ -1,0 +1,230 @@
+"""MNA assembly and sparse LU solve.
+
+:class:`AssembledCircuit` freezes a :class:`repro.grid.netlist.Circuit`
+topology into a sparse MNA matrix, LU-factorises it once (SuperLU via
+``scipy.sparse.linalg.splu``) and then solves for any set of source
+values.  Because independent sources only enter the right-hand side,
+parameter sweeps over load currents — the inner loop of every experiment
+in the paper — reuse the factorisation and cost only a triangular solve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import splu
+
+from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, Circuit
+from repro.grid.solution import Solution
+
+
+class SingularCircuitError(RuntimeError):
+    """The MNA system is singular (typically a floating subnetwork)."""
+
+
+class AssembledCircuit:
+    """A factorised MNA system ready for repeated right-hand-side solves.
+
+    The unknown vector is laid out as ``[node voltages (ground dropped),
+    voltage-source branch currents, converter output currents]``.
+    """
+
+    #: Relative residual above which a solve is reported as singular.
+    RESIDUAL_TOLERANCE = 1e-6
+
+    def __init__(self, circuit: Circuit):
+        if circuit.ground is None:
+            raise ValueError("circuit has no ground: call Circuit.set_ground() first")
+        if circuit.count(RESISTOR) == 0 and circuit.count(VSOURCE) == 0:
+            raise ValueError("circuit has no conducting elements")
+        self.circuit = circuit
+        self._ground = circuit.ground
+        self._n_nodes = circuit.node_count
+        self._nv = circuit.count(VSOURCE)
+        self._nc = circuit.count(CONVERTER)
+        self.dimension = (self._n_nodes - 1) + self._nv + self._nc
+        self._matrix = self._build_matrix()
+        self._lu = None
+
+    # ------------------------------------------------------------------
+    def _row_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Map node ids to matrix rows; the ground node maps to -1."""
+        rows = np.where(node_ids < self._ground, node_ids, node_ids - 1)
+        rows = np.where(node_ids == self._ground, -1, rows)
+        return rows
+
+    def _build_matrix(self):
+        circuit = self.circuit
+        rows_parts = []
+        cols_parts = []
+        vals_parts = []
+
+        def stamp(rows, cols, vals):
+            rows = np.asarray(rows)
+            cols = np.asarray(cols)
+            vals = np.asarray(vals, dtype=float)
+            keep = (rows >= 0) & (cols >= 0)
+            rows_parts.append(rows[keep])
+            cols_parts.append(cols[keep])
+            vals_parts.append(vals[keep])
+
+        # --- resistors -------------------------------------------------
+        res = circuit.store(RESISTOR)
+        if len(res):
+            n1 = self._row_of(res.column("n1"))
+            n2 = self._row_of(res.column("n2"))
+            g = 1.0 / res.column("resistance")
+            stamp(n1, n1, g)
+            stamp(n2, n2, g)
+            stamp(n1, n2, -g)
+            stamp(n2, n1, -g)
+
+        nv_offset = self._n_nodes - 1
+        nc_offset = nv_offset + self._nv
+
+        # --- voltage sources --------------------------------------------
+        vsrc = circuit.store(VSOURCE)
+        if len(vsrc):
+            pos = self._row_of(vsrc.column("pos"))
+            neg = self._row_of(vsrc.column("neg"))
+            k = nv_offset + np.arange(self._nv)
+            ones = np.ones(self._nv)
+            stamp(pos, k, ones)   # branch current leaves the + node
+            stamp(neg, k, -ones)
+            stamp(k, pos, ones)   # constraint: v+ - v- = V
+            stamp(k, neg, -ones)
+
+        # --- SC converters ------------------------------------------------
+        conv = circuit.store(CONVERTER)
+        if len(conv):
+            top = self._row_of(conv.column("top"))
+            bottom = self._row_of(conv.column("bottom"))
+            mid = self._row_of(conv.column("mid"))
+            rser = conv.column("r_series")
+            k = nc_offset + np.arange(self._nc)
+            half = np.full(self._nc, 0.5)
+            ones = np.ones(self._nc)
+            # KCL: output current j enters mid; j/2 is drawn from each rail.
+            stamp(top, k, half)
+            stamp(bottom, k, half)
+            stamp(mid, k, -ones)
+            # Constraint: v_mid - (v_top + v_bottom)/2 + j * r_series = 0.
+            stamp(k, mid, ones)
+            stamp(k, top, -half)
+            stamp(k, bottom, -half)
+            stamp(k, k, rser)
+
+        rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, dtype=int)
+        cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, dtype=int)
+        vals = np.concatenate(vals_parts) if vals_parts else np.empty(0)
+        matrix = coo_matrix(
+            (vals, (rows, cols)), shape=(self.dimension, self.dimension)
+        ).tocsc()
+        return matrix
+
+    # ------------------------------------------------------------------
+    def _rhs(
+        self,
+        isource_current: Optional[np.ndarray],
+        vsource_voltage: Optional[np.ndarray],
+    ) -> np.ndarray:
+        circuit = self.circuit
+        z = np.zeros(self.dimension)
+
+        isrc = circuit.store(ISOURCE)
+        if len(isrc):
+            current = (
+                isrc.column("current")
+                if isource_current is None
+                else np.asarray(isource_current, dtype=float)
+            )
+            if len(current) != len(isrc):
+                raise ValueError(
+                    f"isource_current must have length {len(isrc)}, got {len(current)}"
+                )
+            src = self._row_of(isrc.column("src"))
+            dst = self._row_of(isrc.column("dst"))
+            np.add.at(z, src[src >= 0], -current[src >= 0])
+            np.add.at(z, dst[dst >= 0], current[dst >= 0])
+
+        vsrc = circuit.store(VSOURCE)
+        if len(vsrc):
+            voltage = (
+                vsrc.column("voltage")
+                if vsource_voltage is None
+                else np.asarray(vsource_voltage, dtype=float)
+            )
+            if len(voltage) != len(vsrc):
+                raise ValueError(
+                    f"vsource_voltage must have length {len(vsrc)}, got {len(voltage)}"
+                )
+            z[self._n_nodes - 1 : self._n_nodes - 1 + self._nv] = voltage
+        return z
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        isource_current: Optional[np.ndarray] = None,
+        vsource_voltage: Optional[np.ndarray] = None,
+    ) -> Solution:
+        """Solve the DC operating point.
+
+        Parameters
+        ----------
+        isource_current, vsource_voltage:
+            Optional full-length override arrays for the independent
+            source values; ``None`` uses the values given at netlist
+            construction.  The system matrix is untouched either way, so
+            sweeps amortise the factorisation.
+        """
+        if self._lu is None:
+            try:
+                self._lu = splu(self._matrix)
+            except RuntimeError as exc:  # SuperLU signals exact singularity
+                raise SingularCircuitError(
+                    f"MNA matrix is singular ({exc}); check for floating nodes"
+                ) from exc
+        z = self._rhs(isource_current, vsource_voltage)
+        x = self._lu.solve(z)
+        if not np.all(np.isfinite(x)):
+            raise SingularCircuitError("solve produced non-finite voltages")
+        residual = np.linalg.norm(self._matrix @ x - z)
+        scale = max(1.0, float(np.linalg.norm(z)))
+        if residual / scale > self.RESIDUAL_TOLERANCE:
+            raise SingularCircuitError(
+                f"solve residual {residual / scale:.2e} exceeds tolerance; "
+                "the circuit is ill-conditioned or disconnected"
+            )
+        return Solution(
+            assembled=self,
+            x=x,
+            isource_current=(
+                self.circuit.store(ISOURCE).column("current")
+                if isource_current is None
+                else np.asarray(isource_current, dtype=float)
+            ),
+            vsource_voltage=(
+                self.circuit.store(VSOURCE).column("voltage")
+                if vsource_voltage is None
+                else np.asarray(vsource_voltage, dtype=float)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self._n_nodes
+
+    @property
+    def ground_node(self) -> int:
+        return self._ground
+
+    @property
+    def vsource_offset(self) -> int:
+        return self._n_nodes - 1
+
+    @property
+    def converter_offset(self) -> int:
+        return self._n_nodes - 1 + self._nv

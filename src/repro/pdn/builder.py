@@ -1,0 +1,252 @@
+"""Shared building blocks for the two 3D PDN topologies.
+
+Both PDN classes derive from :class:`BasePDN3D`, which owns the model
+grid, the per-layer load current machinery (leakage + activity * dynamic
+decomposition for fast sweeps), and the assembled-circuit lifecycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.stackups import StackConfig
+from repro.config.technology import (
+    C4Technology,
+    OnChipMetal,
+    PackageModel,
+    TSVTechnology,
+    default_c4,
+    default_metal,
+    default_package,
+    default_tsv,
+)
+from repro.grid.netlist import Circuit, ElementRef
+from repro.pdn.geometry import CellMultiplicity, GridGeometry, cells_to_arrays
+from repro.pdn.results import ConductorGroup, PDNResult
+from repro.power.powermap import PowerMap, layer_power_map
+
+#: Ground reference node key shared by all PDN builds.
+BOARD_GND = ("board", "gnd")
+BOARD_VDD = ("board", "vdd")
+PKG_VDD = ("pkg", "vdd")
+PKG_GND = ("pkg", "gnd")
+#: Inductor-side package nodes, present only when the PDN is built with
+#: ``package_inductor_nodes=True`` (transient analysis).
+PKG_VDD_IND = ("pkg", "vdd.ind")
+PKG_GND_IND = ("pkg", "gnd.ind")
+
+
+def add_net_grid(
+    circuit: Circuit,
+    layer: int,
+    net: str,
+    geometry: GridGeometry,
+    edge_resistance: float,
+) -> np.ndarray:
+    """Create one layer's power-net mesh; returns a (g, g) node-id array.
+
+    The mesh has one node per cell and one square of sheet resistance per
+    horizontal/vertical edge.
+    """
+    g = geometry.grid_nodes
+    ids = circuit.nodes(((net, layer, j, i) for j in range(g) for i in range(g)))
+    ids = ids.reshape(g, g)
+    tag = f"grid.{net}.l{layer}"
+    # Horizontal edges.
+    n1 = ids[:, :-1].ravel()
+    n2 = ids[:, 1:].ravel()
+    circuit.add_resistors(n1, n2, np.full(n1.size, edge_resistance), tag=tag)
+    # Vertical edges.
+    n1 = ids[:-1, :].ravel()
+    n2 = ids[1:, :].ravel()
+    circuit.add_resistors(n1, n2, np.full(n1.size, edge_resistance), tag=tag)
+    return ids
+
+
+def connect_bundles(
+    circuit: Circuit,
+    from_ids: np.ndarray,
+    to_ids: np.ndarray,
+    cells: CellMultiplicity,
+    unit_resistance: float,
+    tag: str,
+    segments: int = 1,
+) -> ConductorGroup:
+    """Connect two node-id grids through per-cell conductor bundles.
+
+    ``from_ids``/``to_ids`` are (g, g) arrays; each cell in ``cells``
+    gets one equivalent resistor of ``unit_resistance * segments /
+    multiplicity``.  Returns the EM bookkeeping for the group.
+    """
+    j, i, m = cells_to_arrays(cells)
+    n1 = from_ids[j, i]
+    n2 = to_ids[j, i]
+    resistance = unit_resistance * segments / m
+    ref = circuit.add_resistors(n1, n2, resistance, tag=tag)
+    return ConductorGroup(tag=tag, ref=ref, multiplicity=m, segments=segments)
+
+
+def connect_bundles_to_node(
+    circuit: Circuit,
+    node_key,
+    grid_ids: np.ndarray,
+    cells: CellMultiplicity,
+    unit_resistance: float,
+    tag: str,
+    segments: int = 1,
+) -> ConductorGroup:
+    """Like :func:`connect_bundles` but one side is a single lumped node."""
+    j, i, m = cells_to_arrays(cells)
+    node_id = circuit.node(node_key)
+    n1 = np.full(len(m), node_id, dtype=int)
+    n2 = grid_ids[j, i]
+    resistance = unit_resistance * segments / m
+    ref = circuit.add_resistors(n1, n2, resistance, tag=tag)
+    return ConductorGroup(tag=tag, ref=ref, multiplicity=m, segments=segments)
+
+
+class BasePDN3D:
+    """Common machinery for the regular and voltage-stacked PDNs."""
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        c4: Optional[C4Technology] = None,
+        tsv: Optional[TSVTechnology] = None,
+        metal: Optional[OnChipMetal] = None,
+        package: Optional[PackageModel] = None,
+        package_inductor_nodes: bool = False,
+    ):
+        self.stack = stack
+        #: When True the package branch is left open between the
+        #: resistor-side and pad-side nodes; the transient analysis
+        #: closes it with the package inductors.  A plain DC solve of
+        #: such a PDN would be singular — this flag is for
+        #: :class:`repro.pdn.transient.TransientPDNAnalysis` only.
+        self.package_inductor_nodes = package_inductor_nodes
+        self.c4 = c4 or default_c4()
+        self.tsv = tsv or default_tsv()
+        self.metal = metal or default_metal()
+        self.package = package or default_package()
+        self.geometry = GridGeometry.from_stack(stack)
+        self.circuit = Circuit()
+        self.circuit.set_ground(BOARD_GND)
+        self.vdd_ids: List[np.ndarray] = []
+        self.gnd_ids: List[np.ndarray] = []
+        self.conductor_groups: Dict[str, ConductorGroup] = {}
+        self._load_refs: List[ElementRef] = []
+        # Leakage / dynamic decomposition of the per-cell load currents,
+        # for fast uniform-activity sweeps.
+        leak_map = layer_power_map(stack, activity=0.0)
+        full_map = layer_power_map(stack, activity=1.0)
+        vdd = stack.processor.vdd
+        self._leak_cells = leak_map.currents(vdd).ravel()
+        self._dyn_cells = (full_map.cell_power - leak_map.cell_power).ravel() / vdd
+        self._assembled = None
+
+    # ------------------------------------------------------------------
+    def _add_layer_grids(self, edge_resistance: float) -> None:
+        for layer in range(self.stack.n_layers):
+            self.vdd_ids.append(
+                add_net_grid(self.circuit, layer, "vdd", self.geometry, edge_resistance)
+            )
+            self.gnd_ids.append(
+                add_net_grid(self.circuit, layer, "gnd", self.geometry, edge_resistance)
+            )
+
+    def _add_supply(self, voltage: float) -> None:
+        """Stamp the off-chip source and lumped package (both polarities)."""
+        circuit = self.circuit
+        circuit.add_voltage_source(BOARD_VDD, BOARD_GND, voltage, tag="supply")
+        pkg_r = max(self.package.resistance, 1e-9)
+        if self.package_inductor_nodes:
+            circuit.add_resistor(BOARD_VDD, PKG_VDD_IND, pkg_r, tag="pkg.vdd")
+            circuit.add_resistor(PKG_GND_IND, BOARD_GND, pkg_r, tag="pkg.gnd")
+        else:
+            circuit.add_resistor(BOARD_VDD, PKG_VDD, pkg_r, tag="pkg.vdd")
+            circuit.add_resistor(PKG_GND, BOARD_GND, pkg_r, tag="pkg.gnd")
+
+    def _add_layer_loads(self) -> None:
+        """Constant-current loads at every cell of every layer.
+
+        Placeholder (peak) currents are stamped; :meth:`solve` overrides
+        them per operating point through the RHS only.
+        """
+        peak = self._leak_cells + self._dyn_cells
+        for layer in range(self.stack.n_layers):
+            ref = self.circuit.add_current_sources(
+                self.vdd_ids[layer].ravel(),
+                self.gnd_ids[layer].ravel(),
+                peak,
+                tag=f"load.l{layer}",
+            )
+            self._load_refs.append(ref)
+
+    def _record_group(self, group: ConductorGroup) -> None:
+        if group.tag in self.conductor_groups:
+            raise ValueError(f"duplicate conductor group {group.tag!r}")
+        self.conductor_groups[group.tag] = group
+
+    # ------------------------------------------------------------------
+    def _load_current_vector(
+        self,
+        layer_activities: Optional[Sequence[float]],
+        power_maps: Optional[Sequence[PowerMap]],
+    ) -> np.ndarray:
+        n_layers = self.stack.n_layers
+        cells = self.geometry.grid_nodes**2
+        currents = np.empty(n_layers * cells)
+        vdd = self.stack.processor.vdd
+        if power_maps is not None:
+            if len(power_maps) != n_layers:
+                raise ValueError(f"need {n_layers} power maps, got {len(power_maps)}")
+            for l, pmap in enumerate(power_maps):
+                if pmap.grid_nodes != self.geometry.grid_nodes:
+                    raise ValueError("power map grid does not match the PDN grid")
+                currents[l * cells : (l + 1) * cells] = pmap.currents(vdd).ravel()
+            return currents
+        if layer_activities is None:
+            layer_activities = np.ones(n_layers)
+        layer_activities = np.asarray(layer_activities, dtype=float)
+        if layer_activities.shape != (n_layers,):
+            raise ValueError(
+                f"layer_activities must have shape ({n_layers},), got "
+                f"{layer_activities.shape}"
+            )
+        if np.any((layer_activities < 0) | (layer_activities > 1)):
+            raise ValueError("layer activities must lie in [0, 1]")
+        for l, activity in enumerate(layer_activities):
+            currents[l * cells : (l + 1) * cells] = (
+                self._leak_cells + activity * self._dyn_cells
+            )
+        return currents
+
+    def solve(
+        self,
+        layer_activities: Optional[Sequence[float]] = None,
+        power_maps: Optional[Sequence[PowerMap]] = None,
+    ) -> PDNResult:
+        """Solve one operating point.
+
+        Either give per-layer uniform ``layer_activities`` (fast sweep
+        path — the factorisation is reused) or explicit per-layer
+        ``power_maps`` (spatially detailed).  Default: all layers fully
+        active, the regular PDN's worst case.
+        """
+        if self._assembled is None:
+            self._assembled = self.circuit.assemble()
+        currents = self._load_current_vector(layer_activities, power_maps)
+        solution = self._assembled.solve(isource_current=currents)
+        return self._make_result(solution)
+
+    # Subclasses fill converter metadata.
+    def _make_result(self, solution) -> PDNResult:
+        return PDNResult(
+            solution=solution,
+            vdd_nominal=self.stack.processor.vdd,
+            vdd_node_ids=self.vdd_ids,
+            gnd_node_ids=self.gnd_ids,
+            conductor_groups=self.conductor_groups,
+        )

@@ -1,0 +1,150 @@
+"""Closed-loop converter control at the system level — an extension.
+
+The paper models open-loop SC converters and leaves closed-loop control
+as future work (Secs. 3.1 and 5.3).  This module closes that loop at the
+system level: the PDN is solved, each rail bank's switching frequency is
+re-commanded from its observed per-converter load via the closed-loop
+policy, the PDN is re-stamped at the new frequencies, and the process
+iterates to a fixed point.  Because parasitic loss scales with
+frequency, lightly-loaded banks slow down and the system recovers most
+of the efficiency that Fig. 8 shows the open-loop design losing when
+converters are over-provisioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.stackups import StackConfig
+from repro.pdn.results import PDNResult
+from repro.pdn.stacked3d import StackedPDN3D
+from repro.regulator.control import ClosedLoopControl
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class ClosedLoopResult:
+    """Converged closed-loop operating point."""
+
+    #: Final PDN result at the converged frequencies.
+    result: PDNResult
+    #: Converged per-rail switching frequencies (Hz).
+    rail_frequencies: List[float]
+    #: Frequency history across iterations (list of per-rail lists).
+    history: List[List[float]]
+    #: Whether the fixed point converged within tolerance.
+    converged: bool
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+
+class ClosedLoopSystemSolver:
+    """Fixed-point iteration of per-rail frequency modulation.
+
+    Parameters mirror :class:`StackedPDN3D`; each iteration rebuilds the
+    PDN with updated per-rail frequencies (the matrix changes, so the
+    factorisation cannot be reused across iterations — this is the cost
+    of closed-loop evaluation the paper defers).
+    """
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        converters_per_core: int = 8,
+        policy: Optional[ClosedLoopControl] = None,
+        max_iterations: int = 8,
+        tolerance: float = 0.02,
+        **pdn_kwargs,
+    ):
+        check_positive_int("max_iterations", max_iterations)
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.stack = stack
+        self.converters_per_core = converters_per_core
+        self.policy = policy or ClosedLoopControl()
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.pdn_kwargs = pdn_kwargs
+
+    # ------------------------------------------------------------------
+    def _rail_loads(self, pdn: StackedPDN3D, result: PDNResult) -> np.ndarray:
+        """Mean per-converter |load| of each rail bank (A)."""
+        per_cell = np.abs(result.solution.converter_output_currents())
+        mult = pdn._converter_multiplicity  # noqa: SLF001 - same package
+        per_converter = per_cell / mult
+        banks = pdn.stack.n_layers - 1
+        cells_per_bank = len(per_converter) // banks
+        loads = np.empty(banks)
+        for b in range(banks):
+            chunk = slice(b * cells_per_bank, (b + 1) * cells_per_bank)
+            weights = mult[chunk]
+            loads[b] = np.average(per_converter[chunk], weights=weights)
+        return loads
+
+    def solve(self, layer_activities: Optional[Sequence[float]] = None) -> ClosedLoopResult:
+        """Iterate to the closed-loop fixed point for one workload."""
+        spec = None
+        rail_fsw: Optional[List[float]] = None
+        history: List[List[float]] = []
+        converged = False
+        pdn = None
+        result = None
+        for _ in range(self.max_iterations):
+            pdn = StackedPDN3D(
+                self.stack,
+                converters_per_core=self.converters_per_core,
+                converter_fsw=rail_fsw,
+                **self.pdn_kwargs,
+            )
+            spec = pdn.converter_spec
+            result = pdn.solve(layer_activities=layer_activities)
+            loads = self._rail_loads(pdn, result)
+            new_fsw = [self.policy.frequency(spec, load) for load in loads]
+            history.append(new_fsw)
+            if rail_fsw is not None:
+                rel = max(
+                    abs(a - b) / b for a, b in zip(new_fsw, rail_fsw)
+                )
+                if rel < self.tolerance:
+                    converged = True
+                    rail_fsw = new_fsw
+                    break
+            rail_fsw = new_fsw
+        return ClosedLoopResult(
+            result=result,
+            rail_frequencies=list(rail_fsw),
+            history=history,
+            converged=converged,
+        )
+
+
+def closed_loop_efficiency_gain(
+    stack: StackConfig,
+    converters_per_core: int,
+    layer_activities: Sequence[float],
+    **pdn_kwargs,
+) -> dict:
+    """Compare open- vs closed-loop system efficiency for one workload.
+
+    Returns ``{"open_loop": eff, "closed_loop": eff, "gain": delta}``.
+    """
+    open_pdn = StackedPDN3D(
+        stack, converters_per_core=converters_per_core, **pdn_kwargs
+    )
+    open_eff = open_pdn.solve(layer_activities=layer_activities).efficiency()
+    solver = ClosedLoopSystemSolver(
+        stack, converters_per_core=converters_per_core, **pdn_kwargs
+    )
+    closed = solver.solve(layer_activities=layer_activities)
+    closed_eff = closed.result.efficiency()
+    return {
+        "open_loop": open_eff,
+        "closed_loop": closed_eff,
+        "gain": closed_eff - open_eff,
+        "converged": closed.converged,
+    }

@@ -1,0 +1,218 @@
+"""Hybrid (multi-story) power delivery: partial voltage stacking.
+
+The paper compares the two extremes — fully parallel (regular) and a
+single series ladder the full height of the stack.  Its reference [6]
+(Jain et al., "a multi-story power delivery technique", ISLPED 2008)
+suggests the middle ground this module models: the ``N`` layers are
+divided into ``N / h`` *stories* of height ``h``; layers within a story
+are voltage-stacked (sharing current, off-chip supply ``h * Vdd``)
+while the stories themselves are paralleled at the C4 interface.
+
+``h = 1`` degenerates to the regular PDN; ``h = N`` is the paper's full
+V-S arrangement.  Intermediate heights trade:
+
+* off-chip/pad current density (improves with ``h`` — the EM win),
+* boosted supply voltage and through-via depth (grow with ``h``),
+* regulation burden: each story needs ``h - 1`` regulated rails.
+
+Electrically, story ``s`` (layers ``s*h .. s*h + h - 1``) is an
+independent ladder whose top rail is fed by the Vdd pad through-vias
+and whose bottom rail returns to the GND pads through via stacks
+crossing the ``s*h`` layers below it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.converters import SCConverterSpec, default_sc_spec
+from repro.config.stackups import StackConfig
+from repro.config.technology import (
+    C4Technology,
+    OnChipMetal,
+    PackageModel,
+    TSVTechnology,
+)
+from repro.pdn.builder import (
+    PKG_GND,
+    PKG_VDD,
+    BasePDN3D,
+    connect_bundles,
+)
+from repro.pdn.geometry import cells_to_arrays, distribute_per_core
+from repro.pdn.pads import build_pad_array
+from repro.pdn.results import ConductorGroup, PDNResult
+from repro.pdn.tsv import build_tsv_arrays
+from repro.regulator.compact import SCCompactModel
+from repro.utils.validation import check_positive_int
+
+
+class HybridPDN3D(BasePDN3D):
+    """Multi-story power delivery with story height ``story_height``."""
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        story_height: int,
+        converters_per_core: int = 8,
+        converter_spec: Optional[SCConverterSpec] = None,
+        c4: Optional[C4Technology] = None,
+        tsv: Optional[TSVTechnology] = None,
+        metal: Optional[OnChipMetal] = None,
+        package: Optional[PackageModel] = None,
+    ):
+        check_positive_int("story_height", story_height)
+        if stack.n_layers % story_height != 0:
+            raise ValueError(
+                f"story_height {story_height} must divide n_layers {stack.n_layers}"
+            )
+        super().__init__(stack, c4=c4, tsv=tsv, metal=metal, package=package)
+        self.story_height = story_height
+        self.n_stories = stack.n_layers // story_height
+        self.converters_per_core = converters_per_core
+        self.converter_spec = converter_spec or default_sc_spec()
+        self.compact_model = SCCompactModel(self.converter_spec)
+        self.pad_array = build_pad_array(stack, self.c4, self.geometry)
+        self.tsv_arrays = build_tsv_arrays(stack, self.tsv, self.geometry)
+        self._converter_multiplicity: Optional[np.ndarray] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    @property
+    def supply_voltage(self) -> float:
+        """Off-chip supply: one story's worth of stacked Vdd."""
+        return self.story_height * self.stack.processor.vdd
+
+    def _build(self) -> None:
+        circuit = self.circuit
+        stack = self.stack
+        h = self.story_height
+        edge_r = self.metal.grid_edge_resistance(self.geometry.cell_size)
+        self._add_layer_grids(edge_r)
+        self._add_supply(self.supply_voltage)
+
+        # The pad arrays are PARTITIONED among the stories (stories sit
+        # between different rails, so a pad serves exactly one story):
+        # pad cells are dealt round-robin, preserving both the total
+        # pad count and the spatial spread of each story's share.
+        conv_cells = distribute_per_core(self.geometry, self.converters_per_core)
+        cj, ci, cm = cells_to_arrays(conv_cells)
+        pj, pi, pm_vdd = cells_to_arrays(self.pad_array.vdd_cells)
+        gj, gi, pm_gnd = cells_to_arrays(self.pad_array.gnd_cells)
+        if len(pm_vdd) < self.n_stories or len(pm_gnd) < self.n_stories:
+            raise ValueError(
+                "not enough pad cells to partition among the stories; use a "
+                "finer grid or fewer stories"
+            )
+        pkg_vdd_id = circuit.node(PKG_VDD)
+        pkg_gnd_id = circuit.node(PKG_GND)
+        multiplicities = []
+
+        for story in range(self.n_stories):
+            bottom_layer = story * h
+            top_layer = bottom_layer + h - 1
+            sel_v = np.arange(len(pm_vdd)) % self.n_stories == story
+            sel_g = np.arange(len(pm_gnd)) % self.n_stories == story
+
+            # Story's Vdd pads -> its top rail, through ``top_layer``
+            # crossed interfaces (the through-via stack's segments).
+            r_up = (
+                self.pad_array.pad_resistance
+                + top_layer * self.tsv_arrays.tsv_resistance
+            )
+            n1 = np.full(int(sel_v.sum()), pkg_vdd_id, dtype=int)
+            n2 = self.vdd_ids[top_layer][pj[sel_v], pi[sel_v]]
+            ref = circuit.add_resistors(
+                n1, n2, r_up / pm_vdd[sel_v], tag=f"c4.vdd.s{story}"
+            )
+            self._record_group(
+                ConductorGroup(
+                    tag=f"c4.vdd.s{story}",
+                    ref=ref,
+                    multiplicity=pm_vdd[sel_v],
+                    segments=1,
+                )
+            )
+            if top_layer > 0:
+                self.conductor_groups[f"tvia.vdd.s{story}"] = ConductorGroup(
+                    tag=f"c4.vdd.s{story}",
+                    ref=ref,
+                    multiplicity=pm_vdd[sel_v],
+                    segments=top_layer,
+                )
+
+            # Story's bottom rail -> its GND pads, through the layers
+            # below the story.
+            r_down = (
+                self.pad_array.pad_resistance
+                + bottom_layer * self.tsv_arrays.tsv_resistance
+            )
+            n1 = self.gnd_ids[bottom_layer][gj[sel_g], gi[sel_g]]
+            n2 = np.full(int(sel_g.sum()), pkg_gnd_id, dtype=int)
+            ref = circuit.add_resistors(
+                n1, n2, r_down / pm_gnd[sel_g], tag=f"c4.gnd.s{story}"
+            )
+            self._record_group(
+                ConductorGroup(
+                    tag=f"c4.gnd.s{story}",
+                    ref=ref,
+                    multiplicity=pm_gnd[sel_g],
+                    segments=1,
+                )
+            )
+            if bottom_layer > 0:
+                self.conductor_groups[f"tvia.gnd.s{story}"] = ConductorGroup(
+                    tag=f"c4.gnd.s{story}",
+                    ref=ref,
+                    multiplicity=pm_gnd[sel_g],
+                    segments=bottom_layer,
+                )
+
+            # Intra-story rail tiers + converter banks (as in the V-S PDN).
+            r_series = self.compact_model.r_series()
+            r_par = self.compact_model.r_par()
+            for offset in range(1, h):
+                layer = bottom_layer + offset
+                self._record_group(
+                    connect_bundles(
+                        circuit,
+                        self.vdd_ids[layer - 1],
+                        self.gnd_ids[layer],
+                        self.tsv_arrays.rail_cells,
+                        self.tsv_arrays.tsv_resistance,
+                        tag=f"tsv.rail.s{story}.r{offset}",
+                    )
+                )
+                top_ids = self.vdd_ids[layer][cj, ci]
+                bottom_ids = self.gnd_ids[layer - 1][cj, ci]
+                mid_ids = self.vdd_ids[layer - 1][cj, ci]
+                circuit.add_converters(
+                    top_ids, bottom_ids, mid_ids, r_series / cm,
+                    tag=f"sc.s{story}.r{offset}",
+                )
+                circuit.add_resistors(
+                    top_ids, bottom_ids, r_par / cm, tag=f"scpar.s{story}.r{offset}"
+                )
+                multiplicities.append(cm)
+
+        if multiplicities:
+            self._converter_multiplicity = np.concatenate(multiplicities)
+        self._add_layer_loads()
+
+    # ------------------------------------------------------------------
+    def _make_result(self, solution) -> PDNResult:
+        return PDNResult(
+            solution=solution,
+            vdd_nominal=self.stack.processor.vdd,
+            vdd_node_ids=self.vdd_ids,
+            gnd_node_ids=self.gnd_ids,
+            conductor_groups=self.conductor_groups,
+            converter_multiplicity=self._converter_multiplicity,
+            converter_rating=(
+                self.converter_spec.max_load_current
+                if self._converter_multiplicity is not None
+                else None
+            ),
+        )

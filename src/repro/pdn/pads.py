@@ -1,0 +1,70 @@
+"""C4 pad array construction.
+
+The pad array covers the die at the C4 pitch (Table 1: 200 um, ~1100
+sites for the 44.12 mm^2 die).  A fraction of the sites delivers power —
+half Vdd, half GND, spread uniformly (real designs interleave
+checkerboard-style; at model-grid resolution a uniform spread is
+equivalent) — and the rest are available for I/O, which is exactly the
+scarce-resource trade-off of Fig. 5b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.stackups import StackConfig
+from repro.config.technology import C4Technology, default_c4
+from repro.pdn.geometry import CellMultiplicity, GridGeometry, distribute_uniform
+
+
+@dataclass(frozen=True)
+class PadArray:
+    """Resolved pad placement for one design point."""
+
+    #: Per-cell multiplicity of Vdd pads.
+    vdd_cells: CellMultiplicity
+    #: Per-cell multiplicity of GND pads.
+    gnd_cells: CellMultiplicity
+    #: Total Vdd pad count.
+    n_vdd: int
+    #: Total GND pad count.
+    n_gnd: int
+    #: Total pad sites available on the die.
+    total_sites: int
+    #: Single-pad resistance (ohm).
+    pad_resistance: float
+
+    @property
+    def power_sites_fraction(self) -> float:
+        """Fraction of all sites actually used for power delivery."""
+        return (self.n_vdd + self.n_gnd) / self.total_sites
+
+    @property
+    def io_pads(self) -> int:
+        """Sites left over for I/O."""
+        return self.total_sites - self.n_vdd - self.n_gnd
+
+
+def build_pad_array(
+    stack: StackConfig, c4: C4Technology = None, geometry: GridGeometry = None
+) -> PadArray:
+    """Place the power pads for ``stack`` on the model grid."""
+    c4 = c4 or default_c4()
+    geometry = geometry or GridGeometry.from_stack(stack)
+    per_side = c4.pads_per_side(stack.processor.die_side)
+    total_sites = per_side**2
+    n_vdd = stack.pads.vdd_pads(total_sites, stack.processor.core_count)
+    n_gnd = n_vdd  # symmetric supply/return allocation
+    if n_vdd + n_gnd > total_sites:
+        raise ValueError(
+            f"pad allocation needs {n_vdd + n_gnd} power sites but the die "
+            f"only has {total_sites}"
+        )
+    return PadArray(
+        vdd_cells=distribute_uniform(geometry, n_vdd),
+        gnd_cells=distribute_uniform(geometry, n_gnd),
+        n_vdd=n_vdd,
+        n_gnd=n_gnd,
+        total_sites=total_sites,
+        pad_resistance=c4.resistance,
+    )

@@ -1,0 +1,111 @@
+"""The conventional (parallel) 3D PDN — paper Fig. 4a.
+
+Every layer's Vdd net is paralleled with the next layer's through the
+power-TSV tier, and likewise for the GND nets; all off-chip current
+enters through the bottom layer's C4 pads.  Stacking more layers
+multiplies the current through both the pad array and the lower TSV
+tiers, which is the root of the regular PDN's EM-scaling problem
+(Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.stackups import StackConfig
+from repro.config.technology import (
+    C4Technology,
+    OnChipMetal,
+    PackageModel,
+    TSVTechnology,
+)
+from repro.pdn.builder import (
+    PKG_GND,
+    PKG_VDD,
+    BasePDN3D,
+    connect_bundles,
+    connect_bundles_to_node,
+)
+from repro.pdn.pads import build_pad_array
+from repro.pdn.tsv import build_tsv_arrays
+
+
+class RegularPDN3D(BasePDN3D):
+    """Conventional parallel power delivery for an N-layer stack."""
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        c4: Optional[C4Technology] = None,
+        tsv: Optional[TSVTechnology] = None,
+        metal: Optional[OnChipMetal] = None,
+        package: Optional[PackageModel] = None,
+        package_inductor_nodes: bool = False,
+    ):
+        super().__init__(
+            stack,
+            c4=c4,
+            tsv=tsv,
+            metal=metal,
+            package=package,
+            package_inductor_nodes=package_inductor_nodes,
+        )
+        self.pad_array = build_pad_array(stack, self.c4, self.geometry)
+        self.tsv_arrays = build_tsv_arrays(stack, self.tsv, self.geometry)
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        circuit = self.circuit
+        edge_r = self.metal.grid_edge_resistance(self.geometry.cell_size)
+        self._add_layer_grids(edge_r)
+
+        # Off-chip supply and lumped package.
+        self._add_supply(self.stack.processor.vdd)
+
+        # C4 pads into the bottom layer (layer 0).
+        self._record_group(
+            connect_bundles_to_node(
+                circuit,
+                PKG_VDD,
+                self.vdd_ids[0],
+                self.pad_array.vdd_cells,
+                self.pad_array.pad_resistance,
+                tag="c4.vdd",
+            )
+        )
+        self._record_group(
+            connect_bundles_to_node(
+                circuit,
+                PKG_GND,
+                self.gnd_ids[0],
+                self.pad_array.gnd_cells,
+                self.pad_array.pad_resistance,
+                tag="c4.gnd",
+            )
+        )
+
+        # TSV tiers between adjacent layers, both nets in parallel.
+        for tier in range(self.stack.n_layers - 1):
+            self._record_group(
+                connect_bundles(
+                    circuit,
+                    self.vdd_ids[tier],
+                    self.vdd_ids[tier + 1],
+                    self.tsv_arrays.vdd_cells,
+                    self.tsv_arrays.tsv_resistance,
+                    tag=f"tsv.vdd.t{tier}",
+                )
+            )
+            self._record_group(
+                connect_bundles(
+                    circuit,
+                    self.gnd_ids[tier + 1],
+                    self.gnd_ids[tier],
+                    self.tsv_arrays.gnd_cells,
+                    self.tsv_arrays.tsv_resistance,
+                    tag=f"tsv.gnd.t{tier}",
+                )
+            )
+
+        self._add_layer_loads()

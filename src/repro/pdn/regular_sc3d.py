@@ -1,0 +1,168 @@
+"""Regular 3D PDN with SC converters providing *all* the power.
+
+The comparison case of paper Fig. 8 (after Zhou et al. [19]): a
+conventional parallel PDN whose off-chip supply is ``2 Vdd``; on-die
+2:1 SC converters step the distribution rail down to ``Vdd`` and carry
+the *entire* load current — unlike voltage stacking, where they only
+carry the inter-layer mismatch.
+
+Each layer therefore has three nets: the ``2 Vdd`` distribution net
+(paralleled through TSV tiers like a regular PDN's Vdd net), the
+regulated ``Vdd`` net, and ground.  Converter cells sit per core
+between the distribution and ground nets with their outputs on the
+local Vdd net; loads draw from Vdd to ground.
+
+The experiment driver keeps its closed-form version of this design (it
+is what the sweep uses — no grid in the loop); this class exists to
+validate that shortcut against a full grid solve and to expose the
+spatial quantities (per-pad currents, IR maps) the analytic path
+cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.converters import SCConverterSpec, default_sc_spec
+from repro.config.stackups import StackConfig
+from repro.config.technology import (
+    C4Technology,
+    OnChipMetal,
+    PackageModel,
+    TSVTechnology,
+)
+from repro.pdn.builder import (
+    PKG_GND,
+    PKG_VDD,
+    BasePDN3D,
+    add_net_grid,
+    connect_bundles,
+    connect_bundles_to_node,
+)
+from repro.pdn.geometry import cells_to_arrays, distribute_per_core
+from repro.pdn.pads import build_pad_array
+from repro.pdn.results import PDNResult
+from repro.pdn.tsv import build_tsv_arrays
+from repro.regulator.compact import SCCompactModel
+from repro.utils.validation import check_positive_int
+
+
+class RegularSCPDN3D(BasePDN3D):
+    """Parallel 3D PDN fed through full-power 2:1 SC conversion."""
+
+    def __init__(
+        self,
+        stack: StackConfig,
+        converters_per_core: int = 5,
+        converter_spec: Optional[SCConverterSpec] = None,
+        c4: Optional[C4Technology] = None,
+        tsv: Optional[TSVTechnology] = None,
+        metal: Optional[OnChipMetal] = None,
+        package: Optional[PackageModel] = None,
+    ):
+        check_positive_int("converters_per_core", converters_per_core)
+        super().__init__(stack, c4=c4, tsv=tsv, metal=metal, package=package)
+        self.converters_per_core = converters_per_core
+        self.converter_spec = converter_spec or default_sc_spec()
+        self.compact_model = SCCompactModel(self.converter_spec)
+        self.pad_array = build_pad_array(stack, self.c4, self.geometry)
+        self.tsv_arrays = build_tsv_arrays(stack, self.tsv, self.geometry)
+        self.dist_ids = []  # the 2 Vdd distribution net, per layer
+        self._converter_multiplicity: Optional[np.ndarray] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        circuit = self.circuit
+        stack = self.stack
+        n = stack.n_layers
+        vdd = stack.processor.vdd
+        edge_r = self.metal.grid_edge_resistance(self.geometry.cell_size)
+        # Regulated Vdd and GND nets (named as usual so IR maps work),
+        # plus the 2 Vdd distribution net.
+        self._add_layer_grids(edge_r)
+        for layer in range(n):
+            self.dist_ids.append(
+                add_net_grid(circuit, layer, "dist", self.geometry, edge_r)
+            )
+
+        # Off-chip 2 Vdd supply into the distribution net's pads.
+        self._add_supply(2.0 * vdd)
+        self._record_group(
+            connect_bundles_to_node(
+                circuit,
+                PKG_VDD,
+                self.dist_ids[0],
+                self.pad_array.vdd_cells,
+                self.pad_array.pad_resistance,
+                tag="c4.vdd",
+            )
+        )
+        self._record_group(
+            connect_bundles_to_node(
+                circuit,
+                PKG_GND,
+                self.gnd_ids[0],
+                self.pad_array.gnd_cells,
+                self.pad_array.pad_resistance,
+                tag="c4.gnd",
+            )
+        )
+
+        # TSV tiers parallel the distribution and ground nets upward.
+        for tier in range(n - 1):
+            self._record_group(
+                connect_bundles(
+                    circuit,
+                    self.dist_ids[tier],
+                    self.dist_ids[tier + 1],
+                    self.tsv_arrays.vdd_cells,
+                    self.tsv_arrays.tsv_resistance,
+                    tag=f"tsv.vdd.t{tier}",
+                )
+            )
+            self._record_group(
+                connect_bundles(
+                    circuit,
+                    self.gnd_ids[tier + 1],
+                    self.gnd_ids[tier],
+                    self.tsv_arrays.gnd_cells,
+                    self.tsv_arrays.tsv_resistance,
+                    tag=f"tsv.gnd.t{tier}",
+                )
+            )
+
+        # Full-power converters on every layer: dist -> Vdd.
+        r_series = self.compact_model.r_series()
+        r_par = self.compact_model.r_par()
+        conv_cells = distribute_per_core(self.geometry, self.converters_per_core)
+        cj, ci, cm = cells_to_arrays(conv_cells)
+        multiplicities = []
+        for layer in range(n):
+            top_ids = self.dist_ids[layer][cj, ci]
+            bottom_ids = self.gnd_ids[layer][cj, ci]
+            mid_ids = self.vdd_ids[layer][cj, ci]
+            circuit.add_converters(
+                top_ids, bottom_ids, mid_ids, r_series / cm, tag=f"sc.l{layer}"
+            )
+            circuit.add_resistors(
+                top_ids, bottom_ids, r_par / cm, tag=f"scpar.l{layer}"
+            )
+            multiplicities.append(cm)
+        self._converter_multiplicity = np.concatenate(multiplicities)
+
+        self._add_layer_loads()
+
+    # ------------------------------------------------------------------
+    def _make_result(self, solution) -> PDNResult:
+        return PDNResult(
+            solution=solution,
+            vdd_nominal=self.stack.processor.vdd,
+            vdd_node_ids=self.vdd_ids,
+            gnd_node_ids=self.gnd_ids,
+            conductor_groups=self.conductor_groups,
+            converter_multiplicity=self._converter_multiplicity,
+            converter_rating=self.converter_spec.max_load_current,
+        )

@@ -1,0 +1,70 @@
+"""Power-delivery TSV arrays (paper Sec. 4.2, Table 2).
+
+For the regular PDN each inter-layer tier carries half its TSVs on the
+Vdd net and half on the GND net.  For the voltage-stacked PDN a tier
+connects the two physical nets of a single rail (layer ``l``'s Vdd metal
+and layer ``l+1``'s GND metal), so all of the tier's TSVs serve that one
+rail.  Each TSV additionally blocks a keep-out zone of silicon, which is
+the area cost reported in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.stackups import StackConfig, TSVTopology
+from repro.config.technology import TSVTechnology, default_tsv
+from repro.pdn.geometry import CellMultiplicity, GridGeometry, distribute_per_core
+from repro.utils.units import to_micro, to_percent
+
+
+@dataclass(frozen=True)
+class TSVArrays:
+    """Resolved per-tier TSV placement on the model grid."""
+
+    #: Vdd-net TSV cells (regular PDN), per-cell multiplicity.
+    vdd_cells: CellMultiplicity
+    #: GND-net TSV cells (regular PDN).
+    gnd_cells: CellMultiplicity
+    #: Whole-tier TSV cells (voltage-stacked rail tiers).
+    rail_cells: CellMultiplicity
+    #: TSV counts per core behind the placements.
+    vdd_per_core: int
+    gnd_per_core: int
+    total_per_core: int
+    #: Single-TSV resistance (ohm).
+    tsv_resistance: float
+
+
+def build_tsv_arrays(
+    stack: StackConfig,
+    tsv: TSVTechnology = None,
+    geometry: GridGeometry = None,
+) -> TSVArrays:
+    """Place one tier's TSVs for ``stack`` on the model grid."""
+    tsv = tsv or default_tsv()
+    geometry = geometry or GridGeometry.from_stack(stack)
+    topo = stack.tsv_topology
+    return TSVArrays(
+        vdd_cells=distribute_per_core(geometry, topo.vdd_tsvs_per_core),
+        gnd_cells=distribute_per_core(geometry, topo.gnd_tsvs_per_core),
+        rail_cells=distribute_per_core(geometry, topo.tsvs_per_core),
+        vdd_per_core=topo.vdd_tsvs_per_core,
+        gnd_per_core=topo.gnd_tsvs_per_core,
+        total_per_core=topo.tsvs_per_core,
+        tsv_resistance=tsv.resistance,
+    )
+
+
+def tsv_topology_report(
+    topology: TSVTopology, core_area: float, tsv: TSVTechnology = None
+) -> Dict[str, float]:
+    """One Table 2 row: derived pitch and area overhead for a topology."""
+    tsv = tsv or default_tsv()
+    return {
+        "name": topology.name,
+        "tsvs_per_core": topology.tsvs_per_core,
+        "effective_pitch_um": to_micro(topology.effective_pitch(core_area)),
+        "area_overhead_percent": to_percent(topology.area_overhead(core_area, tsv)),
+    }

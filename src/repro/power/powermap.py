@@ -1,0 +1,210 @@
+"""Power maps: per-grid-cell power for one silicon layer.
+
+The PDN and thermal models consume a ``PowerMap``: a ``g x g`` array of
+watts aligned with the model grid over the die.  Maps are built either
+uniformly (fast, used in sweeps) or by rasterising a floorplan's block
+powers with exact area weighting (used when spatial detail matters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.config.stackups import StackConfig
+from repro.floorplan.blocks import Rect
+from repro.power.mcpat_lite import CorePowerModel
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+
+class PowerMap:
+    """A ``g x g`` grid of per-cell power (W) covering a square die."""
+
+    def __init__(self, cell_power: np.ndarray, die_side: float):
+        cell_power = np.asarray(cell_power, dtype=float)
+        if cell_power.ndim != 2 or cell_power.shape[0] != cell_power.shape[1]:
+            raise ValueError(f"cell_power must be square 2-D, got {cell_power.shape}")
+        if np.any(cell_power < 0):
+            raise ValueError("cell powers must be non-negative")
+        check_positive("die_side", die_side)
+        self.cell_power = cell_power
+        self.die_side = die_side
+
+    # ------------------------------------------------------------------
+    @property
+    def grid_nodes(self) -> int:
+        return self.cell_power.shape[0]
+
+    @property
+    def cell_size(self) -> float:
+        return self.die_side / self.grid_nodes
+
+    @property
+    def total_power(self) -> float:
+        """Total layer power (W)."""
+        return float(self.cell_power.sum())
+
+    def currents(self, vdd: float) -> np.ndarray:
+        """Per-cell load current (A) under the constant-current model."""
+        check_positive("vdd", vdd)
+        return self.cell_power / vdd
+
+    def scaled(self, factor: float) -> "PowerMap":
+        """A new map with every cell multiplied by ``factor`` >= 0."""
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return PowerMap(self.cell_power * factor, self.die_side)
+
+    def power_density(self) -> np.ndarray:
+        """Per-cell power density (W/m^2)."""
+        return self.cell_power / (self.cell_size**2)
+
+    def __add__(self, other: "PowerMap") -> "PowerMap":
+        if (
+            other.grid_nodes != self.grid_nodes
+            or abs(other.die_side - self.die_side) > 1e-12
+        ):
+            raise ValueError("power maps must share grid and die size to add")
+        return PowerMap(self.cell_power + other.cell_power, self.die_side)
+
+
+def uniform_power_map(
+    total_power: float, die_side: float, grid_nodes: int
+) -> PowerMap:
+    """Spread ``total_power`` uniformly over the die."""
+    check_positive("total_power", total_power) if total_power > 0 else None
+    if total_power < 0:
+        raise ValueError("total_power must be >= 0")
+    check_positive("die_side", die_side)
+    check_positive_int("grid_nodes", grid_nodes)
+    cells = np.full((grid_nodes, grid_nodes), total_power / grid_nodes**2)
+    return PowerMap(cells, die_side)
+
+
+def rasterize_blocks(
+    block_rects: Mapping[str, Rect],
+    block_powers: Mapping[str, float],
+    die_side: float,
+    grid_nodes: int,
+) -> PowerMap:
+    """Rasterise block powers onto the grid with exact area weighting.
+
+    Each block's power is distributed over grid cells in proportion to
+    the block/cell overlap area, so the map total equals the sum of block
+    powers regardless of resolution.
+    """
+    check_positive("die_side", die_side)
+    check_positive_int("grid_nodes", grid_nodes)
+    cell = die_side / grid_nodes
+    grid = np.zeros((grid_nodes, grid_nodes))
+    for name, power in block_powers.items():
+        if power < 0:
+            raise ValueError(f"block {name!r} has negative power")
+        if name not in block_rects:
+            raise KeyError(f"no rectangle for block {name!r}")
+        rect = block_rects[name]
+        if rect.area <= 0:
+            continue
+        density = power / rect.area
+        # Cell index ranges the rectangle can overlap.
+        i_lo = max(0, int(np.floor(rect.x / cell)))
+        i_hi = min(grid_nodes - 1, int(np.ceil(rect.x2 / cell)) - 1)
+        j_lo = max(0, int(np.floor(rect.y / cell)))
+        j_hi = min(grid_nodes - 1, int(np.ceil(rect.y2 / cell)) - 1)
+        for i in range(i_lo, i_hi + 1):
+            for j in range(j_lo, j_hi + 1):
+                cell_rect = Rect(i * cell, j * cell, cell, cell)
+                overlap = rect.overlap_area(cell_rect)
+                if overlap > 0:
+                    grid[j, i] += density * overlap
+    return PowerMap(grid, die_side)
+
+
+def layer_power_map(
+    stack: StackConfig,
+    activity: float = 1.0,
+    core_activities: Optional[np.ndarray] = None,
+    core_model: Optional[CorePowerModel] = None,
+    floorplanned: bool = False,
+) -> PowerMap:
+    """Power map of one silicon layer of the example processor.
+
+    Parameters
+    ----------
+    stack:
+        The stack configuration (grid resolution, processor spec).
+    activity:
+        Dynamic activity factor applied to every core (ignored for cores
+        covered by ``core_activities``).
+    core_activities:
+        Optional per-core activity factors, length ``core_count``, laid
+        out row-major over the core grid.
+    core_model:
+        Component power model; defaults to the calibrated A9-class model.
+    floorplanned:
+        If True, rasterise component-level block powers through the
+        ArchFP-lite floorplan (slower, spatially detailed).  If False,
+        spread each core's power uniformly over its tile.
+    """
+    from repro.floorplan.slicing import floorplan_blocks
+    from repro.floorplan.blocks import Block
+
+    processor = stack.processor
+    model = core_model or CorePowerModel(processor)
+    rows = cols = int(round(np.sqrt(processor.core_count)))
+    if rows * cols != processor.core_count:
+        raise ValueError("core_count must be a perfect square for the tile layout")
+    if core_activities is None:
+        check_fraction("activity", activity)
+        core_activities = np.full(processor.core_count, activity)
+    core_activities = np.asarray(core_activities, dtype=float)
+    if core_activities.shape != (processor.core_count,):
+        raise ValueError(
+            f"core_activities must have shape ({processor.core_count},), "
+            f"got {core_activities.shape}"
+        )
+    if np.any((core_activities < 0) | (core_activities > 1)):
+        raise ValueError("core activities must lie in [0, 1]")
+
+    die_side = processor.die_side
+    g = stack.grid_nodes
+    grid = np.zeros((g, g))
+    tile = die_side / rows
+    if floorplanned:
+        core_blocks = [
+            Block(c.name, c.area_fraction * processor.core_area)
+            for c in model.components
+        ]
+        rects: Dict[str, Rect] = {}
+        powers: Dict[str, float] = {}
+        for r in range(rows):
+            for c in range(cols):
+                outline = Rect(c * tile, r * tile, tile, tile)
+                placed = floorplan_blocks(core_blocks, outline)
+                comp_power = model.component_powers(core_activities[r * cols + c])
+                for name, rect in placed.items():
+                    key = f"core{r}_{c}.{name}"
+                    rects[key] = rect
+                    powers[key] = comp_power[name]
+        return rasterize_blocks(rects, powers, die_side, g)
+
+    # Uniform-per-core fast path: accumulate each core tile's power over
+    # the cells it covers (grid_nodes need not divide evenly by rows).
+    cell = die_side / g
+    for r in range(rows):
+        for c in range(cols):
+            power = model.core_power(core_activities[r * cols + c])
+            outline = Rect(c * tile, r * tile, tile, tile)
+            density = power / outline.area
+            i_lo = max(0, int(np.floor(outline.x / cell)))
+            i_hi = min(g - 1, int(np.ceil(outline.x2 / cell)) - 1)
+            j_lo = max(0, int(np.floor(outline.y / cell)))
+            j_hi = min(g - 1, int(np.ceil(outline.y2 / cell)) - 1)
+            for i in range(i_lo, i_hi + 1):
+                for j in range(j_lo, j_hi + 1):
+                    cell_rect = Rect(i * cell, j * cell, cell, cell)
+                    overlap = outline.overlap_area(cell_rect)
+                    if overlap > 0:
+                        grid[j, i] += density * overlap
+    return PowerMap(grid, die_side)

@@ -1,0 +1,61 @@
+"""Switched-capacitor (SC) converter models.
+
+The paper implements a 2:1 push-pull SC converter (Fig. 1) in 28 nm
+CMOS, fits Seeman's output-impedance compact model (Fig. 2, Eq. 1-2),
+validates the fit against Spectre transient simulation (Fig. 3), and
+extends the two-load converter into a multi-output ladder for many-layer
+stacks.  This package reproduces each of those pieces:
+
+* :mod:`compact` — the RSSL/RFSL/RSERIES/RPAR compact model.
+* :mod:`control` — open-loop and closed-loop frequency modulation.
+* :mod:`switchcap_sim` — a piecewise-linear time-domain simulator of the
+  switch/fly-cap network (the "circuit simulation" of Fig. 3).
+* :mod:`ladder` — the scalable multi-output ladder arrangement.
+* :mod:`area` — converter area under different capacitor technologies.
+"""
+
+# NOTE: the ladder *topology vectors* function is exported as
+# ``ladder_topology`` because ``repro.regulator.ladder`` is a submodule.
+from repro.regulator.charge_multipliers import (
+    TOPOLOGY_FAMILIES,
+    TopologyVectors,
+    best_family_for_ratio,
+    dickson,
+    ladder as ladder_topology,
+    series_parallel,
+    two_to_one_push_pull,
+)
+from repro.regulator.compact import SCCompactModel, OperatingPoint
+from repro.regulator.control import ClosedLoopControl, ControlPolicy, OpenLoopControl
+from repro.regulator.inductive import (
+    BuckCompactModel,
+    BuckConverterSpec,
+    compare_sc_vs_buck,
+)
+from repro.regulator.ladder import LadderDesign, design_ladder
+from repro.regulator.switchcap_sim import SwitchCapSimulator, TransientResult
+from repro.regulator.area import converter_area, converters_area_overhead
+
+__all__ = [
+    "SCCompactModel",
+    "OperatingPoint",
+    "ControlPolicy",
+    "OpenLoopControl",
+    "ClosedLoopControl",
+    "BuckCompactModel",
+    "BuckConverterSpec",
+    "compare_sc_vs_buck",
+    "LadderDesign",
+    "design_ladder",
+    "TOPOLOGY_FAMILIES",
+    "TopologyVectors",
+    "best_family_for_ratio",
+    "dickson",
+    "ladder_topology",
+    "series_parallel",
+    "two_to_one_push_pull",
+    "SwitchCapSimulator",
+    "TransientResult",
+    "converter_area",
+    "converters_area_overhead",
+]

@@ -1,0 +1,42 @@
+"""Converter area accounting (paper Sec. 3.1 and Sec. 5.2).
+
+The fly capacitors dominate converter area, so the paper prices the same
+8 nF design in three capacitor technologies: MIM (0.472 mm^2),
+ferroelectric (0.102 mm^2) and deep-trench (0.082 mm^2).  With
+high-density capacitors, one converter costs about 3% of an ARM core's
+area, which is the exchange rate behind the Fig. 6 equal-area comparison
+(8 converters/core + Few TSV ~= Dense TSV overhead).
+"""
+
+from __future__ import annotations
+
+from repro.config.converters import CAPACITOR_TECHNOLOGIES, SCConverterSpec
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def converter_area(spec: SCConverterSpec, technology: str = None) -> float:
+    """Silicon area of one converter (m^2) in the given capacitor tech."""
+    tech_name = technology or spec.capacitor_technology
+    if tech_name not in CAPACITOR_TECHNOLOGIES:
+        raise ValueError(
+            f"unknown capacitor technology {tech_name!r}; "
+            f"choose from {sorted(CAPACITOR_TECHNOLOGIES)}"
+        )
+    return CAPACITOR_TECHNOLOGIES[tech_name].converter_area
+
+
+def converters_area_overhead(
+    spec: SCConverterSpec,
+    converters_per_core: int,
+    core_area: float,
+    technology: str = None,
+) -> float:
+    """Fraction of core area spent on SC converters.
+
+    With trench capacitors and the paper's core (2.76 mm^2), one
+    converter costs ~3% of the core, so 8 converters/core roughly match
+    the Dense-TSV topology's 24% overhead.
+    """
+    check_positive_int("converters_per_core", converters_per_core)
+    check_positive("core_area", core_area)
+    return converters_per_core * converter_area(spec, technology) / core_area

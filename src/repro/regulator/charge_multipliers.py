@@ -1,0 +1,175 @@
+"""Charge-multiplier vectors for switched-capacitor topologies.
+
+The paper's compact model (Sec. 3.1, Eqs. 1-2) is Seeman's design
+methodology: for any two-phase SC topology, the *charge multiplier
+vectors* ``a_c`` (per flying capacitor) and ``a_r`` (per switch) give
+the charge each element moves per unit output charge, and
+
+    RSSL = (sum |a_c,i|)^2 / (Ctot * fsw_eff)
+    RFSL = (sum |a_r,i|)^2 / (Gtot * Dcyc)
+
+The main package hard-codes the 2:1 push-pull values; this module
+derives the vectors for the standard step-down families so other
+conversion ratios can be explored with the same machinery:
+
+* **series-parallel** N:1 — caps charge in series, discharge in
+  parallel,
+* **ladder** N:1 — the multi-output arrangement the paper extends its
+  converter into (Sec. 2.1),
+* **Dickson** N:1 — the charge-pump arrangement.
+
+Vectors follow Seeman (2009), Tables 2.2-2.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class TopologyVectors:
+    """Charge multipliers of one two-phase SC topology."""
+
+    #: Topology family name.
+    name: str
+    #: Step-down ratio N (output = Vin / N).
+    ratio: int
+    #: Per-flying-capacitor charge multipliers.
+    ac: Tuple[float, ...]
+    #: Per-switch charge multipliers.
+    ar: Tuple[float, ...]
+
+    @property
+    def sum_ac(self) -> float:
+        return sum(abs(a) for a in self.ac)
+
+    @property
+    def sum_ar(self) -> float:
+        return sum(abs(a) for a in self.ar)
+
+    @property
+    def capacitor_count(self) -> int:
+        return len(self.ac)
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.ar)
+
+    def r_ssl(self, total_capacitance: float, fsw: float) -> float:
+        """Slow-switching-limit output impedance (paper Eq. 1).
+
+        With the optimal (proportional-to-|a_c|) capacitor sizing the
+        bound is ``(sum |a_c|)^2 / (Ctot fsw)``.
+        """
+        check_positive("total_capacitance", total_capacitance)
+        check_positive("fsw", fsw)
+        return self.sum_ac**2 / (total_capacitance * fsw)
+
+    def r_fsl(self, total_conductance: float, duty_cycle: float = 0.5) -> float:
+        """Fast-switching-limit output impedance (paper Eq. 2)."""
+        check_positive("total_conductance", total_conductance)
+        check_positive("duty_cycle", duty_cycle)
+        return self.sum_ar**2 / (total_conductance * duty_cycle)
+
+    def r_series(
+        self,
+        total_capacitance: float,
+        fsw: float,
+        total_conductance: float,
+        duty_cycle: float = 0.5,
+    ) -> float:
+        """Combined output resistance ``sqrt(RSSL^2 + RFSL^2)``."""
+        return math.hypot(
+            self.r_ssl(total_capacitance, fsw),
+            self.r_fsl(total_conductance, duty_cycle),
+        )
+
+
+def series_parallel(ratio: int) -> TopologyVectors:
+    """Series-parallel N:1 vectors.
+
+    ``N-1`` flying caps each carry ``1/N`` of the output charge;
+    ``3(N-1) + 1`` switch slots each conduct ``1/N``.
+    """
+    check_positive_int("ratio", ratio)
+    if ratio < 2:
+        raise ValueError("step-down ratio must be at least 2")
+    n = ratio
+    ac = tuple([1.0 / n] * (n - 1))
+    ar = tuple([1.0 / n] * (3 * (n - 1) + 1))
+    return TopologyVectors("series-parallel", n, ac, ar)
+
+
+def ladder(ratio: int) -> TopologyVectors:
+    """Ladder N:1 vectors.
+
+    The ladder uses ``2(N-1)`` capacitors; the flying caps nearer the
+    input shuttle progressively more charge: the k-th rung's fly cap
+    carries ``k/N`` per unit output charge, and each of the ``2N``
+    switches conducts the charge of its adjacent rung.
+    """
+    check_positive_int("ratio", ratio)
+    if ratio < 2:
+        raise ValueError("step-down ratio must be at least 2")
+    n = ratio
+    # N-1 flying caps with multipliers k/N (k = 1..N-1); the N-1 DC
+    # (output-referred) caps carry no net charge at steady state.
+    ac = tuple(k / n for k in range(1, n))
+    # 2N switch slots; switch pair k conducts rung k's charge.
+    ar_values: List[float] = []
+    for k in range(1, n):
+        ar_values.extend([k / n, k / n])
+    ar_values.extend([ (n - 1) / n, (n - 1) / n ])
+    return TopologyVectors("ladder", n, ac, tuple(ar_values))
+
+
+def dickson(ratio: int) -> TopologyVectors:
+    """Dickson N:1 vectors.
+
+    ``N-1`` flying caps each carry ``1/N``; the two phase rails' 4
+    switches carry the summed cap charge and the ``N`` internal slots
+    carry ``1/N`` each.
+    """
+    check_positive_int("ratio", ratio)
+    if ratio < 2:
+        raise ValueError("step-down ratio must be at least 2")
+    n = ratio
+    ac = tuple([1.0 / n] * (n - 1))
+    rail = (n - 1) / n / 2.0
+    ar = tuple([rail] * 4 + [1.0 / n] * n)
+    return TopologyVectors("dickson", n, ac, tuple(ar))
+
+
+def two_to_one_push_pull() -> TopologyVectors:
+    """The paper's 2:1 push-pull cell, expressed in the same framework.
+
+    One (lumped) fly capacitance carrying half the output charge, four
+    switch slots at 1/4 each (both interchanging caps conduct on both
+    phases, halving per-slot charge relative to the plain 2:1).
+    """
+    return TopologyVectors("2:1 push-pull", 2, (0.5,), (0.25, 0.25, 0.25, 0.25))
+
+
+TOPOLOGY_FAMILIES = {
+    "series-parallel": series_parallel,
+    "ladder": ladder,
+    "dickson": dickson,
+}
+
+
+def best_family_for_ratio(
+    ratio: int,
+    total_capacitance: float,
+    fsw: float,
+    total_conductance: float,
+) -> TopologyVectors:
+    """The family with the lowest combined output resistance at N:1."""
+    candidates = [build(ratio) for build in TOPOLOGY_FAMILIES.values()]
+    return min(
+        candidates,
+        key=lambda t: t.r_series(total_capacitance, fsw, total_conductance),
+    )

@@ -1,0 +1,155 @@
+"""Seeman-style compact model of the 2:1 push-pull SC converter.
+
+Following paper Sec. 3.1 (and Seeman's design methodology), the converter
+is reduced to an ideal 2:1 transformer plus:
+
+* ``RSSL`` — the slow-switching-limit output impedance,
+  ``RSSL = (sum |a_c,i|)^2 / (Ctot * fsw_eff)`` (paper Eq. 1), where in
+  the push-pull interchanging topology both fly capacitors transfer
+  charge on *both* clock phases, doubling the effective charge-transfer
+  rate (``fsw_eff = 2 fsw``);
+* ``RFSL`` — the fast-switching-limit impedance,
+  ``RFSL = (sum |a_r,i|)^2 / (Gtot * Dcyc)`` (paper Eq. 2);
+* ``RSERIES = sqrt(RSSL^2 + RFSL^2)`` — the series output resistance of
+  Fig. 2 (0.6 ohm for the paper's design point at 50 MHz);
+* ``RPAR`` — a shunt resistance across the input port capturing
+  bottom-plate, switch-parasitic and gate-drive losses, scaling
+  inversely with switching frequency.
+
+The ideal output voltage is ``(V_top + V_bottom) / 2``; the model output
+is that midpoint minus ``I_load * RSERIES`` (push-pull: the drop reverses
+sign when the converter sinks current).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.converters import SCConverterSpec, default_sc_spec
+from repro.utils.validation import check_positive
+
+#: Sum of the capacitor charge-multiplier magnitudes for the 2:1
+#: topology (one half of the output charge rides on the fly caps).
+SUM_AC_2TO1 = 0.5
+#: Sum of the switch charge-multiplier magnitudes for the 2:1 topology
+#: (each phase conducts through switches carrying half the output
+#: charge; four conducting switch slots per cycle).
+SUM_AR_2TO1 = 1.0
+#: Both fly caps of the push-pull interchanging pair move charge on both
+#: phases, doubling the effective charge-transfer frequency.
+PUSH_PULL_TRANSFERS_PER_CYCLE = 2.0
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Resolved electrical behaviour of the converter at one load."""
+
+    #: Load current drawn from the output (A); negative = sinking.
+    load_current: float
+    #: Switching frequency used (Hz).
+    switching_frequency: float
+    #: Ideal (no-drop) output voltage (V).
+    ideal_output_voltage: float
+    #: Actual output voltage including the RSERIES drop (V).
+    output_voltage: float
+    #: Series (conduction + switching-limit) loss (W).
+    series_loss: float
+    #: Parasitic (bottom-plate / gate-drive) loss (W).
+    parasitic_loss: float
+    #: Power delivered to the load (W).
+    output_power: float
+
+    @property
+    def input_power(self) -> float:
+        """Power drawn from the stack input port (W)."""
+        return self.output_power + self.series_loss + self.parasitic_loss
+
+    @property
+    def efficiency(self) -> float:
+        """Power efficiency (0..1); zero when no power flows."""
+        if self.input_power <= 0:
+            return 0.0
+        return self.output_power / self.input_power
+
+    @property
+    def voltage_drop(self) -> float:
+        """Output droop relative to the ideal midpoint (V)."""
+        return self.ideal_output_voltage - self.output_voltage
+
+
+class SCCompactModel:
+    """Compact electrical model of one 2:1 push-pull SC converter."""
+
+    def __init__(self, spec: Optional[SCConverterSpec] = None):
+        self.spec = spec or default_sc_spec()
+
+    # -- impedances ------------------------------------------------------
+    def r_ssl(self, fsw: Optional[float] = None) -> float:
+        """Slow-switching-limit impedance (ohm) at ``fsw`` (paper Eq. 1)."""
+        fsw = self._fsw(fsw)
+        f_eff = fsw * PUSH_PULL_TRANSFERS_PER_CYCLE
+        return SUM_AC_2TO1**2 / (self.spec.fly_capacitance * f_eff)
+
+    def r_fsl(self) -> float:
+        """Fast-switching-limit impedance (ohm) (paper Eq. 2)."""
+        return SUM_AR_2TO1**2 / (self.spec.switch_conductance * self.spec.duty_cycle)
+
+    def r_series(self, fsw: Optional[float] = None) -> float:
+        """Total series output resistance ``sqrt(RSSL^2 + RFSL^2)`` (ohm)."""
+        return math.hypot(self.r_ssl(fsw), self.r_fsl())
+
+    def r_par(self, fsw: Optional[float] = None) -> float:
+        """Parasitic shunt resistance (ohm) at ``fsw``.
+
+        Parasitic loss is proportional to switching frequency, so the
+        equivalent shunt resistance scales as ``f_nominal / fsw``.
+        """
+        fsw = self._fsw(fsw)
+        return self.spec.parasitic_resistance * (self.spec.switching_frequency / fsw)
+
+    # -- behaviour -------------------------------------------------------
+    def operating_point(
+        self,
+        v_top: float,
+        v_bottom: float,
+        load_current: float,
+        fsw: Optional[float] = None,
+    ) -> OperatingPoint:
+        """Resolve output voltage, losses and efficiency at one load.
+
+        ``load_current`` may be negative (the push-pull converter then
+        sinks charge from the intermediate rail); losses are always
+        positive.
+        """
+        if v_top <= v_bottom:
+            raise ValueError("v_top must exceed v_bottom")
+        fsw = self._fsw(fsw)
+        ideal = 0.5 * (v_top + v_bottom)
+        r_ser = self.r_series(fsw)
+        vout = ideal - load_current * r_ser
+        series_loss = load_current**2 * r_ser
+        vin = v_top - v_bottom
+        parasitic_loss = vin**2 / self.r_par(fsw)
+        output_power = abs(load_current) * (vout if load_current >= 0 else ideal)
+        return OperatingPoint(
+            load_current=load_current,
+            switching_frequency=fsw,
+            ideal_output_voltage=ideal,
+            output_voltage=vout,
+            series_loss=series_loss,
+            parasitic_loss=parasitic_loss,
+            output_power=output_power,
+        )
+
+    def check_load(self, load_current: float) -> bool:
+        """True when |load| respects the converter's 100 mA rating."""
+        return abs(load_current) <= self.spec.max_load_current
+
+    # -- internals -------------------------------------------------------
+    def _fsw(self, fsw: Optional[float]) -> float:
+        if fsw is None:
+            return self.spec.switching_frequency
+        check_positive("fsw", fsw)
+        return fsw

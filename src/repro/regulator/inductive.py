@@ -1,0 +1,135 @@
+"""Inductive (buck) converter compact model — the paper's future work.
+
+Sec. 2.1 restricts the study to switched-capacitor converters and
+"leave[s] the study of inductive converters for future work".  This
+module provides that comparison point: a compact model of an integrated
+buck converter with the same push-pull role (regulating an intermediate
+rail to the midpoint of its neighbours at 50% duty).
+
+Loss model (standard for integrated bucks):
+
+* conduction: ``I^2 * (R_switch + R_L_dcr)``;
+* inductor-ripple conduction: ``(dI^2 / 12) * (R_switch + R_L_dcr)``
+  with ``dI = V_out * (1 - D) / (L * fsw)``;
+* switching + gate drive: ``(C_sw * V_in^2) * fsw``.
+
+Integrated inductors are the catch: their low inductance and poor Q
+(high DCR) at on-die dimensions, plus large area, are why the paper —
+and the surveys it cites — bet on capacitive conversion on-die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.regulator.compact import OperatingPoint
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class BuckConverterSpec:
+    """An on-die buck converter sized for the same 100 mA role."""
+
+    #: Integrated inductance (H); on-die spirals reach only a few nH.
+    inductance: float = 10e-9
+    #: Inductor winding resistance (ohm); poor on-die Q makes this large.
+    inductor_dcr: float = 0.35
+    #: Combined high/low-side switch on-resistance (ohm).
+    switch_resistance: float = 0.25
+    #: Equivalent switching-loss capacitance (F): gate charge + node cap.
+    switching_capacitance: float = 60e-12
+    #: Switching frequency (Hz); integrated bucks run high to shrink L.
+    switching_frequency: float = 100e6
+    #: Duty cycle for midpoint regulation.
+    duty_cycle: float = 0.5
+    #: Maximum load (A), matched to the SC cell's rating.
+    max_load_current: float = 0.1
+    #: Silicon area (m^2); on-die spiral inductors are area-hungry.
+    area: float = 0.8e-6
+
+    def __post_init__(self) -> None:
+        check_positive("inductance", self.inductance)
+        check_positive("inductor_dcr", self.inductor_dcr)
+        check_positive("switch_resistance", self.switch_resistance)
+        check_positive("switching_capacitance", self.switching_capacitance)
+        check_positive("switching_frequency", self.switching_frequency)
+        check_fraction("duty_cycle", self.duty_cycle)
+        check_positive("max_load_current", self.max_load_current)
+        check_positive("area", self.area)
+
+
+class BuckCompactModel:
+    """Efficiency / droop model of the buck cell (midpoint regulation)."""
+
+    def __init__(self, spec: Optional[BuckConverterSpec] = None):
+        self.spec = spec or BuckConverterSpec()
+
+    @property
+    def series_resistance(self) -> float:
+        """Effective output resistance: switches + inductor DCR (ohm)."""
+        return self.spec.switch_resistance + self.spec.inductor_dcr
+
+    def ripple_current(self, v_out: float) -> float:
+        """Peak-to-peak inductor current ripple (A)."""
+        spec = self.spec
+        return (
+            v_out
+            * (1.0 - spec.duty_cycle)
+            / (spec.inductance * spec.switching_frequency)
+        )
+
+    def operating_point(
+        self, v_top: float, v_bottom: float, load_current: float
+    ) -> OperatingPoint:
+        """Resolve the buck's behaviour between two rails at one load."""
+        if v_top <= v_bottom:
+            raise ValueError("v_top must exceed v_bottom")
+        spec = self.spec
+        v_in = v_top - v_bottom
+        ideal = v_bottom + spec.duty_cycle * v_in
+        r_out = self.series_resistance
+        v_out = ideal - load_current * r_out
+        ripple = self.ripple_current(v_out - v_bottom)
+        conduction = (load_current**2 + ripple**2 / 12.0) * r_out
+        switching = spec.switching_capacitance * v_in**2 * spec.switching_frequency
+        output_power = abs(load_current) * (
+            v_out - v_bottom if load_current >= 0 else ideal - v_bottom
+        )
+        return OperatingPoint(
+            load_current=load_current,
+            switching_frequency=spec.switching_frequency,
+            ideal_output_voltage=ideal,
+            output_voltage=v_out,
+            series_loss=conduction,
+            parasitic_loss=switching,
+            output_power=output_power,
+        )
+
+    def check_load(self, load_current: float) -> bool:
+        return abs(load_current) <= self.spec.max_load_current
+
+
+def compare_sc_vs_buck(load_current: float = 0.05, v_in: float = 2.0) -> dict:
+    """Head-to-head at one load point (the future-work comparison).
+
+    Returns efficiency, droop and area for both converter styles.
+    """
+    from repro.regulator.compact import SCCompactModel
+
+    sc = SCCompactModel()
+    buck = BuckCompactModel()
+    sc_op = sc.operating_point(v_in, 0.0, load_current)
+    buck_op = buck.operating_point(v_in, 0.0, load_current)
+    return {
+        "sc": {
+            "efficiency": sc_op.efficiency,
+            "voltage_drop": sc_op.voltage_drop,
+            "area": sc.spec.area,
+        },
+        "buck": {
+            "efficiency": buck_op.efficiency,
+            "voltage_drop": buck_op.voltage_drop,
+            "area": buck.spec.area,
+        },
+    }

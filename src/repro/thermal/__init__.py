@@ -1,0 +1,15 @@
+"""HotSpot-lite: steady-state thermal screening of 3D stacks.
+
+The paper uses HotSpot (Skadron et al., ISCA 2003) once, to establish
+that up to 8 layers of the example processor stay below the 100 C
+hotspot limit under conventional air cooling (Sec. 4.1).  This package
+provides a steady-state 3D conduction solver on the same grid as the PDN
+model — temperature maps per layer, the stack hotspot, and the derived
+maximum feasible layer count.  The thermal network is solved with the
+same sparse engine as the electrical model (temperature <-> voltage,
+heat <-> current).
+"""
+
+from repro.thermal.grid3d import HotSpotLite, ThermalConfig, ThermalResult, max_feasible_layers
+
+__all__ = ["HotSpotLite", "ThermalConfig", "ThermalResult", "max_feasible_layers"]

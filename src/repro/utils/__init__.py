@@ -1,0 +1,37 @@
+"""Shared utilities: unit helpers, argument validation, deterministic RNG."""
+
+from repro.utils.units import (
+    from_micro,
+    from_milli,
+    from_nano,
+    format_engineering,
+    to_micro,
+    to_milli,
+    to_nano,
+    to_percent,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "from_micro",
+    "from_milli",
+    "from_nano",
+    "format_engineering",
+    "to_micro",
+    "to_milli",
+    "to_nano",
+    "to_percent",
+    "check_fraction",
+    "check_in_choices",
+    "check_nonnegative",
+    "check_positive",
+    "check_positive_int",
+    "make_rng",
+]

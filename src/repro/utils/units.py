@@ -1,0 +1,80 @@
+"""Unit conversion helpers.
+
+All quantities inside the library are stored in base SI units (metres,
+ohms, volts, amperes, watts, seconds, hertz, kelvin).  The paper's tables
+quote values in engineering units (micrometres, milliohms, ...), so these
+helpers keep the conversion sites explicit and greppable instead of
+scattering bare ``1e-6`` literals around the code base.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Multiplicative prefix factors, used by :func:`format_engineering`.
+_ENG_PREFIXES = {
+    -15: "f",
+    -12: "p",
+    -9: "n",
+    -6: "u",
+    -3: "m",
+    0: "",
+    3: "k",
+    6: "M",
+    9: "G",
+    12: "T",
+}
+
+
+def from_micro(value: float) -> float:
+    """Convert a value expressed in micro-units (e.g. um) to base SI."""
+    return value * 1e-6
+
+
+def from_milli(value: float) -> float:
+    """Convert a value expressed in milli-units (e.g. mOhm) to base SI."""
+    return value * 1e-3
+
+
+def from_nano(value: float) -> float:
+    """Convert a value expressed in nano-units (e.g. nF) to base SI."""
+    return value * 1e-9
+
+
+def to_micro(value: float) -> float:
+    """Convert a base-SI value to micro-units."""
+    return value * 1e6
+
+
+def to_milli(value: float) -> float:
+    """Convert a base-SI value to milli-units."""
+    return value * 1e3
+
+
+def to_nano(value: float) -> float:
+    """Convert a base-SI value to nano-units."""
+    return value * 1e9
+
+
+def to_percent(fraction: float) -> float:
+    """Convert a 0..1 fraction to a percentage."""
+    return fraction * 100.0
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Render ``value`` with an engineering (power-of-1000) prefix.
+
+    >>> format_engineering(0.044539, "Ohm")
+    '44.5 mOhm'
+    >>> format_engineering(8e-9, "F")
+    '8 nF'
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    exponent = int(math.floor(math.log10(magnitude) / 3.0)) * 3
+    exponent = max(min(exponent, 12), -15)
+    scaled = value / 10.0**exponent
+    prefix = _ENG_PREFIXES[exponent]
+    text = f"{scaled:.{digits}g}"
+    return f"{text} {prefix}{unit}".strip()

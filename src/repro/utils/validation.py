@@ -1,0 +1,50 @@
+"""Small argument-validation helpers.
+
+These raise ``ValueError``/``TypeError`` with messages that name the
+offending parameter, which keeps the dataclass ``__post_init__`` bodies in
+:mod:`repro.config` short and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integral value strictly greater than zero."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_choices(name: str, value: T, choices: Iterable[T]) -> T:
+    """Require ``value`` to be one of ``choices``; return it for chaining."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value

@@ -1,0 +1,177 @@
+"""Gem5-lite: a statistical micro-architecture activity simulator.
+
+The paper derives its workload power samples from Gem5 + McPAT.  The
+primary substitute in this package (:mod:`repro.workload.parsec`) draws
+activities from calibrated distributions; this module goes one level
+deeper and *generates* those activities from a simple performance model,
+so the shape of each application's distribution emerges from
+micro-architectural parameters rather than being postulated:
+
+* each application is an instruction mix (memory fraction, branch
+  fraction) with a cache miss rate and branch misprediction rate;
+* a two-state Markov phase process (compute-bound / memory-bound)
+  modulates the miss rate between 2k-cycle windows — the source of the
+  within-application variance in Fig. 7;
+* per window, an analytic in-order pipeline model converts the mix into
+  achieved IPC and hence a dynamic-activity factor (issue slots doing
+  work per cycle).
+
+Windows are evaluated in closed form (expected stall cycles per
+instruction), so a 1000-window campaign costs microseconds while still
+being driven by interpretable hardware parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config.stackups import ProcessorSpec
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class MicroWorkload:
+    """Micro-architectural description of one application."""
+
+    name: str
+    #: Fraction of instructions that access memory.
+    memory_fraction: float
+    #: Fraction of instructions that are branches.
+    branch_fraction: float
+    #: L1-miss-to-DRAM rate in the compute-bound phase (misses/mem-op).
+    miss_rate_low: float
+    #: Miss rate in the memory-bound phase.
+    miss_rate_high: float
+    #: Probability of switching phase between consecutive windows.
+    phase_switch_probability: float = 0.08
+    #: Fraction of windows spent memory-bound at steady state.
+    memory_bound_fraction: float = 0.5
+    #: Branch misprediction rate (mispredicts/branch).
+    mispredict_rate: float = 0.05
+    #: DRAM stall penalty (cycles).
+    miss_penalty: float = 120.0
+    #: Pipeline refill penalty on a mispredict (cycles).
+    flush_penalty: float = 12.0
+    #: Per-window lognormal jitter (sigma of log-activity).
+    jitter: float = 0.04
+
+    def __post_init__(self) -> None:
+        check_fraction("memory_fraction", self.memory_fraction)
+        check_fraction("branch_fraction", self.branch_fraction)
+        check_fraction("miss_rate_low", self.miss_rate_low)
+        check_fraction("miss_rate_high", self.miss_rate_high)
+        check_fraction("phase_switch_probability", self.phase_switch_probability)
+        check_fraction("memory_bound_fraction", self.memory_bound_fraction)
+        check_fraction("mispredict_rate", self.mispredict_rate)
+        check_positive("miss_penalty", self.miss_penalty)
+        check_positive("flush_penalty", self.flush_penalty)
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.miss_rate_high < self.miss_rate_low:
+            raise ValueError("miss_rate_high must be >= miss_rate_low")
+
+    # ------------------------------------------------------------------
+    def cpi(self, miss_rate: float) -> float:
+        """Cycles per instruction of the in-order pipeline model."""
+        base = 1.0
+        memory_stalls = self.memory_fraction * miss_rate * self.miss_penalty
+        branch_stalls = self.branch_fraction * self.mispredict_rate * self.flush_penalty
+        return base + memory_stalls + branch_stalls
+
+    def activity(self, miss_rate: float) -> float:
+        """Dynamic activity factor = achieved IPC (issue-slot utilisation)."""
+        return 1.0 / self.cpi(miss_rate)
+
+
+#: PARSEC-flavoured micro-workloads.  Memory-bound apps (canneal,
+#: streamcluster) idle the pipeline on DRAM; compute-bound kernels
+#: (blackscholes, swaptions) stay near IPC 1.
+GEM5_WORKLOADS: Dict[str, MicroWorkload] = {
+    w.name: w
+    for w in (
+        MicroWorkload("blackscholes", 0.25, 0.05, 0.0005, 0.0012,
+                      phase_switch_probability=0.02, memory_bound_fraction=0.3),
+        MicroWorkload("swaptions", 0.28, 0.08, 0.001, 0.004),
+        MicroWorkload("bodytrack", 0.30, 0.10, 0.001, 0.012),
+        MicroWorkload("freqmine", 0.35, 0.12, 0.002, 0.015),
+        MicroWorkload("vips", 0.32, 0.09, 0.001, 0.018),
+        MicroWorkload("raytrace", 0.34, 0.11, 0.002, 0.020),
+        MicroWorkload("facesim", 0.36, 0.08, 0.002, 0.024),
+        MicroWorkload("ferret", 0.38, 0.10, 0.002, 0.028),
+        MicroWorkload("fluidanimate", 0.36, 0.07, 0.003, 0.032),
+        MicroWorkload("streamcluster", 0.42, 0.06, 0.010, 0.035,
+                      memory_bound_fraction=0.7),
+        MicroWorkload("canneal", 0.45, 0.08, 0.012, 0.060,
+                      memory_bound_fraction=0.7),
+        MicroWorkload("dedup", 0.40, 0.10, 0.003, 0.070),
+        MicroWorkload("x264", 0.33, 0.12, 0.001, 0.080,
+                      phase_switch_probability=0.15),
+    )
+}
+
+
+def simulate_activity_windows(
+    workload: MicroWorkload,
+    n_windows: int = 1000,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Per-window dynamic activity factors from the phase-modulated model.
+
+    The Markov phase chain is simulated exactly; within each window the
+    activity is the pipeline model's value at the phase's miss rate,
+    with small lognormal jitter.
+    """
+    check_positive_int("n_windows", n_windows)
+    gen = make_rng(rng)
+    # Stationary start, then first-order transitions.
+    memory_bound = gen.random(n_windows) < workload.memory_bound_fraction
+    switch = gen.random(n_windows) < workload.phase_switch_probability
+    state = bool(memory_bound[0])
+    states = np.empty(n_windows, dtype=bool)
+    for k in range(n_windows):
+        if switch[k]:
+            # Re-draw toward the stationary distribution on a switch.
+            state = bool(memory_bound[k])
+        states[k] = state
+    miss_rates = np.where(
+        states, workload.miss_rate_high, workload.miss_rate_low
+    )
+    activities = np.array([workload.activity(m) for m in miss_rates])
+    if workload.jitter > 0:
+        activities = activities * np.exp(
+            workload.jitter * gen.standard_normal(n_windows)
+        )
+    return np.clip(activities, 0.0, 1.0)
+
+
+def gem5_sample_suite(
+    processor: Optional[ProcessorSpec] = None,
+    n_windows: int = 1000,
+    rng: SeedLike = None,
+    workloads: Optional[Dict[str, MicroWorkload]] = None,
+):
+    """Full-suite power samples from the micro-architectural generator.
+
+    Returns the same ``{name: SampleSet}`` structure as
+    :func:`repro.workload.sampling.sample_suite`, so it drops into the
+    Fig. 7 pipeline as an alternative back end.
+    """
+    from repro.workload.sampling import SampleSet
+
+    processor = processor or ProcessorSpec()
+    workloads = GEM5_WORKLOADS if workloads is None else workloads
+    gen = make_rng(rng)
+    suite: Dict[str, SampleSet] = {}
+    for name, workload in workloads.items():
+        activities = simulate_activity_windows(workload, n_windows, gen)
+        dynamic = activities * processor.dynamic_power
+        suite[name] = SampleSet(
+            name=name,
+            powers=processor.leakage_power + dynamic,
+            dynamic_powers=dynamic,
+        )
+    return suite

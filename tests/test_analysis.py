@@ -1,0 +1,67 @@
+"""ASCII table and box-plot rendering."""
+
+import pytest
+
+from repro.analysis.boxplot import BoxStats, ascii_boxplot
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [(1, 2.5), (3, 4.0)])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.500" in text
+
+    def test_none_renders_dash(self):
+        text = format_table(["x"], [(None,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestBoxStats:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BoxStats("x", 5.0, 1.0, 2.0, 3.0, 4.0)
+
+    def test_accepts_degenerate(self):
+        BoxStats("x", 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestAsciiBoxplot:
+    def test_renders_all_labels(self):
+        boxes = [
+            BoxStats("alpha", 1, 2, 3, 4, 5),
+            BoxStats("beta", 2, 3, 4, 5, 6),
+        ]
+        text = ascii_boxplot(boxes)
+        assert "alpha" in text and "beta" in text
+
+    def test_markers_present(self):
+        text = ascii_boxplot([BoxStats("a", 0, 25, 50, 75, 100)], width=40)
+        row = text.splitlines()[0]
+        assert "[" in row and "]" in row and "M" in row and "|" in row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot([])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot([BoxStats("a", 0, 1, 2, 3, 4)], width=5)
+
+    def test_axis_labels(self):
+        text = ascii_boxplot([BoxStats("a", 0.0, 1.0, 2.0, 3.0, 4.0)], unit="W")
+        assert "0.00W" in text
+        assert "4.00W" in text

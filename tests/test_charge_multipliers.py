@@ -1,0 +1,105 @@
+"""Seeman charge-multiplier vectors for SC topology families."""
+
+import pytest
+
+from repro.config.converters import default_sc_spec
+from repro.regulator.charge_multipliers import (
+    TOPOLOGY_FAMILIES,
+    TopologyVectors,
+    best_family_for_ratio,
+    dickson,
+    ladder,
+    series_parallel,
+    two_to_one_push_pull,
+)
+from repro.regulator.compact import SCCompactModel
+
+
+class TestSeriesParallel:
+    def test_two_to_one_vectors(self):
+        t = series_parallel(2)
+        assert t.sum_ac == pytest.approx(0.5)
+        assert t.capacitor_count == 1
+        assert t.switch_count == 4
+
+    def test_cap_count_scales(self):
+        assert series_parallel(4).capacitor_count == 3
+
+    def test_sum_ac_grows_with_ratio(self):
+        assert series_parallel(4).sum_ac > series_parallel(2).sum_ac
+
+    def test_rejects_ratio_one(self):
+        with pytest.raises(ValueError):
+            series_parallel(1)
+
+
+class TestLadder:
+    def test_two_to_one_matches_series_parallel_ssl(self):
+        """At 2:1 all families degenerate to the same cap multiplier."""
+        assert ladder(2).sum_ac == pytest.approx(series_parallel(2).sum_ac)
+
+    def test_ladder_ssl_worse_at_high_ratio(self):
+        """Seeman: the ladder's near-input rungs shuttle more charge, so
+        its SSL bound is worse than series-parallel for large N."""
+        assert ladder(5).sum_ac > series_parallel(5).sum_ac
+
+
+class TestDickson:
+    def test_cap_multipliers_match_series_parallel(self):
+        assert dickson(3).sum_ac == pytest.approx(series_parallel(3).sum_ac)
+
+    def test_switch_count(self):
+        assert dickson(3).switch_count == 4 + 3
+
+
+class TestImpedanceFormulas:
+    def test_rssl_formula(self):
+        t = series_parallel(2)
+        assert t.r_ssl(8e-9, 100e6) == pytest.approx(0.25 / (8e-9 * 100e6))
+
+    def test_rfsl_formula(self):
+        t = series_parallel(2)
+        # sum_ar = 4 * 0.5 = 2 -> RFSL = 4 / (G * D)
+        assert t.r_fsl(4.0, 0.5) == pytest.approx(2.0)
+
+    def test_rseries_quadrature(self):
+        import math
+
+        t = series_parallel(2)
+        ssl = t.r_ssl(8e-9, 100e6)
+        fsl = t.r_fsl(4.0)
+        assert t.r_series(8e-9, 100e6, 4.0) == pytest.approx(math.hypot(ssl, fsl))
+
+    def test_push_pull_reproduces_compact_model(self):
+        """The hard-coded compact model and the generic framework agree
+        on the paper's 0.6-ohm design point."""
+        spec = default_sc_spec()
+        t = two_to_one_push_pull()
+        # The push-pull cell transfers on both phases: effective fsw x2.
+        r = t.r_series(
+            spec.fly_capacitance,
+            2 * spec.switching_frequency,
+            spec.switch_conductance * 0.25,  # per-slot conductance scaling
+            spec.duty_cycle,
+        )
+        model = SCCompactModel(spec)
+        assert t.r_ssl(spec.fly_capacitance, 2 * spec.switching_frequency) == (
+            pytest.approx(model.r_ssl())
+        )
+
+
+class TestFamilySelection:
+    def test_registry(self):
+        assert set(TOPOLOGY_FAMILIES) == {"series-parallel", "ladder", "dickson"}
+
+    def test_best_family_returns_lowest_rseries(self):
+        best = best_family_for_ratio(4, 8e-9, 50e6, 4.0)
+        candidates = [f(4) for f in TOPOLOGY_FAMILIES.values()]
+        values = [t.r_series(8e-9, 50e6, 4.0) for t in candidates]
+        assert best.r_series(8e-9, 50e6, 4.0) == pytest.approx(min(values))
+
+    def test_vectors_immutable(self):
+        t = series_parallel(3)
+        assert isinstance(t, TopologyVectors)
+        with pytest.raises(AttributeError):
+            t.ratio = 5

@@ -1,0 +1,44 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "fig3", "fig5a", "fig5b",
+                        "fig6", "fig7", "fig8", "headline", "explore"):
+            args = parser.parse_args(
+                [command] if command in ("table1", "table2", "fig3", "fig7")
+                else [command, "--grid", "8"]
+            )
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "C4 Pad Pitch" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "6650" in capsys.readouterr().out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--samples", "50"]) == 0
+        assert "blackscholes" in capsys.readouterr().out
+
+    def test_fig6_small_grid(self, capsys):
+        assert main(["fig6", "--grid", "8", "--layers", "2"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""SC converter specification (paper Sec. 3.1)."""
+
+import pytest
+
+from repro.config.converters import (
+    CAPACITOR_TECHNOLOGIES,
+    SCConverterSpec,
+    default_sc_spec,
+)
+
+
+class TestSCConverterSpec:
+    def test_paper_design_point(self):
+        spec = default_sc_spec()
+        assert spec.fly_capacitance == pytest.approx(8e-9)
+        assert spec.switching_frequency == pytest.approx(50e6)
+        assert spec.interleaving == 4
+        assert spec.max_load_current == pytest.approx(0.1)
+
+    def test_area_uses_selected_technology(self):
+        spec = default_sc_spec()
+        assert spec.area == pytest.approx(0.472e-6)
+        trench = SCConverterSpec(capacitor_technology="trench")
+        assert trench.area == pytest.approx(0.082e-6)
+
+    def test_rejects_unknown_capacitor(self):
+        with pytest.raises(ValueError, match="capacitor technology"):
+            SCConverterSpec(capacitor_technology="graphene")
+
+    def test_rejects_zero_duty_cycle(self):
+        with pytest.raises(ValueError):
+            SCConverterSpec(duty_cycle=0.0)
+
+
+class TestCapacitorTechnologies:
+    def test_paper_areas(self):
+        assert CAPACITOR_TECHNOLOGIES["MIM"].converter_area == pytest.approx(0.472e-6)
+        assert CAPACITOR_TECHNOLOGIES["ferroelectric"].converter_area == pytest.approx(0.102e-6)
+        assert CAPACITOR_TECHNOLOGIES["trench"].converter_area == pytest.approx(0.082e-6)
+
+    def test_density_ordering(self):
+        assert (
+            CAPACITOR_TECHNOLOGIES["MIM"].density
+            < CAPACITOR_TECHNOLOGIES["ferroelectric"].density
+            <= CAPACITOR_TECHNOLOGIES["trench"].density
+        )

@@ -1,0 +1,117 @@
+"""Stack-level configuration (paper Sec. 4, Table 2)."""
+
+import math
+
+import pytest
+
+from repro.config.stackups import (
+    PadAllocation,
+    ProcessorSpec,
+    StackConfig,
+    TSV_TOPOLOGIES,
+    dense_tsv,
+    few_tsv,
+    sparse_tsv,
+)
+
+
+class TestProcessorSpec:
+    def test_paper_anchors(self):
+        proc = ProcessorSpec()
+        assert proc.core_count == 16
+        assert proc.die_area == pytest.approx(44.12e-6)
+        assert proc.peak_power == pytest.approx(7.6)
+        assert proc.vdd == 1.0
+        assert proc.frequency == pytest.approx(1e9)
+
+    def test_die_side(self):
+        proc = ProcessorSpec()
+        assert proc.die_side == pytest.approx(math.sqrt(44.12e-6))
+
+    def test_core_area(self):
+        assert ProcessorSpec().core_area == pytest.approx(44.12e-6 / 16)
+
+    def test_peak_current(self):
+        assert ProcessorSpec().peak_current == pytest.approx(7.6)
+
+    def test_layer_power_interpolates(self):
+        proc = ProcessorSpec()
+        assert proc.layer_power(0.0) == pytest.approx(proc.leakage_power)
+        assert proc.layer_power(1.0) == pytest.approx(proc.peak_power)
+        mid = proc.layer_power(0.5)
+        assert proc.leakage_power < mid < proc.peak_power
+
+    def test_dynamic_plus_leakage_is_peak(self):
+        proc = ProcessorSpec()
+        assert proc.dynamic_power + proc.leakage_power == pytest.approx(proc.peak_power)
+
+    def test_layer_power_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProcessorSpec().layer_power(1.5)
+
+
+class TestTSVTopology:
+    def test_table2_counts(self):
+        assert dense_tsv().tsvs_per_core == 6650
+        assert sparse_tsv().tsvs_per_core == 1675
+        assert few_tsv().tsvs_per_core == 110
+
+    def test_registry_complete(self):
+        assert set(TSV_TOPOLOGIES) == {"Dense", "Sparse", "Few"}
+
+    def test_vdd_gnd_split_covers_total(self):
+        for topo in TSV_TOPOLOGIES.values():
+            assert topo.vdd_tsvs_per_core + topo.gnd_tsvs_per_core == topo.tsvs_per_core
+
+    def test_few_tsv_has_55_vdd(self):
+        # Paper Sec. 5.1 quotes 55 Vdd TSVs per core for the Few topology.
+        assert few_tsv().vdd_tsvs_per_core == 55
+
+    def test_area_overheads_match_table2(self):
+        core_area = ProcessorSpec().core_area
+        # Table 2 quotes 24.2% / 6.1% / 0.4%; the KoZ model lands within
+        # a few tenths of a percent of those (rounding in the paper).
+        assert dense_tsv().area_overhead(core_area) == pytest.approx(0.242, abs=0.01)
+        assert sparse_tsv().area_overhead(core_area) == pytest.approx(0.061, abs=0.005)
+        assert few_tsv().area_overhead(core_area) == pytest.approx(0.004, abs=0.001)
+
+    def test_effective_pitch_monotonic_with_density(self):
+        core_area = ProcessorSpec().core_area
+        assert (
+            dense_tsv().effective_pitch(core_area)
+            < sparse_tsv().effective_pitch(core_area)
+            < few_tsv().effective_pitch(core_area)
+        )
+
+
+class TestPadAllocation:
+    def test_fraction_allocation(self):
+        pads = PadAllocation(power_fraction=0.25)
+        # 25% of 1089 sites -> 272 power pads -> 136 Vdd.
+        assert pads.vdd_pads(1089, 16) == 136
+
+    def test_override_takes_precedence(self):
+        pads = PadAllocation(power_fraction=0.25, vdd_pads_per_core_override=32)
+        assert pads.vdd_pads(1089, 16) == 32 * 16
+
+    def test_rejects_negative_override(self):
+        with pytest.raises(ValueError):
+            PadAllocation(vdd_pads_per_core_override=-1)
+
+
+class TestStackConfig:
+    def test_supply_voltage_scales_with_layers(self):
+        stack = StackConfig(n_layers=8, grid_nodes=8)
+        assert stack.stack_supply_voltage == pytest.approx(8.0)
+
+    def test_total_peak_power(self):
+        stack = StackConfig(n_layers=4, grid_nodes=8)
+        assert stack.total_peak_power == pytest.approx(4 * 7.6)
+
+    def test_cell_size(self):
+        stack = StackConfig(n_layers=2, grid_nodes=10)
+        assert stack.cell_size == pytest.approx(stack.processor.die_side / 10)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            StackConfig(n_layers=2, grid_nodes=2)

@@ -1,0 +1,95 @@
+"""Array (weakest-element) lifetime statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import norm
+
+from repro.config.technology import EMParameters
+from repro.em.array_mttf import (
+    array_failure_cdf,
+    expected_em_lifetime,
+    lognormal_failure_cdf,
+)
+
+
+class TestLognormalCDF:
+    def test_median_point(self):
+        assert lognormal_failure_cdf(100.0, median=100.0, sigma=0.3) == pytest.approx(0.5)
+
+    def test_zero_time(self):
+        assert lognormal_failure_cdf(0.0, median=10.0, sigma=0.3) == 0.0
+
+    def test_monotone(self):
+        ts = np.linspace(1.0, 1000.0, 50)
+        cdf = lognormal_failure_cdf(ts, median=100.0, sigma=0.3)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_known_value(self):
+        # One sigma in log space above the median.
+        t = 100.0 * np.exp(0.3)
+        assert lognormal_failure_cdf(t, 100.0, 0.3) == pytest.approx(norm.cdf(1.0))
+
+
+class TestArrayCDF:
+    def test_single_conductor_median(self):
+        assert array_failure_cdf(50.0, np.array([50.0]), 0.3) == pytest.approx(0.5)
+
+    def test_two_identical_conductors(self):
+        # P = 1 - (1-F)^2 with F = 0.5.
+        assert array_failure_cdf(50.0, np.array([50.0, 50.0]), 0.3) == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            array_failure_cdf(1.0, np.array([]), 0.3)
+
+    def test_large_array_numerically_stable(self):
+        medians = np.full(100_000, 1000.0)
+        p = array_failure_cdf(200.0, medians, 0.3)
+        assert 0.0 <= p <= 1.0
+        assert np.isfinite(p)
+
+
+class TestExpectedLifetime:
+    def test_single_conductor_returns_median(self):
+        assert expected_em_lifetime(np.array([123.0])) == pytest.approx(123.0, rel=1e-6)
+
+    def test_definition_p_half(self):
+        medians = np.array([100.0, 150.0, 300.0])
+        em = EMParameters()
+        t = expected_em_lifetime(medians, em)
+        assert array_failure_cdf(t, medians, em.sigma) == pytest.approx(0.5, abs=1e-6)
+
+    def test_more_conductors_shorter_life(self):
+        small = expected_em_lifetime(np.full(10, 100.0))
+        large = expected_em_lifetime(np.full(10_000, 100.0))
+        assert large < small
+
+    def test_bounded_by_weakest_median(self):
+        medians = np.array([100.0, 500.0, 900.0])
+        assert expected_em_lifetime(medians) <= 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            expected_em_lifetime(np.array([0.0, 1.0]))
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=1.01, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_scaling(self, medians, factor):
+        """Scaling every median by k scales the array lifetime by k."""
+        base = np.array(medians)
+        t0 = expected_em_lifetime(base)
+        t1 = expected_em_lifetime(base * factor)
+        assert t1 / t0 == pytest.approx(factor, rel=1e-4)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_conductors_never_helps(self, medians):
+        base = np.array(medians)
+        without_last = expected_em_lifetime(base[:-1])
+        with_all = expected_em_lifetime(base)
+        assert with_all <= without_last * (1 + 1e-9)

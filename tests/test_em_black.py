@@ -1,0 +1,64 @@
+"""Black's-equation median lifetimes."""
+
+import numpy as np
+import pytest
+
+from repro.config.technology import EMParameters
+from repro.em.black import (
+    C4_CROSS_SECTION,
+    TSV_CROSS_SECTION,
+    black_median_lifetime,
+    median_lifetimes_from_currents,
+)
+
+
+class TestBlackEquation:
+    def test_lifetime_positive(self):
+        assert black_median_lifetime(0.1, C4_CROSS_SECTION) > 0
+
+    def test_current_exponent(self):
+        em = EMParameters(exponent=2.0)
+        t1 = black_median_lifetime(0.1, C4_CROSS_SECTION, em)
+        t2 = black_median_lifetime(0.2, C4_CROSS_SECTION, em)
+        assert t2 / t1 == pytest.approx(0.25)
+
+    def test_default_exponent_is_one(self):
+        t1 = black_median_lifetime(0.1, C4_CROSS_SECTION)
+        t2 = black_median_lifetime(0.2, C4_CROSS_SECTION)
+        assert t2 / t1 == pytest.approx(0.5)
+
+    def test_zero_current_is_effectively_immortal(self):
+        idle = black_median_lifetime(0.0, C4_CROSS_SECTION)
+        loaded = black_median_lifetime(0.1, C4_CROSS_SECTION)
+        assert idle > loaded * 1e3
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            black_median_lifetime(-0.1, C4_CROSS_SECTION)
+
+    def test_cross_sections_sensible(self):
+        # A TSV is much narrower than a C4 bump.
+        assert TSV_CROSS_SECTION < C4_CROSS_SECTION
+
+    def test_smaller_cross_section_shorter_life(self):
+        wide = black_median_lifetime(0.05, C4_CROSS_SECTION)
+        narrow = black_median_lifetime(0.05, TSV_CROSS_SECTION)
+        assert narrow < wide
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        currents = np.array([0.01, 0.05, 0.1])
+        vec = median_lifetimes_from_currents(currents, C4_CROSS_SECTION)
+        for c, t in zip(currents, vec):
+            assert t == pytest.approx(black_median_lifetime(c, C4_CROSS_SECTION))
+
+    def test_uses_magnitudes(self):
+        pos = median_lifetimes_from_currents(np.array([0.1]), C4_CROSS_SECTION)
+        neg = median_lifetimes_from_currents(np.array([-0.1]), C4_CROSS_SECTION)
+        assert pos[0] == neg[0]
+
+    def test_monotone_decreasing_in_current(self):
+        currents = np.linspace(0.01, 0.5, 20)
+        lifetimes = median_lifetimes_from_currents(currents, C4_CROSS_SECTION)
+        assert np.all(np.diff(lifetimes) < 0)

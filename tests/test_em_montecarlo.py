@@ -1,0 +1,56 @@
+"""Monte-Carlo EM lifetime vs the analytic array CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.technology import EMParameters
+from repro.em.array_mttf import expected_em_lifetime
+from repro.em.montecarlo import simulate_array_lifetime
+
+
+class TestMonteCarloBasics:
+    def test_reproducible(self):
+        medians = np.array([100.0, 200.0, 400.0])
+        a = simulate_array_lifetime(medians, trials=200, rng=1)
+        b = simulate_array_lifetime(medians, trials=200, rng=1)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_sample_count(self):
+        mc = simulate_array_lifetime(np.array([10.0]), trials=123, rng=0)
+        assert len(mc.samples) == 123
+
+    def test_percentiles_ordered(self):
+        mc = simulate_array_lifetime(np.full(20, 100.0), trials=500, rng=2)
+        assert mc.percentile(25) <= mc.median <= mc.percentile(75)
+        assert mc.spread >= 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            simulate_array_lifetime(np.array([]), trials=10)
+
+    def test_rejects_nonpositive_medians(self):
+        with pytest.raises(ValueError):
+            simulate_array_lifetime(np.array([0.0]), trials=10)
+
+
+class TestAgreementWithAnalytic:
+    def test_median_matches_closed_form(self):
+        """The MC median of min_i(t_i) is the analytic P(t)=0.5 point."""
+        rng = np.random.default_rng(7)
+        medians = rng.uniform(50.0, 500.0, size=200)
+        em = EMParameters()
+        analytic = expected_em_lifetime(medians, em)
+        mc = simulate_array_lifetime(medians, trials=4000, em=em, rng=3)
+        assert mc.median == pytest.approx(analytic, rel=0.03)
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_property(self, n_conductors, seed):
+        rng = np.random.default_rng(seed)
+        medians = rng.uniform(10.0, 1000.0, size=n_conductors)
+        em = EMParameters()
+        analytic = expected_em_lifetime(medians, em)
+        mc = simulate_array_lifetime(medians, trials=1500, em=em, rng=seed)
+        assert mc.median == pytest.approx(analytic, rel=0.08)

@@ -1,0 +1,117 @@
+"""Temperature-coupled EM lifetime (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.em.thermal_coupling import (
+    group_temperatures,
+    median_lifetimes_at_temperature,
+    thermally_coupled_lifetime,
+    uniform_temperature_lifetime,
+)
+from repro.thermal import HotSpotLite, ThermalConfig
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def solved():
+    pdn = build_regular_pdn(4, grid_nodes=GRID)
+    result = pdn.solve()
+    thermal = HotSpotLite(pdn.stack).solve()
+    return result, thermal
+
+
+class TestTemperatureScaling:
+    def test_hotter_is_shorter(self):
+        currents = np.full(10, 0.05)
+        from repro.em.black import TSV_CROSS_SECTION
+
+        cool = median_lifetimes_at_temperature(currents, TSV_CROSS_SECTION, 60.0)
+        hot = median_lifetimes_at_temperature(currents, TSV_CROSS_SECTION, 100.0)
+        assert np.all(hot < cool)
+
+    def test_arrhenius_ratio(self):
+        """exp(Ea/kT) ratio between two temperatures."""
+        import math
+
+        from repro.config.technology import BOLTZMANN_EV, default_em
+        from repro.em.black import TSV_CROSS_SECTION
+
+        em = default_em()
+        t1, t2 = 60.0 + 273.15, 100.0 + 273.15
+        expected = math.exp(
+            em.activation_energy / BOLTZMANN_EV * (1 / t1 - 1 / t2)
+        )
+        cool = median_lifetimes_at_temperature(
+            np.array([0.05]), TSV_CROSS_SECTION, 60.0, em
+        )
+        hot = median_lifetimes_at_temperature(
+            np.array([0.05]), TSV_CROSS_SECTION, 100.0, em
+        )
+        assert cool[0] / hot[0] == pytest.approx(expected, rel=1e-9)
+
+
+class TestGroupTemperatures:
+    def test_pads_at_bottom_layer_temperature(self, solved):
+        result, thermal = solved
+        temps = group_temperatures(result, thermal)
+        bottom = float(thermal.layer_temperatures[0].mean())
+        assert temps["c4.vdd"] == pytest.approx(bottom)
+
+    def test_tiers_between_their_layers(self, solved):
+        result, thermal = solved
+        temps = group_temperatures(result, thermal)
+        layer_means = [float(t.mean()) for t in thermal.layer_temperatures]
+        expected = 0.5 * (layer_means[1] + layer_means[2])
+        assert temps["tsv.vdd.t1"] == pytest.approx(expected)
+
+    def test_lower_tiers_hotter(self, solved):
+        result, thermal = solved
+        temps = group_temperatures(result, thermal)
+        assert temps["tsv.vdd.t0"] > temps["tsv.vdd.t2"]
+
+    def test_vs_rail_tags_mapped(self):
+        pdn = build_stacked_pdn(4, grid_nodes=GRID)
+        result = pdn.solve()
+        thermal = HotSpotLite(pdn.stack).solve()
+        temps = group_temperatures(result, thermal)
+        assert "tsv.rail1" in temps
+        assert "tvia.vdd" in temps
+
+
+class TestCoupledLifetime:
+    def test_cooler_than_worstcase_assumption_lives_longer(self, solved):
+        """The air-cooled stack runs below the 105 C rating point, so the
+        coupled lifetime exceeds the paper's fixed-temperature one."""
+        result, thermal = solved
+        coupled = thermally_coupled_lifetime(result, thermal, "tsv")
+        uniform_105 = uniform_temperature_lifetime(result, 105.0, "tsv")
+        assert coupled > uniform_105
+
+    def test_coupled_below_uniform_coolest(self, solved):
+        """Bounded by evaluating everything at the coolest tier."""
+        result, thermal = solved
+        coolest = min(float(t.min()) for t in thermal.layer_temperatures)
+        coupled = thermally_coupled_lifetime(result, thermal, "tsv")
+        bound = uniform_temperature_lifetime(result, coolest, "tsv")
+        assert coupled <= bound
+
+    def test_hotter_cooling_config_shortens_life(self):
+        pdn = build_regular_pdn(4, grid_nodes=GRID)
+        result = pdn.solve()
+        cool = HotSpotLite(pdn.stack, ThermalConfig(sink_resistance=0.05)).solve()
+        hot = HotSpotLite(pdn.stack, ThermalConfig(sink_resistance=0.5)).solve()
+        assert thermally_coupled_lifetime(result, hot, "tsv") < thermally_coupled_lifetime(
+            result, cool, "tsv"
+        )
+
+    def test_c4_kind(self, solved):
+        result, thermal = solved
+        assert thermally_coupled_lifetime(result, thermal, "c4") > 0
+
+    def test_unknown_kind_rejected(self, solved):
+        result, thermal = solved
+        with pytest.raises(ValueError):
+            thermally_coupled_lifetime(result, thermal, "bondwire")

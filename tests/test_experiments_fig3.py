@@ -1,0 +1,55 @@
+"""Fig. 3 experiment driver: validation sweeps."""
+
+import pytest
+
+from repro.core.experiments.fig3 import (
+    CLOSED_LOOP_LOADS,
+    OPEN_LOOP_LOADS,
+    run_fig3,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3()
+
+
+class TestFig3:
+    def test_sweep_lengths(self, result):
+        assert len(result.closed_loop) == len(CLOSED_LOOP_LOADS)
+        assert len(result.open_loop) == len(OPEN_LOOP_LOADS)
+
+    def test_model_tracks_simulation(self, result):
+        """The paper's claim: the compact model accurately captures both
+        metrics for both policies."""
+        assert result.max_efficiency_error() < 0.10
+        assert result.max_vdrop_error() < 5e-3
+
+    def test_open_loop_efficiency_range(self, result):
+        """Fig. 3b: efficiency climbs from ~50% to ~85% over 10-90 mA."""
+        effs = [p.efficiency_sim for p in result.open_loop]
+        assert effs[0] < 0.60
+        assert effs[-1] > 0.75
+        assert effs == sorted(effs)
+
+    def test_open_loop_vdrop_linear(self, result):
+        """Fig. 3b droop is RSERIES-linear: ~6 mV at 10 mA, ~55 mV at 90."""
+        drops = [p.vdrop_sim for p in result.open_loop]
+        assert drops[0] == pytest.approx(6e-3, abs=2e-3)
+        assert drops[-1] == pytest.approx(55e-3, abs=8e-3)
+
+    def test_closed_loop_flat_high_efficiency(self, result):
+        """Fig. 3a: closed loop keeps light-load efficiency much higher
+        than open loop at the same current."""
+        closed_light = result.closed_loop[2]  # 6.3 mA
+        open_equiv_eff = 0.35  # open loop at ~6 mA is well below this
+        assert closed_light.efficiency_sim > open_equiv_eff
+
+    def test_closed_loop_frequencies_scale(self, result):
+        freqs = [p.switching_frequency for p in result.closed_loop]
+        assert freqs == sorted(freqs)
+        assert freqs[-1] == pytest.approx(50e6)
+
+    def test_format_contains_both_panels(self, result):
+        text = result.format()
+        assert "Fig. 3a" in text and "Fig. 3b" in text

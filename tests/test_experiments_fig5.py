@@ -1,0 +1,94 @@
+"""Fig. 5 experiment drivers: EM lifetime shapes (small grid)."""
+
+import pytest
+
+from repro.core.experiments.fig5 import run_fig5a, run_fig5b
+
+GRID = 8
+LAYERS = (2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def fig5a():
+    return run_fig5a(layers=LAYERS, grid_nodes=GRID)
+
+
+@pytest.fixture(scope="module")
+def fig5b():
+    return run_fig5b(layers=LAYERS, grid_nodes=GRID)
+
+
+class TestFig5a:
+    def test_normalisation_reference(self, fig5a):
+        assert fig5a.series["V-S PDN, Few TSV"][0] == pytest.approx(1.0)
+
+    def test_regular_degrades_steeply(self, fig5a):
+        """Paper: up to 84% lifetime loss from 2 to 8 layers."""
+        loss = fig5a.regular_degradation("Reg. PDN, Few TSV")
+        assert loss > 0.7
+
+    def test_vs_nearly_flat(self, fig5a):
+        series = fig5a.series["V-S PDN, Few TSV"]
+        loss = 1.0 - series[-1] / series[0]
+        assert loss < 0.35
+
+    def test_vs_worse_at_two_layers(self, fig5a):
+        """Paper: the V-S TSV array is below the regular one at 2 layers
+        (through-vias outnumbered by regular Vdd TSVs)."""
+        assert fig5a.series["Reg. PDN, Few TSV"][0] > fig5a.series["V-S PDN, Few TSV"][0]
+
+    def test_vs_wins_at_eight_layers(self, fig5a):
+        """Paper: >3x improvement for the matched Few-TSV comparison."""
+        assert fig5a.improvement_at(8) > 3.0
+
+    def test_denser_topologies_live_longer(self, fig5a):
+        for idx in range(len(LAYERS)):
+            assert (
+                fig5a.series["Reg. PDN, Dense TSV"][idx]
+                > fig5a.series["Reg. PDN, Sparse TSV"][idx]
+                > fig5a.series["Reg. PDN, Few TSV"][idx]
+            )
+
+    def test_all_series_monotone_decreasing(self, fig5a):
+        for values in fig5a.series.values():
+            assert values == sorted(values, reverse=True)
+
+    def test_format(self, fig5a):
+        assert "Fig. 5a" in fig5a.format()
+
+
+class TestFig5b:
+    def test_vs_lifetime_flat(self, fig5b):
+        series = fig5b.series["V-S PDN (25% Power C4)"]
+        assert 1.0 - series[-1] / series[0] < 0.15
+
+    def test_regular_scales_inverse_with_layers(self, fig5b):
+        series = fig5b.series["Reg. PDN (25% Power C4)"]
+        # Per-pad current doubles 2->4 layers; with n=1, lifetime halves.
+        assert series[1] == pytest.approx(series[0] / 2, rel=0.15)
+
+    def test_more_pads_help_linearly(self, fig5b):
+        at_8 = {name: vals[-1] for name, vals in fig5b.series.items()}
+        assert (
+            at_8["Reg. PDN (100% Power C4)"]
+            > at_8["Reg. PDN (75% Power C4)"]
+            > at_8["Reg. PDN (50% Power C4)"]
+            > at_8["Reg. PDN (25% Power C4)"]
+        )
+
+    def test_regular_full_pads_start_above_vs(self, fig5b):
+        """Paper Fig. 5b: the 100%-pads regular PDN starts ~1.8x the
+        2-layer V-S reference."""
+        assert fig5b.series["Reg. PDN (100% Power C4)"][0] == pytest.approx(1.9, abs=0.4)
+
+    def test_vs_gap_at_eight_layers(self, fig5b):
+        """Paper: up to ~5x C4 lifetime gap at 8 layers."""
+        assert fig5b.improvement_at(8) > 4.0
+
+    def test_even_full_allocation_insufficient(self, fig5b):
+        """Paper: even 100% power pads cannot match V-S at 8 layers."""
+        at_8 = fig5b.series
+        assert at_8["Reg. PDN (100% Power C4)"][-1] < at_8["V-S PDN (25% Power C4)"][-1]
+
+    def test_format(self, fig5b):
+        assert "Fig. 5b" in fig5b.format()

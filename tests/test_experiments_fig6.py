@@ -1,0 +1,60 @@
+"""Fig. 6 experiment driver: noise vs imbalance (small grid)."""
+
+import pytest
+
+from repro.core.experiments.fig6 import run_fig6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig6(
+        n_layers=4,
+        imbalances=(0.0, 0.25, 0.5, 0.75, 1.0),
+        converters_per_core=(2, 8),
+        grid_nodes=8,
+    )
+
+
+class TestFig6:
+    def test_series_lengths(self, result):
+        assert set(result.vs_series) == {2, 8}
+        assert all(len(v) == 5 for v in result.vs_series.values())
+
+    def test_regular_lines_present(self, result):
+        assert set(result.regular_lines) == {"Dense", "Sparse", "Few"}
+
+    def test_regular_ordering(self, result):
+        assert (
+            result.regular_lines["Dense"]
+            <= result.regular_lines["Sparse"]
+            <= result.regular_lines["Few"]
+        )
+
+    def test_vs_noise_monotone_in_imbalance(self, result):
+        values = [v for v in result.vs_series[8] if v is not None]
+        assert values == sorted(values)
+
+    def test_more_converters_lower_noise(self, result):
+        for v2, v8 in zip(result.vs_series[2], result.vs_series[8]):
+            if v2 is not None and v8 is not None and v2 > 0.01:
+                assert v8 <= v2
+
+    def test_rating_violations_marked_none(self, result):
+        """The 2-converter bank saturates at high imbalance (paper skips
+        those points)."""
+        assert result.vs_series[2][-1] is None
+
+    def test_eight_converters_cover_full_sweep(self, result):
+        assert all(v is not None for v in result.vs_series[8])
+
+    def test_vs_at_accessor(self, result):
+        assert result.vs_at(8, 0.0) == result.vs_series[8][0]
+
+    def test_format_marks_skips(self, result):
+        text = result.format()
+        assert "Fig. 6" in text
+        assert "-" in text
+
+    def test_crossover_detection(self, result):
+        cross = result.crossover_imbalance(converters=8, regular="Dense")
+        assert cross is None or 0.0 <= cross <= 1.0

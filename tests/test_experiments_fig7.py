@@ -1,0 +1,48 @@
+"""Fig. 7 experiment driver: workload distributions."""
+
+import pytest
+
+from repro.core.experiments.fig7 import run_fig7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig7(n_samples=1000, rng=20150607)
+
+
+class TestFig7:
+    def test_all_apps_present(self, result):
+        assert len(result.samples) == 13
+
+    def test_average_imbalance_near_65(self, result):
+        """The paper's headline 65% suite average."""
+        assert result.average_max_imbalance == pytest.approx(0.65, abs=0.05)
+
+    def test_suite_max_above_90(self, result):
+        assert result.suite_max_imbalance > 0.9
+
+    def test_blackscholes_best_case(self, result):
+        assert result.best_case_application() == "blackscholes"
+        assert result.max_imbalances()["blackscholes"] == pytest.approx(0.10, abs=0.03)
+
+    def test_box_stats_ordered(self, result):
+        for box in result.box_stats():
+            assert box.minimum <= box.q25 <= box.median <= box.q75 <= box.maximum
+
+    def test_within_app_variance_smaller_than_suite(self, result):
+        """Paper: samples of one application cluster tightly relative to
+        the cross-application spread."""
+        import numpy as np
+
+        medians = [s.percentiles([50])[0] for s in result.samples.values()]
+        suite_spread = max(medians) - min(medians)
+        iqrs = [
+            s.percentiles([75])[0] - s.percentiles([25])[0]
+            for s in result.samples.values()
+        ]
+        assert np.median(iqrs) < suite_spread
+
+    def test_format_renders_boxplot(self, result):
+        text = result.format()
+        assert "blackscholes" in text
+        assert "M" in text  # median markers

@@ -1,0 +1,58 @@
+"""Fig. 8 experiment driver: system power efficiency (small grid)."""
+
+import pytest
+
+from repro.core.experiments.fig8 import regular_sc_efficiency, run_fig8
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig8(
+        n_layers=4,
+        imbalances=(0.1, 0.5, 1.0),
+        converters_per_core=(2, 8),
+        grid_nodes=8,
+    )
+
+
+class TestRegularSCLine:
+    def test_flat_with_imbalance(self):
+        lo = regular_sc_efficiency(0.1, n_layers=4)
+        hi = regular_sc_efficiency(0.9, n_layers=4)
+        assert abs(lo - hi) < 0.05
+
+    def test_sensible_range(self):
+        eff = regular_sc_efficiency(0.5, n_layers=4)
+        assert 0.6 < eff < 0.95
+
+
+class TestFig8:
+    def test_series_shapes(self, result):
+        assert set(result.vs_series) == {2, 8}
+        assert len(result.regular_sc) == 3
+
+    def test_efficiency_decreases_with_imbalance(self, result):
+        values = [v for v in result.vs_series[8] if v is not None]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_converters_lower_efficiency(self, result):
+        """Open-loop converters burn fixed parasitic power each (paper:
+        increasing the number of converters reduces power efficiency)."""
+        for v2, v8 in zip(result.vs_series[2], result.vs_series[8]):
+            if v2 is not None and v8 is not None:
+                assert v8 < v2
+
+    def test_vs_beats_regular_at_low_imbalance(self, result):
+        """Paper: V-S PDNs have higher power efficiency (converters only
+        carry the differential current)."""
+        assert result.vs_series[2][0] > result.regular_sc[0]
+
+    def test_rating_violations_skipped(self, result):
+        assert result.vs_series[2][-1] is None
+
+    def test_vs_at_accessor(self, result):
+        assert result.vs_at(8, 0.1) == result.vs_series[8][0]
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Fig. 8" in text and "Reg. PDN" in text

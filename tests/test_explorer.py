@@ -1,0 +1,111 @@
+"""Design-space explorer: dominance, frontier, scoring."""
+
+import pytest
+
+from repro.core.explorer import DesignPoint, DesignSpaceExplorer, ExplorationResult
+
+
+def point(**overrides):
+    base = dict(
+        arrangement="regular",
+        tsv_topology="Few",
+        converters_per_core=0,
+        power_pad_fraction=0.25,
+        ir_drop=0.05,
+        efficiency=0.95,
+        c4_lifetime=1.0,
+        tsv_lifetime=1.0,
+        area_overhead=0.05,
+    )
+    base.update(overrides)
+    return DesignPoint(**base)
+
+
+class TestDominance:
+    def test_identical_points_do_not_dominate(self):
+        assert not point().dominates(point())
+
+    def test_strictly_better_dominates(self):
+        better = point(ir_drop=0.02)
+        assert better.dominates(point())
+        assert not point().dominates(better)
+
+    def test_tradeoff_is_incomparable(self):
+        low_noise = point(ir_drop=0.02, area_overhead=0.2)
+        low_area = point(ir_drop=0.05, area_overhead=0.01)
+        assert not low_noise.dominates(low_area)
+        assert not low_area.dominates(low_noise)
+
+    def test_infeasible_never_dominates(self):
+        infeasible = point(ir_drop=None, efficiency=None)
+        assert not infeasible.dominates(point())
+        assert not point().dominates(infeasible)
+        assert not infeasible.feasible
+
+    def test_pad_budget_is_an_objective(self):
+        fewer_pads = point(power_pad_fraction=0.25)
+        more_pads = point(power_pad_fraction=0.5)
+        assert fewer_pads.dominates(more_pads)
+
+
+class TestExplorationResult:
+    def make_result(self):
+        points = [
+            point(ir_drop=0.02, area_overhead=0.2, tsv_topology="Dense"),
+            point(ir_drop=0.06, area_overhead=0.01, tsv_topology="Few"),
+            point(ir_drop=0.07, area_overhead=0.3, tsv_topology="Sparse"),  # dominated
+            point(ir_drop=None, efficiency=None, arrangement="voltage-stacked",
+                  converters_per_core=2),
+        ]
+        return ExplorationResult(points=points, imbalance=0.5, n_layers=4)
+
+    def test_frontier_excludes_dominated(self):
+        frontier = self.make_result().pareto_frontier
+        topologies = {p.tsv_topology for p in frontier}
+        assert topologies == {"Dense", "Few"}
+
+    def test_feasible_points(self):
+        assert len(self.make_result().feasible_points) == 3
+
+    def test_best_by(self):
+        result = self.make_result()
+        assert result.best_by("noise").tsv_topology == "Dense"
+        assert result.best_by("area").tsv_topology == "Few"
+
+    def test_best_by_unknown_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            self.make_result().best_by("sparkle")
+
+    def test_format_renders(self):
+        text = self.make_result().format()
+        assert "Pareto frontier" in text
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        explorer = DesignSpaceExplorer(n_layers=4, imbalance=0.5, grid_nodes=8)
+        return explorer.explore(
+            topologies=("Dense", "Few"),
+            pad_fractions=(0.25,),
+            converter_counts=(2, 8),
+        )
+
+    def test_point_count(self, exploration):
+        assert len(exploration.points) == 2 + 4  # 2 regular + 4 stacked
+
+    def test_two_converter_points_infeasible_at_half_imbalance(self, exploration):
+        infeasible = [p for p in exploration.points if not p.feasible]
+        assert all(p.converters_per_core == 2 for p in infeasible)
+
+    def test_vs_wins_c4_lifetime(self, exploration):
+        """Charge recycling cuts pad currents ~n_layers-fold."""
+        best = exploration.best_by("c4_lifetime")
+        assert best.arrangement == "voltage-stacked"
+
+    def test_frontier_nonempty(self, exploration):
+        assert exploration.pareto_frontier
+
+    def test_rejects_bad_imbalance(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(imbalance=1.5)

@@ -1,0 +1,84 @@
+"""CSV / JSON export helpers."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    export_json,
+    export_series_csv,
+    export_table_csv,
+    fig6_to_csv,
+    fig8_to_csv,
+)
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = export_series_csv(
+            tmp_path / "s.csv",
+            "x",
+            [0.0, 1.0],
+            {"a": [1.0, 2.0], "b": [None, 4.0]},
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["0.0", "1.0", ""]
+        assert rows[2] == ["1.0", "2.0", "4.0"]
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv(tmp_path / "s.csv", "x", [0.0], {"a": [1.0, 2.0]})
+
+
+class TestTableCsv:
+    def test_roundtrip(self, tmp_path):
+        path = export_table_csv(
+            tmp_path / "t.csv", ["k", "v"], [("a", 1), ("b", None)]
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows == [["k", "v"], ["a", "1"], ["b", ""]]
+
+    def test_bad_row_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_table_csv(tmp_path / "t.csv", ["k"], [("a", 1)])
+
+
+class TestJson:
+    def test_numpy_coercion(self, tmp_path):
+        path = export_json(
+            tmp_path / "d.json",
+            {"scalar": np.float64(1.5), "arr": np.arange(3)},
+        )
+        data = json.loads(path.read_text())
+        assert data == {"scalar": 1.5, "arr": [0, 1, 2]}
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            export_json(tmp_path / "d.json", {"bad": object()})
+
+
+class TestFigureExports:
+    def test_fig6(self, tmp_path):
+        from repro.core.experiments import run_fig6
+
+        result = run_fig6(
+            n_layers=2, imbalances=(0.0, 0.5), converters_per_core=(4,), grid_nodes=8
+        )
+        path = fig6_to_csv(result, tmp_path / "fig6.csv")
+        rows = list(csv.reader(path.open()))
+        assert rows[0][0] == "imbalance"
+        assert len(rows) == 3
+
+    def test_fig8(self, tmp_path):
+        from repro.core.experiments import run_fig8
+
+        result = run_fig8(
+            n_layers=2, imbalances=(0.1, 0.5), converters_per_core=(4,), grid_nodes=8
+        )
+        path = fig8_to_csv(result, tmp_path / "fig8.csv")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["imbalance", "vs_4_conv_per_core", "regular_sc_all_power"]
+        assert len(rows) == 3

@@ -1,0 +1,121 @@
+"""ArchFP-lite slicing floorplanner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floorplan.blocks import Block, Rect
+from repro.floorplan.slicing import floorplan_blocks, grid_of_cores
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area == 6
+
+    def test_corners(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x2 == 4 and r.y2 == 6
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center == (1, 2)
+
+    def test_overlap_area(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 2, 2)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+
+    def test_disjoint_overlap_is_zero(self):
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 1, 1)) == 0.0
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0.5, 0.5)
+        assert not r.contains_point(2, 0.5)
+
+    def test_aspect_ratio(self):
+        assert Rect(0, 0, 4, 2).aspect_ratio == pytest.approx(2.0)
+
+    def test_translated(self):
+        r = Rect(0, 0, 1, 1).translated(3, 4)
+        assert (r.x, r.y) == (3, 4)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 1)
+
+
+class TestBlock:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Block("", 1.0)
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(ValueError):
+            Block("b", 0.0)
+
+
+class TestFloorplanBlocks:
+    def test_single_block_fills_outline(self):
+        outline = Rect(0, 0, 2, 3)
+        placed = floorplan_blocks([Block("a", 1.0)], outline)
+        assert placed["a"] == outline
+
+    def test_two_blocks_split_by_area(self):
+        outline = Rect(0, 0, 4, 1)
+        placed = floorplan_blocks([Block("a", 3.0), Block("b", 1.0)], outline)
+        assert placed["a"].area == pytest.approx(3.0)
+        assert placed["b"].area == pytest.approx(1.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            floorplan_blocks([Block("a", 1.0), Block("a", 2.0)], Rect(0, 0, 1, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            floorplan_blocks([], Rect(0, 0, 1, 1))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.05, max_value=10.0), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tiling_invariants(self, areas):
+        """Placements tile the outline: areas proportional, no overlap,
+        all inside."""
+        blocks = [Block(f"b{i}", a) for i, a in enumerate(areas)]
+        outline = Rect(0, 0, 3.0, 2.0)
+        placed = floorplan_blocks(blocks, outline)
+        total = sum(areas)
+        rects = list(placed.values())
+        # Proportional area assignment.
+        for block in blocks:
+            expected = outline.area * block.area / total
+            assert placed[block.name].area == pytest.approx(expected, rel=1e-9)
+        # Everything inside the outline.
+        for r in rects:
+            assert r.x >= outline.x - 1e-12 and r.y >= outline.y - 1e-12
+            assert r.x2 <= outline.x2 + 1e-9 and r.y2 <= outline.y2 + 1e-9
+        # Pairwise non-overlap.
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert rects[i].overlap_area(rects[j]) < 1e-9
+        # Exhaustive tiling.
+        assert sum(r.area for r in rects) == pytest.approx(outline.area)
+
+
+class TestGridOfCores:
+    def test_core_tiles_are_replicated(self):
+        die = Rect(0, 0, 4, 4)
+        blocks = [Block("alu", 1.0), Block("cache", 3.0)]
+        placed = grid_of_cores(die, rows=2, cols=2, core_blocks=blocks)
+        assert len(placed) == 8
+        assert placed["core0_0.alu"].area == pytest.approx(
+            placed["core1_1.alu"].area
+        )
+
+    def test_total_area_matches_die(self):
+        die = Rect(0, 0, 6, 6)
+        blocks = [Block("a", 2.0), Block("b", 1.0), Block("c", 1.0)]
+        placed = grid_of_cores(die, rows=3, cols=3, core_blocks=blocks)
+        assert sum(r.area for r in placed.values()) == pytest.approx(die.area)

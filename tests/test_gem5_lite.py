@@ -1,0 +1,94 @@
+"""Gem5-lite statistical activity generator (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import ProcessorSpec
+from repro.workload.gem5_lite import (
+    GEM5_WORKLOADS,
+    MicroWorkload,
+    gem5_sample_suite,
+    simulate_activity_windows,
+)
+
+
+class TestPipelineModel:
+    def test_cpi_floor_is_one(self):
+        w = GEM5_WORKLOADS["blackscholes"]
+        assert w.cpi(0.0) >= 1.0
+
+    def test_misses_raise_cpi(self):
+        w = GEM5_WORKLOADS["canneal"]
+        assert w.cpi(w.miss_rate_high) > w.cpi(w.miss_rate_low)
+
+    def test_activity_is_inverse_cpi(self):
+        w = GEM5_WORKLOADS["ferret"]
+        assert w.activity(0.01) == pytest.approx(1.0 / w.cpi(0.01))
+
+    def test_activity_in_unit_range(self):
+        for w in GEM5_WORKLOADS.values():
+            for miss in (w.miss_rate_low, w.miss_rate_high):
+                assert 0.0 < w.activity(miss) <= 1.0
+
+    def test_miss_rate_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MicroWorkload("bad", 0.3, 0.1, miss_rate_low=0.05, miss_rate_high=0.01)
+
+
+class TestWindowSimulation:
+    def test_reproducible(self):
+        w = GEM5_WORKLOADS["x264"]
+        a = simulate_activity_windows(w, 200, rng=5)
+        b = simulate_activity_windows(w, 200, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_output_range(self):
+        for w in GEM5_WORKLOADS.values():
+            acts = simulate_activity_windows(w, 300, rng=2)
+            assert acts.min() >= 0.0
+            assert acts.max() <= 1.0
+
+    def test_phases_create_bimodal_spread(self):
+        """Memory-bound phases pull activity well below compute-bound."""
+        w = GEM5_WORKLOADS["canneal"]
+        acts = simulate_activity_windows(w, 1000, rng=3)
+        spread = acts.max() - acts.min()
+        assert spread > 0.2
+
+    def test_compute_bound_app_is_stable(self):
+        stable = simulate_activity_windows(GEM5_WORKLOADS["blackscholes"], 1000, rng=4)
+        bursty = simulate_activity_windows(GEM5_WORKLOADS["x264"], 1000, rng=4)
+        assert stable.std() < bursty.std()
+
+    def test_rejects_nonpositive_windows(self):
+        with pytest.raises(ValueError):
+            simulate_activity_windows(GEM5_WORKLOADS["vips"], 0)
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return gem5_sample_suite(ProcessorSpec(), n_windows=600, rng=9)
+
+    def test_all_apps(self, suite):
+        assert set(suite) == set(GEM5_WORKLOADS)
+
+    def test_emergent_imbalance_ordering(self, suite):
+        """The qualitative Fig. 7 structure *emerges* from the pipeline
+        parameters: blackscholes is the steadiest application and the
+        bursty apps exceed ~60% max imbalance."""
+        imbalances = {name: s.max_imbalance for name, s in suite.items()}
+        assert imbalances["blackscholes"] == min(imbalances.values())
+        assert max(imbalances.values()) > 0.6
+
+    def test_powers_within_processor_envelope(self, suite):
+        proc = ProcessorSpec()
+        for s in suite.values():
+            assert s.powers.min() >= proc.leakage_power - 1e-9
+            assert s.powers.max() <= proc.peak_power + 1e-9
+
+    def test_drop_in_compatibility_with_scheduler(self, suite):
+        from repro.workload.sampling import schedule_stack
+
+        out = schedule_stack(suite, ["canneal"] * 4, rng=0)
+        assert len(out) == 3

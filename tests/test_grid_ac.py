@@ -1,0 +1,102 @@
+"""AC (impedance vs frequency) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import build_regular_pdn
+from repro.grid.ac import ACAnalysis, pdn_impedance_profile
+from repro.grid.dynamic import Capacitor, Inductor
+from repro.grid.netlist import Circuit
+
+
+def rlc_network():
+    """Supply -> R -> L -> node b with C to ground."""
+    c = Circuit()
+    c.set_ground("gnd")
+    c.add_voltage_source("in", "gnd", 1.0)
+    c.add_resistor("in", "a", 1.0)
+    return ACAnalysis(
+        c,
+        capacitors=[Capacitor("b", "gnd", 1e-9)],
+        inductors=[Inductor("a", "b", 1e-9)],
+    )
+
+
+class TestAnalyticAgreement:
+    def test_matches_closed_form_rlc(self):
+        ac = rlc_network()
+        freqs = np.logspace(6, 10, 60)
+        prof = ac.impedance("b", "gnd", freqs)
+        w = 2 * np.pi * freqs
+        z_l = 1.0 + 1j * w * 1e-9  # R + jwL
+        z_c = 1.0 / (1j * w * 1e-9)
+        expected = z_l * z_c / (z_l + z_c)
+        assert np.allclose(prof.impedance, expected, rtol=1e-9)
+
+    def test_dc_limit_is_resistance(self):
+        ac = rlc_network()
+        prof = ac.impedance("b", "gnd", [0.0])
+        assert abs(prof.impedance[0]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_anti_resonance_peak_location(self):
+        ac = rlc_network()
+        freqs = np.logspace(7, 9.5, 400)
+        prof = ac.impedance("b", "gnd", freqs)
+        peak_f, peak_z = prof.peak()
+        # Q-shifted from the lossless 159 MHz; must sit within ~20%.
+        assert peak_f == pytest.approx(159.2e6, rel=0.2)
+        assert peak_z > 1.0  # rings above the DC resistance
+
+    def test_capacitor_only_rolloff(self):
+        c = Circuit()
+        c.set_ground("gnd")
+        c.add_resistor("x", "gnd", 1e9)  # keep the node referenced
+        ac = ACAnalysis(c, capacitors=[Capacitor("x", "gnd", 1e-9)])
+        prof = ac.impedance("x", "gnd", [1e6, 1e8])
+        expected = 1.0 / (2 * np.pi * np.array([1e6, 1e8]) * 1e-9)
+        assert np.allclose(prof.magnitude, expected, rtol=1e-3)
+
+
+class TestInterface:
+    def test_requires_ground(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 1.0)
+        with pytest.raises(ValueError, match="ground"):
+            ACAnalysis(c)
+
+    def test_rejects_empty_frequencies(self):
+        with pytest.raises(ValueError):
+            rlc_network().impedance("b", "gnd", [])
+
+    def test_rejects_negative_frequencies(self):
+        with pytest.raises(ValueError):
+            rlc_network().impedance("b", "gnd", [-1.0])
+
+    def test_profile_accessors(self):
+        prof = rlc_network().impedance("b", "gnd", [1e6, 1e8])
+        assert isinstance(prof.at(1e6), complex)
+        assert prof.magnitude.shape == (2,)
+
+
+class TestPDNImpedance:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        pdn = build_regular_pdn(2, grid_nodes=8, package_inductor_nodes=True)
+        return pdn_impedance_profile(pdn, frequencies=np.logspace(5, 10, 16))
+
+    def test_finite_and_positive(self, profile):
+        assert np.all(np.isfinite(profile.magnitude))
+        assert np.all(profile.magnitude > 0)
+
+    def test_low_frequency_matches_static_resistance(self, profile):
+        """At low frequency |Z| approaches the DC path resistance that
+        the IR-drop analysis sees (sub-milliohm for this stack)."""
+        assert profile.magnitude[0] < 5e-3
+
+    def test_decap_rolls_off_high_frequency(self, profile):
+        assert profile.magnitude[-1] < profile.magnitude[0]
+
+    def test_rejects_bad_decap(self):
+        pdn = build_regular_pdn(2, grid_nodes=8, package_inductor_nodes=True)
+        with pytest.raises(ValueError):
+            pdn_impedance_profile(pdn, decap_per_layer=0.0)

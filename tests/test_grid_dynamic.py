@@ -1,0 +1,128 @@
+"""Transient engine: companion models vs analytic RC/RL solutions."""
+
+import numpy as np
+import pytest
+
+from repro.grid.dynamic import Capacitor, Inductor, TransientEngine
+from repro.grid.netlist import Circuit
+
+
+def rc_charging(r=100.0, c=1e-9, v=1.0, dt=1e-9, steps=600):
+    """1 V source charging C through R; returns (engine, trace)."""
+    circuit = Circuit()
+    circuit.set_ground("gnd")
+    circuit.add_voltage_source("in", "gnd", v)
+    circuit.add_resistor("in", "out", r)
+    engine = TransientEngine(
+        circuit, capacitors=[Capacitor("out", "gnd", c)], dt=dt
+    )
+    trace = engine.run(steps=steps, probes={"out": "out"})
+    return engine, trace
+
+
+class TestRCCharging:
+    def test_asymptote(self):
+        _, trace = rc_charging(steps=1500)  # 15 tau
+        assert trace.probe("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone_rise(self):
+        _, trace = rc_charging()
+        out = trace.probe("out")
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_time_constant(self):
+        """v(tau) = 1 - 1/e for RC charging (within BE discretisation)."""
+        r, c, dt = 100.0, 1e-9, 5e-10
+        _, trace = rc_charging(r=r, c=c, dt=dt, steps=1000)
+        tau = r * c
+        idx = int(round(tau / dt))
+        expected = 1.0 - np.exp(-1.0)
+        assert trace.probe("out")[idx] == pytest.approx(expected, abs=0.02)
+
+    def test_initial_condition_respected(self):
+        circuit = Circuit()
+        circuit.set_ground("gnd")
+        circuit.add_voltage_source("in", "gnd", 1.0)
+        circuit.add_resistor("in", "out", 100.0)
+        engine = TransientEngine(
+            circuit, capacitors=[Capacitor("out", "gnd", 1e-9)], dt=1e-10
+        )
+        trace = engine.run(
+            steps=5, probes={"out": "out"},
+            initial_cap_voltages=np.array([1.0]),
+        )
+        # Pre-charged to the final value: nothing moves.
+        assert np.allclose(trace.probe("out"), 1.0, atol=1e-6)
+
+
+class TestRLBehaviour:
+    def test_inductor_final_current_is_resistive_limit(self):
+        """V across R-L settles to V/R through the inductor."""
+        circuit = Circuit()
+        circuit.set_ground("gnd")
+        circuit.add_voltage_source("in", "gnd", 2.0)
+        circuit.add_resistor("in", "mid", 4.0, tag="r")
+        engine = TransientEngine(
+            circuit,
+            capacitors=[Capacitor("mid", "gnd", 1e-12)],  # tiny, keeps node tied
+            inductors=[Inductor("mid", "gnd", 1e-9)],
+            dt=1e-10,
+        )
+        trace = engine.run(steps=5000, probes={"mid": "mid"})
+        # Inductor is a DC short: the mid node ends at ~0 V and the
+        # branch carries 0.5 A.
+        assert trace.probe("mid")[-1] == pytest.approx(0.0, abs=5e-3)
+
+    def test_rlc_rings(self):
+        """Series RLC with low damping overshoots (undershoot exists)."""
+        circuit = Circuit()
+        circuit.set_ground("gnd")
+        circuit.add_voltage_source("in", "gnd", 1.0)
+        circuit.add_resistor("in", "a", 0.5)
+        engine = TransientEngine(
+            circuit,
+            capacitors=[Capacitor("b", "gnd", 1e-9)],
+            inductors=[Inductor("a", "b", 10e-9)],
+            dt=2e-10,
+        )
+        trace = engine.run(steps=4000, probes={"b": "b"})
+        out = trace.probe("b")
+        assert out.max() > 1.05  # rings above the supply
+        assert out[-1] == pytest.approx(1.0, abs=0.02)
+
+
+class TestValidation:
+    def test_needs_storage_elements(self):
+        circuit = Circuit()
+        circuit.set_ground("gnd")
+        circuit.add_resistor("a", "gnd", 1.0)
+        with pytest.raises(ValueError, match="storage"):
+            TransientEngine(circuit, capacitors=[])
+
+    def test_rejects_bad_load_shape(self):
+        circuit = Circuit()
+        circuit.set_ground("gnd")
+        circuit.add_voltage_source("in", "gnd", 1.0)
+        circuit.add_resistor("in", "out", 1.0)
+        circuit.add_current_source("out", "gnd", 0.1, tag="load")
+        engine = TransientEngine(
+            circuit, capacitors=[Capacitor("out", "gnd", 1e-9)], dt=1e-10
+        )
+        with pytest.raises(ValueError, match="shape"):
+            engine.run(steps=2, load_currents=lambda t: np.zeros(5))
+
+    def test_rejects_nonpositive_steps(self):
+        circuit = Circuit()
+        circuit.set_ground("gnd")
+        circuit.add_voltage_source("in", "gnd", 1.0)
+        circuit.add_resistor("in", "out", 1.0)
+        engine = TransientEngine(
+            circuit, capacitors=[Capacitor("out", "gnd", 1e-9)], dt=1e-10
+        )
+        with pytest.raises(ValueError):
+            engine.run(steps=0)
+
+    def test_worst_droop_helper(self):
+        _, trace = rc_charging(steps=100)
+        droop = trace.worst_droop("out", reference=1.0)
+        assert droop > 0.9  # starts at 0 V

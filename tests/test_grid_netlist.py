@@ -1,0 +1,115 @@
+"""Netlist construction: nodes, elements, tags."""
+
+import numpy as np
+import pytest
+
+from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, Circuit
+
+
+class TestNodes:
+    def test_node_ids_are_stable(self):
+        c = Circuit()
+        a = c.node("a")
+        assert c.node("a") == a
+
+    def test_node_ids_increment(self):
+        c = Circuit()
+        assert c.node("a") == 0
+        assert c.node("b") == 1
+
+    def test_nodes_vectorised(self):
+        c = Circuit()
+        ids = c.nodes(["a", "b", "a"])
+        assert list(ids) == [0, 1, 0]
+
+    def test_has_node(self):
+        c = Circuit()
+        c.node("x")
+        assert c.has_node("x")
+        assert not c.has_node("y")
+
+    def test_tuple_keys(self):
+        c = Circuit()
+        key = ("vdd", 0, 3, 4)
+        assert c.node(key) == c.node(("vdd", 0, 3, 4))
+
+    def test_ground_registration(self):
+        c = Circuit()
+        gid = c.set_ground("gnd")
+        assert c.ground == gid
+
+
+class TestElementConstruction:
+    def test_add_resistor_returns_ref(self):
+        c = Circuit()
+        ref = c.add_resistor("a", "b", 2.0)
+        assert ref.kind == RESISTOR
+        assert ref.count == 1
+        assert c.count(RESISTOR) == 1
+
+    def test_resistor_rejects_nonpositive(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_resistor("a", "b", 0.0)
+
+    def test_bulk_resistors(self):
+        c = Circuit()
+        ref = c.add_resistors(["a", "b"], ["b", "c"], [1.0, 2.0], tag="grid")
+        assert ref.count == 2
+        assert list(ref.indices) == [0, 1]
+
+    def test_bulk_resistors_length_mismatch(self):
+        c = Circuit()
+        with pytest.raises(ValueError, match="equal lengths"):
+            c.add_resistors(["a"], ["b", "c"], [1.0, 2.0])
+
+    def test_bulk_accepts_resolved_ids(self):
+        c = Circuit()
+        ids = c.nodes(["a", "b", "c"])
+        c.add_resistors(ids[:2], ids[1:], np.array([1.0, 1.0]))
+        assert c.count(RESISTOR) == 2
+
+    def test_resolved_ids_out_of_range_rejected(self):
+        c = Circuit()
+        c.node("a")
+        with pytest.raises(ValueError, match="out of range"):
+            c.add_resistors(np.array([5]), np.array([0]), [1.0])
+
+    def test_converter_rejects_nonpositive_rseries(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_converter("t", "b", "m", r_series=-0.1)
+
+    def test_tag_indices(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 1.0, tag="x")
+        c.add_resistor("b", "c", 1.0, tag="y")
+        c.add_resistor("c", "d", 1.0, tag="x")
+        store = c.store(RESISTOR)
+        assert list(store.tag_indices("x")) == [0, 2]
+        assert list(store.tag_indices("y")) == [1]
+        assert list(store.tag_indices("missing")) == []
+
+    def test_tags_listing(self):
+        c = Circuit()
+        c.add_current_source("a", "b", 1.0, tag="load")
+        c.add_current_source("b", "c", 1.0, tag="load")
+        assert c.tags(ISOURCE) == ["load"]
+
+    def test_store_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Circuit().store("capacitor")
+
+
+class TestAssemblyPreconditions:
+    def test_assemble_requires_ground(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 1.0)
+        with pytest.raises(ValueError, match="ground"):
+            c.assemble()
+
+    def test_assemble_requires_elements(self):
+        c = Circuit()
+        c.set_ground("gnd")
+        with pytest.raises(ValueError, match="conducting"):
+            c.assemble()

@@ -1,0 +1,122 @@
+"""Property-based tests of the MNA engine (hypothesis).
+
+Invariants exercised on randomly generated connected resistive networks:
+
+* conservation: total source power equals total absorbed power,
+* linearity/superposition in the independent sources,
+* passivity: resistors never generate power,
+* the converter stamp conserves power exactly (ideal transformer).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.netlist import Circuit
+
+
+@st.composite
+def random_networks(draw):
+    """A connected random resistive network with sources.
+
+    Nodes 0..n-1; node 0 is ground.  A spanning chain guarantees
+    connectivity; extra random edges add meshes.
+    """
+    n = draw(st.integers(min_value=3, max_value=12))
+    resist = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+    edges = [(i, i + 1, draw(resist)) for i in range(n - 1)]
+    extra = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            edges.append((a, b, draw(resist)))
+    v_value = draw(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False))
+    i_node = draw(st.integers(min_value=1, max_value=n - 1))
+    i_value = draw(st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+    return n, edges, v_value, i_node, i_value
+
+
+def build(n, edges, v_value, i_node, i_value, v_scale=1.0, i_scale=1.0):
+    c = Circuit()
+    c.set_ground(0)
+    for a, b, r in edges:
+        c.add_resistor(a, b, r)
+    c.add_voltage_source(n - 1, 0, v_value * v_scale, tag="v")
+    c.add_current_source(0, i_node, i_value * i_scale, tag="i")
+    return c
+
+
+class TestNetworkInvariants:
+    @given(random_networks())
+    @settings(max_examples=60, deadline=None)
+    def test_power_balance(self, network):
+        sol = build(*network).solve()
+        scale = max(1.0, abs(sol.vsource_power()))
+        assert sol.power_balance_error() / scale < 1e-8
+
+    @given(random_networks())
+    @settings(max_examples=60, deadline=None)
+    def test_resistors_are_passive(self, network):
+        sol = build(*network).solve()
+        assert sol.resistor_power() >= -1e-12
+
+    @given(random_networks())
+    @settings(max_examples=40, deadline=None)
+    def test_superposition(self, network):
+        """v(full) == v(V only) + v(I only) for every node."""
+        n = network[0]
+        full = build(*network).solve()
+        only_v = build(*network, i_scale=0.0).solve()
+        only_i = build(*network, v_scale=0.0).solve()
+        for node in range(n):
+            combined = only_v.voltage(node) + only_i.voltage(node)
+            assert np.isclose(full.voltage(node), combined, atol=1e-8)
+
+    @given(random_networks(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_source_scaling_is_linear(self, network, alpha):
+        """Scaling every source by alpha scales every voltage by alpha."""
+        n = network[0]
+        base = build(*network).solve()
+        scaled = build(*network, v_scale=alpha, i_scale=alpha).solve()
+        for node in range(n):
+            assert np.isclose(
+                scaled.voltage(node), alpha * base.voltage(node),
+                rtol=1e-7, atol=1e-7,
+            )
+
+
+class TestConverterInvariants:
+    @given(
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=-0.2, max_value=0.2),
+        st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_converter_power_conservation(self, v_in, load, r_series):
+        c = Circuit()
+        c.set_ground("gnd")
+        c.add_voltage_source("top", "gnd", v_in)
+        c.add_converter("top", "gnd", "mid", r_series=r_series, tag="sc")
+        c.add_current_source("mid", "gnd", load)
+        sol = c.solve()
+        assert sol.power_balance_error() < 1e-9
+
+    @given(
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=-0.2, max_value=0.2),
+        st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_converter_output_law(self, v_in, load, r_series):
+        """v_mid = v_in/2 - j*r_series with j equal to the load."""
+        c = Circuit()
+        c.set_ground("gnd")
+        c.add_voltage_source("top", "gnd", v_in)
+        c.add_converter("top", "gnd", "mid", r_series=r_series, tag="sc")
+        c.add_current_source("mid", "gnd", load)
+        sol = c.solve()
+        j = sol.converter_output_currents("sc")[0]
+        assert np.isclose(j, load, atol=1e-10)
+        assert np.isclose(sol.voltage("mid"), v_in / 2 - load * r_series, atol=1e-9)

@@ -1,0 +1,85 @@
+"""Solution accessors not covered by the circuit-level tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid.netlist import Circuit
+
+
+@pytest.fixture(scope="module")
+def solved():
+    c = Circuit()
+    c.set_ground("gnd")
+    c.add_voltage_source("in", "gnd", 2.0, tag="supply")
+    c.add_resistor("in", "a", 1.0, tag="top")
+    c.add_resistor("a", "gnd", 1.0, tag="bottom")
+    c.add_converter("in", "gnd", "m", r_series=0.5, tag="sc")
+    c.add_current_source("m", "gnd", 0.1, tag="load")
+    return c, c.solve()
+
+
+class TestVoltageAccessors:
+    def test_voltages_vectorised(self, solved):
+        _, sol = solved
+        values = sol.voltages(["in", "a", "gnd"])
+        assert values[0] == pytest.approx(2.0)
+        assert values[2] == 0.0
+
+    def test_voltage_by_id(self, solved):
+        circuit, sol = solved
+        ids = circuit.nodes(["a"])
+        assert sol.voltage_by_id(ids)[0] == pytest.approx(sol.voltage("a"))
+
+    def test_node_voltage_vector_includes_ground(self, solved):
+        circuit, sol = solved
+        assert sol.node_voltage[circuit.ground] == 0.0
+        assert len(sol.node_voltage) == circuit.node_count
+
+
+class TestBranchAccessors:
+    def test_resistor_drops_by_tag(self, solved):
+        _, sol = solved
+        drops = sol.resistor_drops("top")
+        assert drops[0] == pytest.approx(2.0 - sol.voltage("a"))
+
+    def test_resistor_drops_all(self, solved):
+        _, sol = solved
+        assert len(sol.resistor_drops()) == 2
+
+    def test_resistor_power_by_tag(self, solved):
+        _, sol = solved
+        total = sol.resistor_power()
+        top = sol.resistor_power("top")
+        bottom = sol.resistor_power("bottom")
+        assert total == pytest.approx(top + bottom)
+
+    def test_isource_values_by_tag(self, solved):
+        _, sol = solved
+        assert sol.isource_values("load")[0] == pytest.approx(0.1)
+
+    def test_isource_power(self, solved):
+        _, sol = solved
+        expected = sol.voltage("m") * 0.1
+        assert sol.isource_power("load") == pytest.approx(expected)
+
+    def test_vsource_power_by_tag(self, solved):
+        _, sol = solved
+        assert sol.vsource_power("supply") == pytest.approx(sol.vsource_power())
+
+
+class TestConverterAccessors:
+    def test_output_voltages(self, solved):
+        _, sol = solved
+        assert sol.converter_output_voltages("sc")[0] == pytest.approx(
+            sol.voltage("m")
+        )
+
+    def test_series_loss_all_vs_tag(self, solved):
+        _, sol = solved
+        assert sol.converter_series_loss() == pytest.approx(
+            sol.converter_series_loss("sc")
+        )
+
+    def test_missing_tag_yields_empty(self, solved):
+        _, sol = solved
+        assert sol.converter_output_currents("nope").size == 0

@@ -1,0 +1,86 @@
+"""Frequency guardbanding from supply noise."""
+
+import pytest
+
+from repro.core.experiments.fig6 import run_fig6
+from repro.core.guardband import AlphaPowerModel, fig6_guardbands
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AlphaPowerModel()
+
+
+class TestAlphaPowerModel:
+    def test_nominal_ratio_is_one(self, model):
+        assert model.fmax_ratio(1.0) == pytest.approx(1.0)
+
+    def test_lower_supply_slower(self, model):
+        assert model.fmax_ratio(0.9) < 1.0
+
+    def test_below_threshold_is_zero(self, model):
+        assert model.fmax_ratio(0.3) == 0.0
+        assert model.fmax_ratio(0.35) == 0.0
+
+    def test_monotone_in_supply(self, model):
+        ratios = [model.fmax_ratio(v) for v in (0.6, 0.8, 1.0, 1.2)]
+        assert ratios == sorted(ratios)
+
+    def test_guardband_zero_droop(self, model):
+        assert model.guardband_for_droop(0.0) == pytest.approx(0.0)
+
+    def test_guardband_grows_with_droop(self, model):
+        assert model.guardband_for_droop(0.10) > model.guardband_for_droop(0.02)
+
+    def test_five_percent_droop_costs_about_nine_percent_frequency(self, model):
+        """Near-threshold amplification: alpha-power law makes a 5% Vdd
+        droop cost ~2x that in frequency at Vth = 0.35 V."""
+        guardband = model.guardband_for_droop(0.05)
+        assert 0.05 < guardband < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlphaPowerModel(threshold_voltage=1.2, nominal_vdd=1.0)
+        with pytest.raises(ValueError):
+            AlphaPowerModel(alpha=0.0)
+
+
+class TestFig6Guardbands:
+    @pytest.fixture(scope="class")
+    def guardbands(self):
+        result = run_fig6(
+            n_layers=4,
+            imbalances=(0.0, 0.5, 1.0),
+            converters_per_core=(2, 8),
+            grid_nodes=8,
+        )
+        return fig6_guardbands(result, imbalance=0.5)
+
+    def test_all_designs_present(self, guardbands):
+        assert "Reg. PDN, Dense TSV" in guardbands
+        assert "V-S PDN, 8 conv/core" in guardbands
+
+    def test_skipped_points_are_none(self):
+        result = run_fig6(
+            n_layers=4,
+            imbalances=(1.0,),
+            converters_per_core=(2,),
+            grid_nodes=8,
+        )
+        bands = fig6_guardbands(result, imbalance=1.0)
+        assert bands["V-S PDN, 2 conv/core"] is None
+
+    def test_guardbands_in_sane_range(self, guardbands):
+        for value in guardbands.values():
+            if value is not None:
+                assert 0.0 < value < 0.5
+
+    def test_more_converters_need_less_guardband(self, guardbands):
+        result = run_fig6(
+            n_layers=4,
+            imbalances=(0.3,),
+            converters_per_core=(4, 8),
+            grid_nodes=8,
+        )
+        bands = fig6_guardbands(result, imbalance=0.3)
+        assert bands["V-S PDN, 8 conv/core"] < bands["V-S PDN, 4 conv/core"]

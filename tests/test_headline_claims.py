@@ -1,0 +1,57 @@
+"""Integration: the paper's headline claims at reduced resolution.
+
+These run the full pipeline (power model -> PDN solves -> EM statistics
+-> workload sampling) on a small grid; bounds are looser than the
+benchmark-grade runs in EXPERIMENTS.md but the qualitative claims must
+all hold.
+"""
+
+import pytest
+
+from repro.core.experiments import run_fig5a, run_fig5b, run_fig6, run_fig7, run_headline
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def report():
+    fig5a = run_fig5a(layers=(2, 4, 8), grid_nodes=GRID)
+    fig5b = run_fig5b(layers=(2, 4, 8), grid_nodes=GRID)
+    fig6 = run_fig6(
+        n_layers=8,
+        imbalances=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+        converters_per_core=(8,),
+        grid_nodes=GRID,
+    )
+    fig7 = run_fig7(rng=20150607)
+    return run_headline(grid_nodes=GRID, fig5a=fig5a, fig5b=fig5b, fig6=fig6, fig7=fig7)
+
+
+class TestHeadlineClaims:
+    def test_c4_lifetime_gain(self, report):
+        """Abstract: EM lifetime of the C4 array improves up to ~5x."""
+        assert report.c4_improvement_8l > 4.0
+
+    def test_tsv_lifetime_gain(self, report):
+        """Sec. 5.1: more than 3x for many-layer stacks."""
+        assert report.tsv_improvement_8l > 3.0
+
+    def test_regular_tsv_degradation(self, report):
+        """Sec. 5.1: regular PDN loses up to ~84% lifetime by 8 layers."""
+        assert 0.7 < report.regular_tsv_degradation < 0.95
+
+    def test_vs_tsv_nearly_flat(self, report):
+        assert report.vs_tsv_degradation < 0.35
+
+    def test_average_imbalance_is_65(self, report):
+        assert report.average_imbalance == pytest.approx(0.65, abs=0.05)
+
+    def test_vs_noise_penalty_small_at_average(self, report):
+        """Abstract: only ~0.75% Vdd extra IR drop at the average
+        workload imbalance (equal-area comparison)."""
+        assert report.vs_extra_ir_drop_at_average < 0.02
+
+    def test_report_renders(self, report):
+        text = report.format()
+        assert "C4 EM lifetime" in text
+        assert "x" in text

@@ -1,0 +1,45 @@
+"""ASCII heat-map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import DEFAULT_RAMP, ascii_heatmap
+
+
+class TestAsciiHeatmap:
+    def test_extremes_use_ramp_ends(self):
+        values = np.array([[0.0, 1.0]])
+        text = ascii_heatmap(values)
+        row = text.splitlines()[0]
+        assert row[0] == DEFAULT_RAMP[0]
+        assert row[1] == DEFAULT_RAMP[-1]
+
+    def test_row_zero_at_bottom(self):
+        values = np.array([[0.0, 0.0], [1.0, 1.0]])  # hot row is index 1
+        text = ascii_heatmap(values)
+        rows = text.splitlines()
+        assert rows[0] == DEFAULT_RAMP[-1] * 2  # printed first (top)
+        assert rows[1] == DEFAULT_RAMP[0] * 2
+
+    def test_title_and_scale(self):
+        text = ascii_heatmap(np.ones((2, 2)), title="IR drop", unit=" V")
+        assert text.splitlines()[0] == "IR drop"
+        assert "scale" in text.splitlines()[-1]
+
+    def test_explicit_bounds_clip(self):
+        values = np.array([[5.0, 15.0]])
+        text = ascii_heatmap(values, lo=0.0, hi=10.0)
+        row = text.splitlines()[0]
+        assert row[1] == DEFAULT_RAMP[-1]  # clipped to hottest
+
+    def test_constant_field(self):
+        text = ascii_heatmap(np.full((3, 3), 2.0))
+        assert DEFAULT_RAMP[0] * 3 in text
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(4))
+
+    def test_rejects_short_ramp(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2)), ramp="x")

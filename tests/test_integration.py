@@ -1,0 +1,123 @@
+"""Cross-feature integration scenarios.
+
+Each test chains several subsystems the way a study would: workload
+generation feeding PDN solves feeding EM/thermal/guardband analyses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import ProcessorSpec, StackConfig
+
+GRID = 8
+
+
+class TestGem5DrivenNoise:
+    def test_emergent_workloads_drive_the_profiler(self):
+        """gem5-lite sample sets drop into the noise profiler."""
+        from repro.core.noise_profile import NoiseProfiler
+        from repro.core.scenarios import build_stacked_pdn
+        from repro.workload.gem5_lite import gem5_sample_suite
+
+        pdn = build_stacked_pdn(2, converters_per_core=8, grid_nodes=GRID)
+        suite = gem5_sample_suite(ProcessorSpec(), n_windows=200, rng=4)
+        profiles = NoiseProfiler(pdn, suite).compare_policies(trials=15, rng=2)
+        assert profiles["same-app"].mean <= profiles["mixed"].mean * 1.1
+        assert 0 < profiles["mixed"].worst < 0.2
+
+
+class TestHybridInTheExplorerStyle:
+    def test_hybrid_em_vs_noise_tradeoff(self):
+        """The multi-story sweep produces the expected Pareto shape:
+        EM improves with height while noise is non-monotone."""
+        from repro.em import (
+            C4_CROSS_SECTION,
+            expected_em_lifetime,
+            median_lifetimes_from_currents,
+        )
+        from repro.pdn.hybrid3d import HybridPDN3D
+        from repro.workload.imbalance import interleaved_layer_activities
+
+        stack = StackConfig(n_layers=4, grid_nodes=GRID)
+        acts = interleaved_layer_activities(4, 0.5)
+        lifetimes = {}
+        drops = {}
+        for h in (1, 2, 4):
+            result = HybridPDN3D(stack, story_height=h, converters_per_core=8).solve(
+                layer_activities=acts
+            )
+            drops[h] = result.max_ir_drop_fraction()
+            lifetimes[h] = expected_em_lifetime(
+                median_lifetimes_from_currents(
+                    result.conductor_currents("c4"), C4_CROSS_SECTION
+                )
+            )
+        assert lifetimes[4] > lifetimes[2] > lifetimes[1]
+        assert drops[2] <= max(drops[1], drops[4])
+
+
+class TestThermalAwareEMPipeline:
+    def test_full_chain(self):
+        """Leakage loop -> PDN solve with coupled maps -> per-tier EM."""
+        from repro.core.scenarios import build_regular_pdn
+        from repro.em.thermal_coupling import thermally_coupled_lifetime
+        from repro.power.thermal_feedback import LeakageThermalLoop
+
+        stack = StackConfig(n_layers=2, grid_nodes=GRID)
+        op = LeakageThermalLoop(stack).converge()
+        pdn = build_regular_pdn(2, grid_nodes=GRID)
+        result = pdn.solve(power_maps=op.power_maps)
+        life = thermally_coupled_lifetime(result, op.thermal, "tsv")
+        assert life > 0
+        # The coupled power maps differ from the nominal by the leakage
+        # temperature correction, so the solve consumed them.
+        nominal = pdn.solve().load_power()
+        assert result.load_power() != pytest.approx(nominal, rel=1e-6)
+
+
+class TestGuardbandOverNoiseProfile:
+    def test_statistical_guardband(self):
+        """P95-based guardbanding: combine the noise distribution with
+        the alpha-power model (margin to cover 95% of operating points)."""
+        from repro.core.guardband import AlphaPowerModel
+        from repro.core.noise_profile import NoiseProfiler
+        from repro.core.scenarios import build_stacked_pdn
+        from repro.workload.sampling import sample_suite
+
+        pdn = build_stacked_pdn(2, converters_per_core=8, grid_nodes=GRID)
+        suite = sample_suite(ProcessorSpec(), n_samples=200, rng=6)
+        profile = NoiseProfiler(pdn, suite).profile("mixed", trials=20, rng=3)
+        model = AlphaPowerModel()
+        p95_band = model.guardband_for_droop(profile.percentile(95))
+        worst_band = model.guardband_for_droop(profile.worst)
+        assert 0 < p95_band <= worst_band < 0.5
+
+
+class TestClosedLoopOnHybrid:
+    def test_placed_pdn_solves_with_custom_frequency(self):
+        """Explicit placement composes with per-rail frequency override."""
+        from repro.core.placement import PlacedStackedPDN3D
+        from repro.pdn.geometry import GridGeometry, distribute_per_core
+
+        stack = StackConfig(n_layers=2, grid_nodes=GRID)
+        cells = distribute_per_core(GridGeometry.from_stack(stack), 4)
+        pdn = PlacedStackedPDN3D(stack, cells, converter_fsw=[25e6])
+        result = pdn.solve()
+        assert result.max_ir_drop_fraction() > 0
+
+
+class TestExportPipeline:
+    def test_fig6_csv_roundtrip_matches_result(self, tmp_path):
+        import csv
+
+        from repro.analysis.export import fig6_to_csv
+        from repro.core.experiments import run_fig6
+
+        result = run_fig6(
+            n_layers=2, imbalances=(0.0, 1.0), converters_per_core=(8,),
+            grid_nodes=GRID,
+        )
+        path = fig6_to_csv(result, tmp_path / "f6.csv")
+        rows = list(csv.reader(path.open()))
+        value = float(rows[1][1])
+        assert value == pytest.approx(result.vs_at(8, 0.0))

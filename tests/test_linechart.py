@@ -1,0 +1,59 @@
+"""ASCII line-chart rendering."""
+
+import pytest
+
+from repro.analysis.linechart import Series, ascii_linechart
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            Series("s", [1, 2], [1.0])
+
+    def test_multichar_marker_rejected(self):
+        with pytest.raises(ValueError, match="marker"):
+            Series("s", [1], [1.0], marker="**")
+
+    def test_gaps_allowed(self):
+        Series("s", [1, 2, 3], [1.0, None, 3.0])
+
+
+class TestLinechart:
+    def test_renders_markers_and_legend(self):
+        s1 = Series("up", [0, 1, 2], [0.0, 1.0, 2.0], marker="u")
+        s2 = Series("down", [0, 1, 2], [2.0, 1.0, 0.0], marker="d")
+        text = ascii_linechart([s1, s2], width=30, height=8)
+        assert "u up" in text and "d down" in text
+        assert text.count("u") >= 3
+
+    def test_gap_points_skipped(self):
+        s = Series("gap", [0, 1, 2], [0.0, None, 2.0], marker="g")
+        text = ascii_linechart([s], width=24, height=8)
+        # Only two markers drawn.
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert sum(row.count("g") for row in plot_rows) == 2
+
+    def test_axis_bounds_shown(self):
+        s = Series("s", [0.0, 10.0], [5.0, 15.0])
+        text = ascii_linechart([s], width=30, height=8)
+        assert "15.00" in text
+        assert "5.00" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_linechart([])
+
+    def test_all_gaps_rejected(self):
+        s = Series("s", [0, 1], [None, None])
+        with pytest.raises(ValueError, match="finite"):
+            ascii_linechart([s])
+
+    def test_tiny_canvas_rejected(self):
+        s = Series("s", [0, 1], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            ascii_linechart([s], width=4, height=2)
+
+    def test_constant_series_reference_line(self):
+        s = Series("ref", [0, 1, 2, 3], [1.0, 1.0, 1.0, 1.0], marker="-")
+        text = ascii_linechart([s], width=20, height=6)
+        assert "----" not in text.splitlines()[-1]  # legend row differs

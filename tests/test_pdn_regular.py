@@ -1,0 +1,128 @@
+"""The regular (parallel) 3D PDN: electrical sanity and scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import PadAllocation, StackConfig, TSV_TOPOLOGIES
+from repro.pdn.regular3d import RegularPDN3D
+
+GRID = 8
+
+
+def make(n_layers=2, topology="Few", fraction=0.25, **kwargs):
+    stack = StackConfig(
+        n_layers=n_layers,
+        grid_nodes=GRID,
+        tsv_topology=TSV_TOPOLOGIES[topology],
+        pads=PadAllocation(power_fraction=fraction),
+    )
+    return RegularPDN3D(stack, **kwargs)
+
+
+class TestElectricalSanity:
+    def test_total_current_balances(self, regular_result, small_stack):
+        expected = small_stack.total_peak_power / small_stack.processor.vdd
+        supplied = regular_result.solution.vsource_currents("supply")[0]
+        assert supplied == pytest.approx(expected, rel=1e-9)
+
+    def test_pad_currents_sum_to_total(self, regular_result, small_stack):
+        expected = small_stack.total_peak_power / small_stack.processor.vdd
+        vdd_currents = regular_result.conductor_currents("c4.vdd")
+        assert vdd_currents.sum() == pytest.approx(expected, rel=1e-9)
+
+    def test_gnd_pads_return_same_current(self, regular_result):
+        vdd = regular_result.conductor_currents("c4.vdd").sum()
+        gnd = regular_result.conductor_currents("c4.gnd").sum()
+        assert vdd == pytest.approx(gnd, rel=1e-9)
+
+    def test_ir_drop_positive_and_sane(self, regular_result):
+        drop = regular_result.max_ir_drop_fraction()
+        assert 0.0 < drop < 0.2
+
+    def test_load_power_below_source_power(self, regular_result):
+        assert regular_result.load_power() < regular_result.source_power()
+
+    def test_efficiency_between_zero_and_one(self, regular_result):
+        assert 0.8 < regular_result.efficiency() < 1.0
+
+    def test_power_balance(self, regular_result):
+        assert regular_result.solution.power_balance_error() < 1e-6
+
+    def test_ir_drop_map_shape(self, regular_result):
+        assert regular_result.ir_drop_map(0).shape == (GRID, GRID)
+
+    def test_upper_layer_sees_more_drop(self, regular_result):
+        # Farther from the pads -> worse supply.
+        assert (
+            regular_result.ir_drop_map(1).max()
+            >= regular_result.ir_drop_map(0).max()
+        )
+
+
+class TestScalingLaws:
+    def test_pad_current_scales_with_layers(self):
+        r2 = make(n_layers=2).solve()
+        r4 = make(n_layers=4).solve()
+        mean2 = r2.conductor_currents("c4").mean()
+        mean4 = r4.conductor_currents("c4").mean()
+        assert mean4 == pytest.approx(2 * mean2, rel=0.01)
+
+    def test_tsv_current_grows_with_layers(self):
+        r2 = make(n_layers=2).solve()
+        r4 = make(n_layers=4).solve()
+        assert r4.conductor_currents("tsv").max() > r2.conductor_currents("tsv").max()
+
+    def test_more_pads_lower_per_pad_current(self):
+        quarter = make(fraction=0.25).solve()
+        full = make(fraction=1.0).solve()
+        assert full.conductor_currents("c4").mean() < quarter.conductor_currents("c4").mean()
+
+    def test_denser_tsvs_lower_per_tsv_current(self):
+        few = make(topology="Few").solve()
+        dense = make(topology="Dense").solve()
+        assert dense.conductor_currents("tsv").max() < few.conductor_currents("tsv").max()
+
+    def test_denser_tsvs_lower_ir_drop(self):
+        few = make(n_layers=4, topology="Few").solve()
+        dense = make(n_layers=4, topology="Dense").solve()
+        assert dense.max_ir_drop_fraction() < few.max_ir_drop_fraction()
+
+    def test_worst_case_is_all_layers_active(self):
+        pdn = make(n_layers=2)
+        full = pdn.solve(layer_activities=np.array([1.0, 1.0]))
+        partial = pdn.solve(layer_activities=np.array([1.0, 0.4]))
+        assert partial.max_ir_drop_fraction() < full.max_ir_drop_fraction()
+
+
+class TestSolveInterface:
+    def test_activity_vector_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            make(n_layers=2).solve(layer_activities=np.ones(3))
+
+    def test_activity_range_checked(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            make(n_layers=2).solve(layer_activities=np.array([1.0, 1.5]))
+
+    def test_power_maps_path(self, small_stack):
+        from repro.power.powermap import layer_power_map
+
+        pdn = make(n_layers=2)
+        maps = [layer_power_map(pdn.stack, activity=1.0)] * 2
+        result = pdn.solve(power_maps=maps)
+        baseline = pdn.solve(layer_activities=np.ones(2))
+        assert result.max_ir_drop_fraction() == pytest.approx(
+            baseline.max_ir_drop_fraction(), rel=1e-6
+        )
+
+    def test_power_map_count_checked(self):
+        from repro.power.powermap import layer_power_map
+
+        pdn = make(n_layers=2)
+        with pytest.raises(ValueError, match="power maps"):
+            pdn.solve(power_maps=[layer_power_map(pdn.stack)])
+
+    def test_repeated_solves_consistent(self):
+        pdn = make(n_layers=2)
+        a = pdn.solve().max_ir_drop_fraction()
+        b = pdn.solve().max_ir_drop_fraction()
+        assert a == b

@@ -1,0 +1,98 @@
+"""Regular PDN with full-power SC conversion (the Fig. 8 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import StackConfig
+from repro.core.experiments.fig8 import regular_sc_efficiency
+from repro.pdn.regular_sc3d import RegularSCPDN3D
+from repro.workload.imbalance import interleaved_layer_activities
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return RegularSCPDN3D(StackConfig(n_layers=2, grid_nodes=GRID), converters_per_core=5)
+
+
+@pytest.fixture(scope="module")
+def result(pdn):
+    return pdn.solve()
+
+
+class TestElectrical:
+    def test_distribution_rail_at_double_vdd(self, pdn, result):
+        mid = GRID // 2
+        v_dist = result.solution.voltage_by_id(
+            np.array([pdn.dist_ids[0][mid, mid]])
+        )[0]
+        assert v_dist == pytest.approx(2.0, abs=0.1)
+
+    def test_regulated_rail_near_vdd(self, pdn, result):
+        mid = GRID // 2
+        v = result.solution.voltage_by_id(np.array([pdn.vdd_ids[0][mid, mid]]))[0]
+        assert v == pytest.approx(1.0, abs=0.1)
+
+    def test_converters_carry_all_power(self, pdn, result):
+        """Sum of converter output currents equals the total load."""
+        total_conv = result.converter_currents().sum()
+        total_load = result.solution.isource_values().sum()
+        assert total_conv == pytest.approx(total_load, rel=0.02)
+
+    def test_offchip_current_is_halved_by_conversion(self, pdn, result, small_stack):
+        """2:1 conversion: the supply sees ~half the load current."""
+        supplied = result.solution.vsource_currents("supply")[0]
+        total_load = result.solution.isource_values().sum()
+        assert supplied == pytest.approx(total_load / 2, rel=0.2)
+
+    def test_power_balance(self, result):
+        assert result.solution.power_balance_error() < 1e-6
+
+    def test_rating_with_enough_converters(self, result):
+        assert result.converters_within_rating()
+
+    def test_too_few_converters_violate_rating(self):
+        pdn = RegularSCPDN3D(
+            StackConfig(n_layers=2, grid_nodes=GRID), converters_per_core=2
+        )
+        assert not pdn.solve().converters_within_rating()
+
+
+class TestAgainstAnalyticShortcut:
+    def test_efficiency_matches_fig8_line(self):
+        """The Fig. 8 driver's closed-form regular+SC efficiency agrees
+        with the full grid solve within ~1 point."""
+        pdn = RegularSCPDN3D(
+            StackConfig(n_layers=4, grid_nodes=GRID), converters_per_core=5
+        )
+        for imbalance in (0.1, 0.5, 1.0):
+            grid = pdn.solve(
+                layer_activities=interleaved_layer_activities(4, imbalance)
+            ).efficiency()
+            analytic = regular_sc_efficiency(imbalance, n_layers=4)
+            assert grid == pytest.approx(analytic, abs=0.012)
+
+    def test_efficiency_flat_with_imbalance(self):
+        pdn = RegularSCPDN3D(
+            StackConfig(n_layers=2, grid_nodes=GRID), converters_per_core=5
+        )
+        effs = [
+            pdn.solve(
+                layer_activities=interleaved_layer_activities(2, i)
+            ).efficiency()
+            for i in (0.1, 0.9)
+        ]
+        assert abs(effs[0] - effs[1]) < 0.05
+
+    def test_vs_beats_regular_sc_on_the_grid(self):
+        """The paper's Fig. 8 conclusion, now entirely grid-solved."""
+        from repro.pdn.stacked3d import StackedPDN3D
+
+        stack = StackConfig(n_layers=2, grid_nodes=GRID)
+        acts = interleaved_layer_activities(2, 0.3)
+        reg_sc = RegularSCPDN3D(stack, converters_per_core=5).solve(
+            layer_activities=acts
+        )
+        vs = StackedPDN3D(stack, converters_per_core=2).solve(layer_activities=acts)
+        assert vs.efficiency() > reg_sc.efficiency()

@@ -1,0 +1,74 @@
+"""PDNResult and ConductorGroup details."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.pdn.results import ConductorGroup
+
+GRID = 8
+
+
+class TestConductorGroup:
+    def test_counts_include_segments(self, regular_result):
+        group = regular_result.conductor_groups["c4.vdd"]
+        assert group.conductor_count == int(group.multiplicity.sum())
+
+    def test_per_conductor_expansion(self, regular_result):
+        group = regular_result.conductor_groups["c4.vdd"]
+        currents = group.per_conductor_currents(regular_result.solution)
+        assert len(currents) == group.conductor_count
+        assert np.all(currents >= 0)
+
+    def test_bundle_current_shared_equally(self, regular_result):
+        group = regular_result.conductor_groups["c4.vdd"]
+        bundle = np.abs(regular_result.solution.resistor_currents(group.tag))
+        currents = group.per_conductor_currents(regular_result.solution)
+        # Total conductor current equals total bundle current.
+        assert currents.sum() == pytest.approx(bundle.sum(), rel=1e-9)
+
+    def test_mismatched_multiplicity_rejected(self, regular_result):
+        group = regular_result.conductor_groups["c4.vdd"]
+        broken = ConductorGroup(
+            tag=group.tag,
+            ref=group.ref,
+            multiplicity=group.multiplicity[:-1],
+        )
+        with pytest.raises(ValueError, match="branches"):
+            broken.per_conductor_currents(regular_result.solution)
+
+
+class TestPDNResultAccessors:
+    def test_n_layers(self, regular_result, small_stack):
+        assert regular_result.n_layers == small_stack.n_layers
+
+    def test_ir_drop_map_per_layer(self, regular_result):
+        for layer in range(regular_result.n_layers):
+            drop_map = regular_result.ir_drop_map(layer)
+            assert drop_map.shape == (GRID, GRID)
+            assert np.all(drop_map >= 0)
+
+    def test_max_ir_drop_is_max_of_maps(self, regular_result):
+        per_layer = [
+            regular_result.ir_drop_map(l).max()
+            for l in range(regular_result.n_layers)
+        ]
+        assert regular_result.max_ir_drop() == pytest.approx(max(per_layer))
+
+    def test_unknown_prefix_rejected(self, regular_result):
+        with pytest.raises(KeyError):
+            regular_result.conductor_currents("bondwire")
+
+    def test_has_group_prefix(self, regular_result, stacked_result):
+        assert regular_result.has_group_prefix("tsv")
+        assert not regular_result.has_group_prefix("tvia")
+        assert stacked_result.has_group_prefix("tvia")
+
+    def test_regular_has_no_converter_accessors(self, regular_result):
+        with pytest.raises(RuntimeError):
+            regular_result.converter_currents()
+        with pytest.raises(RuntimeError):
+            regular_result.converters_within_rating()
+
+    def test_converter_population(self, stacked_result, stacked_pdn):
+        assert len(stacked_result.converter_currents()) == stacked_pdn.total_converters

@@ -1,0 +1,161 @@
+"""The voltage-stacked 3D PDN: charge recycling and regulation."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import PadAllocation, StackConfig, TSV_TOPOLOGIES
+from repro.pdn.stacked3d import StackedPDN3D
+from repro.workload.imbalance import interleaved_layer_activities
+
+GRID = 8
+
+
+def make(n_layers=2, converters=4, vdd_pads_override=0, **kwargs):
+    stack = StackConfig(
+        n_layers=n_layers,
+        grid_nodes=GRID,
+        tsv_topology=TSV_TOPOLOGIES["Few"],
+        pads=PadAllocation(
+            power_fraction=0.25, vdd_pads_per_core_override=vdd_pads_override
+        ),
+    )
+    return StackedPDN3D(stack, converters_per_core=converters, **kwargs)
+
+
+class TestChargeRecycling:
+    def test_offchip_current_is_one_layer_worth(self, stacked_result, small_stack):
+        """The defining V-S property: the stack draws roughly the
+        current of a single layer from the supply."""
+        one_layer = small_stack.processor.peak_current
+        supplied = stacked_result.solution.vsource_currents("supply")[0]
+        assert supplied == pytest.approx(one_layer, rel=0.1)
+
+    def test_offchip_current_independent_of_layer_count(self):
+        i2 = make(n_layers=2).solve().solution.vsource_currents("supply")[0]
+        i4 = make(n_layers=4).solve().solution.vsource_currents("supply")[0]
+        assert i4 == pytest.approx(i2, rel=0.05)
+
+    def test_supply_voltage_is_boosted(self, stacked_pdn, small_stack):
+        store = stacked_pdn.circuit.store("vsource")
+        assert store.column("voltage")[0] == pytest.approx(
+            small_stack.n_layers * small_stack.processor.vdd
+        )
+
+    def test_intermediate_rails_near_multiples_of_vdd(self):
+        pdn = make(n_layers=4)
+        result = pdn.solve()
+        # Sample the middle of each layer's Vdd net (rail l+1).
+        mid = GRID // 2
+        for layer in range(4):
+            v = result.solution.voltage_by_id(
+                np.array([pdn.vdd_ids[layer][mid, mid]])
+            )[0]
+            assert v == pytest.approx(layer + 1.0, abs=0.15)
+
+    def test_per_pad_current_flat_vs_layers(self):
+        c2 = make(n_layers=2).solve().conductor_currents("c4").mean()
+        c4 = make(n_layers=4).solve().conductor_currents("c4").mean()
+        assert c4 == pytest.approx(c2, rel=0.1)
+
+
+class TestConverterBehaviour:
+    def test_balanced_load_small_converter_currents(self, stacked_result, small_stack):
+        # Perfectly matched layers need almost no regulation current.
+        max_conv = stacked_result.max_converter_current()
+        assert max_conv < 0.2 * small_stack.processor.peak_current / 16
+
+    def test_imbalance_loads_converters(self):
+        pdn = make(n_layers=2, converters=8)
+        balanced = pdn.solve(layer_activities=np.ones(2))
+        skewed = pdn.solve(layer_activities=np.array([1.0, 0.5]))
+        assert skewed.max_converter_current() > balanced.max_converter_current()
+
+    def test_converter_current_magnitude(self):
+        """Mismatch current per core splits across the bank's cells."""
+        pdn = make(n_layers=2, converters=4)
+        proc = pdn.stack.processor
+        imbalance = 0.5
+        result = pdn.solve(
+            layer_activities=interleaved_layer_activities(2, imbalance)
+        )
+        expected = imbalance * proc.dynamic_power / proc.vdd / 16 / 4
+        mean_conv = result.converter_currents().mean()
+        assert mean_conv == pytest.approx(expected, rel=0.5)
+
+    def test_rating_violation_detected(self):
+        pdn = make(n_layers=2, converters=1)
+        result = pdn.solve(layer_activities=interleaved_layer_activities(2, 1.0))
+        assert not result.converters_within_rating()
+
+    def test_rating_ok_with_enough_converters(self):
+        pdn = make(n_layers=2, converters=8)
+        result = pdn.solve(layer_activities=interleaved_layer_activities(2, 0.5))
+        assert result.converters_within_rating()
+
+    def test_more_converters_less_noise(self):
+        act = interleaved_layer_activities(2, 0.6)
+        few = make(n_layers=2, converters=2).solve(layer_activities=act)
+        many = make(n_layers=2, converters=8).solve(layer_activities=act)
+        assert many.max_ir_drop_fraction() < few.max_ir_drop_fraction()
+
+    def test_noise_grows_with_imbalance(self):
+        pdn = make(n_layers=2, converters=8)
+        low = pdn.solve(layer_activities=interleaved_layer_activities(2, 0.2))
+        high = pdn.solve(layer_activities=interleaved_layer_activities(2, 0.8))
+        assert high.max_ir_drop_fraction() > low.max_ir_drop_fraction()
+
+
+class TestEfficiency:
+    def test_more_converters_lower_efficiency(self):
+        """Open-loop parasitic loss scales with converter count (Fig. 8)."""
+        act = np.ones(2)
+        few = make(n_layers=2, converters=2).solve(layer_activities=act)
+        many = make(n_layers=2, converters=8).solve(layer_activities=act)
+        assert many.efficiency() < few.efficiency()
+
+    def test_efficiency_drops_with_imbalance(self):
+        pdn = make(n_layers=2, converters=8)
+        low = pdn.solve(layer_activities=interleaved_layer_activities(2, 0.1))
+        high = pdn.solve(layer_activities=interleaved_layer_activities(2, 0.9))
+        assert high.efficiency() < low.efficiency()
+
+    def test_power_balance_with_converters(self, stacked_result):
+        assert stacked_result.solution.power_balance_error() < 1e-6
+
+
+class TestThroughVias:
+    def test_through_via_population(self):
+        pdn = make(n_layers=4, vdd_pads_override=32)
+        result = pdn.solve()
+        n_vdd_pads = 32 * 16
+        tvia = result.conductor_currents("tvia")
+        assert len(tvia) == n_vdd_pads * 3  # (N-1) segments per pad
+
+    def test_through_via_current_equals_pad_current(self):
+        pdn = make(n_layers=4, vdd_pads_override=32)
+        result = pdn.solve()
+        assert result.conductor_currents("tvia").max() == pytest.approx(
+            result.conductor_currents("c4.vdd").max()
+        )
+
+    def test_fewer_vdd_pads_raise_via_current(self):
+        few_pads = make(n_layers=2, vdd_pads_override=8).solve()
+        many_pads = make(n_layers=2, vdd_pads_override=32).solve()
+        assert (
+            few_pads.conductor_currents("tvia").mean()
+            > many_pads.conductor_currents("tvia").mean()
+        )
+
+
+class TestConstruction:
+    def test_single_layer_rejected(self):
+        stack = StackConfig(n_layers=1, grid_nodes=GRID)
+        with pytest.raises(ValueError, match="at least 2"):
+            StackedPDN3D(stack)
+
+    def test_total_converters(self):
+        pdn = make(n_layers=4, converters=6)
+        assert pdn.total_converters == 3 * 6 * 16
+
+    def test_converter_metadata_present(self, stacked_result):
+        assert stacked_result.converter_currents().size > 0

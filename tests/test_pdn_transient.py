@@ -1,0 +1,92 @@
+"""Transient PDN analysis: load-step droop."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.pdn.transient import TransientPDNAnalysis
+
+GRID = 8
+
+
+def regular_factory():
+    return build_regular_pdn(2, grid_nodes=GRID, package_inductor_nodes=True)
+
+
+def stacked_factory():
+    return build_stacked_pdn(
+        2, converters_per_core=4, grid_nodes=GRID, package_inductor_nodes=True
+    )
+
+
+@pytest.fixture(scope="module")
+def regular_analysis():
+    return TransientPDNAnalysis(regular_factory, dt=50e-12)
+
+
+@pytest.fixture(scope="module")
+def regular_trace(regular_analysis):
+    return regular_analysis.load_step(warmup_steps=150, step_steps=250)
+
+
+class TestLoadStep:
+    def test_settles_near_nominal_before_step(self, regular_analysis, regular_trace):
+        headroom = regular_analysis.supply_waveform(regular_trace)
+        pre_step = headroom[regular_analysis.last_step_index - 5]
+        assert pre_step == pytest.approx(1.0, abs=0.02)
+
+    def test_step_causes_droop(self, regular_analysis, regular_trace):
+        droop = regular_analysis.first_droop(regular_trace)
+        assert droop > 0.0
+
+    def test_droop_bounded(self, regular_analysis, regular_trace):
+        # With decap + package the step transient stays within ~10% Vdd.
+        assert regular_analysis.first_droop(regular_trace) < 0.1
+
+    def test_package_decap_rides_through_the_step(self, regular_analysis, regular_trace):
+        """With the 260 uF on-package decap, the local rail stays between
+        the idle and full-load static levels while the decap discharges
+        (its RC constant is far longer than the simulated window)."""
+        headroom = regular_analysis.supply_waveform(regular_trace)
+        static = build_regular_pdn(2, grid_nodes=GRID).solve()
+        full_load_level = 1.0 - static.ir_drop_map(1)[GRID // 2, GRID // 2]
+        post = headroom[regular_analysis.last_step_index + 5 :]
+        assert np.all(post > full_load_level - 5e-3)
+        assert post[-1] < post[0]  # decap discharging toward static
+
+    def test_decap_only_pdn_recovers_to_static_level(self):
+        """Without the package inductor/decap the grid settles to the
+        full-load static IR level within a few local RC constants."""
+        analysis = TransientPDNAnalysis(
+            lambda: build_regular_pdn(2, grid_nodes=GRID), dt=50e-12
+        )
+        trace = analysis.load_step(warmup_steps=150, step_steps=400)
+        headroom = analysis.supply_waveform(trace)
+        static = build_regular_pdn(2, grid_nodes=GRID).solve()
+        expected = 1.0 - static.ir_drop_map(1)[GRID // 2, GRID // 2]
+        assert headroom[-1] == pytest.approx(expected, abs=5e-3)
+
+    def test_stacked_pdn_also_works(self):
+        analysis = TransientPDNAnalysis(stacked_factory, dt=50e-12)
+        trace = analysis.load_step(warmup_steps=150, step_steps=200)
+        assert 0.0 <= analysis.first_droop(trace) < 0.1
+
+    def test_no_package_inductor_path(self):
+        """Decap-only analysis (no inductor nodes) still runs."""
+        analysis = TransientPDNAnalysis(
+            lambda: build_regular_pdn(2, grid_nodes=GRID), dt=50e-12
+        )
+        trace = analysis.load_step(warmup_steps=80, step_steps=120)
+        assert analysis.first_droop(trace) < 0.05
+
+
+class TestConstruction:
+    def test_rejects_solved_pdn(self):
+        pdn = build_regular_pdn(2, grid_nodes=GRID)
+        pdn.solve()
+        with pytest.raises(ValueError, match="unsolved"):
+            TransientPDNAnalysis(lambda: pdn)
+
+    def test_rejects_bad_decap(self):
+        with pytest.raises(ValueError):
+            TransientPDNAnalysis(regular_factory, decap_per_layer=0.0)

@@ -1,0 +1,68 @@
+"""McPAT-lite core power model."""
+
+import pytest
+
+from repro.config.stackups import ProcessorSpec
+from repro.power.mcpat_lite import (
+    ComponentSpec,
+    CorePowerModel,
+    DEFAULT_CORE_COMPONENTS,
+    build_core_power_model,
+)
+
+
+class TestDefaultComponents:
+    def test_area_fractions_sum_to_one(self):
+        assert sum(c.area_fraction for c in DEFAULT_CORE_COMPONENTS) == pytest.approx(1.0)
+
+    def test_names_unique(self):
+        names = [c.name for c in DEFAULT_CORE_COMPONENTS]
+        assert len(set(names)) == len(names)
+
+
+class TestCalibration:
+    def test_core_peak_matches_processor(self):
+        proc = ProcessorSpec()
+        model = CorePowerModel(proc)
+        assert model.core_power(1.0) == pytest.approx(proc.peak_core_power)
+
+    def test_idle_is_leakage(self):
+        proc = ProcessorSpec()
+        model = CorePowerModel(proc)
+        assert model.core_power(0.0) == pytest.approx(
+            proc.peak_core_power * (1 - proc.dynamic_fraction)
+        )
+
+    def test_component_powers_sum_to_core(self):
+        model = build_core_power_model()
+        for activity in (0.0, 0.3, 1.0):
+            total = sum(model.component_powers(activity).values())
+            assert total == pytest.approx(model.core_power(activity))
+
+    def test_effective_capacitance(self):
+        proc = ProcessorSpec()
+        model = CorePowerModel(proc)
+        # P_dyn = C V^2 f at activity 1.
+        p_dyn = model.core_effective_capacitance * proc.vdd**2 * proc.frequency
+        assert p_dyn == pytest.approx(model.peak_dynamic_power)
+
+    def test_component_areas(self):
+        model = build_core_power_model()
+        areas = model.component_areas(2.0e-6)
+        assert sum(areas.values()) == pytest.approx(2.0e-6)
+
+    def test_activity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_core_power_model().core_power(1.2)
+
+
+class TestValidationErrors:
+    def test_bad_area_fractions_rejected(self):
+        comps = [ComponentSpec("a", 0.5, 1.0, 1.0)]
+        with pytest.raises(ValueError, match="sum to 1"):
+            CorePowerModel(ProcessorSpec(), comps)
+
+    def test_zero_weights_rejected(self):
+        comps = [ComponentSpec("a", 1.0, 0.0, 0.0)]
+        with pytest.raises(ValueError, match="weights"):
+            CorePowerModel(ProcessorSpec(), comps)

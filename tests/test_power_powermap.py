@@ -1,0 +1,134 @@
+"""Power maps and floorplan rasterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.stackups import StackConfig
+from repro.floorplan.blocks import Rect
+from repro.power.powermap import (
+    PowerMap,
+    layer_power_map,
+    rasterize_blocks,
+    uniform_power_map,
+)
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return StackConfig(n_layers=2, grid_nodes=GRID)
+
+
+class TestPowerMap:
+    def test_total_power(self):
+        pm = uniform_power_map(10.0, 1e-3, 4)
+        assert pm.total_power == pytest.approx(10.0)
+
+    def test_currents(self):
+        pm = uniform_power_map(8.0, 1e-3, 4)
+        assert pm.currents(2.0).sum() == pytest.approx(4.0)
+
+    def test_scaled(self):
+        pm = uniform_power_map(10.0, 1e-3, 4).scaled(0.5)
+        assert pm.total_power == pytest.approx(5.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            uniform_power_map(1.0, 1e-3, 4).scaled(-1.0)
+
+    def test_add(self):
+        a = uniform_power_map(1.0, 1e-3, 4)
+        b = uniform_power_map(2.0, 1e-3, 4)
+        assert (a + b).total_power == pytest.approx(3.0)
+
+    def test_add_mismatched_rejected(self):
+        a = uniform_power_map(1.0, 1e-3, 4)
+        b = uniform_power_map(1.0, 1e-3, 5)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_power_density(self):
+        pm = uniform_power_map(16.0, 2e-3, 4)
+        expected = 16.0 / (2e-3) ** 2
+        assert pm.power_density().sum() == pytest.approx(expected * 16 / 16 * 16)
+
+    def test_rejects_negative_cells(self):
+        with pytest.raises(ValueError):
+            PowerMap(np.array([[-1.0]]), 1e-3)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            PowerMap(np.zeros((2, 3)), 1e-3)
+
+
+class TestRasterize:
+    def test_conserves_block_power(self):
+        die = 1e-3
+        rects = {"a": Rect(0, 0, die / 2, die), "b": Rect(die / 2, 0, die / 2, die)}
+        powers = {"a": 3.0, "b": 1.0}
+        pm = rasterize_blocks(rects, powers, die, 8)
+        assert pm.total_power == pytest.approx(4.0)
+
+    def test_spatial_assignment(self):
+        die = 1e-3
+        rects = {"left": Rect(0, 0, die / 2, die)}
+        pm = rasterize_blocks(rects, {"left": 2.0}, die, 4)
+        # All power in the left half of the grid.
+        assert pm.cell_power[:, :2].sum() == pytest.approx(2.0)
+        assert pm.cell_power[:, 2:].sum() == pytest.approx(0.0)
+
+    def test_missing_rect_rejected(self):
+        with pytest.raises(KeyError):
+            rasterize_blocks({}, {"ghost": 1.0}, 1e-3, 4)
+
+    def test_negative_power_rejected(self):
+        rects = {"a": Rect(0, 0, 1e-3, 1e-3)}
+        with pytest.raises(ValueError):
+            rasterize_blocks(rects, {"a": -1.0}, 1e-3, 4)
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_power_conserved_at_any_resolution(self, grid):
+        die = 1e-3
+        rects = {
+            "a": Rect(0.1e-3, 0.2e-3, 0.3e-3, 0.5e-3),
+            "b": Rect(0.5e-3, 0.1e-3, 0.4e-3, 0.7e-3),
+        }
+        powers = {"a": 1.7, "b": 0.4}
+        pm = rasterize_blocks(rects, powers, die, grid)
+        assert pm.total_power == pytest.approx(2.1, rel=1e-9)
+
+
+class TestLayerPowerMap:
+    def test_peak_total(self, stack):
+        pm = layer_power_map(stack, activity=1.0)
+        assert pm.total_power == pytest.approx(stack.processor.peak_power, rel=1e-6)
+
+    def test_idle_total(self, stack):
+        pm = layer_power_map(stack, activity=0.0)
+        assert pm.total_power == pytest.approx(stack.processor.leakage_power, rel=1e-6)
+
+    def test_per_core_activities(self, stack):
+        acts = np.zeros(stack.processor.core_count)
+        acts[0] = 1.0
+        pm = layer_power_map(stack, core_activities=acts)
+        proc = stack.processor
+        expected = proc.leakage_power + proc.dynamic_power / proc.core_count
+        assert pm.total_power == pytest.approx(expected, rel=1e-6)
+
+    def test_floorplanned_matches_uniform_total(self, stack):
+        uniform = layer_power_map(stack, activity=0.7)
+        detailed = layer_power_map(stack, activity=0.7, floorplanned=True)
+        assert detailed.total_power == pytest.approx(uniform.total_power, rel=1e-6)
+
+    def test_wrong_activity_shape_rejected(self, stack):
+        with pytest.raises(ValueError):
+            layer_power_map(stack, core_activities=np.ones(3))
+
+    def test_activities_out_of_range_rejected(self, stack):
+        bad = np.full(stack.processor.core_count, 1.5)
+        with pytest.raises(ValueError):
+            layer_power_map(stack, core_activities=bad)

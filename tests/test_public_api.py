@@ -1,0 +1,51 @@
+"""The package's public surface: imports, __all__, quickstart flow."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.config",
+            "repro.grid",
+            "repro.power",
+            "repro.floorplan",
+            "repro.workload",
+            "repro.regulator",
+            "repro.pdn",
+            "repro.em",
+            "repro.thermal",
+            "repro.core",
+            "repro.core.experiments",
+            "repro.analysis",
+            "repro.utils",
+        ):
+            importlib.import_module(module)
+
+
+class TestQuickstartFlow:
+    def test_docstring_example_runs(self):
+        pdn = repro.build_stacked_pdn(
+            n_layers=2, converters_per_core=4, grid_nodes=8
+        )
+        result = pdn.solve()
+        assert 0.0 < result.max_ir_drop_fraction() < 0.2
+
+    def test_regular_builder(self):
+        pdn = repro.build_regular_pdn(n_layers=2, topology="Dense", grid_nodes=8)
+        assert pdn.solve().efficiency() > 0.8
+
+    def test_builders_reject_unknown_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            repro.build_regular_pdn(n_layers=2, topology="Ultradense", grid_nodes=8)

@@ -1,0 +1,92 @@
+"""Seeman compact model of the 2:1 push-pull SC converter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.converters import SCConverterSpec
+from repro.regulator.compact import SCCompactModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SCCompactModel()
+
+
+class TestImpedances:
+    def test_rseries_matches_paper(self, model):
+        # Paper Sec. 3.1: RSERIES = 0.6 ohm for the implemented converter.
+        assert model.r_series() == pytest.approx(0.6, abs=0.002)
+
+    def test_rssl_scales_inverse_frequency(self, model):
+        assert model.r_ssl(25e6) == pytest.approx(2 * model.r_ssl(50e6))
+
+    def test_rfsl_frequency_independent(self, model):
+        assert model.r_fsl() == model.r_fsl()
+
+    def test_rseries_is_quadrature_sum(self, model):
+        import math
+
+        expected = math.hypot(model.r_ssl(), model.r_fsl())
+        assert model.r_series() == pytest.approx(expected)
+
+    def test_rpar_scales_inverse_frequency(self, model):
+        assert model.r_par(25e6) == pytest.approx(2 * model.r_par(50e6))
+
+    def test_bigger_fly_cap_lowers_rssl(self):
+        small = SCCompactModel(SCConverterSpec(fly_capacitance=4e-9))
+        big = SCCompactModel(SCConverterSpec(fly_capacitance=16e-9))
+        assert big.r_ssl() < small.r_ssl()
+
+
+class TestOperatingPoint:
+    def test_ideal_output_is_midpoint(self, model):
+        op = model.operating_point(2.0, 0.0, 0.0)
+        assert op.ideal_output_voltage == pytest.approx(1.0)
+
+    def test_output_drop_law(self, model):
+        op = model.operating_point(2.0, 0.0, 0.05)
+        assert op.voltage_drop == pytest.approx(0.05 * model.r_series())
+
+    def test_sinking_raises_output(self, model):
+        op = model.operating_point(2.0, 0.0, -0.05)
+        assert op.output_voltage > op.ideal_output_voltage
+
+    def test_efficiency_increases_with_load_open_loop(self, model):
+        # Parasitic loss dominates at light load (Fig. 3b behaviour).
+        low = model.operating_point(2.0, 0.0, 5e-3)
+        high = model.operating_point(2.0, 0.0, 80e-3)
+        assert high.efficiency > low.efficiency
+
+    def test_efficiency_bounded(self, model):
+        for load in (1e-3, 0.05, 0.1):
+            op = model.operating_point(2.0, 0.0, load)
+            assert 0.0 < op.efficiency < 1.0
+
+    def test_input_power_bookkeeping(self, model):
+        op = model.operating_point(2.0, 0.0, 0.04)
+        assert op.input_power == pytest.approx(
+            op.output_power + op.series_loss + op.parasitic_loss
+        )
+
+    def test_intermediate_rails(self, model):
+        """The same model works between two non-ground rails."""
+        op = model.operating_point(3.0, 1.0, 0.02)
+        assert op.ideal_output_voltage == pytest.approx(2.0)
+
+    def test_requires_positive_headroom(self, model):
+        with pytest.raises(ValueError):
+            model.operating_point(1.0, 1.0, 0.01)
+
+    def test_check_load(self, model):
+        assert model.check_load(0.1)
+        assert model.check_load(-0.1)
+        assert not model.check_load(0.11)
+
+    @given(st.floats(min_value=-0.1, max_value=0.1))
+    @settings(max_examples=50, deadline=None)
+    def test_losses_never_negative(self, load):
+        model = SCCompactModel()
+        op = model.operating_point(2.0, 0.0, load)
+        assert op.series_loss >= 0
+        assert op.parasitic_loss > 0

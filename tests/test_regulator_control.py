@@ -1,0 +1,56 @@
+"""Frequency-control policies."""
+
+import pytest
+
+from repro.config.converters import default_sc_spec
+from repro.regulator.control import ClosedLoopControl, OpenLoopControl
+
+
+class TestOpenLoop:
+    def test_constant_frequency(self):
+        spec = default_sc_spec()
+        policy = OpenLoopControl()
+        for load in (0.0, 0.01, 0.1):
+            assert policy.frequency(spec, load) == spec.switching_frequency
+
+    def test_name(self):
+        assert OpenLoopControl().name == "open-loop"
+
+
+class TestClosedLoop:
+    def test_full_load_at_nominal(self):
+        spec = default_sc_spec()
+        policy = ClosedLoopControl()
+        assert policy.frequency(spec, spec.max_load_current) == pytest.approx(
+            spec.switching_frequency
+        )
+
+    def test_square_root_law(self):
+        spec = default_sc_spec()
+        policy = ClosedLoopControl()
+        quarter = policy.frequency(spec, spec.max_load_current / 4)
+        assert quarter == pytest.approx(spec.switching_frequency / 2)
+
+    def test_minimum_frequency_floor(self):
+        spec = default_sc_spec()
+        policy = ClosedLoopControl(min_frequency_ratio=0.1)
+        assert policy.frequency(spec, 0.0) == pytest.approx(
+            0.1 * spec.switching_frequency
+        )
+
+    def test_sinking_load_treated_by_magnitude(self):
+        spec = default_sc_spec()
+        policy = ClosedLoopControl()
+        assert policy.frequency(spec, -0.05) == policy.frequency(spec, 0.05)
+
+    def test_overload_clamped_to_nominal(self):
+        spec = default_sc_spec()
+        policy = ClosedLoopControl()
+        assert policy.frequency(spec, 1.0) == spec.switching_frequency
+
+    def test_rejects_zero_floor(self):
+        with pytest.raises(ValueError):
+            ClosedLoopControl(min_frequency_ratio=0.0)
+
+    def test_name(self):
+        assert ClosedLoopControl().name == "closed-loop"

@@ -1,0 +1,76 @@
+"""Inductive (buck) converter comparison — the paper's future work."""
+
+import pytest
+
+from repro.regulator.compact import SCCompactModel
+from repro.regulator.inductive import (
+    BuckCompactModel,
+    BuckConverterSpec,
+    compare_sc_vs_buck,
+)
+
+
+@pytest.fixture(scope="module")
+def buck():
+    return BuckCompactModel()
+
+
+class TestBuckModel:
+    def test_midpoint_regulation(self, buck):
+        op = buck.operating_point(2.0, 0.0, 0.0)
+        assert op.ideal_output_voltage == pytest.approx(1.0)
+
+    def test_output_droop(self, buck):
+        op = buck.operating_point(2.0, 0.0, 0.05)
+        assert op.voltage_drop == pytest.approx(0.05 * buck.series_resistance)
+
+    def test_ripple_scales_inverse_with_inductance(self):
+        small = BuckCompactModel(BuckConverterSpec(inductance=5e-9))
+        large = BuckCompactModel(BuckConverterSpec(inductance=20e-9))
+        assert small.ripple_current(1.0) > large.ripple_current(1.0)
+
+    def test_losses_positive(self, buck):
+        op = buck.operating_point(2.0, 0.0, 0.05)
+        assert op.series_loss > 0
+        assert op.parasitic_loss > 0
+
+    def test_power_bookkeeping(self, buck):
+        op = buck.operating_point(2.0, 0.0, 0.05)
+        assert op.input_power == pytest.approx(
+            op.output_power + op.series_loss + op.parasitic_loss
+        )
+
+    def test_intermediate_rails(self, buck):
+        op = buck.operating_point(3.0, 1.0, 0.02)
+        assert op.ideal_output_voltage == pytest.approx(2.0)
+
+    def test_inverted_rails_rejected(self, buck):
+        with pytest.raises(ValueError):
+            buck.operating_point(0.0, 1.0, 0.01)
+
+    def test_load_rating(self, buck):
+        assert buck.check_load(0.1)
+        assert not buck.check_load(0.2)
+
+
+class TestSCvsBuck:
+    def test_sc_wins_efficiency_on_die(self):
+        """Why the paper (and its cited surveys) bet on capacitive
+        conversion: on-die inductors' ripple and DCR losses."""
+        comparison = compare_sc_vs_buck(load_current=0.05)
+        assert comparison["sc"]["efficiency"] > comparison["buck"]["efficiency"]
+
+    def test_sc_wins_area(self):
+        comparison = compare_sc_vs_buck()
+        assert comparison["sc"]["area"] < comparison["buck"]["area"]
+
+    def test_comparable_droop(self):
+        comparison = compare_sc_vs_buck(load_current=0.05)
+        assert comparison["sc"]["voltage_drop"] == pytest.approx(
+            comparison["buck"]["voltage_drop"], rel=0.2
+        )
+
+    def test_sc_advantage_across_loads(self):
+        for load in (0.01, 0.05, 0.09):
+            comparison = compare_sc_vs_buck(load_current=load)
+            assert comparison["sc"]["efficiency"] > comparison["buck"]["efficiency"]

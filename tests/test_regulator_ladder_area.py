@@ -1,0 +1,79 @@
+"""Ladder arrangement bookkeeping and converter area accounting."""
+
+import pytest
+
+from repro.config.converters import default_sc_spec
+from repro.config.stackups import ProcessorSpec
+from repro.regulator.area import converter_area, converters_area_overhead
+from repro.regulator.ladder import design_ladder
+
+
+class TestLadderDesign:
+    def test_banks_count(self):
+        ladder = design_ladder(n_layers=8, converters_per_core=4)
+        assert ladder.banks == 7
+        assert ladder.intermediate_rails == tuple(range(1, 8))
+
+    def test_rail_span(self):
+        ladder = design_ladder(n_layers=4, converters_per_core=2)
+        assert ladder.rail_span(2) == (3, 1)
+
+    def test_rail_span_rejects_endpoints(self):
+        ladder = design_ladder(n_layers=4, converters_per_core=2)
+        with pytest.raises(ValueError):
+            ladder.rail_span(0)
+        with pytest.raises(ValueError):
+            ladder.rail_span(4)
+
+    def test_total_converters(self):
+        ladder = design_ladder(n_layers=3, converters_per_core=8)
+        assert ladder.total_converters(core_count=16) == 2 * 8 * 16
+
+    def test_mismatch_capability(self):
+        ladder = design_ladder(n_layers=2, converters_per_core=4)
+        assert ladder.max_mismatch_current_per_core() == pytest.approx(0.4)
+        assert ladder.supports_imbalance(0.35)
+        assert not ladder.supports_imbalance(0.45)
+
+    def test_single_layer_rejected(self):
+        with pytest.raises(ValueError):
+            design_ladder(n_layers=1, converters_per_core=2)
+
+
+class TestAreaAccounting:
+    def test_paper_mim_area(self):
+        assert converter_area(default_sc_spec()) == pytest.approx(0.472e-6)
+
+    def test_technology_override(self):
+        assert converter_area(default_sc_spec(), "trench") == pytest.approx(0.082e-6)
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ValueError):
+            converter_area(default_sc_spec(), "unobtainium")
+
+    def test_one_converter_is_three_percent_of_core(self):
+        """Paper Sec. 5.2: one converter ~3% of an ARM core with
+        high-density capacitors."""
+        core_area = ProcessorSpec().core_area
+        overhead = converters_area_overhead(
+            default_sc_spec(), 1, core_area, technology="trench"
+        )
+        assert overhead == pytest.approx(0.03, abs=0.005)
+
+    def test_eight_converters_match_dense_tsv_overhead(self):
+        """Paper Sec. 5.2: 8 converters/core + Few TSV ~= Dense TSV area."""
+        from repro.config.stackups import dense_tsv, few_tsv
+
+        core_area = ProcessorSpec().core_area
+        converters = converters_area_overhead(
+            default_sc_spec(), 8, core_area, technology="trench"
+        )
+        vs_total = converters + few_tsv().area_overhead(core_area)
+        dense_total = dense_tsv().area_overhead(core_area)
+        assert vs_total == pytest.approx(dense_total, rel=0.05)
+
+    def test_overhead_scales_linearly(self):
+        core_area = ProcessorSpec().core_area
+        one = converters_area_overhead(default_sc_spec(), 1, core_area)
+        four = converters_area_overhead(default_sc_spec(), 4, core_area)
+        assert four == pytest.approx(4 * one)

@@ -1,0 +1,84 @@
+"""Transient switched-capacitor simulator, and Fig. 3 validation."""
+
+import pytest
+
+from repro.regulator.compact import SCCompactModel
+from repro.regulator.control import ClosedLoopControl
+from repro.regulator.switchcap_sim import SwitchCapSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SwitchCapSimulator()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SCCompactModel()
+
+
+class TestSteadyState:
+    def test_no_load_output_near_midpoint(self, sim):
+        out = sim.steady_state(0.0)
+        assert out.output_voltage == pytest.approx(1.0, abs=1e-3)
+
+    def test_output_droops_under_load(self, sim):
+        assert sim.steady_state(0.05).output_voltage < sim.steady_state(0.01).output_voltage
+
+    def test_droop_matches_rseries(self, sim, model):
+        """Transient droop tracks the compact model within ~10%."""
+        for load in (0.02, 0.06, 0.09):
+            tr = sim.steady_state(load)
+            expected = load * model.r_series()
+            assert tr.voltage_drop == pytest.approx(expected, rel=0.12)
+
+    def test_efficiency_matches_compact_model(self, sim, model):
+        """Fig. 3b: model vs sim efficiency agree within a few points."""
+        for load in (0.01, 0.03, 0.05, 0.09):
+            tr = sim.steady_state(load)
+            op = model.operating_point(2.0, 0.0, load)
+            assert abs(tr.efficiency - op.efficiency) < 0.04
+
+    def test_closed_loop_validation(self, sim, model):
+        """Fig. 3a: agreement holds under frequency modulation."""
+        policy = ClosedLoopControl()
+        for load in (3.1e-3, 12.5e-3, 50e-3, 100e-3):
+            fsw = policy.frequency(model.spec, load)
+            tr = sim.steady_state(load, fsw=fsw)
+            op = model.operating_point(2.0, 0.0, load, fsw=fsw)
+            assert abs(tr.efficiency - op.efficiency) < 0.09
+
+    def test_ripple_shrinks_with_frequency(self, sim):
+        slow = sim.steady_state(0.05, fsw=10e6)
+        fast = sim.steady_state(0.05, fsw=100e6)
+        assert fast.output_ripple < slow.output_ripple
+
+    def test_intermediate_rails(self, sim):
+        out = sim.steady_state(0.03, v_top=3.0, v_bottom=1.0)
+        assert out.ideal_output_voltage == pytest.approx(2.0)
+        assert out.output_voltage < 2.0
+
+    def test_sinking_load(self, sim):
+        out = sim.steady_state(-0.04)
+        assert out.output_voltage > out.ideal_output_voltage
+
+    def test_input_power_positive_when_sourcing(self, sim):
+        assert sim.steady_state(0.05).input_power > 0
+
+    def test_rejects_inverted_rails(self, sim):
+        with pytest.raises(ValueError):
+            sim.steady_state(0.01, v_top=0.0, v_bottom=1.0)
+
+    def test_rejects_too_few_samples(self, sim):
+        with pytest.raises(ValueError):
+            sim.steady_state(0.01, samples_per_phase=1)
+
+
+class TestConstruction:
+    def test_rejects_negative_parasitics(self):
+        with pytest.raises(ValueError):
+            SwitchCapSimulator(bottom_plate_fraction=-0.1)
+
+    def test_rejects_zero_output_cap(self):
+        with pytest.raises(ValueError):
+            SwitchCapSimulator(output_capacitance=0.0)

@@ -1,0 +1,103 @@
+"""Parameter-sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.config.stackups import StackConfig
+from repro.core.sensitivity import SensitivityAnalysis, SensitivityEntry
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return SensitivityAnalysis(
+        StackConfig(n_layers=4, grid_nodes=GRID), arrangement="regular"
+    )
+
+
+@pytest.fixture(scope="module")
+def entries(analysis):
+    return analysis.run()
+
+
+class TestEntries:
+    def test_all_parameters_evaluated(self, entries):
+        names = {e.parameter for e in entries}
+        assert names == {
+            "package_resistance",
+            "c4_pad_resistance",
+            "tsv_resistance",
+            "metal_thickness",
+            "metal_width",
+        }
+
+    def test_sorted_by_swing(self, entries):
+        swings = [e.swing for e in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_resistances_move_ir_drop_monotonically(self, entries):
+        by_name = {e.parameter: e for e in entries}
+        for name in ("package_resistance", "c4_pad_resistance", "tsv_resistance"):
+            e = by_name[name]
+            assert e.metric_at_high > e.metric_at_low
+
+    def test_thicker_metal_reduces_ir_drop(self, entries):
+        e = {x.parameter: x for x in entries}["metal_thickness"]
+        assert e.metric_at_high < e.metric_at_low
+
+    def test_package_dominates_regular_pdn(self, entries):
+        """For the 8x-current regular PDN the package/pad path is the
+        big lever (the calibration discussion in DESIGN.md)."""
+        assert entries[0].parameter in ("package_resistance", "c4_pad_resistance",
+                                        "tsv_resistance")
+
+    def test_relative_swing(self, entries):
+        for e in entries:
+            assert e.relative_swing >= 0
+
+    def test_excursion_values(self, analysis, entries):
+        for e in entries:
+            assert e.high_value == pytest.approx(e.low_value * 3)  # (1.5/0.5)
+
+
+class TestInterface:
+    def test_subset_of_parameters(self, analysis):
+        out = analysis.run(parameters=["tsv_resistance"])
+        assert len(out) == 1
+
+    def test_unknown_parameter_rejected(self, analysis):
+        with pytest.raises(ValueError, match="unknown"):
+            analysis.run(parameters=["phlogiston"])
+
+    def test_efficiency_metric(self):
+        analysis = SensitivityAnalysis(
+            StackConfig(n_layers=2, grid_nodes=GRID),
+            metric="efficiency",
+        )
+        entries = analysis.run(parameters=["package_resistance"])
+        e = entries[0]
+        # More package resistance burns more power -> lower efficiency.
+        assert e.metric_at_high < e.metric_at_low
+
+    def test_stacked_arrangement(self):
+        analysis = SensitivityAnalysis(
+            StackConfig(n_layers=2, grid_nodes=GRID),
+            arrangement="voltage-stacked",
+            converters_per_core=4,
+        )
+        entries = analysis.run(parameters=["package_resistance", "tsv_resistance"])
+        assert len(entries) == 2
+
+    def test_validation(self):
+        stack = StackConfig(n_layers=2, grid_nodes=GRID)
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(stack, arrangement="diagonal")
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(stack, metric="sparkle")
+        with pytest.raises(ValueError):
+            SensitivityAnalysis(stack, excursion=1.5)
+
+    def test_format(self, analysis, entries):
+        text = analysis.format(entries)
+        assert "Sensitivity" in text
+        assert "package_resistance" in text

@@ -1,0 +1,74 @@
+"""HotSpot-lite thermal screening."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import StackConfig
+from repro.thermal import HotSpotLite, ThermalConfig, max_feasible_layers
+
+GRID = 8
+
+
+def make(n_layers, **cfg):
+    stack = StackConfig(n_layers=n_layers, grid_nodes=GRID)
+    config = ThermalConfig(**cfg) if cfg else None
+    return HotSpotLite(stack, config)
+
+
+class TestSolver:
+    def test_idle_stack_near_ambient(self):
+        solver = make(2)
+        zero = solver.solve(layer_activities=np.zeros(2))
+        # Leakage floor still heats a little, but far below peak.
+        peak = solver.solve()
+        assert zero.hotspot < peak.hotspot
+        assert zero.hotspot < 60.0
+
+    def test_hotspot_grows_with_layers(self):
+        assert make(4).solve().hotspot > make(2).solve().hotspot
+
+    def test_bottom_layer_is_hottest(self):
+        """Heat exits through the top; the bottom layer runs hottest."""
+        result = make(4).solve()
+        assert result.hotspot_layer == 0
+
+    def test_temperature_above_ambient(self):
+        result = make(2).solve()
+        for layer_map in result.layer_temperatures:
+            assert np.all(layer_map > result.ambient)
+
+    def test_total_heat_flow_consistent(self):
+        """Sink temperature rise ~= total power x sink resistance."""
+        solver = make(2)
+        result = solver.solve()
+        total_power = 2 * solver.stack.processor.peak_power
+        sink_rise = total_power * solver.config.sink_resistance
+        coolest = min(float(t.min()) for t in result.layer_temperatures)
+        assert coolest > result.ambient + sink_rise * 0.8
+
+    def test_activity_shape_checked(self):
+        with pytest.raises(ValueError):
+            make(2).solve(layer_activities=np.ones(3))
+
+    def test_power_map_count_checked(self):
+        from repro.power.powermap import layer_power_map
+
+        solver = make(2)
+        with pytest.raises(ValueError):
+            solver.solve(power_maps=[layer_power_map(solver.stack)])
+
+
+class TestFeasibility:
+    def test_paper_limit_is_eight_layers(self):
+        """Sec. 4.1: up to 8 layers stay below 100 C with air cooling."""
+        base = StackConfig(n_layers=1, grid_nodes=GRID)
+        assert max_feasible_layers(base, limit_celsius=100.0) == 8
+
+    def test_better_cooling_allows_more_layers(self):
+        base = StackConfig(n_layers=1, grid_nodes=GRID)
+        liquid = ThermalConfig(sink_resistance=0.05)
+        assert max_feasible_layers(base, config=liquid) > 8
+
+    def test_strict_limit_allows_fewer(self):
+        base = StackConfig(n_layers=1, grid_nodes=GRID)
+        assert max_feasible_layers(base, limit_celsius=70.0) < 8

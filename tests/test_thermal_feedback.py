@@ -1,0 +1,78 @@
+"""Leakage-temperature feedback loop (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import StackConfig
+from repro.power.thermal_feedback import (
+    CoupledOperatingPoint,
+    LeakageThermalLoop,
+    ThermalRunawayError,
+)
+from repro.thermal import ThermalConfig
+
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def loop_4l():
+    return LeakageThermalLoop(StackConfig(n_layers=4, grid_nodes=GRID))
+
+
+@pytest.fixture(scope="module")
+def converged_4l(loop_4l):
+    return loop_4l.converge()
+
+
+class TestConvergence:
+    def test_converges(self, converged_4l):
+        assert isinstance(converged_4l, CoupledOperatingPoint)
+        assert converged_4l.iterations >= 2
+
+    def test_leakage_uplift_sign(self, converged_4l):
+        """Below the characterisation temperature leakage shrinks; a
+        4-layer air-cooled stack runs near/below 85 C so the uplift is
+        small (either sign) but the loop settles self-consistently."""
+        assert -0.3 < converged_4l.leakage_uplift < 0.3
+
+    def test_taller_stacks_relatively_leakier(self):
+        uplift = {}
+        for n in (2, 8):
+            loop = LeakageThermalLoop(StackConfig(n_layers=n, grid_nodes=GRID))
+            uplift[n] = loop.converge().leakage_uplift
+        assert uplift[8] > uplift[2]
+
+    def test_feedback_raises_hotspot(self, loop_4l, converged_4l):
+        """Self-consistent hotspot exceeds the open-loop estimate when
+        running hotter than the characterisation point, and the 8-layer
+        case crosses it."""
+        loop8 = LeakageThermalLoop(StackConfig(n_layers=8, grid_nodes=GRID))
+        op8 = loop8.converge()
+        open_loop = loop8.solver.solve().hotspot
+        assert op8.thermal.hotspot > open_loop
+
+    def test_idle_stack_converges_cool(self, loop_4l):
+        op = loop_4l.converge(layer_activities=np.zeros(4))
+        assert op.thermal.hotspot < 70.0
+
+    def test_activity_shape_checked(self, loop_4l):
+        with pytest.raises(ValueError):
+            loop_4l.converge(layer_activities=np.ones(5))
+
+
+class TestRunaway:
+    def test_absurd_sensitivity_diverges(self):
+        loop = LeakageThermalLoop(
+            StackConfig(n_layers=8, grid_nodes=GRID),
+            ThermalConfig(sink_resistance=1.5),
+            leakage_temp_coefficient=0.12,
+        )
+        with pytest.raises(ThermalRunawayError):
+            loop.converge()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LeakageThermalLoop(
+                StackConfig(n_layers=2, grid_nodes=GRID),
+                leakage_temp_coefficient=0.0,
+            )

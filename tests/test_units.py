@@ -1,0 +1,65 @@
+"""Unit helpers: conversions and engineering formatting."""
+
+import math
+
+import pytest
+
+from repro.utils.units import (
+    format_engineering,
+    from_micro,
+    from_milli,
+    from_nano,
+    to_micro,
+    to_milli,
+    to_nano,
+    to_percent,
+)
+
+
+class TestConversions:
+    def test_from_micro(self):
+        assert from_micro(200.0) == pytest.approx(200e-6)
+
+    def test_from_milli(self):
+        assert from_milli(10.0) == pytest.approx(0.01)
+
+    def test_from_nano(self):
+        assert from_nano(8.0) == pytest.approx(8e-9)
+
+    def test_micro_roundtrip(self):
+        assert to_micro(from_micro(44.539)) == pytest.approx(44.539)
+
+    def test_milli_roundtrip(self):
+        assert to_milli(from_milli(3.3)) == pytest.approx(3.3)
+
+    def test_nano_roundtrip(self):
+        assert to_nano(from_nano(2.5)) == pytest.approx(2.5)
+
+    def test_to_percent(self):
+        assert to_percent(0.242) == pytest.approx(24.2)
+
+
+class TestFormatEngineering:
+    def test_milli_ohms(self):
+        assert format_engineering(0.0445, "Ohm") == "44.5 mOhm"
+
+    def test_nano_farads(self):
+        assert format_engineering(8e-9, "F") == "8 nF"
+
+    def test_zero(self):
+        assert format_engineering(0.0, "V") == "0 V"
+
+    def test_unit_less(self):
+        assert format_engineering(1500.0) == "1.5 k"
+
+    def test_plain_range(self):
+        assert format_engineering(3.3, "V") == "3.3 V"
+
+    def test_negative_value(self):
+        assert format_engineering(-0.02, "A") == "-20 mA"
+
+    def test_mega(self):
+        assert format_engineering(50e6, "Hz") == "50 MHz"
+
+    def test_digits_control(self):
+        assert format_engineering(0.044539, "Ohm", digits=4) == "44.54 mOhm"

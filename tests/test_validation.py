@@ -1,0 +1,73 @@
+"""Argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_nonnegative("x", -0.1)
+
+
+class TestCheckFraction:
+    def test_accepts_bounds(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError, match="within"):
+            check_fraction("f", 1.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", -0.01)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("mode", "a", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="one of"):
+            check_in_choices("mode", "c", ("a", "b"))

@@ -1,0 +1,83 @@
+"""Synthetic PARSEC profiles and their calibration anchors."""
+
+import numpy as np
+import pytest
+
+from repro.config.stackups import ProcessorSpec
+from repro.workload.parsec import (
+    PARSEC_APPLICATIONS,
+    ApplicationProfile,
+    average_max_imbalance,
+    sample_application_powers,
+)
+
+
+class TestSuiteCalibration:
+    def test_thirteen_applications(self):
+        assert len(PARSEC_APPLICATIONS) == 13
+
+    def test_blackscholes_is_best_case(self):
+        # Paper: blackscholes shows ~10% max imbalance.
+        assert PARSEC_APPLICATIONS["blackscholes"].max_imbalance == pytest.approx(0.10)
+        assert min(a.max_imbalance for a in PARSEC_APPLICATIONS.values()) == pytest.approx(0.10)
+
+    def test_suite_max_exceeds_90_percent(self):
+        assert max(a.max_imbalance for a in PARSEC_APPLICATIONS.values()) > 0.90
+
+    def test_average_is_65_percent(self):
+        # Paper: "the applications have a maximum-imbalance ratio of 65%".
+        assert average_max_imbalance() == pytest.approx(0.65, abs=0.01)
+
+    def test_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_max_imbalance([])
+
+
+class TestApplicationProfile:
+    def test_activity_range(self):
+        app = ApplicationProfile("toy", activity_max=0.8, max_imbalance=0.25)
+        assert app.activity_min == pytest.approx(0.6)
+
+    def test_samples_respect_range(self):
+        app = PARSEC_APPLICATIONS["x264"]
+        samples = app.sample_activities(500, rng=1)
+        assert samples.min() >= app.activity_min - 1e-12
+        assert samples.max() <= app.activity_max + 1e-12
+
+    def test_sampling_is_reproducible(self):
+        app = PARSEC_APPLICATIONS["dedup"]
+        a = app.sample_activities(100, rng=42)
+        b = app.sample_activities(100, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_sample_powers_above_leakage(self):
+        proc = ProcessorSpec()
+        powers = PARSEC_APPLICATIONS["canneal"].sample_powers(proc, 200, rng=0)
+        assert powers.min() >= proc.leakage_power
+        assert powers.max() <= proc.peak_power + 1e-9
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            PARSEC_APPLICATIONS["vips"].sample_activities(0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile("bad", activity_max=0.8, max_imbalance=0.2, alpha=0.0)
+
+
+class TestSuiteSampling:
+    def test_all_apps_sampled(self):
+        powers = sample_application_powers(ProcessorSpec(), n_samples=50, rng=7)
+        assert set(powers) == set(PARSEC_APPLICATIONS)
+        assert all(len(p) == 50 for p in powers.values())
+
+    def test_observed_max_imbalance_tracks_target(self):
+        """With 1000 samples the empirical range approaches the profile's
+        calibrated max imbalance."""
+        proc = ProcessorSpec()
+        powers = sample_application_powers(proc, n_samples=1000, rng=3)
+        for name, profile in PARSEC_APPLICATIONS.items():
+            dynamic = powers[name] - proc.leakage_power
+            observed = (dynamic.max() - dynamic.min()) / dynamic.max()
+            assert observed <= profile.max_imbalance + 1e-9
+            assert observed >= profile.max_imbalance * 0.6
