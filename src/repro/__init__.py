@@ -42,7 +42,20 @@ from repro.core.scenarios import (
     stacked_stack,
 )
 from repro.em import expected_em_lifetime, median_lifetimes_from_currents
-from repro.grid import Circuit
+from repro.errors import (
+    ConvergenceError,
+    FaultInjectionError,
+    ReproError,
+    SingularCircuitError,
+)
+from repro.faults import (
+    FaultPlan,
+    FaultReport,
+    em_fault_plan,
+    severed_layer_plan,
+    uniform_fault_plan,
+)
+from repro.grid import Circuit, SolveDiagnostics
 from repro.pdn import PDNResult, RegularPDN3D, StackedPDN3D
 from repro.power import CorePowerModel, PowerMap, layer_power_map
 from repro.regulator import (
@@ -79,7 +92,17 @@ __all__ = [
     "stacked_stack",
     "expected_em_lifetime",
     "median_lifetimes_from_currents",
+    "ReproError",
+    "SingularCircuitError",
+    "ConvergenceError",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultReport",
+    "em_fault_plan",
+    "severed_layer_plan",
+    "uniform_fault_plan",
     "Circuit",
+    "SolveDiagnostics",
     "PDNResult",
     "RegularPDN3D",
     "StackedPDN3D",

@@ -11,6 +11,11 @@ Examples::
     python -m repro fig8
     python -m repro headline --grid 16
     python -m repro explore --imbalance 0.65
+    python -m repro contingency --layers 4 --grid 16 --seed 7
+
+Model/solver failures raise :class:`repro.errors.ReproError` subclasses;
+the CLI reports them as a one-line message on stderr and exits with
+status 2 instead of dumping a traceback.
 """
 
 from __future__ import annotations
@@ -30,7 +35,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name: str, help_text: str, grid: bool = False, layers: bool = False):
+    def add(
+        name: str,
+        help_text: str,
+        grid: bool = False,
+        layers: bool = False,
+        seed: bool = False,
+    ):
         cmd = sub.add_parser(name, help=help_text)
         if grid:
             cmd.add_argument(
@@ -41,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument(
                 "--layers", type=int, default=8, help="stacked layer count"
             )
+        if seed:
+            cmd.add_argument(
+                "--seed", type=int, default=None,
+                help="RNG seed (default: the repo-wide deterministic seed)",
+            )
         return cmd
 
     add("table1", "Table 1: PDN modeling parameters")
@@ -50,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig5b", "Fig. 5b: C4 array EM lifetime", grid=True)
     fig6 = add("fig6", "Fig. 6: IR drop vs workload imbalance", grid=True, layers=True)
     fig6.add_argument("--csv", type=str, default=None, help="also export to CSV")
-    fig7 = add("fig7", "Fig. 7: PARSEC power distributions")
+    fig7 = add("fig7", "Fig. 7: PARSEC power distributions", seed=True)
     fig7.add_argument("--samples", type=int, default=1000)
     fig8 = add("fig8", "Fig. 8: system power efficiency", grid=True, layers=True)
     fig8.add_argument("--csv", type=str, default=None, help="also export to CSV")
@@ -66,9 +82,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sens.add_argument("--metric", choices=("ir_drop", "efficiency"), default="ir_drop")
     noise = add("noise", "Statistical supply-noise profile under sampled workloads",
-                grid=True, layers=True)
+                grid=True, layers=True, seed=True)
     noise.add_argument("--trials", type=int, default=60)
     noise.add_argument("--converters", type=int, default=8)
+    conting = add(
+        "contingency",
+        "N-k contingency: robustness under TSV/converter failures",
+        seed=True,
+    )
+    conting.add_argument(
+        "--layers", type=int, default=4, help="stacked layer count (default 4)"
+    )
+    conting.add_argument(
+        "--grid", type=int, default=16,
+        help="model-grid nodes per die side (default 16)",
+    )
+    conting.add_argument(
+        "--fractions", type=str, default="0,0.05,0.1,0.2",
+        help="comma-separated TSV failure fractions (default 0,0.05,0.1,0.2)",
+    )
+    conting.add_argument(
+        "--converter-fraction", type=float, default=None,
+        help="SC-converter failure fraction (default: same as the TSV fraction)",
+    )
+    conting.add_argument(
+        "--no-severed-layer", action="store_true",
+        help="skip the worst-case severed-layer row",
+    )
     report = add("report", "Run everything; emit a consolidated report", grid=True)
     report.add_argument("--output", type=str, default=None,
                         help="write to a file instead of stdout")
@@ -77,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.errors import ReproError
+
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     # Imports are deferred so `--help` stays instant.
     if args.command == "table1":
         from repro.core.experiments import table1_report
@@ -110,7 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig7":
         from repro.core.experiments import run_fig7
 
-        print(run_fig7(n_samples=args.samples).format())
+        print(run_fig7(n_samples=args.samples, rng=args.seed).format())
     elif args.command == "fig8":
         from repro.core.experiments import run_fig8
 
@@ -145,13 +195,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.config.stackups import ProcessorSpec
         from repro.core.noise_profile import NoiseProfiler
         from repro.core.scenarios import build_stacked_pdn
+        from repro.utils.rng import spawn_seeds
         from repro.workload.sampling import sample_suite
 
+        # Two decoupled streams: one for the workload samples, one for
+        # the trial draws (historical defaults 0/1 when unseeded).
+        seeds = spawn_seeds(args.seed, 2) if args.seed is not None else [0, 1]
         pdn = build_stacked_pdn(
             args.layers, converters_per_core=args.converters, grid_nodes=args.grid
         )
-        profiler = NoiseProfiler(pdn, sample_suite(ProcessorSpec(), rng=0))
-        profiles = profiler.compare_policies(trials=args.trials, rng=1)
+        profiler = NoiseProfiler(pdn, sample_suite(ProcessorSpec(), rng=seeds[0]))
+        profiles = profiler.compare_policies(trials=args.trials, rng=seeds[1])
         print(
             f"V-S PDN, {args.layers} layers, {args.converters} conv/core, "
             f"{args.trials} sampled operating points per policy"
@@ -161,6 +215,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"  {name:>9}: mean {profile.mean:.2%}  P95 "
                 f"{profile.percentile(95):.2%}  worst {profile.worst:.2%} of Vdd"
             )
+    elif args.command == "contingency":
+        from repro.core.experiments import run_contingency
+
+        fractions = tuple(
+            float(f) for f in args.fractions.split(",") if f.strip()
+        )
+        result = run_contingency(
+            n_layers=args.layers,
+            grid_nodes=args.grid,
+            fractions=fractions,
+            converter_fraction=args.converter_fraction,
+            seed=args.seed,
+            severed_layer=not args.no_severed_layer,
+        )
+        print(result.format())
     elif args.command == "report":
         from repro.core.report import generate_report
 

@@ -10,9 +10,15 @@ Module         Reproduces
 ``fig8``       System power efficiency vs workload imbalance
 ``tables``     Tables 1 (parameters) and 2 (TSV topologies)
 ``headline``   The abstract's headline claims in one report
+``contingency``  N-k failure robustness of both arrangements (new)
 =============  ==========================================================
 """
 
+from repro.core.experiments.contingency import (
+    ContingencyPoint,
+    ContingencyResult,
+    run_contingency,
+)
 from repro.core.experiments.fig3 import Fig3Result, run_fig3
 from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
 from repro.core.experiments.fig6 import Fig6Result, run_fig6
@@ -22,6 +28,9 @@ from repro.core.experiments.tables import table1_report, table2_report
 from repro.core.experiments.headline import HeadlineReport, run_headline
 
 __all__ = [
+    "ContingencyPoint",
+    "ContingencyResult",
+    "run_contingency",
     "Fig3Result",
     "run_fig3",
     "Fig5aResult",

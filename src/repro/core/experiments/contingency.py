@@ -1,0 +1,233 @@
+"""N-k contingency analysis: PDN robustness under component failures.
+
+The paper's EM study (Fig. 5) asks *when* conductors fail; this
+experiment asks what the stack looks like *after* k of them have.  For
+each failure fraction it draws a random set of failed-open TSVs (and,
+for the voltage-stacked PDN, dead SC converter cells), rewrites the
+netlist through :mod:`repro.faults`, and re-solves the damaged PDN on
+the resilient path of :mod:`repro.grid.solver` — recording the worst
+IR-drop fraction, the system efficiency and the solver's degradation
+diagnostics.  A final deterministic row severs one layer completely,
+the worst-case contingency, which must be detected as a floating
+island rather than crash the solve.
+
+Comparing the two arrangements quantifies a robustness trade-off the
+steady-state figures hide: the regular PDN's paralleled tiers degrade
+gracefully, while the voltage-stacked ladder funnels every rail's
+current through single interfaces — but its SC banks re-regulate the
+surviving rails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.errors import ReproError
+from repro.faults import severed_layer_plan, uniform_fault_plan
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.validation import check_positive_int
+
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.20)
+
+
+@dataclass(frozen=True)
+class ContingencyPoint:
+    """One damaged design point of the sweep."""
+
+    arrangement: str
+    #: Failure fraction, or None for the severed-layer worst case.
+    fraction: Optional[float]
+    label: str
+    #: Conductors/converter cells removed by the sampled plan.
+    n_failed_conductors: int
+    n_failed_converters: int
+    #: Metrics of the damaged solve (None when the solve failed).
+    max_droop_fraction: Optional[float]
+    efficiency: Optional[float]
+    #: Resilient-solver diagnostics counters.
+    n_islands: int = 0
+    n_dropped_nodes: int = 0
+    shed_loads: int = 0
+    fallback: str = "none"
+    #: Typed error message when even the resilient path gave up.
+    error: Optional[str] = None
+
+    @property
+    def survived(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class ContingencyResult:
+    """Degradation table of both arrangements under increasing damage."""
+
+    n_layers: int
+    grid_nodes: int
+    seed: SeedLike
+    points: List[ContingencyPoint]
+
+    def arrangement_points(self, arrangement: str) -> List[ContingencyPoint]:
+        return [p for p in self.points if p.arrangement == arrangement]
+
+    def baseline(self, arrangement: str) -> ContingencyPoint:
+        for p in self.arrangement_points(arrangement):
+            if p.fraction == 0.0:
+                return p
+        raise KeyError(f"no pristine baseline for {arrangement!r}")
+
+    def worst_surviving_droop(self, arrangement: str) -> float:
+        """Worst IR-drop fraction over the points that solved."""
+        droops = [
+            p.max_droop_fraction
+            for p in self.arrangement_points(arrangement)
+            if p.survived and p.max_droop_fraction is not None
+        ]
+        if not droops:
+            raise ValueError(f"no surviving solves for {arrangement!r}")
+        return max(droops)
+
+    def format(self) -> str:
+        headers = [
+            "arrangement", "damage", "failed cond.", "failed conv.",
+            "max droop", "efficiency", "islands", "dropped", "shed",
+            "fallback", "status",
+        ]
+        rows = []
+        for p in self.points:
+            rows.append([
+                p.arrangement,
+                p.label,
+                p.n_failed_conductors,
+                p.n_failed_converters,
+                None if p.max_droop_fraction is None
+                else f"{p.max_droop_fraction:.2%}",
+                None if p.efficiency is None else f"{p.efficiency:.2%}",
+                p.n_islands,
+                p.n_dropped_nodes,
+                p.shed_loads,
+                p.fallback,
+                "ok" if p.survived else f"FAILED: {p.error}",
+            ])
+        return format_table(
+            headers, rows,
+            title=(
+                f"N-k contingency: {self.n_layers} layers, "
+                f"{self.grid_nodes}x{self.grid_nodes} grid, seed {self.seed}"
+            ),
+        )
+
+
+def _diag_fields(diag) -> dict:
+    if diag is None:
+        return {}
+    return {
+        "n_islands": diag.n_islands,
+        "n_dropped_nodes": diag.n_dropped_nodes,
+        "shed_loads": diag.shed_loads,
+        "fallback": diag.fallback,
+    }
+
+
+def _solve_point(pdn, arrangement: str, fraction, label, plan) -> ContingencyPoint:
+    """Apply one plan to a fresh PDN and solve it resiliently."""
+    n_cond = 0
+    n_conv = 0
+    if plan is not None:
+        report = pdn.apply_faults(plan)
+        n_cond = report.n_failed_conductors
+        n_conv = report.n_failed_converters
+    try:
+        result = pdn.solve(resilient=True)
+    except ReproError as exc:
+        diag = getattr(exc, "diagnostics", None)
+        return ContingencyPoint(
+            arrangement=arrangement,
+            fraction=fraction,
+            label=label,
+            n_failed_conductors=n_cond,
+            n_failed_converters=n_conv,
+            max_droop_fraction=None,
+            efficiency=None,
+            error=f"{type(exc).__name__}: {exc}",
+            **_diag_fields(diag),
+        )
+    return ContingencyPoint(
+        arrangement=arrangement,
+        fraction=fraction,
+        label=label,
+        n_failed_conductors=n_cond,
+        n_failed_converters=n_conv,
+        max_droop_fraction=result.max_ir_drop_fraction(),
+        efficiency=result.efficiency(),
+        **_diag_fields(result.diagnostics),
+    )
+
+
+def run_contingency(
+    n_layers: int = 4,
+    grid_nodes: int = 16,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    converter_fraction: Optional[float] = None,
+    converters_per_core: int = 8,
+    seed: SeedLike = None,
+    severed_layer: bool = True,
+) -> ContingencyResult:
+    """Sweep both arrangements over increasing TSV failure fractions.
+
+    At each fraction a fresh PDN is built and a random ``fraction`` of
+    its TSVs (through-vias included) fails open; for the voltage-stacked
+    PDN ``converter_fraction`` of the SC cells dies too (defaults to the
+    TSV fraction).  ``severed_layer`` appends the deterministic
+    worst-case row that cuts the top layer off completely.
+    """
+    check_positive_int("n_layers", n_layers)
+    check_positive_int("grid_nodes", grid_nodes)
+    points: List[ContingencyPoint] = []
+    # Independent child seeds per sweep point keep the draws decoupled
+    # from sweep order and arrangement.
+    n_draws = len(fractions) * 2
+    child_seeds = spawn_seeds(seed, n_draws)
+    draw = 0
+    for arrangement, build in (
+        ("regular", lambda: build_regular_pdn(n_layers, grid_nodes=grid_nodes)),
+        (
+            "voltage-stacked",
+            lambda: build_stacked_pdn(
+                n_layers,
+                converters_per_core=converters_per_core,
+                grid_nodes=grid_nodes,
+            ),
+        ),
+    ):
+        for fraction in fractions:
+            pdn = build()
+            plan = None
+            if fraction > 0:
+                conv_frac = (
+                    fraction if converter_fraction is None else converter_fraction
+                )
+                plan = uniform_fault_plan(
+                    pdn,
+                    fraction,
+                    rng=child_seeds[draw],
+                    prefixes=("tsv", "tvia"),
+                    converter_fraction=conv_frac,
+                )
+            points.append(
+                _solve_point(
+                    pdn, arrangement, fraction, f"{fraction:.0%} TSVs", plan
+                )
+            )
+            draw += 1
+        if severed_layer:
+            pdn = build()
+            plan = severed_layer_plan(pdn)
+            points.append(
+                _solve_point(pdn, arrangement, None, "severed top layer", plan)
+            )
+    return ContingencyResult(
+        n_layers=n_layers, grid_nodes=grid_nodes, seed=seed, points=points
+    )

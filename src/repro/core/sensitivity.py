@@ -12,7 +12,7 @@ turn?").
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.config.stackups import StackConfig

@@ -1,0 +1,59 @@
+"""Typed exception hierarchy for the repro library.
+
+Every anticipated failure mode raises a :class:`ReproError` subclass, so
+callers (and the CLI) can distinguish "the model told you something about
+your design" from a genuine bug.  The hierarchy is deliberately shallow:
+
+``ReproError``
+    Base class; also the catch-all the CLI traps to exit cleanly.
+``SingularCircuitError``
+    The MNA system has no unique DC solution — classically a floating
+    subnetwork.  Carries the :class:`repro.grid.solver.SolveDiagnostics`
+    of the failed attempt in :attr:`diagnostics` when the resilient
+    solve path produced one.
+``ConvergenceError``
+    An iterative fallback (Jacobi-preconditioned GMRES, closed-loop
+    outer iterations, ...) ran out of iterations without meeting its
+    tolerance.
+``FaultInjectionError``
+    A :class:`repro.faults.FaultPlan` could not be applied: unknown
+    element tag, branch index out of range, more conductors failed than
+    the bundle holds, or the target circuit was already frozen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReproError(RuntimeError):
+    """Base class for all anticipated repro failures."""
+
+
+class SingularCircuitError(ReproError):
+    """The MNA system is singular (typically a floating subnetwork)."""
+
+    def __init__(self, message: str, diagnostics: Optional[Any] = None):
+        super().__init__(message)
+        #: ``SolveDiagnostics`` of the failed attempt, when available.
+        self.diagnostics = diagnostics
+
+
+class ConvergenceError(ReproError):
+    """An iterative solve failed to converge within its budget."""
+
+    def __init__(self, message: str, diagnostics: Optional[Any] = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan references elements the circuit does not have."""
+
+
+__all__ = [
+    "ReproError",
+    "SingularCircuitError",
+    "ConvergenceError",
+    "FaultInjectionError",
+]

@@ -1,0 +1,39 @@
+"""Fault injection and graceful degradation for 3D PDNs.
+
+The paper's EM analysis predicts *when* TSVs, C4 pads and SC converters
+fail; this package models what the PDN looks like *after* they do:
+
+* :class:`FaultPlan` — a declarative, replayable failure set (individual
+  conductors failed open, bundles resistance-degraded, converter cells
+  killed) applied to a built PDN via
+  :meth:`repro.pdn.builder.BasePDN3D.apply_faults`;
+* :func:`em_fault_plan` — draw a correlated failure set from the
+  Black's-equation / lognormal EM statistics at a given operating time;
+* :func:`uniform_fault_plan` / :func:`severed_layer_plan` — the N-k
+  contingency experiment's stochastic and worst-case failure models;
+* :class:`FaultReport` — the structured receipt of an application.
+
+Degraded netlists are solved by the resilient path in
+:mod:`repro.grid.solver`, which prunes floating islands and reports a
+:class:`repro.grid.solver.SolveDiagnostics` instead of dying.
+"""
+
+from repro.faults.plan import ElementFault, FaultPlan
+from repro.faults.report import AppliedFault, FaultReport
+from repro.faults.sampling import (
+    DEFAULT_PREFIXES,
+    em_fault_plan,
+    severed_layer_plan,
+    uniform_fault_plan,
+)
+
+__all__ = [
+    "ElementFault",
+    "FaultPlan",
+    "AppliedFault",
+    "FaultReport",
+    "DEFAULT_PREFIXES",
+    "em_fault_plan",
+    "severed_layer_plan",
+    "uniform_fault_plan",
+]

@@ -1,0 +1,300 @@
+"""Fault plans: declarative failure sets applied to a built PDN.
+
+A :class:`FaultPlan` is an ordered list of element-level faults —
+individual TSVs or C4 pads failed open, bundles resistance-degraded by a
+factor, SC converter cells killed — that :meth:`FaultPlan.apply` replays
+onto a :class:`repro.pdn.builder.BasePDN3D`'s circuit.
+
+The electrical model aggregates ``m`` parallel physical conductors into
+one model branch of resistance ``R/m`` (see :mod:`repro.pdn.geometry`).
+Failing ``k < m`` conductors of a bundle therefore *degrades* the branch
+to ``R/(m-k)``; failing all ``m`` *opens* it (the element is removed
+from subsequent assemblies via :meth:`repro.grid.netlist.Circuit.
+open_elements`).  Multiplicity bookkeeping in the PDN's conductor groups
+is updated in lockstep so the EM analysis keeps seeing the surviving
+population.
+
+Plans are topology-agnostic: they address conductor groups by their
+registry key ("tsv.rail2", "c4.vdd", ...), converter banks by tag
+("sc.rail1"), and — as an escape hatch — raw resistor tags ("scpar.rail1",
+"grid.vdd.l0").  Unknown references raise
+:class:`repro.errors.FaultInjectionError` at apply time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.report import AppliedFault, FaultReport
+from repro.grid.netlist import CONVERTER, RESISTOR
+
+#: Fault kinds stored in a plan.
+CONDUCTOR = "conductor"
+CONVERTER_FAULT = "converter"
+RESISTOR_TAG = "resistor-tag"
+
+
+@dataclass(frozen=True)
+class ElementFault:
+    """One declarative fault; ``branch``/``n_failed`` of None mean "all"."""
+
+    kind: str
+    tag: str
+    branch: Optional[int] = None
+    n_failed: Optional[int] = None
+    factor: float = 1.0
+
+
+class FaultPlan:
+    """An ordered, replayable set of element failures."""
+
+    def __init__(self) -> None:
+        self._faults: List[ElementFault] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def fail_conductors(self, tag: str, branch: int, count: int = 1) -> "FaultPlan":
+        """Fail ``count`` physical conductors open within one bundle."""
+        if count <= 0:
+            raise FaultInjectionError(f"count must be > 0, got {count}")
+        self._faults.append(ElementFault(CONDUCTOR, tag, int(branch), int(count)))
+        return self
+
+    def degrade_conductors(self, tag: str, branch: int, factor: float) -> "FaultPlan":
+        """Multiply one bundle's resistance by ``factor`` (EM thinning)."""
+        if not np.isfinite(factor) or factor <= 0:
+            raise FaultInjectionError(f"degrade factor must be finite and > 0, got {factor}")
+        self._faults.append(
+            ElementFault(CONDUCTOR, tag, int(branch), 0, float(factor))
+        )
+        return self
+
+    def fail_converters(self, tag: str, branch: int, count: int = 1) -> "FaultPlan":
+        """Kill ``count`` SC converter cells within one bank bundle."""
+        if count <= 0:
+            raise FaultInjectionError(f"count must be > 0, got {count}")
+        self._faults.append(
+            ElementFault(CONVERTER_FAULT, tag, int(branch), int(count))
+        )
+        return self
+
+    def open_group(self, tag: str) -> "FaultPlan":
+        """Fail every conductor of a whole group open (severed tier)."""
+        self._faults.append(ElementFault(CONDUCTOR, tag))
+        return self
+
+    def open_converter_bank(self, tag: str) -> "FaultPlan":
+        """Kill every converter cell of a bank (dead regulator rail)."""
+        self._faults.append(ElementFault(CONVERTER_FAULT, tag))
+        return self
+
+    def open_resistor_tag(self, tag: str) -> "FaultPlan":
+        """Open every raw resistor carrying ``tag`` (escape hatch)."""
+        self._faults.append(ElementFault(RESISTOR_TAG, tag))
+        return self
+
+    def extend(self, other: "FaultPlan") -> "FaultPlan":
+        """Append another plan's faults to this one."""
+        self._faults.extend(other._faults)
+        return self
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[ElementFault]:
+        return iter(self._faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self._faults)} faults)"
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, pdn) -> FaultReport:
+        """Rewrite ``pdn.circuit`` according to this plan.
+
+        Returns a :class:`repro.faults.report.FaultReport`.  The PDN's
+        conductor-group multiplicities (and converter multiplicities,
+        when present) are updated so downstream EM/loading analyses see
+        the surviving population.  Prefer
+        :meth:`repro.pdn.builder.BasePDN3D.apply_faults`, which also
+        invalidates the cached factorisation.
+        """
+        circuit = pdn.circuit
+        groups: Dict[str, object] = pdn.conductor_groups
+        report = FaultReport()
+        # Working multiplicity arrays, shared between group keys that
+        # alias the same resistor run (e.g. "c4.vdd" and "tvia.vdd").
+        working: Dict[Tuple[str, int, int], np.ndarray] = {}
+
+        def working_mult(group) -> np.ndarray:
+            key = (group.ref.kind, group.ref.start, group.ref.count)
+            if key not in working:
+                working[key] = np.array(group.multiplicity, dtype=int, copy=True)
+            return working[key]
+
+        conv_mult = getattr(pdn, "converter_multiplicity", None)
+
+        for fault in self._faults:
+            if fault.kind == CONDUCTOR:
+                self._apply_conductor(circuit, groups, working_mult, fault, report)
+            elif fault.kind == CONVERTER_FAULT:
+                self._apply_converter(circuit, conv_mult, fault, report)
+            elif fault.kind == RESISTOR_TAG:
+                self._apply_resistor_tag(circuit, fault, report)
+            else:  # pragma: no cover - construction prevents this
+                raise FaultInjectionError(f"unknown fault kind {fault.kind!r}")
+
+        # Write the surviving multiplicities back into the group registry.
+        for key, group in list(groups.items()):
+            ref_key = (group.ref.kind, group.ref.start, group.ref.count)
+            if ref_key in working:
+                groups[key] = dataclasses.replace(
+                    group, multiplicity=working[ref_key]
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    def _apply_conductor(self, circuit, groups, working_mult, fault, report):
+        group = groups.get(fault.tag)
+        if group is None:
+            raise FaultInjectionError(
+                f"unknown conductor group {fault.tag!r}; available: "
+                f"{sorted(groups)}"
+            )
+        mult = working_mult(group)
+
+        if fault.branch is None:
+            # Whole-group fault: open every surviving branch at once.
+            live = np.flatnonzero(mult > 0)
+            total = int(mult[live].sum())
+            if live.size:
+                circuit.open_elements(RESISTOR, group.ref.start + live)
+                mult[live] = 0
+            report.record(
+                AppliedFault(
+                    kind=CONDUCTOR,
+                    tag=fault.tag,
+                    branch=-1,
+                    n_failed=total,
+                    factor=1.0,
+                    opened=True,
+                )
+            )
+            return
+
+        branch = fault.branch
+        if not 0 <= branch < len(mult):
+            raise FaultInjectionError(
+                f"branch {branch} out of range for group {fault.tag!r} "
+                f"({len(mult)} branches)"
+            )
+        m = int(mult[branch])
+        count = fault.n_failed
+        if count > m:
+            raise FaultInjectionError(
+                f"cannot fail {count} conductors in {fault.tag!r}[{branch}]: "
+                f"only {m} remain"
+            )
+        if count == 0 and fault.factor == 1.0:
+            return  # no-op
+        global_idx = group.ref.start + branch
+        opened = False
+        if count == m and count > 0:
+            circuit.open_elements(RESISTOR, [global_idx])
+            mult[branch] = 0
+            opened = True
+        elif count > 0:
+            circuit.scale_elements(
+                RESISTOR, "resistance", [global_idx], m / (m - count)
+            )
+            mult[branch] = m - count
+        if fault.factor != 1.0 and not opened:
+            circuit.scale_elements(
+                RESISTOR, "resistance", [global_idx], fault.factor
+            )
+        report.record(
+            AppliedFault(
+                kind=CONDUCTOR,
+                tag=fault.tag,
+                branch=branch,
+                n_failed=count,
+                factor=fault.factor,
+                opened=opened,
+            )
+        )
+
+    def _apply_converter(self, circuit, conv_mult, fault, report):
+        store = circuit.store(CONVERTER)
+        indices = store.tag_indices(fault.tag)
+        if indices.size == 0:
+            raise FaultInjectionError(
+                f"unknown converter tag {fault.tag!r}; available: "
+                f"{circuit.tags(CONVERTER)}"
+            )
+        branches = (
+            range(indices.size) if fault.branch is None else (fault.branch,)
+        )
+        for branch in branches:
+            if not 0 <= branch < indices.size:
+                raise FaultInjectionError(
+                    f"branch {branch} out of range for converter tag "
+                    f"{fault.tag!r} ({indices.size} bundles)"
+                )
+            global_idx = int(indices[branch])
+            cm = 1 if conv_mult is None else int(conv_mult[global_idx])
+            count = cm if fault.n_failed is None else fault.n_failed
+            if count > cm:
+                raise FaultInjectionError(
+                    f"cannot fail {count} converter cells in "
+                    f"{fault.tag!r}[{branch}]: only {cm} remain"
+                )
+            if count == 0:
+                continue
+            opened = False
+            if count == cm:
+                circuit.open_elements(CONVERTER, [global_idx])
+                opened = True
+            else:
+                circuit.scale_elements(
+                    CONVERTER, "r_series", [global_idx], cm / (cm - count)
+                )
+            if conv_mult is not None:
+                conv_mult[global_idx] = cm - count
+            report.record(
+                AppliedFault(
+                    kind=CONVERTER_FAULT,
+                    tag=fault.tag,
+                    branch=branch,
+                    n_failed=count,
+                    factor=1.0,
+                    opened=opened,
+                )
+            )
+
+    def _apply_resistor_tag(self, circuit, fault, report):
+        store = circuit.store(RESISTOR)
+        indices = store.tag_indices(fault.tag)
+        if indices.size == 0:
+            raise FaultInjectionError(
+                f"unknown resistor tag {fault.tag!r}; available: "
+                f"{circuit.tags(RESISTOR)}"
+            )
+        circuit.open_elements(RESISTOR, indices)
+        report.record(
+            AppliedFault(
+                kind=RESISTOR_TAG,
+                tag=fault.tag,
+                branch=-1,
+                n_failed=int(indices.size),
+                factor=1.0,
+                opened=True,
+            )
+        )

@@ -1,0 +1,82 @@
+"""Structured record of an applied fault plan.
+
+:class:`FaultReport` is the receipt :meth:`repro.faults.FaultPlan.apply`
+hands back: one :class:`AppliedFault` per rewritten element plus totals
+the contingency experiment aggregates.  It deliberately mirrors
+:class:`repro.grid.solver.SolveDiagnostics` — one object says what was
+broken, the other says what the solver had to do about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """One element-level rewrite actually performed on the circuit."""
+
+    #: "conductor" (resistor bundle), "converter", or "resistor-tag".
+    kind: str
+    #: Conductor-group key / converter tag / raw resistor tag.
+    tag: str
+    #: Branch index within the tag's run (-1 for whole-tag faults).
+    branch: int
+    #: Physical conductors (or converter cells) failed open.
+    n_failed: int
+    #: Residual resistance-degradation factor applied (1.0 = none).
+    factor: float
+    #: True when the whole model branch was removed from the netlist.
+    opened: bool
+
+
+@dataclass
+class FaultReport:
+    """Everything a :class:`repro.faults.FaultPlan` did to one PDN."""
+
+    applied: List[AppliedFault] = field(default_factory=list)
+
+    def record(self, fault: AppliedFault) -> None:
+        self.applied.append(fault)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_faults(self) -> int:
+        return len(self.applied)
+
+    @property
+    def n_opened_branches(self) -> int:
+        return sum(1 for f in self.applied if f.opened)
+
+    @property
+    def n_degraded_branches(self) -> int:
+        return sum(1 for f in self.applied if not f.opened)
+
+    @property
+    def n_failed_conductors(self) -> int:
+        """Physical TSVs/C4 pads failed open (not converter cells)."""
+        return sum(
+            f.n_failed for f in self.applied if f.kind in ("conductor", "resistor-tag")
+        )
+
+    @property
+    def n_failed_converters(self) -> int:
+        """Physical SC converter cells failed open."""
+        return sum(f.n_failed for f in self.applied if f.kind == "converter")
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_faults} fault(s): {self.n_failed_conductors} conductor(s) "
+            f"and {self.n_failed_converters} converter cell(s) failed, "
+            f"{self.n_opened_branches} branch(es) opened, "
+            f"{self.n_degraded_branches} degraded"
+        )
+
+    def format(self) -> str:
+        lines = [self.summary()]
+        for f in self.applied:
+            where = f"{f.tag}" if f.branch < 0 else f"{f.tag}[{f.branch}]"
+            action = "opened" if f.opened else f"degraded x{f.factor:.3g}"
+            lines.append(f"  {where}: {f.n_failed} failed -> {action}")
+        return "\n".join(lines)

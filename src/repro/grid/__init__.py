@@ -16,12 +16,13 @@ from repro.grid.ac import ACAnalysis, ImpedanceProfile, pdn_impedance_profile
 from repro.grid.dynamic import Capacitor, Inductor, TransientEngine, TransientTrace
 from repro.grid.netlist import Circuit, ElementRef
 from repro.grid.solution import Solution
-from repro.grid.solver import AssembledCircuit
+from repro.grid.solver import AssembledCircuit, SolveDiagnostics
 
 __all__ = [
     "Circuit",
     "ElementRef",
     "AssembledCircuit",
+    "SolveDiagnostics",
     "Solution",
     "Capacitor",
     "Inductor",

@@ -21,9 +21,11 @@ lifetime analysis consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
+
+from repro.utils.validation import check_finite_array
 
 NodeKey = Hashable
 
@@ -69,6 +71,7 @@ class _Columnar:
         self._tags: List[str] = []
         self._tag_runs: List[tuple] = []  # (tag, start, count)
         self._size = 0
+        self._inactive: Set[int] = set()
 
     def __len__(self) -> int:
         return self._size
@@ -94,6 +97,35 @@ class _Columnar:
         if not chunks:
             return np.empty(0, dtype=self._dtype(name))
         return np.concatenate(chunks)
+
+    def _consolidated(self, name: str) -> np.ndarray:
+        """Collapse a column's chunks into one mutable array and return it."""
+        chunks = self._chunks[name]
+        if len(chunks) != 1 or len(chunks[0]) != self._size:
+            merged = self.column(name)
+            self._chunks[name] = [merged]
+        return self._chunks[name][0]
+
+    def scale(self, name: str, indices: np.ndarray, factor) -> None:
+        """Multiply ``column[name][indices]`` by ``factor`` in place."""
+        arr = self._consolidated(name)
+        arr[indices] = arr[indices] * factor
+
+    def deactivate(self, indices: np.ndarray) -> None:
+        """Mark elements as removed from the circuit (failed open)."""
+        self._inactive.update(int(i) for i in np.atleast_1d(indices))
+
+    @property
+    def n_inactive(self) -> int:
+        return len(self._inactive)
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean mask over all elements; False = removed/failed-open."""
+        mask = np.ones(self._size, dtype=bool)
+        if self._inactive:
+            mask[np.fromiter(self._inactive, dtype=int)] = False
+        return mask
 
     def tag_indices(self, tag: str) -> np.ndarray:
         parts = [
@@ -127,6 +159,7 @@ class Circuit:
     def __init__(self) -> None:
         self._node_index: Dict[NodeKey, int] = {}
         self._ground: Optional[int] = None
+        self._revision = 0
         self._store: Dict[str, _Columnar] = {
             RESISTOR: _Columnar(("n1", "n2", "resistance")),
             VSOURCE: _Columnar(("pos", "neg", "voltage")),
@@ -190,7 +223,10 @@ class Circuit:
         """Vectorised resistor batch; all three iterables must align."""
         ids1 = self._as_node_ids(n1)
         ids2 = self._as_node_ids(n2)
-        res = np.asarray(list(resistance) if not isinstance(resistance, np.ndarray) else resistance, dtype=float)
+        res = check_finite_array(
+            "resistance",
+            list(resistance) if not isinstance(resistance, np.ndarray) else resistance,
+        )
         if np.any(res <= 0):
             raise ValueError("all resistances must be > 0")
         if not (len(ids1) == len(ids2) == len(res)):
@@ -206,7 +242,7 @@ class Circuit:
             tag,
             pos=self._as_node_ids([pos]),
             neg=self._as_node_ids([neg]),
-            voltage=np.asarray([voltage], dtype=float),
+            voltage=check_finite_array("voltage", [voltage]),
         )
         return ElementRef(VSOURCE, start, count)
 
@@ -230,7 +266,10 @@ class Circuit:
         """Vectorised current-source batch."""
         ids1 = self._as_node_ids(src)
         ids2 = self._as_node_ids(dst)
-        cur = np.asarray(list(current) if not isinstance(current, np.ndarray) else current, dtype=float)
+        cur = check_finite_array(
+            "current",
+            list(current) if not isinstance(current, np.ndarray) else current,
+        )
         if not (len(ids1) == len(ids2) == len(cur)):
             raise ValueError("src, dst and current must have equal lengths")
         start, count = self._store[ISOURCE].append(tag, src=ids1, dst=ids2, current=cur)
@@ -268,7 +307,10 @@ class Circuit:
         t = self._as_node_ids(top)
         b = self._as_node_ids(bottom)
         m = self._as_node_ids(mid)
-        rs = np.asarray(list(r_series) if not isinstance(r_series, np.ndarray) else r_series, dtype=float)
+        rs = check_finite_array(
+            "r_series",
+            list(r_series) if not isinstance(r_series, np.ndarray) else r_series,
+        )
         if np.any(rs <= 0):
             raise ValueError("all r_series values must be > 0")
         if not (len(t) == len(b) == len(m) == len(rs)):
@@ -289,6 +331,56 @@ class Circuit:
 
     def tags(self, kind: str) -> List[str]:
         return self._store[kind].tags
+
+    def active_mask(self, kind: str) -> np.ndarray:
+        """Boolean activity mask for ``kind``; False = failed-open."""
+        return self.store(kind).active
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter; bumps on every post-construction rewrite.
+
+        :class:`repro.grid.solver.AssembledCircuit` snapshots this at
+        assembly time and refuses to solve a stale factorisation.
+        """
+        return self._revision
+
+    # ------------------------------------------------------------------
+    # fault rewriting (used by repro.faults)
+    # ------------------------------------------------------------------
+    def open_elements(self, kind: str, indices) -> None:
+        """Fail elements open: remove them from subsequent assemblies.
+
+        Opened resistors stop conducting, opened converters stop
+        transferring charge (their output current is pinned to zero) and
+        opened current sources stop drawing load.
+        """
+        store = self.store(kind)
+        idx = np.atleast_1d(np.asarray(indices, dtype=int))
+        if idx.size and (idx.min() < 0 or idx.max() >= len(store)):
+            raise IndexError(
+                f"element index out of range for {kind!r} (size {len(store)})"
+            )
+        store.deactivate(idx)
+        self._revision += 1
+
+    def scale_elements(self, kind: str, column: str, indices, factor) -> None:
+        """Multiply a value column in place (resistance degradation).
+
+        ``factor`` may be a scalar or an array aligned with ``indices``;
+        every factor must be finite and > 0.
+        """
+        store = self.store(kind)
+        idx = np.atleast_1d(np.asarray(indices, dtype=int))
+        if idx.size and (idx.min() < 0 or idx.max() >= len(store)):
+            raise IndexError(
+                f"element index out of range for {kind!r} (size {len(store)})"
+            )
+        fac = check_finite_array("factor", np.atleast_1d(factor))
+        if np.any(fac <= 0):
+            raise ValueError("all scale factors must be > 0")
+        store.scale(column, idx, fac if fac.size > 1 else float(fac[0]))
+        self._revision += 1
 
     # ------------------------------------------------------------------
     # assembly

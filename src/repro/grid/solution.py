@@ -16,11 +16,16 @@ import numpy as np
 from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, NodeKey
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.grid.solver import AssembledCircuit
+    from repro.grid.solver import AssembledCircuit, SolveDiagnostics
 
 
 class Solution:
-    """Node voltages and derived branch quantities for one DC solve."""
+    """Node voltages and derived branch quantities for one DC solve.
+
+    Elements failed open by fault injection report zero branch current
+    and dissipate no power; ``diagnostics`` (resilient solves only)
+    records any pruning or fallback the solver needed.
+    """
 
     def __init__(
         self,
@@ -28,12 +33,15 @@ class Solution:
         x: np.ndarray,
         isource_current: np.ndarray,
         vsource_voltage: np.ndarray,
+        diagnostics: Optional["SolveDiagnostics"] = None,
     ):
         self._assembled = assembled
         self._circuit = assembled.circuit
         self._x = x
         self._isource_current = isource_current
         self._vsource_voltage = vsource_voltage
+        #: ``SolveDiagnostics`` of a resilient solve; None on the strict path.
+        self.diagnostics = diagnostics
         # Expand to a full per-node voltage vector including ground = 0.
         n = assembled.n_nodes
         volts = np.empty(n)
@@ -75,22 +83,26 @@ class Solution:
         v1 = self._node_voltage[store.column("n1")[idx]]
         v2 = self._node_voltage[store.column("n2")[idx]]
         r = store.column("resistance")[idx]
-        return idx, v1, v2, r
+        active = store.active[idx]
+        return idx, v1, v2, r, active
 
     def resistor_currents(self, tag: Optional[str] = None) -> np.ndarray:
-        """Branch currents (A) flowing n1 -> n2, optionally one tag only."""
-        _, v1, v2, r = self._resistor_fields(tag)
-        return (v1 - v2) / r
+        """Branch currents (A) flowing n1 -> n2, optionally one tag only.
+
+        Resistors failed open carry zero current.
+        """
+        _, v1, v2, r, active = self._resistor_fields(tag)
+        return np.where(active, (v1 - v2) / r, 0.0)
 
     def resistor_drops(self, tag: Optional[str] = None) -> np.ndarray:
         """Voltage drops v1 - v2 (V)."""
-        _, v1, v2, _ = self._resistor_fields(tag)
+        _, v1, v2, _, _ = self._resistor_fields(tag)
         return v1 - v2
 
     def resistor_power(self, tag: Optional[str] = None) -> float:
-        """Total power dissipated in the selected resistors (W)."""
-        _, v1, v2, r = self._resistor_fields(tag)
-        return float(np.sum((v1 - v2) ** 2 / r))
+        """Total power dissipated in the selected (active) resistors (W)."""
+        _, v1, v2, r, active = self._resistor_fields(tag)
+        return float(np.sum(np.where(active, (v1 - v2) ** 2 / r, 0.0)))
 
     # ------------------------------------------------------------------
     # voltage sources
@@ -127,13 +139,14 @@ class Solution:
         idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
         vsrc = self._node_voltage[store.column("src")[idx]]
         vdst = self._node_voltage[store.column("dst")[idx]]
-        return float(np.sum((vsrc - vdst) * self._isource_current[idx]))
+        current = np.where(store.active[idx], self._isource_current[idx], 0.0)
+        return float(np.sum((vsrc - vdst) * current))
 
     def isource_values(self, tag: Optional[str] = None) -> np.ndarray:
-        """The current values used for this solve (A)."""
+        """The current values used for this solve (A); 0 for shed loads."""
         store = self._circuit.store(ISOURCE)
         idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
-        return self._isource_current[idx]
+        return np.where(store.active[idx], self._isource_current[idx], 0.0)
 
     # ------------------------------------------------------------------
     # SC converters

@@ -1,4 +1,4 @@
-"""MNA assembly and sparse LU solve.
+"""MNA assembly, sparse LU solve, and the resilient solve path.
 
 :class:`AssembledCircuit` freezes a :class:`repro.grid.netlist.Circuit`
 topology into a sparse MNA matrix, LU-factorises it once (SuperLU via
@@ -6,22 +6,105 @@ topology into a sparse MNA matrix, LU-factorises it once (SuperLU via
 values.  Because independent sources only enter the right-hand side,
 parameter sweeps over load currents — the inner loop of every experiment
 in the paper — reuse the factorisation and cost only a triangular solve.
+
+Fault-injected netlists (see :mod:`repro.faults`) can leave the system
+singular: an opened TSV tier floats a whole layer, a dead converter bank
+floats an intermediate rail.  ``solve(resilient=True)`` refuses to die on
+such inputs.  Before declaring defeat it
+
+1. detects floating subnetworks with
+   ``scipy.sparse.csgraph.connected_components`` over the conduction
+   graph, prunes them (their nodes are grounded, their loads shed) and
+   records what was dropped in a :class:`SolveDiagnostics`;
+2. pins any remaining structurally-empty MNA rows with identity
+   stamps (dead source/converter branches);
+3. falls back from SuperLU to a Jacobi-preconditioned LGMRES iteration
+   when the direct factorisation still fails on a near-singular system.
+
+Only when all of that fails does it raise — always a typed
+:class:`repro.errors.ReproError` subclass carrying the diagnostics,
+never a bare SciPy exception.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix
-from scipy.sparse.linalg import splu
+from scipy.sparse.csgraph import connected_components
+from scipy.sparse.linalg import LinearOperator, lgmres, onenormest, splu
 
+from repro.errors import (
+    ConvergenceError,
+    FaultInjectionError,
+    SingularCircuitError,
+)
 from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, Circuit
 from repro.grid.solution import Solution
+from repro.utils.validation import check_finite_array
+
+__all__ = [
+    "AssembledCircuit",
+    "SolveDiagnostics",
+    "SingularCircuitError",
+    "ConvergenceError",
+]
 
 
-class SingularCircuitError(RuntimeError):
-    """The MNA system is singular (typically a floating subnetwork)."""
+@dataclass
+class SolveDiagnostics:
+    """Structured record of what the resilient solve path had to do.
+
+    A clean direct solve leaves every count at zero and ``fallback`` at
+    ``"none"``; anything else means the circuit was degraded and the
+    returned operating point describes the *pruned* network.
+    """
+
+    #: Floating subnetworks detected (connected components without ground).
+    n_islands: int = 0
+    #: Node ids grounded away with their islands.
+    dropped_nodes: List[int] = field(default_factory=list)
+    #: Current sources disconnected because they fed a floating island.
+    shed_loads: int = 0
+    #: Structurally-empty MNA rows pinned with an identity stamp.
+    stabilized_rows: int = 0
+    #: Solver that produced the answer: "none" (clean direct solve is
+    #: also "none"), or "iterative" for the Jacobi-LGMRES fallback.
+    fallback: str = "none"
+    #: Iteration count of the fallback solver (0 for direct solves).
+    iterations: int = 0
+    #: Relative residual of the accepted solution.
+    residual: float = 0.0
+    #: One-norm condition estimate of the (possibly pruned) MNA matrix,
+    #: when a factorisation was available to compute it.
+    condition_estimate: Optional[float] = None
+
+    @property
+    def n_dropped_nodes(self) -> int:
+        return len(self.dropped_nodes)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the solution describes a pruned or fallback solve."""
+        return bool(
+            self.n_islands
+            or self.stabilized_rows
+            or self.shed_loads
+            or self.fallback != "none"
+        )
+
+    def summary(self) -> str:
+        if not self.degraded:
+            return f"clean solve (residual {self.residual:.1e})"
+        return (
+            f"degraded solve: {self.n_islands} island(s), "
+            f"{self.n_dropped_nodes} node(s) grounded, "
+            f"{self.shed_loads} load(s) shed, "
+            f"{self.stabilized_rows} row(s) pinned, "
+            f"fallback={self.fallback}, residual {self.residual:.1e}"
+        )
 
 
 class AssembledCircuit:
@@ -33,6 +116,8 @@ class AssembledCircuit:
 
     #: Relative residual above which a solve is reported as singular.
     RESIDUAL_TOLERANCE = 1e-6
+    #: Iteration budget for the Jacobi-LGMRES fallback.
+    MAX_FALLBACK_ITERATIONS = 2000
 
     def __init__(self, circuit: Circuit):
         if circuit.ground is None:
@@ -40,13 +125,26 @@ class AssembledCircuit:
         if circuit.count(RESISTOR) == 0 and circuit.count(VSOURCE) == 0:
             raise ValueError("circuit has no conducting elements")
         self.circuit = circuit
+        self._revision = circuit.revision
         self._ground = circuit.ground
         self._n_nodes = circuit.node_count
         self._nv = circuit.count(VSOURCE)
         self._nc = circuit.count(CONVERTER)
         self.dimension = (self._n_nodes - 1) + self._nv + self._nc
-        self._matrix = self._build_matrix()
+        self._stamps = self._collect_stamps()
+        self._matrix = coo_matrix(
+            (self._stamps[2], (self._stamps[0], self._stamps[1])),
+            shape=(self.dimension, self.dimension),
+        ).tocsc()
         self._lu = None
+        #: Matrix rows zeroed by pruning/pinning; their RHS entries are
+        #: forced to zero.  Empty until the resilient path prunes.
+        self._forced_zero_rows: np.ndarray = np.empty(0, dtype=int)
+        self._pruned_matrix = None
+        self._pruned_lu = None
+        self._diagnostics_template: Optional[SolveDiagnostics] = None
+        self._island_node_mask: Optional[np.ndarray] = None
+        self._shed_isource_mask: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _row_of(self, node_ids: np.ndarray) -> np.ndarray:
@@ -55,7 +153,8 @@ class AssembledCircuit:
         rows = np.where(node_ids == self._ground, -1, rows)
         return rows
 
-    def _build_matrix(self):
+    def _collect_stamps(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw COO stamps of the MNA matrix, honouring element activity."""
         circuit = self.circuit
         rows_parts = []
         cols_parts = []
@@ -73,9 +172,10 @@ class AssembledCircuit:
         # --- resistors -------------------------------------------------
         res = circuit.store(RESISTOR)
         if len(res):
-            n1 = self._row_of(res.column("n1"))
-            n2 = self._row_of(res.column("n2"))
-            g = 1.0 / res.column("resistance")
+            act = res.active
+            n1 = self._row_of(res.column("n1")[act])
+            n2 = self._row_of(res.column("n2")[act])
+            g = 1.0 / res.column("resistance")[act]
             stamp(n1, n1, g)
             stamp(n2, n2, g)
             stamp(n1, n2, -g)
@@ -87,18 +187,26 @@ class AssembledCircuit:
         # --- voltage sources --------------------------------------------
         vsrc = circuit.store(VSOURCE)
         if len(vsrc):
+            act = vsrc.active
             pos = self._row_of(vsrc.column("pos"))
             neg = self._row_of(vsrc.column("neg"))
             k = nv_offset + np.arange(self._nv)
             ones = np.ones(self._nv)
-            stamp(pos, k, ones)   # branch current leaves the + node
-            stamp(neg, k, -ones)
-            stamp(k, pos, ones)   # constraint: v+ - v- = V
-            stamp(k, neg, -ones)
+            # Live sources get the usual coupling + constraint stamps;
+            # failed-open sources keep only an identity row pinning their
+            # branch current to the (zeroed) RHS entry.
+            stamp(pos[act], k[act], ones[act])
+            stamp(neg[act], k[act], -ones[act])
+            stamp(k[act], pos[act], ones[act])
+            stamp(k[act], neg[act], -ones[act])
+            dead = ~act
+            if dead.any():
+                stamp(k[dead], k[dead], ones[dead])
 
         # --- SC converters ------------------------------------------------
         conv = circuit.store(CONVERTER)
         if len(conv):
+            act = conv.active
             top = self._row_of(conv.column("top"))
             bottom = self._row_of(conv.column("bottom"))
             mid = self._row_of(conv.column("mid"))
@@ -107,67 +215,253 @@ class AssembledCircuit:
             half = np.full(self._nc, 0.5)
             ones = np.ones(self._nc)
             # KCL: output current j enters mid; j/2 is drawn from each rail.
-            stamp(top, k, half)
-            stamp(bottom, k, half)
-            stamp(mid, k, -ones)
+            stamp(top[act], k[act], half[act])
+            stamp(bottom[act], k[act], half[act])
+            stamp(mid[act], k[act], -ones[act])
             # Constraint: v_mid - (v_top + v_bottom)/2 + j * r_series = 0.
-            stamp(k, mid, ones)
-            stamp(k, top, -half)
-            stamp(k, bottom, -half)
-            stamp(k, k, rser)
+            stamp(k[act], mid[act], ones[act])
+            stamp(k[act], top[act], -half[act])
+            stamp(k[act], bottom[act], -half[act])
+            stamp(k[act], k[act], rser[act])
+            dead = ~act
+            if dead.any():  # pin the dead converters' output current to 0
+                stamp(k[dead], k[dead], ones[dead])
 
         rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, dtype=int)
         cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, dtype=int)
         vals = np.concatenate(vals_parts) if vals_parts else np.empty(0)
-        matrix = coo_matrix(
-            (vals, (rows, cols)), shape=(self.dimension, self.dimension)
-        ).tocsc()
-        return matrix
+        return rows, cols, vals
 
     # ------------------------------------------------------------------
-    def _rhs(
+    def _resolve_sources(
         self,
         isource_current: Optional[np.ndarray],
         vsource_voltage: Optional[np.ndarray],
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate the source value vectors (overrides or stored).
+
+        Failed-open sources are zeroed; non-finite overrides are rejected
+        with a ``ValueError`` naming the offending element index.
+        """
+        circuit = self.circuit
+        isrc = circuit.store(ISOURCE)
+        if isource_current is None:
+            current = isrc.column("current")
+        else:
+            current = check_finite_array("isource_current", isource_current)
+        if len(current) != len(isrc):
+            raise ValueError(
+                f"isource_current must have length {len(isrc)}, got {len(current)}"
+            )
+        if len(isrc):
+            current = np.where(isrc.active, current, 0.0)
+
+        vsrc = circuit.store(VSOURCE)
+        if vsource_voltage is None:
+            voltage = vsrc.column("voltage")
+        else:
+            voltage = check_finite_array("vsource_voltage", vsource_voltage)
+        if len(voltage) != len(vsrc):
+            raise ValueError(
+                f"vsource_voltage must have length {len(vsrc)}, got {len(voltage)}"
+            )
+        if len(vsrc):
+            voltage = np.where(vsrc.active, voltage, 0.0)
+        return current, voltage
+
+    def _rhs(self, current: np.ndarray, voltage: np.ndarray) -> np.ndarray:
+        """Assemble the RHS from resolved source value vectors."""
         circuit = self.circuit
         z = np.zeros(self.dimension)
-
         isrc = circuit.store(ISOURCE)
         if len(isrc):
-            current = (
-                isrc.column("current")
-                if isource_current is None
-                else np.asarray(isource_current, dtype=float)
-            )
-            if len(current) != len(isrc):
-                raise ValueError(
-                    f"isource_current must have length {len(isrc)}, got {len(current)}"
-                )
             src = self._row_of(isrc.column("src"))
             dst = self._row_of(isrc.column("dst"))
             np.add.at(z, src[src >= 0], -current[src >= 0])
             np.add.at(z, dst[dst >= 0], current[dst >= 0])
-
-        vsrc = circuit.store(VSOURCE)
-        if len(vsrc):
-            voltage = (
-                vsrc.column("voltage")
-                if vsource_voltage is None
-                else np.asarray(vsource_voltage, dtype=float)
-            )
-            if len(voltage) != len(vsrc):
-                raise ValueError(
-                    f"vsource_voltage must have length {len(vsrc)}, got {len(voltage)}"
-                )
+        if len(circuit.store(VSOURCE)):
             z[self._n_nodes - 1 : self._n_nodes - 1 + self._nv] = voltage
         return z
 
     # ------------------------------------------------------------------
+    # island analysis and pruning
+    # ------------------------------------------------------------------
+    def _conduction_graph(self):
+        """Sparse node-adjacency graph of every *active* conducting path."""
+        circuit = self.circuit
+        edges_u = []
+        edges_v = []
+
+        res = circuit.store(RESISTOR)
+        if len(res):
+            act = res.active
+            edges_u.append(res.column("n1")[act])
+            edges_v.append(res.column("n2")[act])
+
+        vsrc = circuit.store(VSOURCE)
+        if len(vsrc):
+            act = vsrc.active
+            edges_u.append(vsrc.column("pos")[act])
+            edges_v.append(vsrc.column("neg")[act])
+
+        conv = circuit.store(CONVERTER)
+        if len(conv):
+            act = conv.active
+            for a, b in (("top", "mid"), ("bottom", "mid"), ("top", "bottom")):
+                edges_u.append(conv.column(a)[act])
+                edges_v.append(conv.column(b)[act])
+
+        n = self._n_nodes
+        if not edges_u:
+            return coo_matrix((n, n))
+        u = np.concatenate(edges_u)
+        v = np.concatenate(edges_v)
+        return coo_matrix((np.ones(len(u)), (u, v)), shape=(n, n))
+
+    def find_islands(self) -> Tuple[int, np.ndarray]:
+        """Detect floating subnetworks.
+
+        Returns ``(n_islands, island_node_mask)`` where the mask is a
+        boolean per-node array, True for every node not connected to
+        ground through any conducting element.
+        """
+        graph = self._conduction_graph()
+        n_components, labels = connected_components(graph, directed=False)
+        ground_label = labels[self._ground]
+        island_mask = labels != ground_label
+        island_labels = np.unique(labels[island_mask])
+        return len(island_labels), island_mask
+
+    def _build_pruned_system(self) -> SolveDiagnostics:
+        """Ground floating islands and pin empty rows; cache the result."""
+        diag = SolveDiagnostics()
+        n_islands, island_mask = self.find_islands()
+        diag.n_islands = n_islands
+        diag.dropped_nodes = [int(i) for i in np.flatnonzero(island_mask)]
+
+        # A load with either terminal in an island is fully disconnected:
+        # zeroing only the island side would leave it pumping current into
+        # the live network with no return path.
+        isrc = self.circuit.store(ISOURCE)
+        self._shed_isource_mask = np.zeros(len(isrc), dtype=bool)
+        if len(isrc) and island_mask.any():
+            act = isrc.active
+            src_in = island_mask[isrc.column("src")]
+            dst_in = island_mask[isrc.column("dst")]
+            self._shed_isource_mask = act & (src_in | dst_in)
+            diag.shed_loads = int(np.sum(self._shed_isource_mask))
+
+        rows, cols, vals = self._stamps
+        pruned_row_ids = self._row_of(np.flatnonzero(island_mask))
+        pruned_row_ids = pruned_row_ids[pruned_row_ids >= 0]
+        pruned_set = np.zeros(self.dimension, dtype=bool)
+        pruned_set[pruned_row_ids] = True
+
+        keep = ~(pruned_set[rows] | pruned_set[cols])
+        rows2 = rows[keep]
+        cols2 = cols[keep]
+        vals2 = vals[keep]
+
+        # Identity stamps ground the pruned node rows.
+        if pruned_row_ids.size:
+            rows2 = np.concatenate([rows2, pruned_row_ids])
+            cols2 = np.concatenate([cols2, pruned_row_ids])
+            vals2 = np.concatenate([vals2, np.ones(pruned_row_ids.size)])
+
+        # Any row left with no stamps at all (dead source branches whose
+        # terminals were pruned, degenerate topologies) is pinned too.
+        occupancy = np.bincount(rows2, minlength=self.dimension)
+        empty_rows = np.flatnonzero(occupancy == 0)
+        diag.stabilized_rows = int(empty_rows.size)
+        if empty_rows.size:
+            rows2 = np.concatenate([rows2, empty_rows])
+            cols2 = np.concatenate([cols2, empty_rows])
+            vals2 = np.concatenate([vals2, np.ones(empty_rows.size)])
+
+        self._forced_zero_rows = np.union1d(pruned_row_ids, empty_rows)
+        self._pruned_matrix = coo_matrix(
+            (vals2, (rows2, cols2)), shape=(self.dimension, self.dimension)
+        ).tocsc()
+        self._pruned_lu = None
+        self._island_node_mask = island_mask
+        return diag
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def _check_revision(self) -> None:
+        if self.circuit.revision != self._revision:
+            raise FaultInjectionError(
+                "circuit was modified after assembly (fault injection?); "
+                "call Circuit.assemble() again to pick up the changes"
+            )
+
+    def _condition_estimate(self, matrix, lu) -> Optional[float]:
+        if self.dimension < 2:
+            return None
+        try:
+            # onenormest needs the adjoint too; SuperLU solves A^T x = b.
+            inv = LinearOperator(
+                matrix.shape,
+                matvec=lu.solve,
+                rmatvec=lambda v: lu.solve(v, trans="T"),
+            )
+            return float(onenormest(matrix) * onenormest(inv))
+        except Exception:  # estimation is best-effort only
+            return None
+
+    def _relative_residual(self, matrix, x, z) -> float:
+        residual = np.linalg.norm(matrix @ x - z)
+        scale = max(1.0, float(np.linalg.norm(z)))
+        return residual / scale
+
+    def _direct_attempt(self, matrix, lu_attr: str, z):
+        """Try SuperLU; return (x, relative_residual) or None on failure."""
+        lu = getattr(self, lu_attr)
+        if lu is None:
+            try:
+                lu = splu(matrix)
+            except (RuntimeError, ValueError):
+                return None
+            setattr(self, lu_attr, lu)
+        x = lu.solve(z)
+        if not np.all(np.isfinite(x)):
+            return None
+        return x, self._relative_residual(matrix, x, z)
+
+    def _iterative_attempt(self, matrix, z, diag: SolveDiagnostics):
+        """Jacobi-preconditioned LGMRES fallback for near-singular systems."""
+        diagonal = matrix.diagonal()
+        inv_diag = np.where(np.abs(diagonal) > 1e-300, 1.0 / diagonal, 1.0)
+        preconditioner = LinearOperator(
+            matrix.shape, matvec=lambda v: inv_diag * v
+        )
+        iterations = 0
+
+        def count(_):
+            nonlocal iterations
+            iterations += 1
+
+        x, info = lgmres(
+            matrix,
+            z,
+            M=preconditioner,
+            rtol=self.RESIDUAL_TOLERANCE * 1e-2,
+            atol=0.0,
+            maxiter=self.MAX_FALLBACK_ITERATIONS,
+            callback=count,
+        )
+        diag.fallback = "iterative"
+        diag.iterations = iterations
+        if info != 0 or not np.all(np.isfinite(x)):
+            return None
+        return x, self._relative_residual(matrix, x, z)
+
     def solve(
         self,
         isource_current: Optional[np.ndarray] = None,
         vsource_voltage: Optional[np.ndarray] = None,
+        resilient: bool = False,
     ) -> Solution:
         """Solve the DC operating point.
 
@@ -177,8 +471,43 @@ class AssembledCircuit:
             Optional full-length override arrays for the independent
             source values; ``None`` uses the values given at netlist
             construction.  The system matrix is untouched either way, so
-            sweeps amortise the factorisation.
+            sweeps amortise the factorisation.  Non-finite entries are
+            rejected with a ``ValueError`` naming the offending index.
+        resilient:
+            When True, a singular or near-singular system is not fatal:
+            floating subnetworks are pruned (grounded, their loads shed)
+            and an iterative fallback is tried before raising.  The
+            returned :class:`repro.grid.solution.Solution` carries a
+            :class:`SolveDiagnostics` describing every measure taken.
+
+        Raises
+        ------
+        repro.errors.SingularCircuitError
+            The system has no unique solution (and, in resilient mode,
+            pruning did not make it solvable).
+        repro.errors.ConvergenceError
+            Resilient mode only: the iterative fallback ran out of
+            iterations on a near-singular system.
+        repro.errors.FaultInjectionError
+            The circuit was mutated after assembly.
         """
+        self._check_revision()
+        current, voltage = self._resolve_sources(isource_current, vsource_voltage)
+        if resilient:
+            x, diag, current = self._solve_resilient(current, voltage)
+        else:
+            x = self._solve_strict(self._rhs(current, voltage))
+            diag = None
+        return Solution(
+            assembled=self,
+            x=x,
+            isource_current=current,
+            vsource_voltage=voltage,
+            diagnostics=diag,
+        )
+
+    def _solve_strict(self, z: np.ndarray) -> np.ndarray:
+        """The historical fail-fast path: SuperLU or a typed error."""
         if self._lu is None:
             try:
                 self._lu = splu(self._matrix)
@@ -186,30 +515,77 @@ class AssembledCircuit:
                 raise SingularCircuitError(
                     f"MNA matrix is singular ({exc}); check for floating nodes"
                 ) from exc
-        z = self._rhs(isource_current, vsource_voltage)
         x = self._lu.solve(z)
         if not np.all(np.isfinite(x)):
             raise SingularCircuitError("solve produced non-finite voltages")
-        residual = np.linalg.norm(self._matrix @ x - z)
-        scale = max(1.0, float(np.linalg.norm(z)))
-        if residual / scale > self.RESIDUAL_TOLERANCE:
+        rel = self._relative_residual(self._matrix, x, z)
+        if rel > self.RESIDUAL_TOLERANCE:
             raise SingularCircuitError(
-                f"solve residual {residual / scale:.2e} exceeds tolerance; "
+                f"solve residual {rel:.2e} exceeds tolerance; "
                 "the circuit is ill-conditioned or disconnected"
             )
-        return Solution(
-            assembled=self,
-            x=x,
-            isource_current=(
-                self.circuit.store(ISOURCE).column("current")
-                if isource_current is None
-                else np.asarray(isource_current, dtype=float)
-            ),
-            vsource_voltage=(
-                self.circuit.store(VSOURCE).column("voltage")
-                if vsource_voltage is None
-                else np.asarray(vsource_voltage, dtype=float)
-            ),
+        return x
+
+    def _solve_resilient(self, current: np.ndarray, voltage: np.ndarray):
+        """Direct solve -> island pruning -> iterative fallback.
+
+        Returns ``(x, diagnostics, effective_isource_current)`` — the
+        current vector has shed loads zeroed so downstream power
+        bookkeeping matches the pruned network.
+        """
+        z = self._rhs(current, voltage)
+        # 1. Plain direct solve on the full system.
+        attempt = self._direct_attempt(self._matrix, "_lu", z)
+        if attempt is not None:
+            x, rel = attempt
+            if rel <= self.RESIDUAL_TOLERANCE:
+                diag = SolveDiagnostics(residual=rel)
+                diag.condition_estimate = self._condition_estimate(
+                    self._matrix, self._lu
+                )
+                return x, diag, current
+
+        # 2. Ground floating islands, shed their loads, retry direct.
+        if self._pruned_matrix is None:
+            self._diagnostics_template = self._build_pruned_system()
+        base = self._diagnostics_template
+        diag = SolveDiagnostics(
+            n_islands=base.n_islands,
+            dropped_nodes=list(base.dropped_nodes),
+            shed_loads=base.shed_loads,
+            stabilized_rows=base.stabilized_rows,
+        )
+        if len(current) and self._shed_isource_mask is not None:
+            current = np.where(self._shed_isource_mask, 0.0, current)
+        z_pruned = self._rhs(current, voltage)
+        z_pruned[self._forced_zero_rows] = 0.0
+        attempt = self._direct_attempt(self._pruned_matrix, "_pruned_lu", z_pruned)
+        if attempt is not None:
+            x, rel = attempt
+            if rel <= self.RESIDUAL_TOLERANCE:
+                diag.residual = rel
+                diag.condition_estimate = self._condition_estimate(
+                    self._pruned_matrix, self._pruned_lu
+                )
+                return x, diag, current
+
+        # 3. Jacobi-preconditioned LGMRES on the pruned system.
+        attempt = self._iterative_attempt(self._pruned_matrix, z_pruned, diag)
+        if attempt is not None:
+            x, rel = attempt
+            if rel <= self.RESIDUAL_TOLERANCE:
+                diag.residual = rel
+                return x, diag, current
+            diag.residual = rel
+            raise ConvergenceError(
+                f"iterative fallback converged only to residual {rel:.2e} "
+                f"(tolerance {self.RESIDUAL_TOLERANCE:.0e}); {diag.summary()}",
+                diagnostics=diag,
+            )
+        raise SingularCircuitError(
+            "MNA system is singular even after pruning "
+            f"{diag.n_dropped_nodes} floating node(s); {diag.summary()}",
+            diagnostics=diag,
         )
 
     # ------------------------------------------------------------------

@@ -145,6 +145,7 @@ class BasePDN3D:
         self._leak_cells = leak_map.currents(vdd).ravel()
         self._dyn_cells = (full_map.cell_power - leak_map.cell_power).ravel() / vdd
         self._assembled = None
+        self._fault_reports: List = []
 
     # ------------------------------------------------------------------
     def _add_layer_grids(self, edge_resistance: float) -> None:
@@ -190,6 +191,36 @@ class BasePDN3D:
         self.conductor_groups[group.tag] = group
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def apply_faults(self, plan) -> "FaultReport":
+        """Apply a :class:`repro.faults.FaultPlan` to this PDN's circuit.
+
+        The cached factorisation is invalidated, conductor-group
+        multiplicities are updated to the surviving population, and
+        subsequent :meth:`solve` calls default to the resilient path
+        (islands pruned and diagnosed instead of crashing).
+        """
+        report = plan.apply(self)
+        self._fault_reports.append(report)
+        self._assembled = None
+        return report
+
+    @property
+    def faulted(self) -> bool:
+        """True once any fault plan has been applied."""
+        return bool(self._fault_reports)
+
+    @property
+    def fault_reports(self) -> List:
+        """Reports of every fault plan applied so far, in order."""
+        return list(self._fault_reports)
+
+    def fault_tags(self, prefix: str = "") -> List[str]:
+        """Conductor-group keys addressable by fault plans."""
+        return [k for k in self.conductor_groups if k.startswith(prefix)]
+
+    # ------------------------------------------------------------------
     def _load_current_vector(
         self,
         layer_activities: Optional[Sequence[float]],
@@ -227,6 +258,7 @@ class BasePDN3D:
         self,
         layer_activities: Optional[Sequence[float]] = None,
         power_maps: Optional[Sequence[PowerMap]] = None,
+        resilient: Optional[bool] = None,
     ) -> PDNResult:
         """Solve one operating point.
 
@@ -234,11 +266,20 @@ class BasePDN3D:
         path — the factorisation is reused) or explicit per-layer
         ``power_maps`` (spatially detailed).  Default: all layers fully
         active, the regular PDN's worst case.
+
+        ``resilient`` selects the island-pruning solve path with
+        :class:`repro.grid.solver.SolveDiagnostics` attached to the
+        result; by default it turns on automatically once faults have
+        been applied through :meth:`apply_faults`.
         """
+        if resilient is None:
+            resilient = self.faulted
         if self._assembled is None:
             self._assembled = self.circuit.assemble()
         currents = self._load_current_vector(layer_activities, power_maps)
-        solution = self._assembled.solve(isource_current=currents)
+        solution = self._assembled.solve(
+            isource_current=currents, resilient=resilient
+        )
         return self._make_result(solution)
 
     # Subclasses fill converter metadata.

@@ -16,6 +16,14 @@ from repro.config.stackups import StackConfig
 from repro.config.technology import C4Technology, default_c4
 from repro.pdn.geometry import CellMultiplicity, GridGeometry, distribute_uniform
 
+#: Canonical conductor-group tags of the power C4 arrays — the names the
+#: builders stamp and the fault-injection subsystem addresses.
+C4_VDD_TAG = "c4.vdd"
+C4_GND_TAG = "c4.gnd"
+#: Registry key of the voltage-stacked through-via population (shares its
+#: branches with ``C4_VDD_TAG``; see ``StackedPDN3D``).
+THROUGH_VIA_KEY = "tvia.vdd"
+
 
 @dataclass(frozen=True)
 class PadArray:

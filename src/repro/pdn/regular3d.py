@@ -10,7 +10,7 @@ tiers, which is the root of the regular PDN's EM-scaling problem
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.config.stackups import StackConfig
 from repro.config.technology import (
@@ -19,6 +19,7 @@ from repro.config.technology import (
     PackageModel,
     TSVTechnology,
 )
+from repro.errors import FaultInjectionError
 from repro.pdn.builder import (
     PKG_GND,
     PKG_VDD,
@@ -26,8 +27,8 @@ from repro.pdn.builder import (
     connect_bundles,
     connect_bundles_to_node,
 )
-from repro.pdn.pads import build_pad_array
-from repro.pdn.tsv import build_tsv_arrays
+from repro.pdn.pads import C4_GND_TAG, C4_VDD_TAG, build_pad_array
+from repro.pdn.tsv import build_tsv_arrays, tier_tag
 
 
 class RegularPDN3D(BasePDN3D):
@@ -71,7 +72,7 @@ class RegularPDN3D(BasePDN3D):
                 self.vdd_ids[0],
                 self.pad_array.vdd_cells,
                 self.pad_array.pad_resistance,
-                tag="c4.vdd",
+                tag=C4_VDD_TAG,
             )
         )
         self._record_group(
@@ -81,7 +82,7 @@ class RegularPDN3D(BasePDN3D):
                 self.gnd_ids[0],
                 self.pad_array.gnd_cells,
                 self.pad_array.pad_resistance,
-                tag="c4.gnd",
+                tag=C4_GND_TAG,
             )
         )
 
@@ -94,7 +95,7 @@ class RegularPDN3D(BasePDN3D):
                     self.vdd_ids[tier + 1],
                     self.tsv_arrays.vdd_cells,
                     self.tsv_arrays.tsv_resistance,
-                    tag=f"tsv.vdd.t{tier}",
+                    tag=tier_tag("vdd", tier),
                 )
             )
             self._record_group(
@@ -104,8 +105,33 @@ class RegularPDN3D(BasePDN3D):
                     self.gnd_ids[tier],
                     self.tsv_arrays.gnd_cells,
                     self.tsv_arrays.tsv_resistance,
-                    tag=f"tsv.gnd.t{tier}",
+                    tag=tier_tag("gnd", tier),
                 )
             )
 
         self._add_layer_loads()
+
+    # ------------------------------------------------------------------
+    def isolation_tags(self, layer: Optional[int] = None) -> Dict[str, List[str]]:
+        """Everything that must fail open to electrically isolate ``layer``.
+
+        A regular-PDN layer hangs off the TSV tiers above and below it
+        (both nets), plus the C4 arrays when it is the bottom layer.
+        Opening all of them turns the layer into a floating island — the
+        worst-case contingency :func:`repro.faults.severed_layer_plan`
+        replays.  Defaults to the top layer, the cut with the fewest
+        severed branches.
+        """
+        n = self.stack.n_layers
+        if layer is None:
+            layer = n - 1
+        if not 0 <= layer < n:
+            raise FaultInjectionError(f"layer {layer} outside 0..{n - 1}")
+        groups: List[str] = []
+        if layer > 0:
+            groups += [tier_tag("vdd", layer - 1), tier_tag("gnd", layer - 1)]
+        else:
+            groups += [C4_VDD_TAG, C4_GND_TAG]
+        if layer < n - 1:
+            groups += [tier_tag("vdd", layer), tier_tag("gnd", layer)]
+        return {"groups": groups}

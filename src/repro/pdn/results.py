@@ -12,7 +12,7 @@ exactly the quantities the paper's experiments consume:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -53,7 +53,9 @@ class ConductorGroup:
                 f"group {self.tag!r}: {len(bundle_currents)} branches but "
                 f"{len(self.multiplicity)} multiplicities"
             )
-        per_conductor = bundle_currents / self.multiplicity
+        # Fully-failed bundles have multiplicity 0 (and carry no current
+        # once opened); guard the divide and let np.repeat drop them.
+        per_conductor = bundle_currents / np.maximum(self.multiplicity, 1)
         return np.repeat(per_conductor, self.multiplicity * self.segments)
 
 
@@ -77,6 +79,11 @@ class PDNResult:
         self.conductor_groups = conductor_groups
         self._converter_multiplicity = converter_multiplicity
         self._converter_rating = converter_rating
+
+    @property
+    def diagnostics(self):
+        """Resilient-solve diagnostics, or None for a strict solve."""
+        return self.solution.diagnostics
 
     # ------------------------------------------------------------------
     # voltage noise
@@ -143,7 +150,9 @@ class PDNResult:
         if self._converter_multiplicity is None:
             raise RuntimeError("this PDN has no SC converters")
         bundles = np.abs(self.solution.converter_output_currents())
-        per_cell = bundles / self._converter_multiplicity
+        # Dead banks have multiplicity 0 and zero stamped current; guard
+        # the divide and let np.repeat drop them from the profile.
+        per_cell = bundles / np.maximum(self._converter_multiplicity, 1)
         return np.repeat(per_cell, self._converter_multiplicity)
 
     def max_converter_current(self) -> float:

@@ -17,7 +17,7 @@ behind the V-S PDN's flat EM-lifetime curves in Fig. 5.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.config.technology import (
     PackageModel,
     TSVTechnology,
 )
+from repro.errors import FaultInjectionError
 from repro.pdn.builder import (
     PKG_GND,
     PKG_VDD,
@@ -37,9 +38,14 @@ from repro.pdn.builder import (
     connect_bundles_to_node,
 )
 from repro.pdn.geometry import cells_to_arrays, distribute_per_core
-from repro.pdn.pads import build_pad_array
+from repro.pdn.pads import (
+    C4_GND_TAG,
+    C4_VDD_TAG,
+    THROUGH_VIA_KEY,
+    build_pad_array,
+)
 from repro.pdn.results import PDNResult
-from repro.pdn.tsv import build_tsv_arrays
+from repro.pdn.tsv import build_tsv_arrays, rail_tag
 from repro.regulator.compact import SCCompactModel
 from repro.utils.validation import check_positive_int
 
@@ -125,7 +131,7 @@ class StackedPDN3D(BasePDN3D):
                 self.gnd_ids[0],
                 self.pad_array.gnd_cells,
                 self.pad_array.pad_resistance,
-                tag="c4.gnd",
+                tag=C4_GND_TAG,
             )
         )
 
@@ -140,16 +146,16 @@ class StackedPDN3D(BasePDN3D):
             self.pad_array.pad_resistance
             + via_segments * self.tsv_arrays.tsv_resistance
         ) / m
-        ref = circuit.add_resistors(n1, n2, resistance, tag="c4.vdd")
+        ref = circuit.add_resistors(n1, n2, resistance, tag=C4_VDD_TAG)
         from repro.pdn.results import ConductorGroup
 
         # The same branch stresses one pad and ``via_segments`` TSV
         # segments per conductor; register both populations.
         self._record_group(
-            ConductorGroup(tag="c4.vdd", ref=ref, multiplicity=m, segments=1)
+            ConductorGroup(tag=C4_VDD_TAG, ref=ref, multiplicity=m, segments=1)
         )
-        self.conductor_groups["tvia.vdd"] = ConductorGroup(
-            tag="c4.vdd", ref=ref, multiplicity=m, segments=via_segments
+        self.conductor_groups[THROUGH_VIA_KEY] = ConductorGroup(
+            tag=C4_VDD_TAG, ref=ref, multiplicity=m, segments=via_segments
         )
 
         # Intermediate rails: layer (r-1) Vdd net <-> layer r GND net via
@@ -162,7 +168,7 @@ class StackedPDN3D(BasePDN3D):
                     self.gnd_ids[rail],
                     self.tsv_arrays.rail_cells,
                     self.tsv_arrays.tsv_resistance,
-                    tag=f"tsv.rail{rail}",
+                    tag=rail_tag(rail),
                 )
             )
 
@@ -221,3 +227,40 @@ class StackedPDN3D(BasePDN3D):
             * self.converters_per_core
             * self.stack.processor.core_count
         )
+
+    @property
+    def converter_multiplicity(self) -> Optional[np.ndarray]:
+        """Surviving SC cells behind each stamped converter branch.
+
+        Fault injection decrements this array in place as converter
+        cells are killed.
+        """
+        return self._converter_multiplicity
+
+    # ------------------------------------------------------------------
+    def isolation_tags(self, layer: Optional[int] = None) -> Dict[str, List[str]]:
+        """Everything that must fail open to electrically isolate ``layer``.
+
+        In the series ladder a layer spans rails ``l`` (its GND net) and
+        ``l + 1`` (its Vdd net), so isolating it requires opening both
+        interface tiers — the rail TSVs, or the C4 arrays at the ladder's
+        ends — plus the SC converter banks and their parasitic branches
+        bridging those rails.  Defaults to the top layer.
+        """
+        n = self.stack.n_layers
+        if layer is None:
+            layer = n - 1
+        if not 0 <= layer < n:
+            raise FaultInjectionError(f"layer {layer} outside 0..{n - 1}")
+        groups: List[str] = []
+        # Lower interface: rail ``layer``.
+        groups.append(rail_tag(layer) if layer > 0 else C4_GND_TAG)
+        # Upper interface: rail ``layer + 1``.
+        groups.append(rail_tag(layer + 1) if layer < n - 1 else C4_VDD_TAG)
+        # Converter banks (and their parasitics) bridging either rail.
+        rails = [r for r in (layer, layer + 1) if 1 <= r <= n - 1]
+        return {
+            "groups": groups,
+            "converters": [f"sc.rail{r}" for r in rails],
+            "resistors": [f"scpar.rail{r}" for r in rails],
+        }

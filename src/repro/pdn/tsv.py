@@ -19,6 +19,20 @@ from repro.pdn.geometry import CellMultiplicity, GridGeometry, distribute_per_co
 from repro.utils.units import to_micro, to_percent
 
 
+def tier_tag(net: str, tier: int) -> str:
+    """Canonical conductor-group tag of a regular-PDN TSV tier net.
+
+    Single source of truth for the tag names the builders stamp and the
+    fault-injection subsystem addresses.
+    """
+    return f"tsv.{net}.t{tier}"
+
+
+def rail_tag(rail: int) -> str:
+    """Canonical conductor-group tag of a voltage-stacked rail tier."""
+    return f"tsv.rail{rail}"
+
+
 @dataclass(frozen=True)
 class TSVArrays:
     """Resolved per-tier TSV placement on the model grid."""

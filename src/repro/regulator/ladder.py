@@ -14,7 +14,7 @@ the PDN model by :mod:`repro.pdn.stacked3d`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.config.converters import SCConverterSpec, default_sc_spec
 from repro.regulator.area import converters_area_overhead

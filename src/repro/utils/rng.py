@@ -36,3 +36,13 @@ def make_rng(seed: SeedLike = None, default: Optional[int] = DEFAULT_SEED) -> np
     if seed is None:
         seed = default
     return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: SeedLike, n: int) -> list:
+    """Derive ``n`` independent child generators from one seed.
+
+    Sweeps that draw a random sample per point should give each point
+    its own child stream, so one point's result does not depend on how
+    many draws preceded it in the sweep.
+    """
+    return list(make_rng(seed).spawn(n))

@@ -9,7 +9,32 @@ from __future__ import annotations
 
 from typing import Iterable, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
+
+
+def check_finite(name: str, value: float) -> float:
+    """Require a finite scalar; return it for chaining."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_finite_array(name: str, values) -> np.ndarray:
+    """Require every entry to be finite, naming the first offender.
+
+    Returns the values as a float array for chaining.
+    """
+    arr = np.asarray(values, dtype=float)
+    bad = ~np.isfinite(arr)
+    if bad.any():
+        idx = int(np.argmax(bad))
+        raise ValueError(
+            f"{name}[{idx}] is non-finite ({arr.flat[idx]!r}); "
+            f"all {name} values must be finite"
+        )
+    return arr
 
 
 def check_positive(name: str, value: float) -> float:

@@ -1,0 +1,175 @@
+"""FaultPlan construction, application and bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultPlan,
+    em_fault_plan,
+    severed_layer_plan,
+    uniform_fault_plan,
+)
+from repro.grid.netlist import CONVERTER, RESISTOR
+from repro.pdn.pads import C4_VDD_TAG, THROUGH_VIA_KEY
+from repro.pdn.regular3d import RegularPDN3D
+from repro.pdn.stacked3d import StackedPDN3D
+from repro.pdn.tsv import rail_tag, tier_tag
+
+
+class TestPlanConstruction:
+    def test_plans_are_iterable_and_sized(self):
+        plan = FaultPlan().fail_conductors("tsv.vdd.t0", 3).fail_converters(
+            "sc.rail1", 0
+        )
+        assert len(plan) == 2
+        kinds = [f.kind for f in plan]
+        assert kinds == ["conductor", "converter"]
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan().fail_conductors("t", 0, count=0)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan().degrade_conductors("t", 0, factor=0.0)
+
+    def test_extend_merges_plans(self):
+        a = FaultPlan().fail_conductors("x", 0)
+        b = FaultPlan().fail_converters("y", 1)
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_unknown_tag_rejected_at_apply(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        with pytest.raises(FaultInjectionError, match="no-such-tag"):
+            pdn.apply_faults(FaultPlan().fail_conductors("no-such-tag", 0))
+
+
+class TestConductorFaults:
+    def test_partial_failure_degrades_resistance(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        tag = tier_tag("vdd", 0)
+        group = pdn.conductor_groups[tag]
+        branch = int(np.argmax(group.multiplicity > 1))
+        m = int(group.multiplicity[branch])
+        store = pdn.circuit.store(RESISTOR)
+        idx = int(group.ref.indices[branch])
+        before = store.column("resistance")[idx]
+        pdn.apply_faults(FaultPlan().fail_conductors(tag, branch, count=1))
+        after = pdn.circuit.store(RESISTOR).column("resistance")[idx]
+        assert after == pytest.approx(before * m / (m - 1))
+        # Bookkeeping: the group's multiplicity shrank by one.
+        assert pdn.conductor_groups[tag].multiplicity[branch] == m - 1
+
+    def test_full_bundle_failure_opens_branch(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        tag = tier_tag("gnd", 0)
+        group = pdn.conductor_groups[tag]
+        m = int(group.multiplicity[0])
+        report = pdn.apply_faults(FaultPlan().fail_conductors(tag, 0, count=m))
+        assert report.n_opened_branches == 1
+        idx = int(group.ref.indices[0])
+        assert not pdn.circuit.active_mask(RESISTOR)[idx]
+        assert pdn.conductor_groups[tag].multiplicity[0] == 0
+
+    def test_overkill_rejected(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        tag = tier_tag("vdd", 0)
+        m = int(pdn.conductor_groups[tag].multiplicity[0])
+        with pytest.raises(FaultInjectionError, match="only"):
+            pdn.apply_faults(FaultPlan().fail_conductors(tag, 0, count=m + 1))
+
+    def test_aliased_groups_share_population(self, small_stack):
+        # The V-S through-via registry key addresses the same physical
+        # branches as the c4.vdd group; killing via one key must be
+        # visible through the other.
+        pdn = StackedPDN3D(small_stack, converters_per_core=4)
+        m = int(pdn.conductor_groups[THROUGH_VIA_KEY].multiplicity[0])
+        pdn.apply_faults(FaultPlan().fail_conductors(THROUGH_VIA_KEY, 0, count=1))
+        assert pdn.conductor_groups[C4_VDD_TAG].multiplicity[0] == m - 1
+        assert pdn.conductor_groups[THROUGH_VIA_KEY].multiplicity[0] == m - 1
+
+    def test_faulted_pdn_still_solves(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        baseline = pdn.solve().max_ir_drop_fraction()
+        tag = tier_tag("vdd", 0)
+        plan = FaultPlan()
+        for branch in range(len(pdn.conductor_groups[tag].multiplicity)):
+            plan.fail_conductors(tag, branch, count=1)
+        pdn.apply_faults(plan)
+        assert pdn.faulted
+        result = pdn.solve()
+        # Fewer TSVs -> strictly worse (or equal) droop, still finite.
+        assert result.max_ir_drop_fraction() >= baseline
+        assert np.isfinite(result.max_ir_drop_fraction())
+
+
+class TestConverterFaults:
+    def test_partial_bank_failure_scales_r_series(self, small_stack):
+        pdn = StackedPDN3D(small_stack, converters_per_core=16)
+        store = pdn.circuit.store(CONVERTER)
+        indices = store.tag_indices("sc.rail1")
+        mult = pdn.converter_multiplicity[indices]
+        branch = int(np.argmax(mult > 1))
+        assert mult[branch] > 1, "need a bundled converter branch"
+        cm = int(mult[branch])
+        idx = int(indices[branch])
+        before = store.column("r_series")[idx]
+        pdn.apply_faults(FaultPlan().fail_converters("sc.rail1", branch, count=1))
+        after = pdn.circuit.store(CONVERTER).column("r_series")[idx]
+        assert after == pytest.approx(before * cm / (cm - 1))
+        assert pdn.converter_multiplicity[idx] == cm - 1
+
+    def test_full_bank_failure_opens_converter(self, small_stack):
+        pdn = StackedPDN3D(small_stack, converters_per_core=4)
+        cm = int(pdn.converter_multiplicity[0])
+        report = pdn.apply_faults(
+            FaultPlan().fail_converters("sc.rail1", 0, count=cm)
+        )
+        assert report.n_failed_converters == cm
+        assert not pdn.circuit.active_mask(CONVERTER)[0]
+        result = pdn.solve()
+        assert np.isfinite(result.max_ir_drop_fraction())
+
+
+class TestSamplers:
+    def test_uniform_plan_scales_with_fraction(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        lo = uniform_fault_plan(pdn, 0.02, rng=0)
+        hi = uniform_fault_plan(pdn, 0.5, rng=0)
+        assert len(hi) > len(lo)
+
+    def test_uniform_plan_zero_fraction_empty(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        assert len(uniform_fault_plan(pdn, 0.0, rng=0)) == 0
+
+    def test_uniform_plan_reproducible(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        a = uniform_fault_plan(pdn, 0.1, rng=42)
+        b = uniform_fault_plan(pdn, 0.1, rng=42)
+        assert list(a) == list(b)
+
+    def test_uniform_unknown_prefix_rejected(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        with pytest.raises(FaultInjectionError, match="prefixes"):
+            uniform_fault_plan(pdn, 0.1, prefixes=("nope",))
+
+    def test_em_plan_fails_more_at_later_times(self, regular_result):
+        # Per-conductor median lifetimes at these tiny currents are
+        # astronomically long; push far past them so the CDF saturates.
+        early = em_fault_plan(regular_result, at_time=1.0, rng=1)
+        late = em_fault_plan(regular_result, at_time=1e40, rng=1)
+        assert len(early) == 0
+        assert len(late) > len(early)
+
+    def test_severed_layer_plan_targets_interfaces(self, small_stack):
+        pdn = StackedPDN3D(small_stack, converters_per_core=4)
+        plan = severed_layer_plan(pdn, layer=1)
+        tags = {f.tag for f in plan}
+        assert rail_tag(1) in tags
+        assert C4_VDD_TAG in tags  # top layer's supply interface
+        assert "sc.rail1" in tags
+
+    def test_severed_layer_bad_index(self, small_stack):
+        pdn = RegularPDN3D(small_stack)
+        with pytest.raises(FaultInjectionError, match="outside"):
+            severed_layer_plan(pdn, layer=9)

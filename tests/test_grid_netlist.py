@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, Circuit
+from repro.grid.netlist import ISOURCE, RESISTOR, VSOURCE, Circuit
 
 
 class TestNodes:

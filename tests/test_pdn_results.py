@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.core.scenarios import build_stacked_pdn
 from repro.pdn.results import ConductorGroup
 
 GRID = 8

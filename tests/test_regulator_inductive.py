@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.regulator.compact import SCCompactModel
 from repro.regulator.inductive import (
     BuckCompactModel,
     BuckConverterSpec,

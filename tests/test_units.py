@@ -1,6 +1,5 @@
 """Unit helpers: conversions and engineering formatting."""
 
-import math
 
 import pytest
 
