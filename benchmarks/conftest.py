@@ -12,12 +12,15 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
 
-#: Grid resolution for benchmark-grade runs.
-BENCH_GRID = 20
+#: Grid resolution for benchmark-grade runs (override with REPRO_BENCH_GRID
+#: for quick CI smoke runs).
+BENCH_GRID = int(os.environ.get("REPRO_BENCH_GRID", "20"))
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -30,12 +33,21 @@ def output_dir() -> pathlib.Path:
 
 @pytest.fixture
 def record_output(output_dir, request):
-    """Return a writer that prints and persists a figure/table rendering."""
+    """Return a writer that prints and persists a figure/table rendering.
 
-    def write(text: str, name: str = None) -> None:
+    Pass ``data`` to also write a structured ``<stem>.json`` next to the
+    text rendering, so benchmark results are machine-readable.
+    """
+
+    def write(text: str, name: str = None, data: dict = None) -> None:
         stem = name or request.node.name
         path = output_dir / f"{stem}.txt"
         path.write_text(text + "\n")
+        if data is not None:
+            json_path = output_dir / f"{stem}.json"
+            json_path.write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n"
+            )
         print()
         print(text)
 

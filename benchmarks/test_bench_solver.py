@@ -6,9 +6,7 @@ design choice called out in DESIGN.md (RHS-only sweeps are much cheaper
 than rebuilds).
 """
 
-import numpy as np
-
-from conftest import BENCH_GRID
+from conftest import BENCH_GRID, OUTPUT_DIR
 
 from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
 from repro.workload.imbalance import interleaved_layer_activities
@@ -35,6 +33,86 @@ def test_resolve_reuses_factorisation(benchmark):
 
     result = benchmark(lambda: pdn.solve(layer_activities=activities))
     assert result.max_ir_drop_fraction() > 0
+
+
+def _ir_drop_extract(outcome):
+    return outcome.unwrap().max_ir_drop_fraction()
+
+
+def test_sweep_engine_batched_speedup(benchmark, record_output):
+    """SweepEngine vs rebuild-per-point on a Fig. 6-style imbalance sweep.
+
+    The engine builds and factorises the 8-layer stacked topology once
+    and solves all imbalance points in a single batched multi-RHS call;
+    the baseline rebuilds the PDN for every point, which is what the
+    experiment drivers did before the sweep engine existed.  The
+    acceptance floor is a 3x speedup at the production grid.
+    """
+    import time
+
+    from repro.runtime import SweepEngine, SweepPoint, PDNSpec
+    from repro.runtime.metrics import write_bench_json
+
+    n_layers = 8
+    imbalances = tuple(round(0.1 * i, 1) for i in range(11))
+    activity_sets = [
+        tuple(interleaved_layer_activities(n_layers, im)) for im in imbalances
+    ]
+    spec = PDNSpec.stacked(n_layers, converters_per_core=8, grid_nodes=BENCH_GRID)
+    points = [SweepPoint(spec=spec, layer_activities=a) for a in activity_sets]
+
+    # Baseline: fresh build + factorisation per point (pre-engine shape).
+    t0 = time.perf_counter()
+    sequential = [
+        build_stacked_pdn(n_layers, converters_per_core=8, grid_nodes=BENCH_GRID)
+        .solve(layer_activities=a)
+        .max_ir_drop_fraction()
+        for a in activity_sets
+    ]
+    sequential_s = time.perf_counter() - t0
+
+    engine_times = []
+    last_run = {}
+
+    def engine_sweep():
+        t_start = time.perf_counter()
+        engine = SweepEngine()  # cold cache every round
+        run = engine.run(points, extract=_ir_drop_extract)
+        engine_times.append(time.perf_counter() - t_start)
+        last_run["values"] = run.values
+        last_run["metrics"] = run.metrics
+        return run
+
+    benchmark.pedantic(engine_sweep, rounds=3, iterations=1)
+
+    batched = last_run["values"]
+    worst_rel = max(
+        abs(a - b) / max(1.0, abs(a)) for a, b in zip(sequential, batched)
+    )
+    assert worst_rel <= 1e-12, "batched sweep diverged from sequential"
+
+    engine_s = min(engine_times)
+    speedup = sequential_s / engine_s
+    metrics = last_run["metrics"]
+    payload = {
+        "benchmark": "sweep_engine_batched_speedup",
+        "grid_nodes": BENCH_GRID,
+        "n_layers": n_layers,
+        "n_points": len(points),
+        "sequential_rebuild_s": round(sequential_s, 6),
+        "engine_s": round(engine_s, 6),
+        "speedup": round(speedup, 3),
+        "worst_rel_error": worst_rel,
+        "engine": metrics.to_json(),
+    }
+    write_bench_json("sweep_engine", payload, directory=OUTPUT_DIR)
+    record_output(
+        f"sweep engine: {len(points)} points, grid {BENCH_GRID}: "
+        f"rebuild-per-point {sequential_s:.3f}s -> engine {engine_s:.3f}s "
+        f"({speedup:.1f}x)\n{metrics.summary()}",
+        data=payload,
+    )
+    assert speedup >= 3.0, f"expected >=3x speedup, measured {speedup:.2f}x"
 
 
 def test_em_lifetime_evaluation(benchmark):

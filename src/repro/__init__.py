@@ -58,6 +58,13 @@ from repro.faults import (
 from repro.grid import Circuit, SolveDiagnostics
 from repro.pdn import PDNResult, RegularPDN3D, StackedPDN3D
 from repro.power import CorePowerModel, PowerMap, layer_power_map
+from repro.runtime import (
+    PDNSpec,
+    SweepEngine,
+    SweepOutcome,
+    SweepPoint,
+    SweepResult,
+)
 from repro.regulator import (
     ClosedLoopControl,
     OpenLoopControl,
@@ -106,6 +113,11 @@ __all__ = [
     "PDNResult",
     "RegularPDN3D",
     "StackedPDN3D",
+    "PDNSpec",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepOutcome",
+    "SweepResult",
     "CorePowerModel",
     "PowerMap",
     "layer_power_map",

@@ -1,5 +1,10 @@
 """Command-line interface: regenerate any paper experiment.
 
+The subcommands are generated from the experiment registry
+(:mod:`repro.core.experiments.base`) — every registered
+:class:`~repro.core.experiments.base.Experiment` contributes its name,
+help line and argument group automatically.
+
 Examples::
 
     python -m repro table1
@@ -35,214 +40,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(
-        name: str,
-        help_text: str,
-        grid: bool = False,
-        layers: bool = False,
-        seed: bool = False,
-    ):
-        cmd = sub.add_parser(name, help=help_text)
-        if grid:
-            cmd.add_argument(
-                "--grid", type=int, default=20,
-                help="model-grid nodes per die side (default 20)",
-            )
-        if layers:
-            cmd.add_argument(
-                "--layers", type=int, default=8, help="stacked layer count"
-            )
-        if seed:
-            cmd.add_argument(
-                "--seed", type=int, default=None,
-                help="RNG seed (default: the repo-wide deterministic seed)",
-            )
-        return cmd
+    from repro.core.experiments import all_experiments
 
-    add("table1", "Table 1: PDN modeling parameters")
-    add("table2", "Table 2: TSV configurations")
-    add("fig3", "Fig. 3: SC converter model validation")
-    add("fig5a", "Fig. 5a: TSV array EM lifetime", grid=True)
-    add("fig5b", "Fig. 5b: C4 array EM lifetime", grid=True)
-    fig6 = add("fig6", "Fig. 6: IR drop vs workload imbalance", grid=True, layers=True)
-    fig6.add_argument("--csv", type=str, default=None, help="also export to CSV")
-    fig7 = add("fig7", "Fig. 7: PARSEC power distributions", seed=True)
-    fig7.add_argument("--samples", type=int, default=1000)
-    fig8 = add("fig8", "Fig. 8: system power efficiency", grid=True, layers=True)
-    fig8.add_argument("--csv", type=str, default=None, help="also export to CSV")
-    add("headline", "All headline claims in one report", grid=True)
-    explore = add("explore", "Design-space exploration (Pareto frontier)", grid=True)
-    explore.add_argument("--imbalance", type=float, default=0.65)
-    explore.add_argument("--layers", type=int, default=8)
-    explore.add_argument("--all-points", action="store_true")
-    sens = add("sensitivity", "Technology-parameter tornado analysis",
-               grid=True, layers=True)
-    sens.add_argument(
-        "--arrangement", choices=("regular", "voltage-stacked"), default="regular"
-    )
-    sens.add_argument("--metric", choices=("ir_drop", "efficiency"), default="ir_drop")
-    noise = add("noise", "Statistical supply-noise profile under sampled workloads",
-                grid=True, layers=True, seed=True)
-    noise.add_argument("--trials", type=int, default=60)
-    noise.add_argument("--converters", type=int, default=8)
-    conting = add(
-        "contingency",
-        "N-k contingency: robustness under TSV/converter failures",
-        seed=True,
-    )
-    conting.add_argument(
-        "--layers", type=int, default=4, help="stacked layer count (default 4)"
-    )
-    conting.add_argument(
-        "--grid", type=int, default=16,
-        help="model-grid nodes per die side (default 16)",
-    )
-    conting.add_argument(
-        "--fractions", type=str, default="0,0.05,0.1,0.2",
-        help="comma-separated TSV failure fractions (default 0,0.05,0.1,0.2)",
-    )
-    conting.add_argument(
-        "--converter-fraction", type=float, default=None,
-        help="SC-converter failure fraction (default: same as the TSV fraction)",
-    )
-    conting.add_argument(
-        "--no-severed-layer", action="store_true",
-        help="skip the worst-case severed-layer row",
-    )
-    report = add("report", "Run everything; emit a consolidated report", grid=True)
-    report.add_argument("--output", type=str, default=None,
-                        help="write to a file instead of stdout")
+    for name, cls in all_experiments().items():
+        cmd = sub.add_parser(name, help=cls.description)
+        cls.configure_parser(cmd)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.core.experiments import get_experiment
     from repro.errors import ReproError
 
+    experiment_cls = get_experiment(args.command)
     try:
-        return _dispatch(args)
+        config = experiment_cls.config_from_args(args)
+        result = experiment_cls().run(config)
     except ReproError as exc:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
-
-
-def _dispatch(args) -> int:
-    # Imports are deferred so `--help` stays instant.
-    if args.command == "table1":
-        from repro.core.experiments import table1_report
-
-        print(table1_report())
-    elif args.command == "table2":
-        from repro.core.experiments import table2_report
-
-        print(table2_report())
-    elif args.command == "fig3":
-        from repro.core.experiments import run_fig3
-
-        print(run_fig3().format())
-    elif args.command == "fig5a":
-        from repro.core.experiments import run_fig5a
-
-        print(run_fig5a(grid_nodes=args.grid).format())
-    elif args.command == "fig5b":
-        from repro.core.experiments import run_fig5b
-
-        print(run_fig5b(grid_nodes=args.grid).format())
-    elif args.command == "fig6":
-        from repro.core.experiments import run_fig6
-
-        result = run_fig6(n_layers=args.layers, grid_nodes=args.grid)
-        print(result.format())
-        if args.csv:
-            from repro.analysis.export import fig6_to_csv
-
-            print(f"wrote {fig6_to_csv(result, args.csv)}")
-    elif args.command == "fig7":
-        from repro.core.experiments import run_fig7
-
-        print(run_fig7(n_samples=args.samples, rng=args.seed).format())
-    elif args.command == "fig8":
-        from repro.core.experiments import run_fig8
-
-        result = run_fig8(n_layers=args.layers, grid_nodes=args.grid)
-        print(result.format())
-        if args.csv:
-            from repro.analysis.export import fig8_to_csv
-
-            print(f"wrote {fig8_to_csv(result, args.csv)}")
-    elif args.command == "headline":
-        from repro.core.experiments import run_headline
-
-        print(run_headline(grid_nodes=args.grid).format())
-    elif args.command == "explore":
-        from repro.core.explorer import DesignSpaceExplorer
-
-        explorer = DesignSpaceExplorer(
-            n_layers=args.layers, imbalance=args.imbalance, grid_nodes=args.grid
-        )
-        print(explorer.explore().format(pareto_only=not args.all_points))
-    elif args.command == "sensitivity":
-        from repro.config.stackups import StackConfig
-        from repro.core.sensitivity import SensitivityAnalysis
-
-        analysis = SensitivityAnalysis(
-            StackConfig(n_layers=args.layers, grid_nodes=args.grid),
-            arrangement=args.arrangement,
-            metric=args.metric,
-        )
-        print(analysis.format(analysis.run()))
-    elif args.command == "noise":
-        from repro.config.stackups import ProcessorSpec
-        from repro.core.noise_profile import NoiseProfiler
-        from repro.core.scenarios import build_stacked_pdn
-        from repro.utils.rng import spawn_seeds
-        from repro.workload.sampling import sample_suite
-
-        # Two decoupled streams: one for the workload samples, one for
-        # the trial draws (historical defaults 0/1 when unseeded).
-        seeds = spawn_seeds(args.seed, 2) if args.seed is not None else [0, 1]
-        pdn = build_stacked_pdn(
-            args.layers, converters_per_core=args.converters, grid_nodes=args.grid
-        )
-        profiler = NoiseProfiler(pdn, sample_suite(ProcessorSpec(), rng=seeds[0]))
-        profiles = profiler.compare_policies(trials=args.trials, rng=seeds[1])
-        print(
-            f"V-S PDN, {args.layers} layers, {args.converters} conv/core, "
-            f"{args.trials} sampled operating points per policy"
-        )
-        for name, profile in profiles.items():
-            print(
-                f"  {name:>9}: mean {profile.mean:.2%}  P95 "
-                f"{profile.percentile(95):.2%}  worst {profile.worst:.2%} of Vdd"
-            )
-    elif args.command == "contingency":
-        from repro.core.experiments import run_contingency
-
-        fractions = tuple(
-            float(f) for f in args.fractions.split(",") if f.strip()
-        )
-        result = run_contingency(
-            n_layers=args.layers,
-            grid_nodes=args.grid,
-            fractions=fractions,
-            converter_fraction=args.converter_fraction,
-            seed=args.seed,
-            severed_layer=not args.no_severed_layer,
-        )
-        print(result.format())
-    elif args.command == "report":
-        from repro.core.report import generate_report
-
-        text = generate_report(grid_nodes=args.grid)
-        if args.output:
-            import pathlib
-
-            pathlib.Path(args.output).write_text(text)
-            print(f"wrote {args.output}")
-        else:
-            print(text)
-    else:  # pragma: no cover - argparse enforces choices
-        return 2
+    print(result.to_table())
+    for note in result.notes:
+        print(note)
     return 0
 
 

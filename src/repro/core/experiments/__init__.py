@@ -11,40 +11,117 @@ Module         Reproduces
 ``tables``     Tables 1 (parameters) and 2 (TSV topologies)
 ``headline``   The abstract's headline claims in one report
 ``contingency``  N-k failure robustness of both arrangements (new)
+``tools``      Explorer / sensitivity / noise / report CLI wrappers
 =============  ==========================================================
+
+Every driver is an :class:`repro.core.experiments.base.Experiment`
+registered here in CLI order — ``python -m repro``'s subcommands are
+generated from this registry.  The historical ``run_*`` functions are
+kept as thin deprecated shims.
 """
 
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+)
 from repro.core.experiments.contingency import (
+    ContingencyExperiment,
     ContingencyPoint,
     ContingencyResult,
     run_contingency,
 )
-from repro.core.experiments.fig3 import Fig3Result, run_fig3
-from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
-from repro.core.experiments.fig6 import Fig6Result, run_fig6
-from repro.core.experiments.fig7 import Fig7Result, run_fig7
-from repro.core.experiments.fig8 import Fig8Result, run_fig8
-from repro.core.experiments.tables import table1_report, table2_report
-from repro.core.experiments.headline import HeadlineReport, run_headline
+from repro.core.experiments.fig3 import Fig3Experiment, Fig3Result, run_fig3
+from repro.core.experiments.fig5 import (
+    Fig5aExperiment,
+    Fig5aResult,
+    Fig5bExperiment,
+    Fig5bResult,
+    run_fig5a,
+    run_fig5b,
+)
+from repro.core.experiments.fig6 import Fig6Experiment, Fig6Result, run_fig6
+from repro.core.experiments.fig7 import Fig7Experiment, Fig7Result, run_fig7
+from repro.core.experiments.fig8 import Fig8Experiment, Fig8Result, run_fig8
+from repro.core.experiments.tables import (
+    Table1Experiment,
+    Table2Experiment,
+    table1_report,
+    table2_report,
+)
+from repro.core.experiments.headline import (
+    HeadlineExperiment,
+    HeadlineReport,
+    run_headline,
+)
+from repro.core.experiments.tools import (
+    ExploreExperiment,
+    NoiseExperiment,
+    ReportExperiment,
+    SensitivityExperiment,
+)
+
+# Registration order defines CLI subcommand order.
+for _cls in (
+    Table1Experiment,
+    Table2Experiment,
+    Fig3Experiment,
+    Fig5aExperiment,
+    Fig5bExperiment,
+    Fig6Experiment,
+    Fig7Experiment,
+    Fig8Experiment,
+    HeadlineExperiment,
+    ExploreExperiment,
+    SensitivityExperiment,
+    NoiseExperiment,
+    ContingencyExperiment,
+    ReportExperiment,
+):
+    register(_cls)
+del _cls
 
 __all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "ContingencyExperiment",
     "ContingencyPoint",
     "ContingencyResult",
     "run_contingency",
+    "Fig3Experiment",
     "Fig3Result",
     "run_fig3",
+    "Fig5aExperiment",
     "Fig5aResult",
+    "Fig5bExperiment",
     "Fig5bResult",
     "run_fig5a",
     "run_fig5b",
+    "Fig6Experiment",
     "Fig6Result",
     "run_fig6",
+    "Fig7Experiment",
     "Fig7Result",
     "run_fig7",
+    "Fig8Experiment",
     "Fig8Result",
     "run_fig8",
+    "Table1Experiment",
+    "Table2Experiment",
     "table1_report",
     "table2_report",
+    "HeadlineExperiment",
     "HeadlineReport",
     "run_headline",
+    "ExploreExperiment",
+    "SensitivityExperiment",
+    "NoiseExperiment",
+    "ReportExperiment",
 ]

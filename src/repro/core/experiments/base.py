@@ -1,0 +1,159 @@
+"""The unified Experiment protocol behind every paper reproduction.
+
+Each figure/table driver is an :class:`Experiment`: it has a CLI
+``name``, a one-line ``description``, declares its own command-line
+arguments (:meth:`Experiment.configure_parser`), and turns an
+:class:`ExperimentConfig` into an :class:`ExperimentResult` that renders
+to text (:meth:`ExperimentResult.to_table`) or machine-readable JSON
+(:meth:`ExperimentResult.to_json`).  Registering a subclass with
+:func:`register` makes it show up in ``python -m repro`` automatically —
+the CLI is generated from this registry, not hand-written per figure.
+
+The historical per-figure functions (``run_fig5a`` and friends) remain
+as thin deprecated shims over these classes.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "all_experiments",
+]
+
+
+@dataclass
+class ExperimentConfig:
+    """Common knobs every experiment understands, plus free-form options.
+
+    ``options`` carries experiment-specific settings (CSV paths, failure
+    fractions, sample counts, ...) so the dataclass does not grow a
+    field per figure.
+    """
+
+    grid_nodes: int = 20
+    n_layers: int = 8
+    seed: Optional[int] = None
+    #: Process fan-out width for engine-backed experiments (None =
+    #: the REPRO_SWEEP_WORKERS environment default).
+    workers: Optional[int] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def option(self, name: str, default: Any = None) -> Any:
+        return self.options.get(name, default)
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment produced, in renderable form.
+
+    ``table`` is the human-readable text (exactly what the CLI prints),
+    ``data`` the JSON-serialisable payload, ``raw`` the underlying
+    result object for programmatic use, and ``notes`` extra lines the
+    CLI prints after the table (e.g. "wrote fig6.csv").
+    """
+
+    name: str
+    table: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = None
+    notes: List[str] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        return self.table
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"experiment": self.name, **self.data}, indent=2, sort_keys=True
+        )
+
+
+class Experiment(ABC):
+    """One reproducible experiment of the paper's evaluation."""
+
+    #: CLI subcommand name (unique within the registry).
+    name: str = ""
+    #: One-line summary shown in ``python -m repro --help``.
+    description: str = ""
+
+    def describe(self) -> str:
+        return self.description
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        """Declare this experiment's CLI arguments (default: none)."""
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        """Map a parsed argparse namespace onto an ExperimentConfig."""
+        return ExperimentConfig(
+            grid_nodes=getattr(args, "grid", 20),
+            n_layers=getattr(args, "layers", 8),
+            seed=getattr(args, "seed", None),
+        )
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Execute the experiment and return its renderable result."""
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding an Experiment to the CLI registry."""
+    if not issubclass(cls, Experiment):
+        raise TypeError(f"{cls!r} is not an Experiment subclass")
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate experiment name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_experiment(name: str) -> type:
+    """Look an Experiment class up by its CLI name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> Dict[str, type]:
+    """All registered experiments, in registration order."""
+    return dict(_REGISTRY)
+
+
+# Shared argparse helpers so every experiment words its flags the same.
+def add_grid_argument(parser, default: int = 20) -> None:
+    parser.add_argument(
+        "--grid", type=int, default=default,
+        help=f"model-grid nodes per die side (default {default})",
+    )
+
+
+def add_layers_argument(parser, default: int = 8, help_text: str = "stacked layer count") -> None:
+    parser.add_argument("--layers", type=int, default=default, help=help_text)
+
+
+def add_seed_argument(parser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (default: the repo-wide deterministic seed)",
+    )

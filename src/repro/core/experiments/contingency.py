@@ -21,12 +21,18 @@ surviving rails.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
-from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
-from repro.errors import ReproError
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_seed_argument,
+)
 from repro.faults import severed_layer_plan, uniform_fault_plan
+from repro.runtime import PDNSpec, SweepEngine, SweepPoint
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.utils.validation import check_positive_int
 
@@ -131,17 +137,29 @@ def _diag_fields(diag) -> dict:
     }
 
 
-def _solve_point(pdn, arrangement: str, fraction, label, plan) -> ContingencyPoint:
-    """Apply one plan to a fresh PDN and solve it resiliently."""
-    n_cond = 0
-    n_conv = 0
-    if plan is not None:
-        report = pdn.apply_faults(plan)
-        n_cond = report.n_failed_conductors
-        n_conv = report.n_failed_converters
-    try:
-        result = pdn.solve(resilient=True)
-    except ReproError as exc:
+def _uniform_plan_factory(pdn, fraction, rng, converter_fraction):
+    """Sample the random damage plan from the built PDN (picklable)."""
+    return uniform_fault_plan(
+        pdn,
+        fraction,
+        rng=rng,
+        prefixes=("tsv", "tvia"),
+        converter_fraction=converter_fraction,
+    )
+
+
+def _severed_plan_factory(pdn):
+    return severed_layer_plan(pdn)
+
+
+def _contingency_extract(outcome) -> ContingencyPoint:
+    """Turn one sweep outcome into a ContingencyPoint row."""
+    arrangement, fraction, label = outcome.point.tag
+    report = outcome.fault_report
+    n_cond = report.n_failed_conductors if report is not None else 0
+    n_conv = report.n_failed_converters if report is not None else 0
+    if outcome.error is not None:
+        exc = outcome.error
         diag = getattr(exc, "diagnostics", None)
         return ContingencyPoint(
             arrangement=arrangement,
@@ -154,6 +172,7 @@ def _solve_point(pdn, arrangement: str, fraction, label, plan) -> ContingencyPoi
             error=f"{type(exc).__name__}: {exc}",
             **_diag_fields(diag),
         )
+    result = outcome.result
     return ContingencyPoint(
         arrangement=arrangement,
         fraction=fraction,
@@ -174,6 +193,7 @@ def run_contingency(
     converters_per_core: int = 8,
     seed: SeedLike = None,
     severed_layer: bool = True,
+    engine: Optional[SweepEngine] = None,
 ) -> ContingencyResult:
     """Sweep both arrangements over increasing TSV failure fractions.
 
@@ -182,20 +202,25 @@ def run_contingency(
     PDN ``converter_fraction`` of the SC cells dies too (defaults to the
     TSV fraction).  ``severed_layer`` appends the deterministic
     worst-case row that cuts the top layer off completely.
+
+    Every damaged point runs on the sweep engine's resilient path; a
+    point whose solve fails end-to-end is captured as a FAILED row, not
+    an exception.
     """
     check_positive_int("n_layers", n_layers)
     check_positive_int("grid_nodes", grid_nodes)
-    points: List[ContingencyPoint] = []
+    engine = engine or SweepEngine()
     # Independent child seeds per sweep point keep the draws decoupled
     # from sweep order and arrangement.
     n_draws = len(fractions) * 2
     child_seeds = spawn_seeds(seed, n_draws)
     draw = 0
-    for arrangement, build in (
-        ("regular", lambda: build_regular_pdn(n_layers, grid_nodes=grid_nodes)),
+    sweep_points: List[SweepPoint] = []
+    for arrangement, spec in (
+        ("regular", PDNSpec.regular(n_layers, grid_nodes=grid_nodes)),
         (
             "voltage-stacked",
-            lambda: build_stacked_pdn(
+            PDNSpec.stacked(
                 n_layers,
                 converters_per_core=converters_per_core,
                 grid_nodes=grid_nodes,
@@ -203,31 +228,117 @@ def run_contingency(
         ),
     ):
         for fraction in fractions:
-            pdn = build()
             plan = None
             if fraction > 0:
                 conv_frac = (
                     fraction if converter_fraction is None else converter_fraction
                 )
-                plan = uniform_fault_plan(
-                    pdn,
-                    fraction,
+                plan = partial(
+                    _uniform_plan_factory,
+                    fraction=fraction,
                     rng=child_seeds[draw],
-                    prefixes=("tsv", "tvia"),
                     converter_fraction=conv_frac,
                 )
-            points.append(
-                _solve_point(
-                    pdn, arrangement, fraction, f"{fraction:.0%} TSVs", plan
+            sweep_points.append(
+                SweepPoint(
+                    spec=spec,
+                    fault_plan=plan,
+                    resilient=True,
+                    tag=(arrangement, fraction, f"{fraction:.0%} TSVs"),
                 )
             )
             draw += 1
         if severed_layer:
-            pdn = build()
-            plan = severed_layer_plan(pdn)
-            points.append(
-                _solve_point(pdn, arrangement, None, "severed top layer", plan)
+            sweep_points.append(
+                SweepPoint(
+                    spec=spec,
+                    fault_plan=partial(_severed_plan_factory),
+                    resilient=True,
+                    tag=(arrangement, None, "severed top layer"),
+                )
             )
+    points = engine.run(sweep_points, extract=_contingency_extract).values
     return ContingencyResult(
-        n_layers=n_layers, grid_nodes=grid_nodes, seed=seed, points=points
+        n_layers=n_layers, grid_nodes=grid_nodes, seed=seed, points=list(points)
     )
+
+
+class ContingencyExperiment(Experiment):
+    name = "contingency"
+    description = "N-k contingency: robustness under TSV/converter failures"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_seed_argument(parser)
+        parser.add_argument(
+            "--layers", type=int, default=4, help="stacked layer count (default 4)"
+        )
+        parser.add_argument(
+            "--grid", type=int, default=16,
+            help="model-grid nodes per die side (default 16)",
+        )
+        parser.add_argument(
+            "--fractions", type=str, default="0,0.05,0.1,0.2",
+            help="comma-separated TSV failure fractions (default 0,0.05,0.1,0.2)",
+        )
+        parser.add_argument(
+            "--converter-fraction", type=float, default=None,
+            help="SC-converter failure fraction (default: same as the TSV fraction)",
+        )
+        parser.add_argument(
+            "--no-severed-layer", action="store_true",
+            help="skip the worst-case severed-layer row",
+        )
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = ExperimentConfig(
+            grid_nodes=getattr(args, "grid", 16),
+            n_layers=getattr(args, "layers", 4),
+            seed=getattr(args, "seed", None),
+        )
+        config.options["fractions"] = tuple(
+            float(f) for f in getattr(args, "fractions", "0,0.05,0.1,0.2").split(",")
+            if f.strip()
+        )
+        config.options["converter_fraction"] = getattr(
+            args, "converter_fraction", None
+        )
+        config.options["severed_layer"] = not getattr(
+            args, "no_severed_layer", False
+        )
+        return config
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig(grid_nodes=16, n_layers=4)
+        result = run_contingency(
+            n_layers=config.n_layers,
+            grid_nodes=config.grid_nodes,
+            fractions=config.option("fractions", DEFAULT_FRACTIONS),
+            converter_fraction=config.option("converter_fraction"),
+            seed=config.seed,
+            severed_layer=config.option("severed_layer", True),
+            engine=config.option("engine"),
+        )
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={
+                "n_layers": result.n_layers,
+                "grid_nodes": result.grid_nodes,
+                "points": [
+                    {
+                        "arrangement": p.arrangement,
+                        "label": p.label,
+                        "n_failed_conductors": p.n_failed_conductors,
+                        "n_failed_converters": p.n_failed_converters,
+                        "max_droop_fraction": p.max_droop_fraction,
+                        "efficiency": p.efficiency,
+                        "survived": p.survived,
+                        "error": p.error,
+                    }
+                    for p in result.points
+                ],
+            },
+            raw=result,
+        )

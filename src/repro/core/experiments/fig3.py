@@ -10,11 +10,16 @@ frequency-control policies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.tables import format_table
 from repro.config.converters import SCConverterSpec, default_sc_spec
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
 from repro.regulator.compact import SCCompactModel
 from repro.regulator.control import ClosedLoopControl, ControlPolicy, OpenLoopControl
 from repro.regulator.switchcap_sim import SwitchCapSimulator
@@ -127,3 +132,20 @@ def run_fig3(
         closed_loop=_sweep(CLOSED_LOOP_LOADS, ClosedLoopControl(), model, sim, v_top, v_bottom),
         open_loop=_sweep(OPEN_LOOP_LOADS, OpenLoopControl(), model, sim, v_top, v_bottom),
     )
+
+
+class Fig3Experiment(Experiment):
+    name = "fig3"
+    description = "Fig. 3: SC converter model validation"
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        result = run_fig3()
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={
+                "max_efficiency_error": result.max_efficiency_error(),
+                "max_vdrop_error": result.max_vdrop_error(),
+            },
+            raw=result,
+        )

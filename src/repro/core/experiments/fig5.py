@@ -10,22 +10,30 @@ EM-damage-free lifetime normalised to the 2-layer V-S PDN:
 * Fig. 5b: the power-C4 array.  Regular PDN with 25/50/75/100% of pad
   sites used for power vs the V-S PDN at 25%.  The C4 array's stress is
   insensitive to the TSV topology, so a single (Few) topology is used.
+
+Both sweeps run on the :class:`repro.runtime.engine.SweepEngine`: each
+distinct topology is built and factorised once and shared with any
+other experiment using the same engine (the headline report reuses one
+engine across Figs. 5a/5b/6).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.config.technology import EMParameters, default_em
-from repro.core.scenarios import (
-    VS_VDD_PADS_PER_CORE,
-    build_regular_pdn,
-    build_stacked_pdn,
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_grid_argument,
 )
+from repro.core.scenarios import VS_VDD_PADS_PER_CORE
 from repro.em import (
     C4_CROSS_SECTION,
     TSV_CROSS_SECTION,
@@ -33,6 +41,7 @@ from repro.em import (
     median_lifetimes_from_currents,
 )
 from repro.pdn.results import PDNResult
+from repro.runtime import PDNSpec, SweepEngine, SweepPoint
 
 LayerSweep = Tuple[int, ...]
 DEFAULT_LAYERS: LayerSweep = (2, 4, 6, 8)
@@ -55,6 +64,15 @@ def _c4_array_lifetime(result: PDNResult, em: EMParameters) -> float:
         result.conductor_currents("c4"), C4_CROSS_SECTION, em
     )
     return expected_em_lifetime(medians, em)
+
+
+# Module-level extractors so sweeps stay picklable for process fan-out.
+def _extract_tsv_lifetime(outcome, em: EMParameters) -> float:
+    return _tsv_array_lifetime(outcome.unwrap(), em)
+
+
+def _extract_c4_lifetime(outcome, em: EMParameters) -> float:
+    return _c4_array_lifetime(outcome.unwrap(), em)
 
 
 @dataclass(frozen=True)
@@ -104,30 +122,59 @@ class Fig5bResult:
         )
 
 
+def _normalised_series(
+    layers: LayerSweep,
+    named_specs: List[Tuple[str, PDNSpec]],
+    extract,
+    vs_name: str,
+    engine: SweepEngine,
+) -> Dict[str, List[float]]:
+    """Sweep all specs in one engine run and normalise to 2-layer V-S."""
+    points = [SweepPoint(spec=spec, tag=name) for name, spec in named_specs]
+    values = engine.run(points, extract=extract).values
+    raw: Dict[str, List[float]] = {}
+    for (name, _), value in zip(named_specs, values):
+        raw.setdefault(name, []).append(value)
+    reference = raw[vs_name][layers.index(2)] if 2 in layers else raw[vs_name][0]
+    return {k: [v / reference for v in vals] for k, vals in raw.items()}
+
+
 def run_fig5a(
     layers: LayerSweep = DEFAULT_LAYERS,
     grid_nodes: int = 20,
     em: Optional[EMParameters] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig5aResult:
-    """Reproduce Fig. 5a (TSV array lifetimes)."""
+    """Reproduce Fig. 5a (TSV array lifetimes).
+
+    Deprecated shim — prefer :class:`Fig5aExperiment`.
+    """
     em = em or default_em()
-    raw: Dict[str, List[float]] = {}
+    engine = engine or SweepEngine()
+    layers = tuple(layers)
+    named_specs: List[Tuple[str, PDNSpec]] = []
     for topology in ("Dense", "Sparse", "Few"):
         name = f"Reg. PDN, {topology} TSV"
-        raw[name] = []
         for n in layers:
-            pdn = build_regular_pdn(n, topology=topology, grid_nodes=grid_nodes)
-            raw[name].append(_tsv_array_lifetime(pdn.solve(), em))
+            named_specs.append(
+                (name, PDNSpec.regular(n, topology=topology, grid_nodes=grid_nodes))
+            )
     vs_name = "V-S PDN, Few TSV"
-    raw[vs_name] = []
     for n in layers:
-        pdn = build_stacked_pdn(
-            n, topology="Few", vdd_pads_per_core=VS_VDD_PADS_PER_CORE,
-            grid_nodes=grid_nodes,
+        named_specs.append(
+            (
+                vs_name,
+                PDNSpec.stacked(
+                    n,
+                    topology="Few",
+                    vdd_pads_per_core=VS_VDD_PADS_PER_CORE,
+                    grid_nodes=grid_nodes,
+                ),
+            )
         )
-        raw[vs_name].append(_tsv_array_lifetime(pdn.solve(), em))
-    reference = raw[vs_name][layers.index(2)] if 2 in layers else raw[vs_name][0]
-    series = {k: [v / reference for v in vals] for k, vals in raw.items()}
+    series = _normalised_series(
+        layers, named_specs, partial(_extract_tsv_lifetime, em=em), vs_name, engine
+    )
     return Fig5aResult(layers=layers, series=series)
 
 
@@ -136,25 +183,85 @@ def run_fig5b(
     pad_fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
     grid_nodes: int = 20,
     em: Optional[EMParameters] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig5bResult:
-    """Reproduce Fig. 5b (C4 pad array lifetimes)."""
+    """Reproduce Fig. 5b (C4 pad array lifetimes).
+
+    Deprecated shim — prefer :class:`Fig5bExperiment`.
+    """
     em = em or default_em()
-    raw: Dict[str, List[float]] = {}
+    engine = engine or SweepEngine()
+    layers = tuple(layers)
+    named_specs: List[Tuple[str, PDNSpec]] = []
     for fraction in pad_fractions:
         name = f"Reg. PDN ({int(round(fraction * 100))}% Power C4)"
-        raw[name] = []
         for n in layers:
-            pdn = build_regular_pdn(
-                n, topology="Few", power_pad_fraction=fraction, grid_nodes=grid_nodes
+            named_specs.append(
+                (
+                    name,
+                    PDNSpec.regular(
+                        n,
+                        topology="Few",
+                        power_pad_fraction=fraction,
+                        grid_nodes=grid_nodes,
+                    ),
+                )
             )
-            raw[name].append(_c4_array_lifetime(pdn.solve(), em))
     vs_name = "V-S PDN (25% Power C4)"
-    raw[vs_name] = []
     for n in layers:
-        pdn = build_stacked_pdn(
-            n, topology="Few", power_pad_fraction=0.25, grid_nodes=grid_nodes
+        named_specs.append(
+            (
+                vs_name,
+                PDNSpec.stacked(
+                    n, topology="Few", power_pad_fraction=0.25, grid_nodes=grid_nodes
+                ),
+            )
         )
-        raw[vs_name].append(_c4_array_lifetime(pdn.solve(), em))
-    reference = raw[vs_name][layers.index(2)] if 2 in layers else raw[vs_name][0]
-    series = {k: [v / reference for v in vals] for k, vals in raw.items()}
+    series = _normalised_series(
+        layers, named_specs, partial(_extract_c4_lifetime, em=em), vs_name, engine
+    )
     return Fig5bResult(layers=layers, series=series)
+
+
+class Fig5aExperiment(Experiment):
+    name = "fig5a"
+    description = "Fig. 5a: TSV array EM lifetime"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_grid_argument(parser)
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        result = run_fig5a(
+            grid_nodes=config.grid_nodes,
+            engine=config.option("engine"),
+        )
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={"layers": list(result.layers), "series": result.series},
+            raw=result,
+        )
+
+
+class Fig5bExperiment(Experiment):
+    name = "fig5b"
+    description = "Fig. 5b: C4 array EM lifetime"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_grid_argument(parser)
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        result = run_fig5b(
+            grid_nodes=config.grid_nodes,
+            engine=config.option("engine"),
+        )
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={"layers": list(result.layers), "series": result.series},
+            raw=result,
+        )

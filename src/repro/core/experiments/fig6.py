@@ -5,6 +5,10 @@ pattern at 0-100% imbalance for 2/4/6/8 converters per core; data points
 whose converters exceed the 100 mA rating are skipped, exactly as the
 paper does.  The regular PDN's worst case is all-layers-active and is
 therefore a single horizontal line per TSV topology.
+
+The sweep runs on the :class:`repro.runtime.engine.SweepEngine`: each
+converter count is one topology group whose eleven imbalance points
+share a single factorisation and one batched multi-RHS solve.
 """
 
 from __future__ import annotations
@@ -12,14 +16,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.tables import format_table
-from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_grid_argument,
+    add_layers_argument,
+)
+from repro.runtime import PDNSpec, SweepEngine, SweepPoint
 from repro.workload.imbalance import interleaved_layer_activities
 
 DEFAULT_IMBALANCES: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
 DEFAULT_CONVERTERS: Tuple[int, ...] = (2, 4, 6, 8)
+
+
+def _extract_rated_ir_drop(outcome) -> Optional[float]:
+    """IR-drop fraction, or None when the converter rating is violated."""
+    result = outcome.unwrap()
+    if result.converters_within_rating():
+        return result.max_ir_drop_fraction()
+    return None  # the paper skips these points
+
+
+def _extract_ir_drop(outcome) -> float:
+    return outcome.unwrap().max_ir_drop_fraction()
 
 
 @dataclass(frozen=True)
@@ -77,30 +98,43 @@ def run_fig6(
     imbalances: Sequence[float] = DEFAULT_IMBALANCES,
     converters_per_core: Sequence[int] = DEFAULT_CONVERTERS,
     grid_nodes: int = 20,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig6Result:
-    """Reproduce the Fig. 6 noise comparison."""
-    imbalances = tuple(imbalances)
-    vs_series: Dict[int, List[Optional[float]]] = {}
-    for k in converters_per_core:
-        pdn = build_stacked_pdn(
-            n_layers, converters_per_core=k, topology="Few", grid_nodes=grid_nodes
-        )
-        values: List[Optional[float]] = []
-        for imbalance in imbalances:
-            activities = interleaved_layer_activities(n_layers, imbalance)
-            result = pdn.solve(layer_activities=activities)
-            if result.converters_within_rating():
-                values.append(result.max_ir_drop_fraction())
-            else:
-                values.append(None)  # the paper skips these points
-        vs_series[k] = values
+    """Reproduce the Fig. 6 noise comparison.
 
-    regular_lines: Dict[str, float] = {}
-    for topology in ("Dense", "Sparse", "Few"):
-        pdn = build_regular_pdn(n_layers, topology=topology, grid_nodes=grid_nodes)
-        regular_lines[topology] = pdn.solve(
-            layer_activities=np.ones(n_layers)
-        ).max_ir_drop_fraction()
+    Deprecated shim — prefer :class:`Fig6Experiment`.
+    """
+    engine = engine or SweepEngine()
+    imbalances = tuple(imbalances)
+
+    vs_points = [
+        SweepPoint(
+            spec=PDNSpec.stacked(
+                n_layers, converters_per_core=k, topology="Few",
+                grid_nodes=grid_nodes,
+            ),
+            layer_activities=tuple(
+                interleaved_layer_activities(n_layers, imbalance)
+            ),
+        )
+        for k in converters_per_core
+        for imbalance in imbalances
+    ]
+    vs_values = engine.run(vs_points, extract=_extract_rated_ir_drop).values
+    vs_series: Dict[int, List[Optional[float]]] = {}
+    n_imb = len(imbalances)
+    for i, k in enumerate(converters_per_core):
+        vs_series[k] = list(vs_values[i * n_imb:(i + 1) * n_imb])
+
+    regular_points = [
+        SweepPoint(
+            spec=PDNSpec.regular(n_layers, topology=topology, grid_nodes=grid_nodes),
+            layer_activities=(1.0,) * n_layers,
+        )
+        for topology in ("Dense", "Sparse", "Few")
+    ]
+    regular_values = engine.run(regular_points, extract=_extract_ir_drop).values
+    regular_lines = dict(zip(("Dense", "Sparse", "Few"), regular_values))
 
     return Fig6Result(
         n_layers=n_layers,
@@ -108,3 +142,46 @@ def run_fig6(
         vs_series=vs_series,
         regular_lines=regular_lines,
     )
+
+
+class Fig6Experiment(Experiment):
+    name = "fig6"
+    description = "Fig. 6: IR drop vs workload imbalance"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_grid_argument(parser)
+        add_layers_argument(parser)
+        parser.add_argument("--csv", type=str, default=None, help="also export to CSV")
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = super().config_from_args(args)
+        config.options["csv"] = getattr(args, "csv", None)
+        return config
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        result = run_fig6(
+            n_layers=config.n_layers,
+            grid_nodes=config.grid_nodes,
+            engine=config.option("engine"),
+        )
+        notes = []
+        csv_path = config.option("csv")
+        if csv_path:
+            from repro.analysis.export import fig6_to_csv
+
+            notes.append(f"wrote {fig6_to_csv(result, csv_path)}")
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={
+                "n_layers": result.n_layers,
+                "imbalances": list(result.imbalances),
+                "vs_series": {str(k): v for k, v in result.vs_series.items()},
+                "regular_lines": result.regular_lines,
+            },
+            raw=result,
+            notes=notes,
+        )

@@ -16,6 +16,12 @@ import numpy as np
 from repro.analysis.boxplot import BoxStats, ascii_boxplot
 from repro.analysis.tables import format_table
 from repro.config.stackups import ProcessorSpec
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_seed_argument,
+)
 from repro.utils.rng import SeedLike
 from repro.workload.sampling import SampleSet, sample_suite
 
@@ -84,3 +90,35 @@ def run_fig7(
     """Reproduce the Fig. 7 sampling campaign."""
     processor = processor or ProcessorSpec()
     return Fig7Result(samples=sample_suite(processor, n_samples=n_samples, rng=rng))
+
+
+class Fig7Experiment(Experiment):
+    name = "fig7"
+    description = "Fig. 7: PARSEC power distributions"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_seed_argument(parser)
+        parser.add_argument("--samples", type=int, default=1000)
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = super().config_from_args(args)
+        config.options["samples"] = getattr(args, "samples", 1000)
+        return config
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        result = run_fig7(
+            n_samples=config.option("samples", 1000), rng=config.seed
+        )
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={
+                "max_imbalances": result.max_imbalances(),
+                "average_max_imbalance": result.average_max_imbalance,
+                "suite_max_imbalance": result.suite_max_imbalance,
+            },
+            raw=result,
+        )

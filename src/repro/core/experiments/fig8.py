@@ -7,6 +7,10 @@ comparison line — SC converters providing *all* the power, stepping a
 2 Vdd rail down to Vdd — is evaluated with the compact model, with each
 core served by the minimal number of converters that respects the
 100 mA rating.
+
+The V-S sweep runs on the :class:`repro.runtime.engine.SweepEngine`:
+one topology group per converter count, all imbalance points solved in
+one batched multi-RHS call.
 """
 
 from __future__ import annotations
@@ -18,8 +22,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.tables import format_table
 from repro.config.converters import SCConverterSpec, default_sc_spec
 from repro.config.stackups import ProcessorSpec
-from repro.core.scenarios import build_stacked_pdn
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_grid_argument,
+    add_layers_argument,
+)
 from repro.regulator.compact import SCCompactModel
+from repro.runtime import PDNSpec, SweepEngine, SweepPoint
 from repro.workload.imbalance import interleaved_layer_activities
 
 DEFAULT_IMBALANCES: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
@@ -56,6 +67,14 @@ def regular_sc_efficiency(
         total_out += op.output_power * converters_per_core * processor.core_count
         total_in += op.input_power * converters_per_core * processor.core_count
     return total_out / total_in
+
+
+def _extract_rated_efficiency(outcome) -> Optional[float]:
+    """Efficiency, or None when the converter rating is violated."""
+    result = outcome.unwrap()
+    if result.converters_within_rating():
+        return result.efficiency()
+    return None
 
 
 @dataclass(frozen=True)
@@ -101,23 +120,32 @@ def run_fig8(
     imbalances: Sequence[float] = DEFAULT_IMBALANCES,
     converters_per_core: Sequence[int] = DEFAULT_CONVERTERS,
     grid_nodes: int = 20,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig8Result:
-    """Reproduce the Fig. 8 efficiency comparison."""
+    """Reproduce the Fig. 8 efficiency comparison.
+
+    Deprecated shim — prefer :class:`Fig8Experiment`.
+    """
+    engine = engine or SweepEngine()
     imbalances = tuple(imbalances)
-    vs_series: Dict[int, List[Optional[float]]] = {}
-    for k in converters_per_core:
-        pdn = build_stacked_pdn(
-            n_layers, converters_per_core=k, topology="Few", grid_nodes=grid_nodes
+    points = [
+        SweepPoint(
+            spec=PDNSpec.stacked(
+                n_layers, converters_per_core=k, topology="Few",
+                grid_nodes=grid_nodes,
+            ),
+            layer_activities=tuple(
+                interleaved_layer_activities(n_layers, imbalance)
+            ),
         )
-        values: List[Optional[float]] = []
-        for imbalance in imbalances:
-            activities = interleaved_layer_activities(n_layers, imbalance)
-            result = pdn.solve(layer_activities=activities)
-            if result.converters_within_rating():
-                values.append(result.efficiency())
-            else:
-                values.append(None)
-        vs_series[k] = values
+        for k in converters_per_core
+        for imbalance in imbalances
+    ]
+    values = engine.run(points, extract=_extract_rated_efficiency).values
+    vs_series: Dict[int, List[Optional[float]]] = {}
+    n_imb = len(imbalances)
+    for i, k in enumerate(converters_per_core):
+        vs_series[k] = list(values[i * n_imb:(i + 1) * n_imb])
     regular = [regular_sc_efficiency(i, n_layers) for i in imbalances]
     return Fig8Result(
         n_layers=n_layers,
@@ -125,3 +153,46 @@ def run_fig8(
         vs_series=vs_series,
         regular_sc=regular,
     )
+
+
+class Fig8Experiment(Experiment):
+    name = "fig8"
+    description = "Fig. 8: system power efficiency"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_grid_argument(parser)
+        add_layers_argument(parser)
+        parser.add_argument("--csv", type=str, default=None, help="also export to CSV")
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = super().config_from_args(args)
+        config.options["csv"] = getattr(args, "csv", None)
+        return config
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        result = run_fig8(
+            n_layers=config.n_layers,
+            grid_nodes=config.grid_nodes,
+            engine=config.option("engine"),
+        )
+        notes = []
+        csv_path = config.option("csv")
+        if csv_path:
+            from repro.analysis.export import fig8_to_csv
+
+            notes.append(f"wrote {fig8_to_csv(result, csv_path)}")
+        return ExperimentResult(
+            name=self.name,
+            table=result.format(),
+            data={
+                "n_layers": result.n_layers,
+                "imbalances": list(result.imbalances),
+                "vs_series": {str(k): v for k, v in result.vs_series.items()},
+                "regular_sc": result.regular_sc,
+            },
+            raw=result,
+            notes=notes,
+        )

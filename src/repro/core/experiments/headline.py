@@ -16,9 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_grid_argument,
+)
 from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
 from repro.core.experiments.fig6 import Fig6Result, run_fig6
 from repro.core.experiments.fig7 import Fig7Result, run_fig7
+from repro.runtime import SweepEngine
 
 
 @dataclass(frozen=True)
@@ -62,11 +69,18 @@ def run_headline(
     fig5b: Optional[Fig5bResult] = None,
     fig6: Optional[Fig6Result] = None,
     fig7: Optional[Fig7Result] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> HeadlineReport:
-    """Evaluate every headline claim (reusing results when supplied)."""
-    fig5a = fig5a or run_fig5a(grid_nodes=grid_nodes)
-    fig5b = fig5b or run_fig5b(grid_nodes=grid_nodes)
-    fig6 = fig6 or run_fig6(grid_nodes=grid_nodes)
+    """Evaluate every headline claim (reusing results when supplied).
+
+    All sub-experiments share one :class:`SweepEngine`, so topologies
+    common to Figs. 5a/5b/6 (e.g. the regular Few-TSV stacks) are built
+    and factorised exactly once across the whole report.
+    """
+    engine = engine or SweepEngine()
+    fig5a = fig5a or run_fig5a(grid_nodes=grid_nodes, engine=engine)
+    fig5b = fig5b or run_fig5b(grid_nodes=grid_nodes, engine=engine)
+    fig6 = fig6 or run_fig6(grid_nodes=grid_nodes, engine=engine)
     fig7 = fig7 or run_fig7()
 
     vs_series = fig5a.series["V-S PDN, Few TSV"]
@@ -96,3 +110,33 @@ def run_headline(
         vs_extra_ir_drop_at_average=vs_at_avg - dense,
         crossover_imbalance=fig6.crossover_imbalance(),
     )
+
+
+class HeadlineExperiment(Experiment):
+    name = "headline"
+    description = "All headline claims in one report"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        add_grid_argument(parser)
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        config = config or ExperimentConfig()
+        report = run_headline(
+            grid_nodes=config.grid_nodes,
+            engine=config.option("engine"),
+        )
+        return ExperimentResult(
+            name=self.name,
+            table=report.format(),
+            data={
+                "c4_improvement_8l": report.c4_improvement_8l,
+                "tsv_improvement_8l": report.tsv_improvement_8l,
+                "regular_tsv_degradation": report.regular_tsv_degradation,
+                "vs_tsv_degradation": report.vs_tsv_degradation,
+                "average_imbalance": report.average_imbalance,
+                "vs_extra_ir_drop_at_average": report.vs_extra_ir_drop_at_average,
+                "crossover_imbalance": report.crossover_imbalance,
+            },
+            raw=report,
+        )

@@ -6,6 +6,11 @@ from typing import Optional
 
 from repro.analysis.tables import format_table
 from repro.config.stackups import ProcessorSpec, TSV_TOPOLOGIES
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+)
 from repro.config.technology import (
     C4Technology,
     OnChipMetal,
@@ -72,3 +77,19 @@ def table2_report(
         rows,
         title="Table 2: TSV configurations",
     )
+
+
+class Table1Experiment(Experiment):
+    name = "table1"
+    description = "Table 1: PDN modeling parameters"
+
+    def run(self, config: "Optional[ExperimentConfig]" = None) -> ExperimentResult:
+        return ExperimentResult(name=self.name, table=table1_report())
+
+
+class Table2Experiment(Experiment):
+    name = "table2"
+    description = "Table 2: TSV configurations"
+
+    def run(self, config: "Optional[ExperimentConfig]" = None) -> ExperimentResult:
+        return ExperimentResult(name=self.name, table=table2_report())

@@ -13,13 +13,14 @@ silicon area overhead), and extracts the Pareto-efficient frontier.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.config.stackups import TSV_TOPOLOGIES
+from repro.config.stackups import ProcessorSpec, TSV_TOPOLOGIES
 from repro.config.technology import EMParameters, default_em, default_tsv
 from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
 from repro.em import (
@@ -30,6 +31,7 @@ from repro.em import (
 )
 from repro.regulator.area import converters_area_overhead
 from repro.config.converters import default_sc_spec
+from repro.runtime import PDNSpec, SweepEngine, SweepPoint
 from repro.workload.imbalance import interleaved_layer_activities
 
 
@@ -156,8 +158,70 @@ class ExplorationResult:
         )
 
 
+def _array_lifetimes(result, em: EMParameters) -> Tuple[float, float]:
+    """(C4, TSV) expected EM-damage-free lifetimes of one solve."""
+    c4 = expected_em_lifetime(
+        median_lifetimes_from_currents(
+            result.conductor_currents("c4"), C4_CROSS_SECTION, em
+        ),
+        em,
+    )
+    tsv_currents = [result.conductor_currents("tsv")]
+    if result.has_group_prefix("tvia"):
+        tsv_currents.append(result.conductor_currents("tvia"))
+    tsv = expected_em_lifetime(
+        median_lifetimes_from_currents(
+            np.concatenate(tsv_currents), TSV_CROSS_SECTION, em
+        ),
+        em,
+    )
+    return c4, tsv
+
+
+def _area_overhead(
+    topology: str, converters: int, capacitor_technology: str
+) -> float:
+    core_area = ProcessorSpec().core_area
+    koz = TSV_TOPOLOGIES[topology].area_overhead(core_area, default_tsv())
+    if converters == 0:
+        return koz
+    conv = converters_area_overhead(
+        default_sc_spec(), converters, core_area, capacitor_technology
+    )
+    return koz + conv
+
+
+def _design_point_extract(
+    outcome, em: EMParameters, capacitor_technology: str
+) -> DesignPoint:
+    """Build one DesignPoint from a sweep outcome (picklable)."""
+    arrangement, topology, pad_fraction, converters = outcome.point.tag
+    result = outcome.unwrap()
+    c4_life, tsv_life = _array_lifetimes(result, em)
+    # A regular PDN is always feasible; a V-S point is infeasible when
+    # its converters exceed the 100 mA rating.
+    feasible = converters == 0 or result.converters_within_rating()
+    return DesignPoint(
+        arrangement=arrangement,
+        tsv_topology=topology,
+        converters_per_core=converters,
+        power_pad_fraction=pad_fraction,
+        ir_drop=result.max_ir_drop_fraction() if feasible else None,
+        efficiency=result.efficiency() if feasible else None,
+        c4_lifetime=c4_life,
+        tsv_lifetime=tsv_life,
+        area_overhead=_area_overhead(topology, converters, capacitor_technology),
+    )
+
+
 class DesignSpaceExplorer:
-    """Sweep and rank 3D-PDN design scenarios."""
+    """Sweep and rank 3D-PDN design scenarios.
+
+    ``explore()`` runs on the :class:`repro.runtime.engine.SweepEngine`
+    — every distinct topology in the cross product is built and
+    factorised once, and independent topologies can fan out across
+    worker processes (``workers`` / ``REPRO_SWEEP_WORKERS``).
+    """
 
     def __init__(
         self,
@@ -166,6 +230,8 @@ class DesignSpaceExplorer:
         grid_nodes: int = 12,
         em: Optional[EMParameters] = None,
         capacitor_technology: str = "trench",
+        workers: Optional[int] = None,
+        engine: Optional[SweepEngine] = None,
     ):
         if not 0.0 <= imbalance <= 1.0:
             raise ValueError("imbalance must be within [0, 1]")
@@ -174,36 +240,14 @@ class DesignSpaceExplorer:
         self.grid_nodes = grid_nodes
         self.em = em or default_em()
         self.capacitor_technology = capacitor_technology
+        self.engine = engine or SweepEngine(workers=workers)
 
     # ------------------------------------------------------------------
     def _array_lifetimes(self, result) -> Tuple[float, float]:
-        """(C4, TSV) expected EM-damage-free lifetimes of one solve."""
-        c4 = expected_em_lifetime(
-            median_lifetimes_from_currents(
-                result.conductor_currents("c4"), C4_CROSS_SECTION, self.em
-            ),
-            self.em,
-        )
-        tsv_currents = [result.conductor_currents("tsv")]
-        if result.has_group_prefix("tvia"):
-            tsv_currents.append(result.conductor_currents("tvia"))
-        tsv = expected_em_lifetime(
-            median_lifetimes_from_currents(
-                np.concatenate(tsv_currents), TSV_CROSS_SECTION, self.em
-            ),
-            self.em,
-        )
-        return c4, tsv
+        return _array_lifetimes(result, self.em)
 
     def _area_overhead(self, topology: str, converters: int) -> float:
-        core_area = build_regular_pdn(2, grid_nodes=8).stack.processor.core_area
-        koz = TSV_TOPOLOGIES[topology].area_overhead(core_area, default_tsv())
-        if converters == 0:
-            return koz
-        conv = converters_area_overhead(
-            default_sc_spec(), converters, core_area, self.capacitor_technology
-        )
-        return koz + conv
+        return _area_overhead(topology, converters, self.capacitor_technology)
 
     def evaluate_regular(self, topology: str, pad_fraction: float) -> DesignPoint:
         pdn = build_regular_pdn(
@@ -258,14 +302,46 @@ class DesignSpaceExplorer:
         pad_fractions: Sequence[float] = (0.25, 0.5),
         converter_counts: Sequence[int] = (2, 4, 8),
     ) -> ExplorationResult:
-        """Evaluate the full cross product of scenarios."""
-        points: List[DesignPoint] = []
+        """Evaluate the full cross product of scenarios on the engine."""
+        activities = tuple(
+            interleaved_layer_activities(self.n_layers, self.imbalance)
+        )
+        sweep_points: List[SweepPoint] = []
         for topology, fraction in itertools.product(topologies, pad_fractions):
-            points.append(self.evaluate_regular(topology, fraction))
+            sweep_points.append(
+                SweepPoint(
+                    spec=PDNSpec.regular(
+                        self.n_layers,
+                        topology=topology,
+                        power_pad_fraction=fraction,
+                        grid_nodes=self.grid_nodes,
+                    ),
+                    # regular worst case: all layers active
+                    tag=("regular", topology, fraction, 0),
+                )
+            )
         for topology, fraction, conv in itertools.product(
             topologies, pad_fractions, converter_counts
         ):
-            points.append(self.evaluate_stacked(topology, fraction, conv))
+            sweep_points.append(
+                SweepPoint(
+                    spec=PDNSpec.stacked(
+                        self.n_layers,
+                        converters_per_core=conv,
+                        topology=topology,
+                        power_pad_fraction=fraction,
+                        grid_nodes=self.grid_nodes,
+                    ),
+                    layer_activities=activities,
+                    tag=("voltage-stacked", topology, fraction, conv),
+                )
+            )
+        extract = partial(
+            _design_point_extract,
+            em=self.em,
+            capacitor_technology=self.capacitor_technology,
+        )
+        points = list(self.engine.run(sweep_points, extract=extract).values)
         return ExplorationResult(
             points=points, imbalance=self.imbalance, n_layers=self.n_layers
         )

@@ -21,6 +21,7 @@ from repro.config.stackups import (
 )
 from repro.pdn.regular3d import RegularPDN3D
 from repro.pdn.stacked3d import StackedPDN3D
+from repro.runtime.spec import PDNSpec
 
 #: Grid resolution used by the benchmark harness (nodes per die side).
 DEFAULT_GRID_NODES = 20
@@ -82,20 +83,35 @@ def stacked_stack(
 
 
 def build_regular_pdn(
-    n_layers: int,
+    n_layers,
     topology: str = "Few",
     power_pad_fraction: float = 0.25,
     grid_nodes: int = DEFAULT_GRID_NODES,
     **kwargs,
 ) -> RegularPDN3D:
-    """Construct and return a ready-to-solve regular 3D PDN."""
+    """Construct and return a ready-to-solve regular 3D PDN.
+
+    The first argument may be a :class:`repro.runtime.spec.PDNSpec`
+    instead of a layer count, in which case the spec supplies every
+    structural parameter.
+    """
+    if isinstance(n_layers, PDNSpec):
+        spec = n_layers
+        if spec.is_stacked:
+            raise ValueError(
+                f"build_regular_pdn got a voltage-stacked spec: {spec.label()}"
+            )
+        n_layers = spec.n_layers
+        topology = spec.topology
+        power_pad_fraction = spec.power_pad_fraction
+        grid_nodes = spec.grid_nodes
     return RegularPDN3D(
         regular_stack(n_layers, topology, power_pad_fraction, grid_nodes), **kwargs
     )
 
 
 def build_stacked_pdn(
-    n_layers: int,
+    n_layers,
     converters_per_core: int = 8,
     topology: str = "Few",
     power_pad_fraction: float = 0.25,
@@ -103,7 +119,24 @@ def build_stacked_pdn(
     grid_nodes: int = DEFAULT_GRID_NODES,
     **kwargs,
 ) -> StackedPDN3D:
-    """Construct and return a ready-to-solve voltage-stacked 3D PDN."""
+    """Construct and return a ready-to-solve voltage-stacked 3D PDN.
+
+    The first argument may be a :class:`repro.runtime.spec.PDNSpec`
+    instead of a layer count, in which case the spec supplies every
+    structural parameter.
+    """
+    if isinstance(n_layers, PDNSpec):
+        spec = n_layers
+        if not spec.is_stacked:
+            raise ValueError(
+                f"build_stacked_pdn got a regular spec: {spec.label()}"
+            )
+        n_layers = spec.n_layers
+        converters_per_core = spec.converters_per_core
+        topology = spec.topology
+        power_pad_fraction = spec.power_pad_fraction
+        vdd_pads_per_core = spec.vdd_pads_per_core
+        grid_nodes = spec.grid_nodes
     return StackedPDN3D(
         stacked_stack(
             n_layers, topology, power_pad_fraction, vdd_pads_per_core, grid_nodes
@@ -111,3 +144,10 @@ def build_stacked_pdn(
         converters_per_core=converters_per_core,
         **kwargs,
     )
+
+
+def build_pdn(spec: PDNSpec, **kwargs):
+    """Construct whichever PDN arrangement ``spec`` describes."""
+    if spec.is_stacked:
+        return build_stacked_pdn(spec, **kwargs)
+    return build_regular_pdn(spec, **kwargs)

@@ -51,10 +51,17 @@ class ElementFault:
 
 
 class FaultPlan:
-    """An ordered, replayable set of element failures."""
+    """An ordered, replayable set of element failures.
 
-    def __init__(self) -> None:
+    ``spec`` optionally names the design point the plan was sampled
+    for (a :class:`repro.runtime.spec.PDNSpec`); the sweep engine uses
+    it only for bookkeeping — plans are applied to whatever PDN they
+    are handed.
+    """
+
+    def __init__(self, spec=None) -> None:
         self._faults: List[ElementFault] = []
+        self.spec = spec
 
     # ------------------------------------------------------------------
     # construction
@@ -113,6 +120,15 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan({len(self._faults)} faults)"
+
+    def fingerprint(self) -> Tuple[ElementFault, ...]:
+        """Hashable value identity of the plan's fault sequence.
+
+        Two plans with equal fingerprints rewrite a circuit
+        identically, so the sweep engine batches their design points
+        into one topology group behind a single factorisation.
+        """
+        return tuple(self._faults)
 
     # ------------------------------------------------------------------
     # application

@@ -29,7 +29,7 @@ never a bare SciPy exception.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix
@@ -506,6 +506,192 @@ class AssembledCircuit:
             diagnostics=diag,
         )
 
+    def factorize(self) -> bool:
+        """Eagerly LU-factorise the full MNA matrix.
+
+        Normally the factorisation happens lazily inside the first
+        :meth:`solve`; the sweep engine calls this explicitly so build,
+        factorise and solve time can be attributed to separate stages.
+        Returns False (instead of raising) when the matrix is singular,
+        leaving the resilient path to deal with it later.
+        """
+        if self._lu is None:
+            try:
+                self._lu = splu(self._matrix)
+            except (RuntimeError, ValueError):
+                return False
+        return True
+
+    def solve_batch(
+        self,
+        isource_currents: Optional[Sequence[Optional[np.ndarray]]] = None,
+        vsource_voltage: Optional[np.ndarray] = None,
+        resilient: bool = False,
+    ) -> List[Solution]:
+        """Solve many operating points against one factorisation.
+
+        ``isource_currents`` is a sequence of per-point load-current
+        overrides (each entry as in :meth:`solve`; ``None`` entries use
+        the stored values).  All points share the system matrix, so the
+        right-hand sides are stacked into one dense matrix and solved in
+        a single multi-RHS triangular solve — the amortisation this
+        module's docstring promises, now paid once per *sweep* instead
+        of once per point.
+
+        Returns one :class:`Solution` per entry, in input order, and is
+        numerically identical to calling :meth:`solve` point by point
+        (the same factorisation caches are used for both paths).
+        """
+        self._check_revision()
+        if isource_currents is None:
+            raise ValueError("solve_batch needs a sequence of operating points")
+        resolved = [
+            self._resolve_sources(currents, vsource_voltage)
+            for currents in isource_currents
+        ]
+        if not resolved:
+            return []
+        if resilient:
+            return self._solve_resilient_batch(resolved)
+        z = np.column_stack([self._rhs(c, v) for c, v in resolved])
+        x = self._solve_strict(z)
+        return [
+            Solution(
+                assembled=self,
+                x=x[:, i],
+                isource_current=resolved[i][0],
+                vsource_voltage=resolved[i][1],
+            )
+            for i in range(len(resolved))
+        ]
+
+    def _batch_residuals(self, matrix, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Per-column relative residuals of a multi-RHS solve."""
+        residual = np.linalg.norm(matrix @ x - z, axis=0)
+        scale = np.maximum(1.0, np.linalg.norm(z, axis=0))
+        return residual / scale
+
+    def _solve_resilient_batch(self, resolved) -> List[Solution]:
+        """Batched mirror of :meth:`_solve_resilient`.
+
+        Columns whose full-system direct solve meets the residual
+        tolerance keep the un-pruned answer (clean diagnostics); only
+        the failing columns pay for pruning and, as a last resort, a
+        per-column iterative fallback — exactly the decision sequence
+        the per-point path takes, so results match it bit for bit.
+        """
+        k = len(resolved)
+        z = np.column_stack([self._rhs(c, v) for c, v in resolved])
+        solutions: List[Optional[Solution]] = [None] * k
+        pending = list(range(k))
+
+        # 1. Plain direct multi-RHS solve on the full system.
+        if self.factorize():
+            x = self._lu.solve(z)
+            finite = np.all(np.isfinite(x), axis=0)
+            rel = self._batch_residuals(self._matrix, x, z)
+            cond = None
+            for i in list(pending):
+                if finite[i] and rel[i] <= self.RESIDUAL_TOLERANCE:
+                    if cond is None:
+                        cond = self._condition_estimate(self._matrix, self._lu)
+                    diag = SolveDiagnostics(residual=float(rel[i]))
+                    diag.condition_estimate = cond
+                    solutions[i] = Solution(
+                        assembled=self,
+                        x=x[:, i],
+                        isource_current=resolved[i][0],
+                        vsource_voltage=resolved[i][1],
+                        diagnostics=diag,
+                    )
+                    pending.remove(i)
+        if not pending:
+            return solutions
+
+        # 2. Ground floating islands, shed their loads, retry direct.
+        if self._pruned_matrix is None:
+            self._diagnostics_template = self._build_pruned_system()
+        base = self._diagnostics_template
+
+        def pruned_diag() -> SolveDiagnostics:
+            return SolveDiagnostics(
+                n_islands=base.n_islands,
+                dropped_nodes=list(base.dropped_nodes),
+                shed_loads=base.shed_loads,
+                stabilized_rows=base.stabilized_rows,
+            )
+
+        shed_currents = {}
+        for i in pending:
+            current = resolved[i][0]
+            if len(current) and self._shed_isource_mask is not None:
+                current = np.where(self._shed_isource_mask, 0.0, current)
+            shed_currents[i] = current
+        z_pruned = np.column_stack(
+            [self._rhs(shed_currents[i], resolved[i][1]) for i in pending]
+        )
+        z_pruned[self._forced_zero_rows, :] = 0.0
+        attempt_cols = list(pending)
+        if self._pruned_lu is None:
+            try:
+                self._pruned_lu = splu(self._pruned_matrix)
+            except (RuntimeError, ValueError):
+                self._pruned_lu = None
+        if self._pruned_lu is not None:
+            x = self._pruned_lu.solve(z_pruned)
+            finite = np.all(np.isfinite(x), axis=0)
+            rel = self._batch_residuals(self._pruned_matrix, x, z_pruned)
+            cond = None
+            for j, i in enumerate(attempt_cols):
+                if finite[j] and rel[j] <= self.RESIDUAL_TOLERANCE:
+                    if cond is None:
+                        cond = self._condition_estimate(
+                            self._pruned_matrix, self._pruned_lu
+                        )
+                    diag = pruned_diag()
+                    diag.residual = float(rel[j])
+                    diag.condition_estimate = cond
+                    solutions[i] = Solution(
+                        assembled=self,
+                        x=x[:, j],
+                        isource_current=shed_currents[i],
+                        vsource_voltage=resolved[i][1],
+                        diagnostics=diag,
+                    )
+                    pending.remove(i)
+
+        # 3. Per-column Jacobi-LGMRES on whatever is still unsolved.
+        for i in list(pending):
+            col = attempt_cols.index(i)
+            diag = pruned_diag()
+            attempt = self._iterative_attempt(
+                self._pruned_matrix, z_pruned[:, col], diag
+            )
+            if attempt is not None:
+                x_i, rel_i = attempt
+                diag.residual = rel_i
+                if rel_i <= self.RESIDUAL_TOLERANCE:
+                    solutions[i] = Solution(
+                        assembled=self,
+                        x=x_i,
+                        isource_current=shed_currents[i],
+                        vsource_voltage=resolved[i][1],
+                        diagnostics=diag,
+                    )
+                    pending.remove(i)
+                    continue
+                raise ConvergenceError(
+                    f"iterative fallback converged only to residual {rel_i:.2e} "
+                    f"(tolerance {self.RESIDUAL_TOLERANCE:.0e}); {diag.summary()}",
+                    diagnostics=diag,
+                )
+            raise SingularCircuitError(
+                "MNA system is singular even after pruning "
+                f"{diag.n_dropped_nodes} floating node(s); {diag.summary()}",
+                diagnostics=diag,
+            )
+        return solutions
+
     def _solve_strict(self, z: np.ndarray) -> np.ndarray:
         """The historical fail-fast path: SuperLU or a typed error."""
         if self._lu is None:
@@ -518,7 +704,10 @@ class AssembledCircuit:
         x = self._lu.solve(z)
         if not np.all(np.isfinite(x)):
             raise SingularCircuitError("solve produced non-finite voltages")
-        rel = self._relative_residual(self._matrix, x, z)
+        if z.ndim == 2:  # multi-RHS: every column must meet the tolerance
+            rel = float(self._batch_residuals(self._matrix, x, z).max())
+        else:
+            rel = self._relative_residual(self._matrix, x, z)
         if rel > self.RESIDUAL_TOLERANCE:
             raise SingularCircuitError(
                 f"solve residual {rel:.2e} exceeds tolerance; "

@@ -282,6 +282,40 @@ class BasePDN3D:
         )
         return self._make_result(solution)
 
+    def solve_batch(
+        self,
+        activity_sets: Sequence[Optional[Sequence[float]]],
+        resilient: Optional[bool] = None,
+    ) -> List[PDNResult]:
+        """Solve many operating points in one multi-RHS batched solve.
+
+        ``activity_sets`` is a sequence of per-layer activity vectors
+        (``None`` entries mean all layers fully active, as in
+        :meth:`solve`).  The PDN is assembled and factorised once; all
+        load vectors are stacked into a dense RHS matrix and solved by a
+        single :meth:`repro.grid.solver.AssembledCircuit.solve_batch`
+        call.  Results match point-by-point :meth:`solve` calls exactly
+        and are returned in input order.
+        """
+        if resilient is None:
+            resilient = self.faulted
+        if self._assembled is None:
+            self._assembled = self.circuit.assemble()
+        currents = [
+            self._load_current_vector(activities, None)
+            for activities in activity_sets
+        ]
+        solutions = self._assembled.solve_batch(
+            isource_currents=currents, resilient=resilient
+        )
+        return [self._make_result(solution) for solution in solutions]
+
+    def assembled(self):
+        """The cached :class:`AssembledCircuit`, assembling on demand."""
+        if self._assembled is None:
+            self._assembled = self.circuit.assemble()
+        return self._assembled
+
     # Subclasses fill converter metadata.
     def _make_result(self, solution) -> PDNResult:
         return PDNResult(

@@ -1,0 +1,41 @@
+"""Batched sweep runtime: PDNSpec, SweepEngine and bench metrics."""
+
+from repro.runtime.spec import (
+    PDNSpec,
+    REGULAR,
+    VOLTAGE_STACKED,
+    DEFAULT_GRID_NODES,
+)
+from repro.runtime.metrics import (
+    BENCH_DIR_ENV,
+    BENCH_SCHEMA,
+    GroupMetrics,
+    SweepMetrics,
+    maybe_write_bench_json,
+    write_bench_json,
+)
+from repro.runtime.engine import (
+    SweepEngine,
+    SweepOutcome,
+    SweepPoint,
+    SweepResult,
+    WORKERS_ENV,
+)
+
+__all__ = [
+    "PDNSpec",
+    "REGULAR",
+    "VOLTAGE_STACKED",
+    "DEFAULT_GRID_NODES",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepOutcome",
+    "SweepResult",
+    "GroupMetrics",
+    "SweepMetrics",
+    "write_bench_json",
+    "maybe_write_bench_json",
+    "BENCH_SCHEMA",
+    "BENCH_DIR_ENV",
+    "WORKERS_ENV",
+]

@@ -1,0 +1,437 @@
+"""The batched multi-RHS sweep engine.
+
+Every figure reproduction and the design-space explorer used to rebuild
+and re-factorise the MNA system for each sweep point, even though points
+sharing a topology differ only in their right-hand side.
+:class:`SweepEngine` restores the amortisation the solver was designed
+for, at sweep scope:
+
+1. requested :class:`SweepPoint`\\ s are grouped by circuit topology —
+   the :class:`repro.runtime.spec.PDNSpec` plus the fault-plan
+   fingerprint — and each topology's PDN is built and LU-factorised
+   exactly once, through a keyed structure cache that survives across
+   ``run()`` calls (and invalidates itself on netlist revision bumps);
+2. all of a topology's load vectors are stacked into one dense RHS
+   matrix and solved in a single batched
+   :meth:`repro.grid.solver.AssembledCircuit.solve_batch` call;
+3. independent topologies fan out across a
+   :class:`concurrent.futures.ProcessPoolExecutor` with deterministic
+   result ordering and a serial fallback when the pool is unavailable
+   (or when results cannot be shipped between processes).
+
+Every stage is instrumented (:mod:`repro.runtime.metrics`); pass
+``bench_name`` to emit a machine-readable ``BENCH_<name>.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.runtime.metrics import (
+    GroupMetrics,
+    SweepMetrics,
+    maybe_write_bench_json,
+)
+from repro.runtime.spec import PDNSpec
+
+__all__ = ["SweepPoint", "SweepOutcome", "SweepResult", "SweepEngine"]
+
+#: Environment knob for the default process fan-out width.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One requested design-point evaluation.
+
+    Points with equal ``spec`` (and the same fault plan) share one
+    netlist build and one factorisation; their ``layer_activities``
+    become columns of a single batched right-hand-side solve.
+    """
+
+    spec: PDNSpec
+    #: Per-layer activity factors; None = all layers fully active.
+    layer_activities: Optional[Tuple[float, ...]] = None
+    #: A :class:`repro.faults.FaultPlan`, or a picklable callable
+    #: ``pdn -> FaultPlan`` for plans that must be sampled from the
+    #: built PDN (seeded samplers).  None = pristine.
+    fault_plan: Any = None
+    #: Force the resilient solve path; None = automatic (faulted PDNs).
+    resilient: Optional[bool] = None
+    #: Opaque caller label, passed through to the outcome/extractor.
+    tag: Any = None
+
+    def activities_tuple(self) -> Optional[Tuple[float, ...]]:
+        if self.layer_activities is None:
+            return None
+        return tuple(float(a) for a in self.layer_activities)
+
+
+@dataclass
+class SweepOutcome:
+    """What happened to one point: a result, or a typed solver error."""
+
+    point: SweepPoint
+    result: Any = None  # PDNResult when the solve succeeded
+    error: Optional[ReproError] = None
+    #: FaultReport of the applied plan (None for pristine points).
+    fault_report: Any = None
+
+    @property
+    def survived(self) -> bool:
+        return self.error is None
+
+    def unwrap(self):
+        """The PDNResult, re-raising the captured solver error if any."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+@dataclass
+class SweepResult:
+    """Ordered sweep values plus the run's stage metrics."""
+
+    #: One entry per requested point, in input order: the extractor's
+    #: return value, or the raw :class:`SweepOutcome` with no extractor.
+    values: List[Any]
+    metrics: SweepMetrics
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class _CachedStructure:
+    """One cache entry: a built PDN and its factorisation revision."""
+
+    pdn: Any
+    fault_report: Any
+    revision: int
+    build_s: float
+    factorize_s: float
+
+
+GroupKey = Tuple[PDNSpec, Any, bool]
+
+
+def _plan_key(plan: Any) -> Any:
+    """Hashable identity of a fault plan for topology grouping."""
+    if plan is None:
+        return None
+    fingerprint = getattr(plan, "fingerprint", None)
+    if fingerprint is not None:
+        return ("plan", fingerprint())
+    # Plan factories are opaque: give each its own topology group.
+    return ("factory", id(plan))
+
+
+def _group_resilient(point: SweepPoint) -> bool:
+    if point.resilient is not None:
+        return bool(point.resilient)
+    return point.fault_plan is not None
+
+
+def _build_group(spec: PDNSpec, plan: Any):
+    """Build one topology's PDN, apply its plan, factorise eagerly.
+
+    Returns ``(pdn, fault_report, build_s, factorize_s)``.
+    """
+    t0 = time.perf_counter()
+    pdn = spec.build()
+    report = None
+    if plan is not None:
+        actual = plan(pdn) if callable(plan) else plan
+        report = pdn.apply_faults(actual)
+    t1 = time.perf_counter()
+    assembled = pdn.assembled()
+    # A faulted system may be singular; factorize() then reports False
+    # and the resilient solve path deals with it per batch.
+    assembled.factorize()
+    t2 = time.perf_counter()
+    return pdn, report, t1 - t0, t2 - t1
+
+
+def _execute_group(
+    pdn,
+    points: Sequence[SweepPoint],
+    resilient: bool,
+    extract: Optional[Callable[[SweepOutcome], Any]],
+    fault_report: Any,
+    metrics: GroupMetrics,
+) -> List[Any]:
+    """Solve one topology group (batched, with per-point fallback)."""
+    activity_sets = [p.activities_tuple() for p in points]
+    t0 = time.perf_counter()
+    outcomes: List[SweepOutcome]
+    try:
+        results = pdn.solve_batch(activity_sets, resilient=resilient)
+        metrics.n_solve_calls += 1
+        outcomes = [
+            SweepOutcome(point=p, result=r, fault_report=fault_report)
+            for p, r in zip(points, results)
+        ]
+    except ReproError:
+        # One bad point must not sink its batch siblings: fall back to
+        # per-point solves and capture each point's typed error.
+        metrics.sequential_fallback = True
+        outcomes = []
+        for p, activities in zip(points, activity_sets):
+            metrics.n_solve_calls += 1
+            try:
+                result = pdn.solve(
+                    layer_activities=activities, resilient=resilient
+                )
+                outcomes.append(
+                    SweepOutcome(point=p, result=result, fault_report=fault_report)
+                )
+            except ReproError as exc:
+                outcomes.append(
+                    SweepOutcome(point=p, error=exc, fault_report=fault_report)
+                )
+    metrics.solve_s += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    values = [extract(o) if extract is not None else o for o in outcomes]
+    metrics.post_s += time.perf_counter() - t0
+    metrics.n_points = len(points)
+    return values
+
+
+def _run_group_remote(
+    spec: PDNSpec,
+    plan: Any,
+    points: Tuple[SweepPoint, ...],
+    resilient: bool,
+    extract: Callable[[SweepOutcome], Any],
+    key_label: str,
+) -> Tuple[List[Any], GroupMetrics]:
+    """Worker-process entry point: build, solve and extract one group."""
+    metrics = GroupMetrics(key=key_label)
+    pdn, report, build_s, factorize_s = _build_group(spec, plan)
+    metrics.build_s = build_s
+    metrics.factorize_s = factorize_s
+    values = _execute_group(pdn, points, resilient, extract, report, metrics)
+    return values, metrics
+
+
+class SweepEngine:
+    """Batched, cached, optionally process-parallel design-point sweeps.
+
+    Parameters
+    ----------
+    workers:
+        Process fan-out width for independent topologies.  ``None``
+        reads the ``REPRO_SWEEP_WORKERS`` environment variable and
+        defaults to 1 (serial).  Parallel mode needs a picklable
+        ``extract`` callable — raw PDN results hold SuperLU handles and
+        cannot cross process boundaries — and silently degrades to the
+        serial path when the pool cannot be used.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = int(os.environ.get(WORKERS_ENV, "1") or "1")
+        self.workers = max(1, int(workers))
+        self._cache: Dict[GroupKey, _CachedStructure] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_rebuilds = 0
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Structure-cache counters (for tests and metrics)."""
+        return {
+            "entries": len(self._cache),
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "rebuilds": self._cache_rebuilds,
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        extract: Optional[Callable[[SweepOutcome], Any]] = None,
+        bench_name: Optional[str] = None,
+    ) -> SweepResult:
+        """Evaluate every point; values come back in input order.
+
+        ``extract(outcome) -> value`` runs once per point after its
+        group's batched solve (use :meth:`SweepOutcome.unwrap` inside it
+        to re-raise captured solver errors).  Without an extractor the
+        raw outcomes are returned and the run is forced serial.
+        ``bench_name`` writes the stage metrics to
+        ``BENCH_<bench_name>.json`` (see :mod:`repro.runtime.metrics`).
+        """
+        t_start = time.perf_counter()
+        points = list(points)
+        groups: Dict[GroupKey, List[Tuple[int, SweepPoint]]] = {}
+        for index, point in enumerate(points):
+            key = (point.spec, _plan_key(point.fault_plan), _group_resilient(point))
+            groups.setdefault(key, []).append((index, point))
+
+        metrics = SweepMetrics(workers=self.workers)
+        values: List[Any] = [None] * len(points)
+
+        parallel_keys: List[GroupKey] = []
+        if self.workers > 1 and extract is not None and len(groups) > 1:
+            parallel_keys = list(groups)
+
+        done = set()
+        if parallel_keys:
+            done = self._run_parallel(
+                groups, parallel_keys, extract, values, metrics
+            )
+            if done:
+                metrics.mode = "process"
+
+        for key, members in groups.items():
+            if key in done:
+                continue
+            group_metrics = self._run_group_local(key, members, extract, values)
+            metrics.groups.append(group_metrics)
+
+        # Re-order group metrics to first-appearance order for stable
+        # BENCH output regardless of which groups ran remotely.
+        order = {key: i for i, key in enumerate(groups)}
+        labels = {self._key_label(k): order[k] for k in groups}
+        metrics.groups.sort(key=lambda g: labels.get(g.key, len(labels)))
+
+        info = self.cache_info()
+        metrics.cache_hits = info["hits"]
+        metrics.cache_misses = info["misses"]
+        metrics.cache_rebuilds = info["rebuilds"]
+        metrics.wall_s = time.perf_counter() - t_start
+        maybe_write_bench_json(bench_name, metrics.to_json())
+        return SweepResult(values=values, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def _key_label(self, key: GroupKey) -> str:
+        spec, plan_key, resilient = key
+        label = spec.label()
+        if plan_key is not None:
+            label += "+faults"
+        if resilient:
+            label += "/resilient"
+        return label
+
+    def _cacheable(self, key: GroupKey) -> bool:
+        # Factory-sampled plans may be stochastic; never reuse them.
+        plan_key = key[1]
+        return not (isinstance(plan_key, tuple) and plan_key[0] == "factory")
+
+    def _obtain_structure(
+        self, key: GroupKey, plan: Any, metrics: GroupMetrics
+    ) -> _CachedStructure:
+        spec = key[0]
+        cached = self._cache.get(key) if self._cacheable(key) else None
+        if cached is not None:
+            if cached.pdn.circuit.revision != cached.revision:
+                # The netlist mutated behind our back (a fault plan was
+                # applied out of band): rebuild rather than serve a
+                # stale factorisation.
+                self._cache_rebuilds += 1
+            else:
+                self._cache_hits += 1
+                metrics.cached = True
+                return cached
+        else:
+            self._cache_misses += 1
+        pdn, report, build_s, factorize_s = _build_group(spec, plan)
+        entry = _CachedStructure(
+            pdn=pdn,
+            fault_report=report,
+            revision=pdn.circuit.revision,
+            build_s=build_s,
+            factorize_s=factorize_s,
+        )
+        if self._cacheable(key):
+            self._cache[key] = entry
+        return entry
+
+    def _run_group_local(
+        self,
+        key: GroupKey,
+        members: List[Tuple[int, SweepPoint]],
+        extract: Optional[Callable[[SweepOutcome], Any]],
+        values: List[Any],
+    ) -> GroupMetrics:
+        group_metrics = GroupMetrics(key=self._key_label(key))
+        plan = members[0][1].fault_plan
+        entry = self._obtain_structure(key, plan, group_metrics)
+        if not group_metrics.cached:
+            group_metrics.build_s = entry.build_s
+            group_metrics.factorize_s = entry.factorize_s
+        group_values = _execute_group(
+            entry.pdn,
+            [point for _, point in members],
+            key[2],
+            extract,
+            entry.fault_report,
+            group_metrics,
+        )
+        for (index, _), value in zip(members, group_values):
+            values[index] = value
+        return group_metrics
+
+    def _run_parallel(
+        self,
+        groups: Dict[GroupKey, List[Tuple[int, SweepPoint]]],
+        keys: List[GroupKey],
+        extract: Callable[[SweepOutcome], Any],
+        values: List[Any],
+        metrics: SweepMetrics,
+    ) -> set:
+        """Fan groups out over processes; returns the keys completed.
+
+        Any group the pool cannot handle — unpicklable plans or
+        extractors, a broken pool, a sandbox that forbids forking —
+        simply stays unfinished and is re-run on the serial path by the
+        caller.  Determinism is unaffected: values land by index.
+        """
+        done: set = set()
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+        except ImportError:  # pragma: no cover - stdlib always has it
+            return done
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {}
+                for key in keys:
+                    members = groups[key]
+                    plan = members[0][1].fault_plan
+                    try:
+                        futures[key] = pool.submit(
+                            _run_group_remote,
+                            key[0],
+                            plan,
+                            tuple(point for _, point in members),
+                            key[2],
+                            extract,
+                            self._key_label(key),
+                        )
+                    except Exception:
+                        continue
+                for key, future in futures.items():
+                    try:
+                        group_values, group_metrics = future.result()
+                    except Exception:
+                        continue  # serial fallback picks this group up
+                    for (index, _), value in zip(groups[key], group_values):
+                        values[index] = value
+                    metrics.groups.append(group_metrics)
+                    done.add(key)
+        except Exception:
+            return done
+        return done

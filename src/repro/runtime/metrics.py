@@ -1,0 +1,154 @@
+"""Stage-level instrumentation of the sweep engine.
+
+Every :meth:`repro.runtime.engine.SweepEngine.run` produces a
+:class:`SweepMetrics`: wall time and solve counts per topology group
+(build, factorise, batched solve, per-point post-processing) plus run
+totals.  Metrics serialise to a stable machine-readable JSON layout so
+``BENCH_*.json`` files are diffable across PRs and the performance
+trajectory of the hot paths finally has data behind it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Union
+
+#: Schema version of the emitted JSON; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: Environment variable naming a directory to auto-write BENCH files to.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+@dataclass
+class GroupMetrics:
+    """Timings for one topology group (one build + one factorisation)."""
+
+    #: Human-readable group identity (spec label + fault-plan marker).
+    key: str
+    n_points: int = 0
+    #: Netlist construction (and fault-plan application) time.
+    build_s: float = 0.0
+    #: MNA assembly + LU factorisation time.
+    factorize_s: float = 0.0
+    #: Batched (or fallback per-point) solve time.
+    solve_s: float = 0.0
+    #: Per-point extraction / post-processing time.
+    post_s: float = 0.0
+    #: Linear-system solve calls issued (1 for a clean batched group).
+    n_solve_calls: int = 0
+    #: True when the group was served from the structure cache.
+    cached: bool = False
+    #: True when a batch error forced the per-point sequential fallback.
+    sequential_fallback: bool = False
+
+    @property
+    def total_s(self) -> float:
+        return self.build_s + self.factorize_s + self.solve_s + self.post_s
+
+
+@dataclass
+class SweepMetrics:
+    """Aggregated instrumentation of one sweep run."""
+
+    groups: List[GroupMetrics] = field(default_factory=list)
+    wall_s: float = 0.0
+    #: "serial" or "process" (ProcessPoolExecutor fan-out).
+    mode: str = "serial"
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_rebuilds: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return sum(g.n_points for g in self.groups)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_solve_calls(self) -> int:
+        return sum(g.n_solve_calls for g in self.groups)
+
+    def stage_totals(self) -> Dict[str, float]:
+        return {
+            "build_s": sum(g.build_s for g in self.groups),
+            "factorize_s": sum(g.factorize_s for g in self.groups),
+            "solve_s": sum(g.solve_s for g in self.groups),
+            "post_s": sum(g.post_s for g in self.groups),
+        }
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        """Stable, machine-readable rendering of the whole run."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "mode": self.mode,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 6),
+            "totals": {
+                "n_points": self.n_points,
+                "n_groups": self.n_groups,
+                "n_solve_calls": self.n_solve_calls,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_rebuilds": self.cache_rebuilds,
+                **{k: round(v, 6) for k, v in self.stage_totals().items()},
+            },
+            "groups": [
+                {**asdict(g), **{
+                    k: round(getattr(g, k), 6)
+                    for k in ("build_s", "factorize_s", "solve_s", "post_s")
+                }}
+                for g in self.groups
+            ],
+        }
+
+    def summary(self) -> str:
+        totals = self.stage_totals()
+        return (
+            f"{self.n_points} point(s) in {self.n_groups} group(s), "
+            f"{self.n_solve_calls} solve call(s), mode={self.mode}: "
+            f"build {totals['build_s']:.3f}s, factorize "
+            f"{totals['factorize_s']:.3f}s, solve {totals['solve_s']:.3f}s, "
+            f"post {totals['post_s']:.3f}s (wall {self.wall_s:.3f}s)"
+        )
+
+
+def write_bench_json(
+    name: str,
+    payload: Dict,
+    directory: Union[str, pathlib.Path, None] = None,
+) -> pathlib.Path:
+    """Persist a ``BENCH_<name>.json`` file and return its path.
+
+    ``directory`` defaults to the ``REPRO_BENCH_DIR`` environment
+    variable, then the current directory.  The payload is written with
+    sorted keys and a trailing newline so successive runs diff cleanly.
+    """
+    if directory is None:
+        directory = os.environ.get(BENCH_DIR_ENV, ".")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def maybe_write_bench_json(name: Optional[str], payload: Dict) -> Optional[pathlib.Path]:
+    """Write a BENCH file only when a name is given and the env opts in.
+
+    The engine calls this after every run: with ``bench_name`` set the
+    file is always written; otherwise nothing happens unless
+    ``REPRO_BENCH_DIR`` is exported, which turns on fleet-wide metric
+    collection without touching call sites.
+    """
+    if name is None:
+        return None
+    return write_bench_json(name, payload)

@@ -1,0 +1,170 @@
+"""PDNSpec — one hashable value object naming a PDN design point.
+
+Every experiment used to thread the same keyword soup (arrangement,
+layer count, TSV topology, pad fraction, converters per core, grid
+resolution) through ``build_regular_pdn`` / ``build_stacked_pdn`` and
+``FaultPlan``.  :class:`PDNSpec` collapses that into a single frozen
+dataclass that
+
+* builds the PDN it describes (:meth:`build`),
+* hashes and compares by value, so it is the keyed-structure-cache key
+  of :class:`repro.runtime.engine.SweepEngine` — two sweep points with
+  equal specs share one netlist build and one LU factorisation,
+* pickles cheaply, so design points can be fanned out across worker
+  processes without shipping circuits around.
+
+Both scenario builders accept a spec positionally
+(``build_regular_pdn(spec)``) while keeping their historical keyword
+signatures, and :class:`repro.faults.FaultPlan` carries an optional
+spec naming the design point a plan was sampled for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+#: Grid resolution used when a spec does not say otherwise (matches
+#: ``repro.core.scenarios.DEFAULT_GRID_NODES``).
+DEFAULT_GRID_NODES = 20
+
+REGULAR = "regular"
+VOLTAGE_STACKED = "voltage-stacked"
+ARRANGEMENTS = (REGULAR, VOLTAGE_STACKED)
+
+
+@dataclass(frozen=True)
+class PDNSpec:
+    """A hashable description of one buildable PDN design point."""
+
+    arrangement: str = REGULAR
+    n_layers: int = 8
+    topology: str = "Few"
+    power_pad_fraction: float = 0.25
+    #: V-S through-via pad override (0 = allocate by pad fraction).
+    vdd_pads_per_core: int = 0
+    grid_nodes: int = DEFAULT_GRID_NODES
+    #: SC cells per core regulating each intermediate rail (V-S only).
+    converters_per_core: int = 0
+
+    def __post_init__(self):
+        if self.arrangement not in ARRANGEMENTS:
+            raise ValueError(
+                f"arrangement must be one of {ARRANGEMENTS}, got "
+                f"{self.arrangement!r}"
+            )
+        if self.n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {self.n_layers}")
+        if self.grid_nodes < 2:
+            raise ValueError(f"grid_nodes must be >= 2, got {self.grid_nodes}")
+        if self.arrangement == REGULAR and self.converters_per_core:
+            raise ValueError("a regular PDN has no per-rail SC converters")
+        if self.arrangement == VOLTAGE_STACKED and self.converters_per_core < 1:
+            raise ValueError(
+                "a voltage-stacked PDN needs converters_per_core >= 1"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def regular(
+        cls,
+        n_layers: int,
+        topology: str = "Few",
+        power_pad_fraction: float = 0.25,
+        grid_nodes: int = DEFAULT_GRID_NODES,
+    ) -> "PDNSpec":
+        """Spec for a conventional parallel PDN."""
+        return cls(
+            arrangement=REGULAR,
+            n_layers=n_layers,
+            topology=topology,
+            power_pad_fraction=power_pad_fraction,
+            grid_nodes=grid_nodes,
+        )
+
+    @classmethod
+    def stacked(
+        cls,
+        n_layers: int,
+        converters_per_core: int = 8,
+        topology: str = "Few",
+        power_pad_fraction: float = 0.25,
+        vdd_pads_per_core: int = 0,
+        grid_nodes: int = DEFAULT_GRID_NODES,
+    ) -> "PDNSpec":
+        """Spec for a charge-recycled voltage-stacked PDN."""
+        return cls(
+            arrangement=VOLTAGE_STACKED,
+            n_layers=n_layers,
+            topology=topology,
+            power_pad_fraction=power_pad_fraction,
+            vdd_pads_per_core=vdd_pads_per_core,
+            grid_nodes=grid_nodes,
+            converters_per_core=converters_per_core,
+        )
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "PDNSpec":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+    @property
+    def is_stacked(self) -> bool:
+        return self.arrangement == VOLTAGE_STACKED
+
+    def key(self) -> Tuple:
+        """The value tuple this spec hashes by (cache-key debugging)."""
+        return (
+            self.arrangement,
+            self.n_layers,
+            self.topology,
+            self.power_pad_fraction,
+            self.vdd_pads_per_core,
+            self.grid_nodes,
+            self.converters_per_core,
+        )
+
+    def label(self) -> str:
+        """Compact human-readable identity for logs and metrics."""
+        parts = [
+            self.arrangement,
+            f"{self.n_layers}L",
+            self.topology,
+            f"pads{self.power_pad_fraction:g}",
+            f"g{self.grid_nodes}",
+        ]
+        if self.is_stacked:
+            parts.append(f"{self.converters_per_core}conv")
+        if self.vdd_pads_per_core:
+            parts.append(f"{self.vdd_pads_per_core}vddpads")
+        return "/".join(parts)
+
+    # ------------------------------------------------------------------
+    def build(self, **kwargs):
+        """Construct the PDN this spec describes.
+
+        Extra keyword arguments are forwarded to the PDN class
+        (``converter_spec``, ``package``, ...).
+        """
+        # Imported lazily: repro.core.scenarios re-exports PDNSpec, so a
+        # top-level import would be circular.
+        from repro.core.scenarios import build_regular_pdn, build_stacked_pdn
+
+        if self.is_stacked:
+            return build_stacked_pdn(
+                self.n_layers,
+                converters_per_core=self.converters_per_core,
+                topology=self.topology,
+                power_pad_fraction=self.power_pad_fraction,
+                vdd_pads_per_core=self.vdd_pads_per_core,
+                grid_nodes=self.grid_nodes,
+                **kwargs,
+            )
+        return build_regular_pdn(
+            self.n_layers,
+            topology=self.topology,
+            power_pad_fraction=self.power_pad_fraction,
+            grid_nodes=self.grid_nodes,
+            **kwargs,
+        )
+

@@ -1,0 +1,121 @@
+"""Experiment protocol: registry, CLI generation, run() contract."""
+
+import json
+
+import pytest
+
+from repro.core.experiments import (
+    Experiment,
+    ExperimentConfig,
+    all_experiments,
+    get_experiment,
+    register,
+)
+from repro.cli import build_parser
+
+from tests.conftest import TEST_GRID
+
+EXPECTED_ORDER = [
+    "table1",
+    "table2",
+    "fig3",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "headline",
+    "explore",
+    "sensitivity",
+    "noise",
+    "contingency",
+    "report",
+]
+
+
+class TestRegistry:
+    def test_all_commands_registered_in_cli_order(self):
+        assert list(all_experiments()) == EXPECTED_ORDER
+
+    def test_every_experiment_is_described(self):
+        for name, cls in all_experiments().items():
+            assert issubclass(cls, Experiment)
+            assert cls.name == name
+            assert cls.description
+            assert cls().describe() == cls.description
+
+    def test_get_experiment_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_register_rejects_duplicates_and_non_experiments(self):
+        with pytest.raises(TypeError):
+            register(dict)
+
+        class Dup(Experiment):
+            name = "fig6"
+            description = "duplicate"
+
+            def run(self, config):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Dup)
+
+    def test_cli_parser_generated_from_registry(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert list(sub.choices) == EXPECTED_ORDER
+
+
+class TestRunContract:
+    def test_fig6_run_result(self):
+        cls = get_experiment("fig6")
+        config = ExperimentConfig(grid_nodes=TEST_GRID, n_layers=2)
+        result = cls().run(config)
+        assert result.name == "fig6"
+        table = result.to_table()
+        assert "Fig. 6" in table and "imbalance" in table.lower()
+        payload = json.loads(result.to_json())
+        assert payload["experiment"] == "fig6"
+        assert payload["n_layers"] == 2
+
+    def test_table1_run_result(self):
+        cls = get_experiment("table1")
+        result = cls().run(ExperimentConfig())
+        assert "Table 1" in result.to_table()
+        assert json.loads(result.to_json())["experiment"] == "table1"
+
+    def test_config_from_args_roundtrip(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig6", "--grid", str(TEST_GRID), "--layers", "2"])
+        cls = get_experiment(args.command)
+        config = cls.config_from_args(args)
+        assert config.grid_nodes == TEST_GRID
+        assert config.n_layers == 2
+
+    def test_config_options_helper(self):
+        config = ExperimentConfig(options={"csv": "out.csv"})
+        assert config.option("csv") == "out.csv"
+        assert config.option("missing", 7) == 7
+
+    def test_legacy_run_functions_still_importable(self):
+        from repro.core.experiments import (
+            run_fig5a,
+            run_fig6,
+            run_fig8,
+            run_contingency,
+            run_headline,
+        )
+
+        for shim in (run_fig5a, run_fig8, run_contingency, run_headline):
+            assert callable(shim)
+        result = run_fig6(
+            n_layers=2,
+            grid_nodes=TEST_GRID,
+            imbalances=(0.0, 0.5),
+            converters_per_core=(4,),
+        )
+        assert len(result.vs_series[4]) == 2

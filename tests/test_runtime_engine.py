@@ -1,0 +1,280 @@
+"""Sweep engine: batched == sequential, caching, ordering, fan-out."""
+
+import pytest
+
+from repro.core.scenarios import build_pdn, build_regular_pdn, build_stacked_pdn
+from repro.faults import FaultPlan, severed_layer_plan
+from repro.runtime import PDNSpec, SweepEngine, SweepPoint
+from repro.workload.imbalance import interleaved_layer_activities
+
+from tests.conftest import TEST_GRID
+
+REL_TOL = 1e-12
+
+
+def _ir_drop(outcome):
+    return outcome.unwrap().max_ir_drop_fraction()
+
+
+def _activities(n_layers):
+    return [
+        tuple(interleaved_layer_activities(n_layers, imbalance))
+        for imbalance in (0.0, 0.3, 0.6, 1.0)
+    ]
+
+
+def _assert_close(a, b):
+    assert abs(a - b) <= REL_TOL * max(1.0, abs(a))
+
+
+class TestPDNSpec:
+    def test_hashable_value_object(self):
+        a = PDNSpec.stacked(4, converters_per_core=4, grid_nodes=TEST_GRID)
+        b = PDNSpec.stacked(4, converters_per_core=4, grid_nodes=TEST_GRID)
+        assert a == b and hash(a) == hash(b)
+        assert a != a.with_(converters_per_core=8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="arrangement"):
+            PDNSpec(arrangement="diagonal")
+        with pytest.raises(ValueError, match="SC converters"):
+            PDNSpec(arrangement="regular", converters_per_core=4)
+        with pytest.raises(ValueError, match="converters_per_core"):
+            PDNSpec(arrangement="voltage-stacked", converters_per_core=0)
+
+    def test_build_matches_kwargs_builders(self):
+        spec = PDNSpec.regular(2, topology="Dense", grid_nodes=TEST_GRID)
+        via_spec = spec.build().solve().max_ir_drop_fraction()
+        via_kwargs = (
+            build_regular_pdn(2, topology="Dense", grid_nodes=TEST_GRID)
+            .solve()
+            .max_ir_drop_fraction()
+        )
+        _assert_close(via_spec, via_kwargs)
+
+    def test_builders_accept_spec_positionally(self):
+        spec = PDNSpec.stacked(2, converters_per_core=4, grid_nodes=TEST_GRID)
+        for pdn in (build_stacked_pdn(spec), build_pdn(spec)):
+            assert pdn.stack.n_layers == 2
+
+    def test_builders_reject_wrong_arrangement_spec(self):
+        with pytest.raises(ValueError, match="voltage-stacked"):
+            build_regular_pdn(
+                PDNSpec.stacked(2, converters_per_core=4, grid_nodes=TEST_GRID)
+            )
+        with pytest.raises(ValueError, match="regular"):
+            build_stacked_pdn(PDNSpec.regular(2, grid_nodes=TEST_GRID))
+
+    def test_label_mentions_key_fields(self):
+        label = PDNSpec.stacked(4, converters_per_core=4, grid_nodes=TEST_GRID).label()
+        assert "voltage-stacked" in label and "4L" in label
+
+
+class TestBatchedMatchesSequential:
+    @pytest.mark.parametrize("arrangement", ["regular", "stacked"])
+    def test_multi_rhs_identical(self, arrangement):
+        n_layers = 4
+        if arrangement == "regular":
+            spec = PDNSpec.regular(n_layers, grid_nodes=TEST_GRID)
+        else:
+            spec = PDNSpec.stacked(
+                n_layers, converters_per_core=4, grid_nodes=TEST_GRID
+            )
+        activity_sets = _activities(n_layers)
+        points = [SweepPoint(spec=spec, layer_activities=a) for a in activity_sets]
+        engine = SweepEngine()
+        run = engine.run(points)
+        assert engine.cache_info()["misses"] == 1  # one build for all points
+
+        pdn = spec.build()
+        for outcome, activities in zip(run.values, activity_sets):
+            sequential = pdn.solve(layer_activities=activities)
+            batched = outcome.unwrap()
+            _assert_close(
+                sequential.max_ir_drop_fraction(), batched.max_ir_drop_fraction()
+            )
+            _assert_close(sequential.efficiency(), batched.efficiency())
+
+    def test_faulted_resilient_identical(self):
+        spec = PDNSpec.stacked(4, converters_per_core=4, grid_nodes=TEST_GRID)
+        plan = FaultPlan().open_converter_bank("sc.rail1")
+        activity_sets = _activities(4)
+        points = [
+            SweepPoint(spec=spec, layer_activities=a, fault_plan=plan)
+            for a in activity_sets
+        ]
+        run = SweepEngine().run(points)
+
+        pdn = spec.build()
+        pdn.apply_faults(FaultPlan().open_converter_bank("sc.rail1"))
+        for outcome, activities in zip(run.values, activity_sets):
+            assert outcome.survived
+            assert outcome.fault_report is not None
+            sequential = pdn.solve(layer_activities=activities, resilient=True)
+            batched = outcome.unwrap()
+            _assert_close(
+                sequential.max_ir_drop_fraction(), batched.max_ir_drop_fraction()
+            )
+            assert batched.diagnostics is not None
+            assert (
+                batched.diagnostics.fallback == sequential.diagnostics.fallback
+            )
+
+    def test_equal_fault_plans_share_one_group(self):
+        spec = PDNSpec.stacked(4, converters_per_core=4, grid_nodes=TEST_GRID)
+        plans = [FaultPlan().open_converter_bank("sc.rail1") for _ in range(2)]
+        assert plans[0].fingerprint() == plans[1].fingerprint()
+        engine = SweepEngine()
+        engine.run([SweepPoint(spec=spec, fault_plan=p) for p in plans])
+        assert engine.cache_info()["misses"] == 1
+
+    def test_strict_batch_error_captured_per_point(self):
+        """A singular batch falls back per point with typed errors."""
+        spec = PDNSpec.regular(2, grid_nodes=TEST_GRID)
+        points = [
+            SweepPoint(spec=spec, fault_plan=severed_layer_plan, resilient=False)
+        ]
+        run = SweepEngine().run(points)
+        outcome = run.values[0]
+        assert not outcome.survived
+        with pytest.raises(Exception):
+            outcome.unwrap()
+
+
+class TestStructureCache:
+    def test_cache_hit_on_rerun(self):
+        spec = PDNSpec.regular(2, grid_nodes=TEST_GRID)
+        points = [SweepPoint(spec=spec)]
+        engine = SweepEngine()
+        first = engine.run(points)
+        second = engine.run(points)
+        info = engine.cache_info()
+        assert info == {"entries": 1, "hits": 1, "misses": 1, "rebuilds": 0}
+        assert second.metrics.groups[0].cached
+        _assert_close(
+            first.values[0].unwrap().max_ir_drop_fraction(),
+            second.values[0].unwrap().max_ir_drop_fraction(),
+        )
+
+    def test_cache_invalidates_on_revision_bump(self):
+        """Out-of-band netlist mutation must not serve a stale LU."""
+        spec = PDNSpec.regular(2, grid_nodes=TEST_GRID)
+        points = [SweepPoint(spec=spec)]
+        engine = SweepEngine()
+        baseline = engine.run(points).values[0].unwrap().max_ir_drop_fraction()
+        # Mutate the cached PDN's circuit behind the engine's back.
+        cached_pdn = next(iter(engine._cache.values())).pdn
+        severed_layer_plan(cached_pdn).apply(cached_pdn)
+        rebuilt = engine.run(points).values[0].unwrap().max_ir_drop_fraction()
+        assert engine.cache_info()["rebuilds"] == 1
+        _assert_close(baseline, rebuilt)  # rebuilt from the pristine spec
+
+    def test_clear_cache(self):
+        engine = SweepEngine()
+        engine.run([SweepPoint(spec=PDNSpec.regular(2, grid_nodes=TEST_GRID))])
+        engine.clear_cache()
+        assert engine.cache_info()["entries"] == 0
+
+
+class TestOrderingAndFanOut:
+    def test_values_in_input_order_across_groups(self):
+        specs = [
+            PDNSpec.regular(2, grid_nodes=TEST_GRID),
+            PDNSpec.stacked(2, converters_per_core=4, grid_nodes=TEST_GRID),
+        ]
+        # Interleave groups so input order != group order.
+        points = [
+            SweepPoint(spec=specs[i % 2], tag=i) for i in range(6)
+        ]
+        run = SweepEngine().run(points)
+        assert [o.point.tag for o in run.values] == list(range(6))
+
+    def test_process_fanout_matches_serial(self):
+        specs = [
+            PDNSpec.regular(2, grid_nodes=TEST_GRID),
+            PDNSpec.stacked(2, converters_per_core=4, grid_nodes=TEST_GRID),
+        ]
+        points = [SweepPoint(spec=s) for s in specs for _ in range(2)]
+        serial = SweepEngine(workers=1).run(points, extract=_ir_drop)
+        parallel = SweepEngine(workers=2).run(points, extract=_ir_drop)
+        assert serial.metrics.mode == "serial"
+        for a, b in zip(serial.values, parallel.values):
+            _assert_close(a, b)
+
+    def test_unpicklable_extract_falls_back_to_serial(self):
+        points = [
+            SweepPoint(spec=PDNSpec.regular(2, grid_nodes=TEST_GRID)),
+            SweepPoint(
+                spec=PDNSpec.stacked(2, converters_per_core=4, grid_nodes=TEST_GRID)
+            ),
+        ]
+        run = SweepEngine(workers=2).run(
+            points, extract=lambda o: o.unwrap().max_ir_drop_fraction()
+        )
+        assert run.metrics.mode == "serial"
+        assert all(v is not None for v in run.values)
+
+
+class TestMetrics:
+    def test_stage_metrics_populated(self):
+        spec = PDNSpec.stacked(2, converters_per_core=4, grid_nodes=TEST_GRID)
+        run = SweepEngine().run(
+            [SweepPoint(spec=spec, layer_activities=a) for a in _activities(2)]
+        )
+        metrics = run.metrics
+        assert metrics.n_points == 4
+        assert metrics.n_groups == 1
+        assert metrics.n_solve_calls == 1  # one batched call
+        group = metrics.groups[0]
+        assert group.build_s > 0 and group.factorize_s > 0 and group.solve_s > 0
+        payload = metrics.to_json()
+        assert payload["schema"] == 1
+        assert payload["totals"]["n_points"] == 4
+        assert "summary" not in payload  # stable machine layout only
+
+    def test_bench_json_written(self, tmp_path, monkeypatch):
+        from repro.runtime.metrics import BENCH_DIR_ENV
+
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+        spec = PDNSpec.regular(2, grid_nodes=TEST_GRID)
+        SweepEngine().run([SweepPoint(spec=spec)], bench_name="engine_unit")
+        path = tmp_path / "BENCH_engine_unit.json"
+        assert path.exists()
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["totals"]["n_points"] == 1
+
+
+class TestSolverBatchAPI:
+    def test_solve_batch_on_builder(self):
+        pdn = build_stacked_pdn(2, converters_per_core=4, grid_nodes=TEST_GRID)
+        activity_sets = _activities(2)
+        batched = pdn.solve_batch(activity_sets)
+        assert len(batched) == len(activity_sets)
+        for result, activities in zip(batched, activity_sets):
+            sequential = pdn.solve(layer_activities=activities)
+            _assert_close(
+                sequential.max_ir_drop_fraction(), result.max_ir_drop_fraction()
+            )
+
+    def test_severed_strict_solve_raises(self):
+        """Factorisation may 'succeed' on a severed netlist; the strict
+        solve's residual check is what rejects the garbage answer."""
+        from repro.errors import SingularCircuitError
+
+        pdn = build_regular_pdn(2, grid_nodes=TEST_GRID)
+        assert pdn.assembled().factorize() is True
+        severed = build_regular_pdn(2, grid_nodes=TEST_GRID)
+        severed.apply_faults(severed_layer_plan(severed))
+        with pytest.raises(SingularCircuitError):
+            severed.solve(resilient=False)
+
+    def test_solve_batch_stale_revision_raises(self):
+        from repro.errors import FaultInjectionError
+
+        pdn = build_regular_pdn(2, grid_nodes=TEST_GRID)
+        assembled = pdn.circuit.assemble()
+        severed_layer_plan(pdn).apply(pdn)
+        with pytest.raises(FaultInjectionError, match="modified after assembly"):
+            assembled.solve_batch(isource_currents=[None])
