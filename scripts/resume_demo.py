@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""End-to-end crash/resume proof for the run supervisor.
+
+Orchestrates three child processes:
+
+1. an *uninterrupted* supervised sweep journaling into ``<dir>/clean``;
+2. the same sweep into ``<dir>/crashed`` — SIGKILLed as soon as the
+   journal shows at least one completed task but before it completes;
+3. ``--resume`` of the crashed run, which must restore the journaled
+   tasks bit-for-bit and re-run only the rest.
+
+The resumed run's values must match the uninterrupted run's within
+1e-12 (they are bit-identical in practice: restored values come out of
+a pickle round-trip, re-run values out of the same deterministic
+solver).  Exit status 0 = proof holds.
+
+Usage::
+
+    python scripts/resume_demo.py [work_dir]          # orchestrate
+    python scripts/resume_demo.py child RUN_DIR       # internal
+    python scripts/resume_demo.py child RUN_DIR --resume
+
+The child sleeps briefly per point (REPRO_DEMO_DELAY_S, default 0.25)
+so the orchestrator has a reliable window to deliver the SIGKILL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+TOLERANCE = 1e-12
+N_GROUPS = 6
+
+
+def _demo_extract(outcome):
+    """Deterministic per-point metrics, slowed for a kill window."""
+    time.sleep(float(os.environ.get("REPRO_DEMO_DELAY_S", "0.25")))
+    result = outcome.unwrap()
+    return (result.max_ir_drop(), result.efficiency())
+
+
+def run_child(run_dir: pathlib.Path, resume: bool) -> int:
+    from repro.runtime import (
+        PDNSpec,
+        RunSupervisor,
+        SupervisorConfig,
+        SweepPoint,
+    )
+
+    points = []
+    for n_layers in range(2, 2 + N_GROUPS):
+        spec = PDNSpec.regular(n_layers, grid_nodes=10)
+        points.append(SweepPoint(spec=spec))
+        points.append(
+            SweepPoint(spec=spec, layer_activities=(0.7,) + (1.0,) * (n_layers - 1))
+        )
+    supervisor = RunSupervisor(
+        config=SupervisorConfig(
+            run_dir=str(run_dir), resume=resume, verbose=True
+        )
+    )
+    result = supervisor.run(points, extract=_demo_extract)
+    payload = {
+        "values": result.values,
+        "resumed": result.metrics.resumed,
+        "n_tasks": len(result.report.tasks),
+        "quarantined": result.report.quarantined_fingerprints(),
+    }
+    (run_dir / "values.json").write_text(json.dumps(payload, indent=2))
+    return 0
+
+
+def _spawn(run_dir: pathlib.Path, resume: bool = False) -> subprocess.Popen:
+    argv = [sys.executable, str(pathlib.Path(__file__).resolve()),
+            "child", str(run_dir)]
+    if resume:
+        argv.append("--resume")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(argv, env=env)
+
+
+def _journal_task_lines(run_dir: pathlib.Path) -> int:
+    journals = list(run_dir.glob("journal-*.jsonl"))
+    if not journals:
+        return 0
+    lines = journals[0].read_text().splitlines()
+    return max(0, len(lines) - 1)  # minus the header
+
+
+def orchestrate(work_dir: pathlib.Path) -> int:
+    clean_dir = work_dir / "clean"
+    crashed_dir = work_dir / "crashed"
+    clean_dir.mkdir(parents=True, exist_ok=True)
+    crashed_dir.mkdir(parents=True, exist_ok=True)
+
+    print("== 1. uninterrupted run ==", flush=True)
+    child = _spawn(clean_dir)
+    if child.wait(timeout=600) != 0:
+        print("FAIL: uninterrupted run did not exit cleanly")
+        return 1
+    clean = json.loads((clean_dir / "values.json").read_text())
+
+    print("== 2. run to be SIGKILLed mid-sweep ==", flush=True)
+    child = _spawn(crashed_dir)
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        done = _journal_task_lines(crashed_dir)
+        if done >= 2:
+            break
+        if child.poll() is not None:
+            print("FAIL: run finished before the kill could land; "
+                  "raise REPRO_DEMO_DELAY_S")
+            return 1
+        time.sleep(0.05)
+    os.kill(child.pid, signal.SIGKILL)
+    child.wait(timeout=60)
+    journaled = _journal_task_lines(crashed_dir)
+    print(f"killed after {journaled} journaled task(s)", flush=True)
+    if (crashed_dir / "values.json").exists():
+        print("FAIL: the killed run still produced final values")
+        return 1
+    if journaled == 0 or journaled >= N_GROUPS:
+        print("FAIL: kill landed outside the mid-run window")
+        return 1
+
+    print("== 3. resume the crashed run ==", flush=True)
+    child = _spawn(crashed_dir, resume=True)
+    if child.wait(timeout=600) != 0:
+        print("FAIL: the resumed run did not exit cleanly")
+        return 1
+    resumed = json.loads((crashed_dir / "values.json").read_text())
+
+    print("== 4. compare ==", flush=True)
+    if resumed["resumed"] == 0:
+        print("FAIL: the resumed run restored nothing from the journal")
+        return 1
+    if resumed["quarantined"] or clean["quarantined"]:
+        print("FAIL: unexpected quarantined tasks")
+        return 1
+    if len(resumed["values"]) != len(clean["values"]):
+        print("FAIL: value-count mismatch")
+        return 1
+    worst = 0.0
+    for a, b in zip(clean["values"], resumed["values"]):
+        for x, y in zip(a, b):
+            scale = max(abs(x), abs(y), 1e-300)
+            worst = max(worst, abs(x - y) / scale)
+    print(f"restored {resumed['resumed']}/{resumed['n_tasks']} task(s); "
+          f"worst relative difference: {worst:.3e}")
+    if worst > TOLERANCE:
+        print(f"FAIL: resumed values differ beyond {TOLERANCE}")
+        return 1
+    print("PASS: resumed outputs match the uninterrupted run")
+    return 0
+
+
+def main(argv) -> int:
+    if argv and argv[0] == "child":
+        run_dir = pathlib.Path(argv[1])
+        run_dir.mkdir(parents=True, exist_ok=True)
+        return run_child(run_dir, resume="--resume" in argv[2:])
+    if argv:
+        work_dir = pathlib.Path(argv[0])
+        work_dir.mkdir(parents=True, exist_ok=True)
+        return orchestrate(work_dir)
+    with tempfile.TemporaryDirectory(prefix="resume-demo-") as tmp:
+        return orchestrate(pathlib.Path(tmp))
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -18,9 +18,19 @@ Examples::
     python -m repro explore --imbalance 0.65
     python -m repro contingency --layers 4 --grid 16 --seed 7
 
+Every subcommand also accepts the shared *run supervision* flags
+(``--run-dir``, ``--resume``, ``--max-retries``, ``--task-timeout``,
+``--fail-fast``, ``--workers``) which route engine-backed experiments
+through :class:`repro.runtime.RunSupervisor` — checkpoint/resume,
+retry with backoff and worker-crash quarantine for long sweeps::
+
+    python -m repro headline --grid 24 --run-dir runs/headline
+    python -m repro headline --grid 24 --resume runs/headline
+
 Model/solver failures raise :class:`repro.errors.ReproError` subclasses;
 the CLI reports them as a one-line message on stderr and exits with
-status 2 instead of dumping a traceback.
+status 2 instead of dumping a traceback.  Invalid numeric flag values
+(``--seed x``, ``--grid 0``, ...) get the same one-line treatment.
 """
 
 from __future__ import annotations
@@ -41,17 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     from repro.core.experiments import all_experiments
+    from repro.core.experiments.base import add_supervision_arguments
 
     for name, cls in all_experiments().items():
         cmd = sub.add_parser(name, help=cls.description)
         cls.configure_parser(cmd)
+        add_supervision_arguments(cmd)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    from repro.core.experiments import get_experiment
     from repro.errors import ReproError
+
+    try:
+        # Typed flag converters raise ReproError, which argparse does
+        # not intercept — bad values surface here as one-line errors.
+        args = build_parser().parse_args(argv)
+    except ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    from repro.core.experiments import get_experiment
 
     experiment_cls = get_experiment(args.command)
     try:

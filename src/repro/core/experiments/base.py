@@ -18,7 +18,9 @@ from __future__ import annotations
 import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError
 
 __all__ = [
     "Experiment",
@@ -27,6 +29,15 @@ __all__ = [
     "register",
     "get_experiment",
     "all_experiments",
+    "typed_int",
+    "typed_float",
+    "add_grid_argument",
+    "add_layers_argument",
+    "add_seed_argument",
+    "add_supervision_arguments",
+    "apply_common_args",
+    "supervision_from_args",
+    "resolve_engine",
 ]
 
 
@@ -95,11 +106,13 @@ class Experiment(ABC):
     @classmethod
     def config_from_args(cls, args) -> ExperimentConfig:
         """Map a parsed argparse namespace onto an ExperimentConfig."""
-        return ExperimentConfig(
+        config = ExperimentConfig(
             grid_nodes=getattr(args, "grid", 20),
             n_layers=getattr(args, "layers", 8),
             seed=getattr(args, "seed", None),
         )
+        apply_common_args(config, args)
+        return config
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -140,20 +153,172 @@ def all_experiments() -> Dict[str, type]:
     return dict(_REGISTRY)
 
 
+# ----------------------------------------------------------------------
+# Typed argparse converters
+# ----------------------------------------------------------------------
+# argparse swallows ValueError/TypeError/ArgumentTypeError into its own
+# "invalid value" wall of usage text.  These converters raise ReproError
+# (a RuntimeError) instead, which propagates out of ``parse_args`` so the
+# CLI can print a single-line diagnostic and exit 2 — no traceback.
+
+def typed_int(
+    flag: str, minimum: Optional[int] = None
+) -> Callable[[str], int]:
+    """An int converter for ``flag`` raising one-line ReproErrors."""
+
+    def convert(text: str) -> int:
+        try:
+            value = int(text)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"{flag} expects an integer, got {text!r}"
+            ) from None
+        if minimum is not None and value < minimum:
+            raise ReproError(f"{flag} must be >= {minimum}, got {value}")
+        return value
+
+    convert.__name__ = "int"  # keeps argparse metavar/help readable
+    return convert
+
+
+def typed_float(
+    flag: str,
+    minimum: Optional[float] = None,
+    exclusive: bool = False,
+) -> Callable[[str], float]:
+    """A finite-float converter for ``flag`` raising one-line ReproErrors."""
+
+    def convert(text: str) -> float:
+        try:
+            value = float(text)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"{flag} expects a number, got {text!r}"
+            ) from None
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ReproError(f"{flag} must be finite, got {text!r}")
+        if minimum is not None:
+            if exclusive and value <= minimum:
+                raise ReproError(f"{flag} must be > {minimum}, got {value}")
+            if not exclusive and value < minimum:
+                raise ReproError(f"{flag} must be >= {minimum}, got {value}")
+        return value
+
+    convert.__name__ = "float"
+    return convert
+
+
 # Shared argparse helpers so every experiment words its flags the same.
 def add_grid_argument(parser, default: int = 20) -> None:
     parser.add_argument(
-        "--grid", type=int, default=default,
+        "--grid", type=typed_int("--grid", minimum=2), default=default,
         help=f"model-grid nodes per die side (default {default})",
     )
 
 
 def add_layers_argument(parser, default: int = 8, help_text: str = "stacked layer count") -> None:
-    parser.add_argument("--layers", type=int, default=default, help=help_text)
+    parser.add_argument(
+        "--layers", type=typed_int("--layers", minimum=1), default=default,
+        help=help_text,
+    )
 
 
 def add_seed_argument(parser) -> None:
     parser.add_argument(
-        "--seed", type=int, default=None,
+        "--seed", type=typed_int("--seed"), default=None,
         help="RNG seed (default: the repo-wide deterministic seed)",
     )
+
+
+def add_supervision_arguments(parser) -> None:
+    """The run-supervision flag group shared by every subcommand."""
+    group = parser.add_argument_group(
+        "run supervision",
+        "checkpoint/resume, retry and quarantine for long sweeps "
+        "(see docs/RUNTIME.md)",
+    )
+    group.add_argument(
+        "--run-dir", type=str, default=None, metavar="DIR",
+        help="journal completed work into DIR (enables crash-safe resume)",
+    )
+    group.add_argument(
+        "--resume", type=str, default=None, metavar="RUN_DIR",
+        help="resume an interrupted run from its journal directory",
+    )
+    group.add_argument(
+        "--max-retries", type=typed_int("--max-retries", minimum=0),
+        default=None, metavar="N",
+        help="retries per topology task before quarantine (default 2)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=typed_float("--task-timeout", minimum=0.0, exclusive=True),
+        default=None, metavar="SECONDS",
+        help="per-task deadline; hung workers are killed and retried",
+    )
+    group.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first task failure instead of retrying",
+    )
+    group.add_argument(
+        "--workers", type=typed_int("--workers", minimum=1), default=None,
+        metavar="N",
+        help="process fan-out width (default: REPRO_SWEEP_WORKERS or 1)",
+    )
+
+
+def supervision_from_args(args) -> Optional[Any]:
+    """Build a SupervisorConfig when any supervision flag was used."""
+    resume = getattr(args, "resume", None)
+    run_dir = getattr(args, "run_dir", None) or resume
+    max_retries = getattr(args, "max_retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    fail_fast = bool(getattr(args, "fail_fast", False))
+    if (
+        run_dir is None
+        and max_retries is None
+        and task_timeout is None
+        and not fail_fast
+    ):
+        return None
+    from repro.runtime import SupervisorConfig
+
+    return SupervisorConfig(
+        max_retries=2 if max_retries is None else max_retries,
+        task_timeout=task_timeout,
+        fail_fast=fail_fast,
+        run_dir=run_dir,
+        resume=resume is not None,
+        workers=getattr(args, "workers", None),
+        verbose=True,
+    )
+
+
+def apply_common_args(config: ExperimentConfig, args) -> ExperimentConfig:
+    """Fold the shared CLI flags (workers, supervision) into a config."""
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        config.workers = workers
+    supervision = supervision_from_args(args)
+    if supervision is not None:
+        config.options["supervision"] = supervision
+    return config
+
+
+def resolve_engine(config: ExperimentConfig):
+    """The engine an experiment should run on, honouring supervision.
+
+    Precedence: an explicit ``options["engine"]`` wins (wrapped in a
+    supervisor when ``options["supervision"]`` is also set); otherwise a
+    fresh engine is built — supervised when requested, plain otherwise.
+    """
+    from repro.runtime import RunSupervisor, SweepEngine
+
+    engine = config.option("engine")
+    supervision = config.option("supervision")
+    if isinstance(engine, RunSupervisor):
+        return engine
+    if supervision is not None:
+        inner = engine or SweepEngine(workers=config.workers)
+        return RunSupervisor(engine=inner, config=supervision)
+    return engine or SweepEngine(workers=config.workers)

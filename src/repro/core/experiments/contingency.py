@@ -30,6 +30,10 @@ from repro.core.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
     add_seed_argument,
+    apply_common_args,
+    resolve_engine,
+    typed_float,
+    typed_int,
 )
 from repro.faults import severed_layer_plan, uniform_fault_plan
 from repro.runtime import PDNSpec, SweepEngine, SweepPoint
@@ -271,10 +275,11 @@ class ContingencyExperiment(Experiment):
     def configure_parser(cls, parser) -> None:
         add_seed_argument(parser)
         parser.add_argument(
-            "--layers", type=int, default=4, help="stacked layer count (default 4)"
+            "--layers", type=typed_int("--layers", minimum=1), default=4,
+            help="stacked layer count (default 4)",
         )
         parser.add_argument(
-            "--grid", type=int, default=16,
+            "--grid", type=typed_int("--grid", minimum=2), default=16,
             help="model-grid nodes per die side (default 16)",
         )
         parser.add_argument(
@@ -282,7 +287,9 @@ class ContingencyExperiment(Experiment):
             help="comma-separated TSV failure fractions (default 0,0.05,0.1,0.2)",
         )
         parser.add_argument(
-            "--converter-fraction", type=float, default=None,
+            "--converter-fraction",
+            type=typed_float("--converter-fraction", minimum=0.0),
+            default=None,
             help="SC-converter failure fraction (default: same as the TSV fraction)",
         )
         parser.add_argument(
@@ -307,6 +314,7 @@ class ContingencyExperiment(Experiment):
         config.options["severed_layer"] = not getattr(
             args, "no_severed_layer", False
         )
+        apply_common_args(config, args)
         return config
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
@@ -318,7 +326,7 @@ class ContingencyExperiment(Experiment):
             converter_fraction=config.option("converter_fraction"),
             seed=config.seed,
             severed_layer=config.option("severed_layer", True),
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         return ExperimentResult(
             name=self.name,

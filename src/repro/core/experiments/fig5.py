@@ -32,6 +32,7 @@ from repro.core.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
     add_grid_argument,
+    resolve_engine,
 )
 from repro.core.scenarios import VS_VDD_PADS_PER_CORE
 from repro.em import (
@@ -235,7 +236,7 @@ class Fig5aExperiment(Experiment):
         config = config or ExperimentConfig()
         result = run_fig5a(
             grid_nodes=config.grid_nodes,
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         return ExperimentResult(
             name=self.name,
@@ -257,7 +258,7 @@ class Fig5bExperiment(Experiment):
         config = config or ExperimentConfig()
         result = run_fig5b(
             grid_nodes=config.grid_nodes,
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         return ExperimentResult(
             name=self.name,

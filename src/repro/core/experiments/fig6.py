@@ -23,6 +23,7 @@ from repro.core.experiments.base import (
     ExperimentResult,
     add_grid_argument,
     add_layers_argument,
+    resolve_engine,
 )
 from repro.runtime import PDNSpec, SweepEngine, SweepPoint
 from repro.workload.imbalance import interleaved_layer_activities
@@ -165,7 +166,7 @@ class Fig6Experiment(Experiment):
         result = run_fig6(
             n_layers=config.n_layers,
             grid_nodes=config.grid_nodes,
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         notes = []
         csv_path = config.option("csv")

@@ -21,6 +21,7 @@ from repro.core.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
     add_seed_argument,
+    typed_int,
 )
 from repro.utils.rng import SeedLike
 from repro.workload.sampling import SampleSet, sample_suite
@@ -99,7 +100,9 @@ class Fig7Experiment(Experiment):
     @classmethod
     def configure_parser(cls, parser) -> None:
         add_seed_argument(parser)
-        parser.add_argument("--samples", type=int, default=1000)
+        parser.add_argument(
+            "--samples", type=typed_int("--samples", minimum=1), default=1000
+        )
 
     @classmethod
     def config_from_args(cls, args) -> ExperimentConfig:

@@ -28,6 +28,7 @@ from repro.core.experiments.base import (
     ExperimentResult,
     add_grid_argument,
     add_layers_argument,
+    resolve_engine,
 )
 from repro.regulator.compact import SCCompactModel
 from repro.runtime import PDNSpec, SweepEngine, SweepPoint
@@ -176,7 +177,7 @@ class Fig8Experiment(Experiment):
         result = run_fig8(
             n_layers=config.n_layers,
             grid_nodes=config.grid_nodes,
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         notes = []
         csv_path = config.option("csv")

@@ -21,6 +21,7 @@ from repro.core.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
     add_grid_argument,
+    resolve_engine,
 )
 from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
 from repro.core.experiments.fig6 import Fig6Result, run_fig6
@@ -124,7 +125,7 @@ class HeadlineExperiment(Experiment):
         config = config or ExperimentConfig()
         report = run_headline(
             grid_nodes=config.grid_nodes,
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         return ExperimentResult(
             name=self.name,

@@ -18,6 +18,9 @@ from repro.core.experiments.base import (
     add_grid_argument,
     add_layers_argument,
     add_seed_argument,
+    resolve_engine,
+    typed_float,
+    typed_int,
 )
 
 
@@ -28,8 +31,13 @@ class ExploreExperiment(Experiment):
     @classmethod
     def configure_parser(cls, parser) -> None:
         add_grid_argument(parser)
-        parser.add_argument("--imbalance", type=float, default=0.65)
-        parser.add_argument("--layers", type=int, default=8)
+        parser.add_argument(
+            "--imbalance", type=typed_float("--imbalance", minimum=0.0),
+            default=0.65,
+        )
+        parser.add_argument(
+            "--layers", type=typed_int("--layers", minimum=1), default=8
+        )
         parser.add_argument("--all-points", action="store_true")
 
     @classmethod
@@ -48,7 +56,7 @@ class ExploreExperiment(Experiment):
             imbalance=config.option("imbalance", 0.65),
             grid_nodes=config.grid_nodes,
             workers=config.workers,
-            engine=config.option("engine"),
+            engine=resolve_engine(config),
         )
         result = explorer.explore()
         pareto_only = not config.option("all_points", False)
@@ -116,8 +124,12 @@ class NoiseExperiment(Experiment):
         add_grid_argument(parser)
         add_layers_argument(parser)
         add_seed_argument(parser)
-        parser.add_argument("--trials", type=int, default=60)
-        parser.add_argument("--converters", type=int, default=8)
+        parser.add_argument(
+            "--trials", type=typed_int("--trials", minimum=1), default=60
+        )
+        parser.add_argument(
+            "--converters", type=typed_int("--converters", minimum=1), default=8
+        )
 
     @classmethod
     def config_from_args(cls, args) -> ExperimentConfig:

@@ -19,6 +19,17 @@ your design" from a genuine bug.  The hierarchy is deliberately shallow:
     A :class:`repro.faults.FaultPlan` could not be applied: unknown
     element tag, branch index out of range, more conductors failed than
     the bundle holds, or the target circuit was already frozen.
+``TaskTimeoutError``
+    A supervised sweep task (one topology group) exceeded its
+    ``--task-timeout`` deadline; the hung worker was killed and the
+    task retried or quarantined.
+``QuarantinedTopologyError``
+    A topology exhausted its retry budget under the run supervisor and
+    was quarantined; the rest of the run continued without it.
+``ResumeMismatchError``
+    A ``--resume`` run directory does not match the requested sweep: a
+    missing or corrupted journal line, a different run fingerprint, or
+    a journal written by an incompatible schema.
 """
 
 from __future__ import annotations
@@ -51,9 +62,50 @@ class FaultInjectionError(ReproError):
     """A fault plan references elements the circuit does not have."""
 
 
+class TaskTimeoutError(ReproError):
+    """A supervised sweep task overran its per-task deadline."""
+
+    def __init__(self, message: str, task: Optional[str] = None,
+                 timeout_s: Optional[float] = None):
+        super().__init__(message)
+        #: Fingerprint/label of the task that timed out, when known.
+        self.task = task
+        #: The deadline that was exceeded, in seconds.
+        self.timeout_s = timeout_s
+
+
+class QuarantinedTopologyError(ReproError):
+    """A topology exhausted its retries and was quarantined."""
+
+    def __init__(self, message: str, task: Optional[str] = None,
+                 attempts: int = 0, last_error: Optional[BaseException] = None):
+        super().__init__(message)
+        #: Fingerprint/label of the quarantined task, when known.
+        self.task = task
+        #: Attempts consumed before the quarantine decision.
+        self.attempts = attempts
+        #: The final attempt's exception, when one was captured.
+        self.last_error = last_error
+
+
+class ResumeMismatchError(ReproError):
+    """A resume journal does not match the requested run.
+
+    Carries the 1-based ``line`` of the offending journal record when
+    the mismatch is a corrupted or truncated line.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        super().__init__(message)
+        self.line = line
+
+
 __all__ = [
     "ReproError",
     "SingularCircuitError",
     "ConvergenceError",
     "FaultInjectionError",
+    "TaskTimeoutError",
+    "QuarantinedTopologyError",
+    "ResumeMismatchError",
 ]

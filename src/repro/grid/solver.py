@@ -18,10 +18,15 @@ such inputs.  Before declaring defeat it
    records what was dropped in a :class:`SolveDiagnostics`;
 2. pins any remaining structurally-empty MNA rows with identity
    stamps (dead source/converter branches);
-3. falls back from SuperLU to a Jacobi-preconditioned LGMRES iteration
-   when the direct factorisation still fails on a near-singular system.
+3. climbs a solver **escalation ladder** on each (full or pruned)
+   system: SuperLU direct solve, then iterative refinement against the
+   existing factorisation (gated on the 1-norm condition estimate from
+   ``scipy.sparse.linalg.onenormest``), then a Jacobi-preconditioned
+   LGMRES iteration, and finally a dense least-squares solve for small
+   systems.  Every rung climbed is recorded in
+   :attr:`SolveDiagnostics.escalations`.
 
-Only when all of that fails does it raise — always a typed
+Only when the whole ladder fails does it raise — always a typed
 :class:`repro.errors.ReproError` subclass carrying the diagnostics,
 never a bare SciPy exception.
 """
@@ -70,9 +75,13 @@ class SolveDiagnostics:
     shed_loads: int = 0
     #: Structurally-empty MNA rows pinned with an identity stamp.
     stabilized_rows: int = 0
-    #: Solver that produced the answer: "none" (clean direct solve is
-    #: also "none"), or "iterative" for the Jacobi-LGMRES fallback.
+    #: Solver that produced the answer: "none" (direct solves, pruned or
+    #: not), "refined" (iterative refinement), "iterative" (the
+    #: Jacobi-LGMRES fallback) or "lstsq" (dense least squares).
     fallback: str = "none"
+    #: Escalation-ladder rungs visited, in order ("lu", "refine",
+    #: "pruned-lu", "lgmres", "lstsq").  A clean solve is just ["lu"].
+    escalations: List[str] = field(default_factory=list)
     #: Iteration count of the fallback solver (0 for direct solves).
     iterations: int = 0
     #: Relative residual of the accepted solution.
@@ -118,6 +127,14 @@ class AssembledCircuit:
     RESIDUAL_TOLERANCE = 1e-6
     #: Iteration budget for the Jacobi-LGMRES fallback.
     MAX_FALLBACK_ITERATIONS = 2000
+    #: Iterative-refinement passes against an existing factorisation.
+    MAX_REFINEMENT_PASSES = 3
+    #: Refinement is skipped when the 1-norm condition estimate exceeds
+    #: this (refinement cannot recover digits that no longer exist).
+    REFINE_CONDITION_LIMIT = 1e14
+    #: Dense least-squares last resort is only attempted below this
+    #: dimension (it materialises the full matrix).
+    LSTSQ_MAX_DIMENSION = 3000
 
     def __init__(self, circuit: Circuit):
         if circuit.ground is None:
@@ -429,6 +446,50 @@ class AssembledCircuit:
             return None
         return x, self._relative_residual(matrix, x, z)
 
+    def _refine_attempt(self, matrix, lu, x, z):
+        """Iterative refinement against an existing LU factorisation.
+
+        Classical residual correction: ``x += lu.solve(z - A x)`` until
+        the relative residual meets the tolerance or the pass budget is
+        spent.  Returns ``(x, relative_residual)`` of the best iterate.
+        """
+        rel = self._relative_residual(matrix, x, z)
+        for _ in range(self.MAX_REFINEMENT_PASSES):
+            if rel <= self.RESIDUAL_TOLERANCE:
+                break
+            dx = lu.solve(z - matrix @ x)
+            if not np.all(np.isfinite(dx)):
+                break
+            refined = x + dx
+            refined_rel = self._relative_residual(matrix, refined, z)
+            if refined_rel >= rel:  # refinement stalled or diverged
+                break
+            x, rel = refined, refined_rel
+        return x, rel
+
+    def _should_refine(self, condition_estimate: Optional[float]) -> bool:
+        """Refinement rung gate: conditioning must leave digits to win back."""
+        return (
+            condition_estimate is None
+            or condition_estimate < self.REFINE_CONDITION_LIMIT
+        )
+
+    def _lstsq_attempt(self, matrix, z):
+        """Dense least-squares last resort for small systems.
+
+        Returns ``(x, relative_residual)`` or None when the system is
+        too large to densify or lstsq itself failed.
+        """
+        if self.dimension > self.LSTSQ_MAX_DIMENSION:
+            return None
+        try:
+            x, *_ = np.linalg.lstsq(matrix.toarray(), z, rcond=None)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(x)):
+            return None
+        return x, self._relative_residual(matrix, x, z)
+
     def _iterative_attempt(self, matrix, z, diag: SolveDiagnostics):
         """Jacobi-preconditioned LGMRES fallback for near-singular systems."""
         diagonal = matrix.diagonal()
@@ -575,10 +636,11 @@ class AssembledCircuit:
         """Batched mirror of :meth:`_solve_resilient`.
 
         Columns whose full-system direct solve meets the residual
-        tolerance keep the un-pruned answer (clean diagnostics); only
-        the failing columns pay for pruning and, as a last resort, a
-        per-column iterative fallback — exactly the decision sequence
-        the per-point path takes, so results match it bit for bit.
+        tolerance keep the un-pruned multi-RHS answer (clean
+        diagnostics); every failing column then climbs the full
+        per-point escalation ladder — refinement, pruning, LGMRES,
+        lstsq — exactly as :meth:`solve` would, so results match the
+        point-by-point path bit for bit.
         """
         k = len(resolved)
         z = np.column_stack([self._rhs(c, v) for c, v in resolved])
@@ -595,7 +657,9 @@ class AssembledCircuit:
                 if finite[i] and rel[i] <= self.RESIDUAL_TOLERANCE:
                     if cond is None:
                         cond = self._condition_estimate(self._matrix, self._lu)
-                    diag = SolveDiagnostics(residual=float(rel[i]))
+                    diag = SolveDiagnostics(
+                        residual=float(rel[i]), escalations=["lu"]
+                    )
                     diag.condition_estimate = cond
                     solutions[i] = Solution(
                         assembled=self,
@@ -605,89 +669,17 @@ class AssembledCircuit:
                         diagnostics=diag,
                     )
                     pending.remove(i)
-        if not pending:
-            return solutions
 
-        # 2. Ground floating islands, shed their loads, retry direct.
-        if self._pruned_matrix is None:
-            self._diagnostics_template = self._build_pruned_system()
-        base = self._diagnostics_template
-
-        def pruned_diag() -> SolveDiagnostics:
-            return SolveDiagnostics(
-                n_islands=base.n_islands,
-                dropped_nodes=list(base.dropped_nodes),
-                shed_loads=base.shed_loads,
-                stabilized_rows=base.stabilized_rows,
-            )
-
-        shed_currents = {}
+        # 2. Failing columns climb the per-point escalation ladder
+        # (sharing this assembly's cached pruned system and LUs).
         for i in pending:
-            current = resolved[i][0]
-            if len(current) and self._shed_isource_mask is not None:
-                current = np.where(self._shed_isource_mask, 0.0, current)
-            shed_currents[i] = current
-        z_pruned = np.column_stack(
-            [self._rhs(shed_currents[i], resolved[i][1]) for i in pending]
-        )
-        z_pruned[self._forced_zero_rows, :] = 0.0
-        attempt_cols = list(pending)
-        if self._pruned_lu is None:
-            try:
-                self._pruned_lu = splu(self._pruned_matrix)
-            except (RuntimeError, ValueError):
-                self._pruned_lu = None
-        if self._pruned_lu is not None:
-            x = self._pruned_lu.solve(z_pruned)
-            finite = np.all(np.isfinite(x), axis=0)
-            rel = self._batch_residuals(self._pruned_matrix, x, z_pruned)
-            cond = None
-            for j, i in enumerate(attempt_cols):
-                if finite[j] and rel[j] <= self.RESIDUAL_TOLERANCE:
-                    if cond is None:
-                        cond = self._condition_estimate(
-                            self._pruned_matrix, self._pruned_lu
-                        )
-                    diag = pruned_diag()
-                    diag.residual = float(rel[j])
-                    diag.condition_estimate = cond
-                    solutions[i] = Solution(
-                        assembled=self,
-                        x=x[:, j],
-                        isource_current=shed_currents[i],
-                        vsource_voltage=resolved[i][1],
-                        diagnostics=diag,
-                    )
-                    pending.remove(i)
-
-        # 3. Per-column Jacobi-LGMRES on whatever is still unsolved.
-        for i in list(pending):
-            col = attempt_cols.index(i)
-            diag = pruned_diag()
-            attempt = self._iterative_attempt(
-                self._pruned_matrix, z_pruned[:, col], diag
-            )
-            if attempt is not None:
-                x_i, rel_i = attempt
-                diag.residual = rel_i
-                if rel_i <= self.RESIDUAL_TOLERANCE:
-                    solutions[i] = Solution(
-                        assembled=self,
-                        x=x_i,
-                        isource_current=shed_currents[i],
-                        vsource_voltage=resolved[i][1],
-                        diagnostics=diag,
-                    )
-                    pending.remove(i)
-                    continue
-                raise ConvergenceError(
-                    f"iterative fallback converged only to residual {rel_i:.2e} "
-                    f"(tolerance {self.RESIDUAL_TOLERANCE:.0e}); {diag.summary()}",
-                    diagnostics=diag,
-                )
-            raise SingularCircuitError(
-                "MNA system is singular even after pruning "
-                f"{diag.n_dropped_nodes} floating node(s); {diag.summary()}",
+            current, voltage = resolved[i]
+            x_i, diag, effective = self._solve_resilient(current, voltage)
+            solutions[i] = Solution(
+                assembled=self,
+                x=x_i,
+                isource_current=effective,
+                vsource_voltage=voltage,
                 diagnostics=diag,
             )
         return solutions
@@ -716,25 +708,44 @@ class AssembledCircuit:
         return x
 
     def _solve_resilient(self, current: np.ndarray, voltage: np.ndarray):
-        """Direct solve -> island pruning -> iterative fallback.
+        """Climb the escalation ladder until a solve meets tolerance.
+
+        LU -> iterative refinement -> island pruning (LU + refinement)
+        -> Jacobi-LGMRES -> dense lstsq.  Refinement rungs are gated on
+        the 1-norm condition estimate: a numerically singular system
+        has no digits left for refinement to win back, so the ladder
+        skips straight to pruning.
 
         Returns ``(x, diagnostics, effective_isource_current)`` — the
         current vector has shed loads zeroed so downstream power
         bookkeeping matches the pruned network.
         """
         z = self._rhs(current, voltage)
+        ladder: List[str] = ["lu"]
         # 1. Plain direct solve on the full system.
         attempt = self._direct_attempt(self._matrix, "_lu", z)
         if attempt is not None:
             x, rel = attempt
             if rel <= self.RESIDUAL_TOLERANCE:
-                diag = SolveDiagnostics(residual=rel)
+                diag = SolveDiagnostics(residual=rel, escalations=ladder)
                 diag.condition_estimate = self._condition_estimate(
                     self._matrix, self._lu
                 )
                 return x, diag, current
+            # 2. Iterative refinement against the existing factorisation.
+            cond = self._condition_estimate(self._matrix, self._lu)
+            if self._should_refine(cond):
+                ladder.append("refine")
+                x, rel = self._refine_attempt(self._matrix, self._lu, x, z)
+                if rel <= self.RESIDUAL_TOLERANCE:
+                    diag = SolveDiagnostics(
+                        residual=rel, fallback="refined", escalations=ladder
+                    )
+                    diag.condition_estimate = cond
+                    return x, diag, current
 
-        # 2. Ground floating islands, shed their loads, retry direct.
+        # 3. Ground floating islands, shed their loads, retry direct.
+        ladder.append("pruned-lu")
         if self._pruned_matrix is None:
             self._diagnostics_template = self._build_pruned_system()
         base = self._diagnostics_template
@@ -743,6 +754,7 @@ class AssembledCircuit:
             dropped_nodes=list(base.dropped_nodes),
             shed_loads=base.shed_loads,
             stabilized_rows=base.stabilized_rows,
+            escalations=ladder,
         )
         if len(current) and self._shed_isource_mask is not None:
             current = np.where(self._shed_isource_mask, 0.0, current)
@@ -757,18 +769,45 @@ class AssembledCircuit:
                     self._pruned_matrix, self._pruned_lu
                 )
                 return x, diag, current
+            # 4. Refinement on the pruned system, same conditioning gate.
+            cond = self._condition_estimate(self._pruned_matrix, self._pruned_lu)
+            diag.condition_estimate = cond
+            if self._should_refine(cond):
+                ladder.append("refine")
+                x, rel = self._refine_attempt(
+                    self._pruned_matrix, self._pruned_lu, x, z_pruned
+                )
+                if rel <= self.RESIDUAL_TOLERANCE:
+                    diag.residual = rel
+                    diag.fallback = "refined"
+                    return x, diag, current
 
-        # 3. Jacobi-preconditioned LGMRES on the pruned system.
+        # 5. Jacobi-preconditioned LGMRES on the pruned system.
+        ladder.append("lgmres")
+        iterative_rel = None
         attempt = self._iterative_attempt(self._pruned_matrix, z_pruned, diag)
+        if attempt is not None:
+            x, rel = attempt
+            diag.residual = rel
+            if rel <= self.RESIDUAL_TOLERANCE:
+                return x, diag, current
+            iterative_rel = rel
+
+        # 6. Dense least squares, the ladder's last rung.
+        ladder.append("lstsq")
+        attempt = self._lstsq_attempt(self._pruned_matrix, z_pruned)
         if attempt is not None:
             x, rel = attempt
             if rel <= self.RESIDUAL_TOLERANCE:
                 diag.residual = rel
+                diag.fallback = "lstsq"
                 return x, diag, current
-            diag.residual = rel
+
+        if iterative_rel is not None:
             raise ConvergenceError(
-                f"iterative fallback converged only to residual {rel:.2e} "
-                f"(tolerance {self.RESIDUAL_TOLERANCE:.0e}); {diag.summary()}",
+                f"iterative fallback converged only to residual "
+                f"{iterative_rel:.2e} (tolerance "
+                f"{self.RESIDUAL_TOLERANCE:.0e}); {diag.summary()}",
                 diagnostics=diag,
             )
         raise SingularCircuitError(

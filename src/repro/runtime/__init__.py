@@ -1,4 +1,4 @@
-"""Batched sweep runtime: PDNSpec, SweepEngine and bench metrics."""
+"""Batched sweep runtime: PDNSpec, SweepEngine, run supervision, metrics."""
 
 from repro.runtime.spec import (
     PDNSpec,
@@ -20,6 +20,21 @@ from repro.runtime.engine import (
     SweepPoint,
     SweepResult,
     WORKERS_ENV,
+    group_points,
+)
+from repro.runtime.journal import (
+    JOURNAL_SCHEMA,
+    RunJournal,
+    atomic_write_text,
+)
+from repro.runtime.supervisor import (
+    RunReport,
+    RunSupervisor,
+    SupervisedResult,
+    SupervisorConfig,
+    TaskRecord,
+    run_fingerprint,
+    task_fingerprint,
 )
 
 __all__ = [
@@ -38,4 +53,15 @@ __all__ = [
     "BENCH_SCHEMA",
     "BENCH_DIR_ENV",
     "WORKERS_ENV",
+    "group_points",
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "atomic_write_text",
+    "RunSupervisor",
+    "SupervisorConfig",
+    "SupervisedResult",
+    "RunReport",
+    "TaskRecord",
+    "task_fingerprint",
+    "run_fingerprint",
 ]

@@ -38,7 +38,13 @@ from repro.runtime.metrics import (
 )
 from repro.runtime.spec import PDNSpec
 
-__all__ = ["SweepPoint", "SweepOutcome", "SweepResult", "SweepEngine"]
+__all__ = [
+    "SweepPoint",
+    "SweepOutcome",
+    "SweepResult",
+    "SweepEngine",
+    "group_points",
+]
 
 #: Environment knob for the default process fan-out width.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -139,6 +145,23 @@ def _group_resilient(point: SweepPoint) -> bool:
     return point.fault_plan is not None
 
 
+def group_points(
+    points: Sequence[SweepPoint],
+) -> Dict[GroupKey, List[Tuple[int, SweepPoint]]]:
+    """Group points by topology, keeping each point's input index.
+
+    The grouping key is ``(spec, fault-plan identity, resilient)`` — the
+    engine's structure-cache key — in first-appearance order.  The run
+    supervisor uses the same grouping so its task boundaries, journal
+    fingerprints and retry units match the engine's solve batches.
+    """
+    groups: Dict[GroupKey, List[Tuple[int, SweepPoint]]] = {}
+    for index, point in enumerate(points):
+        key = (point.spec, _plan_key(point.fault_plan), _group_resilient(point))
+        groups.setdefault(key, []).append((index, point))
+    return groups
+
+
 def _build_group(spec: PDNSpec, plan: Any):
     """Build one topology's PDN, apply its plan, factorise eagerly.
 
@@ -198,6 +221,17 @@ def _execute_group(
                 )
     metrics.solve_s += time.perf_counter() - t0
 
+    # Tally the solver escalation ladder: resilient solves report the
+    # rungs they climbed; strict direct solves count as a clean "lu".
+    for outcome in outcomes:
+        if outcome.error is not None:
+            metrics.count_escalation("failed")
+            continue
+        diagnostics = getattr(outcome.result, "diagnostics", None)
+        rungs = getattr(diagnostics, "escalations", None) or ["lu"]
+        for rung in rungs:
+            metrics.count_escalation(rung)
+
     t0 = time.perf_counter()
     values = [extract(o) if extract is not None else o for o in outcomes]
     metrics.post_s += time.perf_counter() - t0
@@ -214,7 +248,7 @@ def _run_group_remote(
     key_label: str,
 ) -> Tuple[List[Any], GroupMetrics]:
     """Worker-process entry point: build, solve and extract one group."""
-    metrics = GroupMetrics(key=key_label)
+    metrics = GroupMetrics(key=key_label, executed="remote")
     pdn, report, build_s, factorize_s = _build_group(spec, plan)
     metrics.build_s = build_s
     metrics.factorize_s = factorize_s
@@ -276,10 +310,7 @@ class SweepEngine:
         """
         t_start = time.perf_counter()
         points = list(points)
-        groups: Dict[GroupKey, List[Tuple[int, SweepPoint]]] = {}
-        for index, point in enumerate(points):
-            key = (point.spec, _plan_key(point.fault_plan), _group_resilient(point))
-            groups.setdefault(key, []).append((index, point))
+        groups = group_points(points)
 
         metrics = SweepMetrics(workers=self.workers)
         values: List[Any] = [None] * len(points)

@@ -1,0 +1,183 @@
+"""Write-ahead run journal for supervised sweeps.
+
+One :class:`RunJournal` is one JSONL file inside a run directory: a
+header line naming the run fingerprint, then one record per completed
+(or quarantined) topology task.  Every append rewrites the file through
+an fsync'd tmp-file + ``os.replace`` sequence, so a SIGKILL at any
+instant leaves either the previous journal or the new one — never a
+torn line.  ``--resume <run_dir>`` replays the journal: tasks recorded
+as ``done`` are restored bit-for-bit from their pickled payload and
+skipped; everything else re-runs.
+
+Any unparsable line raises
+:class:`repro.errors.ResumeMismatchError` carrying the offending
+1-based line number — a journal that cannot be trusted must not be
+silently half-replayed.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pathlib
+import pickle
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import ResumeMismatchError
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "atomic_write_text",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: Schema version of the journal layout; bump on record changes.
+JOURNAL_SCHEMA = 1
+
+
+def atomic_write_text(path: Union[str, pathlib.Path], text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (tmp file, fsync, rename).
+
+    The containing directory is fsync'd too when the platform allows
+    it, so the rename itself survives a crash.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def encode_payload(values: Any) -> Optional[str]:
+    """Pickle + base64 a task's result values for a journal record.
+
+    Returns None when the values cannot be pickled (e.g. raw
+    ``SweepOutcome``\\ s holding SuperLU handles) — the record is still
+    journaled, but resume will re-run the task instead of restoring it.
+    """
+    try:
+        raw = pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return base64.b64encode(raw).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Inverse of :func:`encode_payload` (bit-exact round trip)."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class RunJournal:
+    """An append-only JSONL journal with atomic, fsync'd writes."""
+
+    def __init__(self, path: Union[str, pathlib.Path]):
+        self.path = pathlib.Path(path)
+        self._lines: list = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def start(cls, path: Union[str, pathlib.Path], header: Dict) -> "RunJournal":
+        """Create (or truncate) a journal with a fresh header line."""
+        journal = cls(path)
+        journal._lines = [
+            json.dumps(
+                {"kind": "header", "schema": JOURNAL_SCHEMA, **header},
+                sort_keys=True,
+            )
+        ]
+        journal._flush()
+        return journal
+
+    @classmethod
+    def open_existing(
+        cls, path: Union[str, pathlib.Path]
+    ) -> Tuple["RunJournal", Dict, Dict[str, Dict]]:
+        """Load a journal for resume.
+
+        Returns ``(journal, header, task_records)`` where
+        ``task_records`` maps task fingerprints to their latest record.
+        Raises :class:`ResumeMismatchError` (with the 1-based line
+        number) on any corrupted, truncated or unknown record.
+        """
+        journal = cls(path)
+        path = journal.path
+        if not path.exists():
+            raise ResumeMismatchError(f"no journal at {path}")
+        header: Optional[Dict] = None
+        records: Dict[str, Dict] = {}
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise ResumeMismatchError(f"journal {path} is empty", line=1)
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ResumeMismatchError(
+                    f"journal {path}: corrupted or truncated record at "
+                    f"line {number}: {exc.msg}",
+                    line=number,
+                ) from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ResumeMismatchError(
+                    f"journal {path}: line {number} is not a journal record",
+                    line=number,
+                )
+            if number == 1:
+                if record["kind"] != "header":
+                    raise ResumeMismatchError(
+                        f"journal {path}: first line is not a header",
+                        line=1,
+                    )
+                if record.get("schema") != JOURNAL_SCHEMA:
+                    raise ResumeMismatchError(
+                        f"journal {path}: schema {record.get('schema')!r} "
+                        f"!= expected {JOURNAL_SCHEMA}",
+                        line=1,
+                    )
+                header = record
+            elif record["kind"] == "task":
+                if "fingerprint" not in record or "status" not in record:
+                    raise ResumeMismatchError(
+                        f"journal {path}: task record at line {number} is "
+                        "missing its fingerprint or status",
+                        line=number,
+                    )
+                records[record["fingerprint"]] = record
+            else:
+                raise ResumeMismatchError(
+                    f"journal {path}: unknown record kind "
+                    f"{record['kind']!r} at line {number}",
+                    line=number,
+                )
+        if header is None:  # pragma: no cover - unreachable (line 1 checked)
+            raise ResumeMismatchError(f"journal {path} has no header", line=1)
+        journal._lines = list(lines)
+        return journal, header, records
+
+    # ------------------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Durably append one record (atomic rewrite + fsync)."""
+        self._lines.append(json.dumps(record, sort_keys=True))
+        self._flush()
+
+    def _flush(self) -> None:
+        atomic_write_text(self.path, "\n".join(self._lines) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._lines)

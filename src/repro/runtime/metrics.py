@@ -17,7 +17,9 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
 
 #: Schema version of the emitted JSON; bump on layout changes.
-BENCH_SCHEMA = 1
+#: v2 added the robustness counters (retries, quarantined,
+#: pool_rebuilds, escalation histogram) and per-group executed/escalations.
+BENCH_SCHEMA = 2
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -44,10 +46,19 @@ class GroupMetrics:
     cached: bool = False
     #: True when a batch error forced the per-point sequential fallback.
     sequential_fallback: bool = False
+    #: Where the group ran: "local" (in-process) or "remote" (worker
+    #: process).  Both paths emit the same schema either way.
+    executed: str = "local"
+    #: Solver escalation-ladder rung counts over the group's points
+    #: (e.g. {"lu": 4, "refine": 1}); "failed" counts captured errors.
+    escalations: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
         return self.build_s + self.factorize_s + self.solve_s + self.post_s
+
+    def count_escalation(self, rung: str, n: int = 1) -> None:
+        self.escalations[rung] = self.escalations.get(rung, 0) + n
 
 
 @dataclass
@@ -62,6 +73,13 @@ class SweepMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_rebuilds: int = 0
+    #: Supervisor robustness counters (zero for unsupervised runs, so
+    #: the perf trajectory also tracks robustness overhead).
+    retries: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    resumed: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +102,14 @@ class SweepMetrics:
             "post_s": sum(g.post_s for g in self.groups),
         }
 
+    def escalation_histogram(self) -> Dict[str, int]:
+        """Solver escalation-ladder rung counts over the whole run."""
+        histogram: Dict[str, int] = {}
+        for group in self.groups:
+            for rung, count in group.escalations.items():
+                histogram[rung] = histogram.get(rung, 0) + count
+        return histogram
+
     # ------------------------------------------------------------------
     def to_json(self) -> Dict:
         """Stable, machine-readable rendering of the whole run."""
@@ -99,8 +125,14 @@ class SweepMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_rebuilds": self.cache_rebuilds,
+                "retries": self.retries,
+                "quarantined": self.quarantined,
+                "pool_rebuilds": self.pool_rebuilds,
+                "timeouts": self.timeouts,
+                "resumed": self.resumed,
                 **{k: round(v, 6) for k, v in self.stage_totals().items()},
             },
+            "escalations": self.escalation_histogram(),
             "groups": [
                 {**asdict(g), **{
                     k: round(getattr(g, k), 6)
@@ -112,9 +144,15 @@ class SweepMetrics:
 
     def summary(self) -> str:
         totals = self.stage_totals()
+        robustness = ""
+        if self.retries or self.quarantined or self.resumed:
+            robustness = (
+                f", {self.retries} retried, {self.quarantined} quarantined, "
+                f"{self.resumed} resumed"
+            )
         return (
             f"{self.n_points} point(s) in {self.n_groups} group(s), "
-            f"{self.n_solve_calls} solve call(s), mode={self.mode}: "
+            f"{self.n_solve_calls} solve call(s), mode={self.mode}{robustness}: "
             f"build {totals['build_s']:.3f}s, factorize "
             f"{totals['factorize_s']:.3f}s, solve {totals['solve_s']:.3f}s, "
             f"post {totals['post_s']:.3f}s (wall {self.wall_s:.3f}s)"

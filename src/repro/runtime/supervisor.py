@@ -1,0 +1,886 @@
+"""Resilient run supervision for long sweeps.
+
+:class:`RunSupervisor` wraps a :class:`repro.runtime.engine.SweepEngine`
+in a fault-tolerant run lifecycle while keeping the engine's calling
+convention (``run(points, extract, bench_name)``), so every experiment
+and the design-space explorer can be supervised without code changes:
+
+* Each topology group becomes a *task* with a content fingerprint
+  (spec key + fault-plan description + member activities).  A
+  write-ahead journal (:mod:`repro.runtime.journal`) records every
+  finished task with its pickled values, so ``--resume <run_dir>``
+  restores completed tasks bit-for-bit and only re-runs the remainder.
+
+* Failing tasks are retried with exponential backoff and jitter.  A
+  task that exhausts ``max_retries`` is *quarantined*: the run keeps
+  going, the task's points come back as ``None`` (or as outcomes
+  carrying a :class:`repro.errors.QuarantinedTopologyError`), and the
+  final :class:`RunReport` names the quarantined fingerprints.
+
+* In process mode, worker crashes (``BrokenProcessPool``) and hung
+  workers (``task_timeout`` deadlines) are detected; the pool is
+  killed and rebuilt transparently, the victim task is charged an
+  attempt, and innocent in-flight tasks are requeued for free.
+
+Task state machine::
+
+    pending -> running -> done
+                 |  ^        \\-> (journaled, restored on resume)
+                 v  |
+              retrying -> quarantined
+
+The supervisor degrades gracefully: unless ``fail_fast`` is set, a run
+always returns a partial result set plus a machine-readable
+:class:`RunReport` (also written as ``report-<fingerprint>.json`` into
+the run directory) instead of raising.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import pathlib
+import pickle
+import random
+import re
+import sys
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    QuarantinedTopologyError,
+    ReproError,
+    ResumeMismatchError,
+    TaskTimeoutError,
+)
+from repro.runtime.engine import (
+    GroupKey,
+    SweepEngine,
+    SweepOutcome,
+    SweepPoint,
+    SweepResult,
+    _run_group_remote,
+    group_points,
+)
+from repro.runtime.journal import (
+    RunJournal,
+    atomic_write_text,
+    decode_payload,
+    encode_payload,
+)
+from repro.runtime.metrics import (
+    GroupMetrics,
+    SweepMetrics,
+    maybe_write_bench_json,
+)
+
+__all__ = [
+    "SupervisorConfig",
+    "TaskRecord",
+    "RunReport",
+    "SupervisedResult",
+    "RunSupervisor",
+    "task_fingerprint",
+    "run_fingerprint",
+]
+
+#: Schema version of the emitted report-<fp>.json files.
+REPORT_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def _stable_repr(value: Any) -> str:
+    """A repr that is identical across independent interpreter runs.
+
+    RNG generators are described by their bit-generator state (content,
+    not object identity); any other default repr has its ``at 0x...``
+    memory address stripped.
+    """
+    state = getattr(getattr(value, "bit_generator", None), "state", None)
+    if state is not None:
+        return f"rng:{state!r}"
+    return re.sub(r" at 0x[0-9a-fA-F]+", "", repr(value))
+
+
+def _plan_description(plan: Any) -> str:
+    """A run-stable textual identity for a fault plan.
+
+    Unlike the engine's in-process :func:`_plan_key` (which falls back
+    to ``id(plan)`` for factories), this must not change between the
+    original run and a resumed one, so factories are described by their
+    qualified name plus stable reprs of their partial arguments.
+    """
+    if plan is None:
+        return "none"
+    fingerprint = getattr(plan, "fingerprint", None)
+    if fingerprint is not None:
+        return f"plan:{fingerprint()!r}"
+    if isinstance(plan, functools.partial):
+        func = plan.func
+        args = [_stable_repr(a) for a in plan.args]
+        keywords = [
+            (k, _stable_repr(v)) for k, v in sorted(plan.keywords.items())
+        ]
+        return (
+            f"factory:{getattr(func, '__module__', '?')}."
+            f"{getattr(func, '__qualname__', repr(func))}"
+            f":{args!r}:{keywords!r}"
+        )
+    name = getattr(plan, "__qualname__", None)
+    if name is not None:
+        return f"factory:{getattr(plan, '__module__', '?')}.{name}"
+    return f"factory:{type(plan).__module__}.{type(plan).__qualname__}"
+
+
+def task_fingerprint(
+    key: GroupKey, members: Sequence[Tuple[int, SweepPoint]]
+) -> str:
+    """Content fingerprint of one topology task (16 hex chars)."""
+    spec, _, resilient = key
+    plan = members[0][1].fault_plan
+    parts = [repr(spec.key()), _plan_description(plan), repr(bool(resilient))]
+    for index, point in members:
+        parts.append(repr((index, point.activities_tuple(), point.tag)))
+    digest = hashlib.sha256(
+        "\n".join(parts).encode("utf-8", "backslashreplace")
+    )
+    return digest.hexdigest()[:16]
+
+
+def run_fingerprint(task_fingerprints: Sequence[str], n_points: int) -> str:
+    """Fingerprint of a whole run: its point count and task set."""
+    parts = [str(n_points)] + list(task_fingerprints)
+    return hashlib.sha256("\n".join(parts).encode("ascii")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Configuration and reporting dataclasses
+# ----------------------------------------------------------------------
+
+@dataclass
+class SupervisorConfig:
+    """Knobs of the supervised run lifecycle (all CLI-settable)."""
+
+    #: Retries per task after its first attempt (so a task gets
+    #: ``max_retries + 1`` attempts before quarantine).
+    max_retries: int = 2
+    #: Per-task wall-clock deadline in seconds; None disables deadline
+    #: monitoring.  Enforcement requires process mode (a hung in-process
+    #: solve cannot be interrupted).
+    task_timeout: Optional[float] = None
+    #: Abort the run on the first task failure instead of retrying.
+    fail_fast: bool = False
+    #: Directory for the write-ahead journal and run report; None
+    #: disables journaling (retry/quarantine still work).
+    run_dir: Optional[str] = None
+    #: Replay an existing journal in ``run_dir`` before running.
+    resume: bool = False
+    #: Process fan-out width; None inherits the wrapped engine's.
+    workers: Optional[int] = None
+    #: Exponential backoff: base * 2**(attempt-1), capped, jittered.
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+    backoff_jitter: float = 0.25
+    #: Future-wait granularity (also bounds deadline-check latency).
+    poll_interval_s: float = 0.05
+    #: Print the one-line run summary to stderr after each run.
+    verbose: bool = False
+
+
+@dataclass
+class TaskRecord:
+    """Public per-task accounting, embedded in the run report."""
+
+    fingerprint: str
+    label: str
+    status: str = "pending"  # pending|running|retrying|done|quarantined|resumed
+    attempts: int = 0
+    timeouts: int = 0
+    wall_s: float = 0.0
+    n_points: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class RunReport:
+    """Machine-readable outcome of one supervised run."""
+
+    run_fingerprint: str
+    n_points: int
+    tasks: List[TaskRecord] = field(default_factory=list)
+    mode: str = "serial"
+    wall_s: float = 0.0
+    pool_rebuilds: int = 0
+    escalation_histogram: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if t.status in ("done", "resumed")]
+
+    @property
+    def resumed(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if t.status == "resumed"]
+
+    @property
+    def retried(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if t.status != "resumed" and t.attempts > 1]
+
+    @property
+    def quarantined(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if t.status == "quarantined"]
+
+    def quarantined_fingerprints(self) -> List[str]:
+        return [t.fingerprint for t in self.quarantined]
+
+    @property
+    def n_timeouts(self) -> int:
+        return sum(t.timeouts for t in self.tasks)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "run_fingerprint": self.run_fingerprint,
+            "mode": self.mode,
+            "wall_s": round(self.wall_s, 6),
+            "n_points": self.n_points,
+            "n_tasks": len(self.tasks),
+            "completed": len(self.completed),
+            "resumed": len(self.resumed),
+            "retried": len(self.retried),
+            "timeouts": self.n_timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined": self.quarantined_fingerprints(),
+            "escalations": dict(self.escalation_histogram),
+            "tasks": [asdict(t) for t in self.tasks],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"run {self.run_fingerprint}: {len(self.completed)}/"
+            f"{len(self.tasks)} task(s) done "
+            f"({len(self.resumed)} resumed, {len(self.retried)} retried, "
+            f"{len(self.quarantined)} quarantined, "
+            f"{self.pool_rebuilds} pool rebuild(s)) "
+            f"in {self.wall_s:.2f}s"
+        )
+
+
+@dataclass
+class SupervisedResult(SweepResult):
+    """A SweepResult plus the supervisor's run report."""
+
+    report: Optional[RunReport] = None
+
+
+@dataclass
+class _Task:
+    """Internal mutable task state tracked across attempts."""
+
+    fingerprint: str
+    label: str
+    key: GroupKey
+    members: List[Tuple[int, SweepPoint]]
+    attempts: int = 0
+    timeouts: int = 0
+    ready_at: float = 0.0
+    started_at: float = 0.0
+    wall_s: float = 0.0
+    last_error: Optional[BaseException] = None
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+class RunSupervisor:
+    """Fault-tolerant wrapper around a :class:`SweepEngine`.
+
+    Duck-types the engine surface (``run`` / ``cache_info`` /
+    ``clear_cache`` / ``workers``) so it can be dropped anywhere an
+    engine is accepted — experiments, the explorer, tools.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[SweepEngine] = None,
+        config: Optional[SupervisorConfig] = None,
+        **overrides: Any,
+    ):
+        if config is None:
+            config = SupervisorConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.engine = engine or SweepEngine(workers=config.workers)
+        #: Report of the most recent run (headline-style multi-run
+        #: callers find all of them in :attr:`reports`).
+        self.last_report: Optional[RunReport] = None
+        self.reports: List[RunReport] = []
+        # Seeded: backoff jitter must not perturb run reproducibility.
+        self._rng = random.Random(0x5EED)
+
+    # ------------------------------------------------------------------
+    # Engine-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        if self.config.workers is not None:
+            return max(1, int(self.config.workers))
+        return self.engine.workers
+
+    def cache_info(self) -> Dict[str, int]:
+        return self.engine.cache_info()
+
+    def clear_cache(self) -> None:
+        self.engine.clear_cache()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        extract: Optional[Callable[[SweepOutcome], Any]] = None,
+        bench_name: Optional[str] = None,
+    ) -> SupervisedResult:
+        """Evaluate every point under the supervised lifecycle.
+
+        Same contract as :meth:`SweepEngine.run`, except that task
+        failures are retried/quarantined rather than raised (unless
+        ``fail_fast``) and the result carries a :class:`RunReport`.
+        """
+        t_start = time.perf_counter()
+        points = list(points)
+        groups = group_points(points)
+        tasks = [
+            _Task(
+                fingerprint=task_fingerprint(key, members),
+                label=self.engine._key_label(key),
+                key=key,
+                members=members,
+            )
+            for key, members in groups.items()
+        ]
+        run_fp = run_fingerprint([t.fingerprint for t in tasks], len(points))
+
+        metrics = SweepMetrics(workers=self.workers)
+        values: List[Any] = [None] * len(points)
+        records: Dict[str, TaskRecord] = {
+            task.fingerprint: TaskRecord(
+                fingerprint=task.fingerprint,
+                label=task.label,
+                n_points=len(task.members),
+            )
+            for task in tasks
+        }
+
+        journal, journaled = self._open_journal(run_fp, tasks, len(points))
+        pending = self._restore(tasks, journaled, values, metrics, records)
+
+        if pending:
+            if self._use_processes(pending, extract):
+                metrics.mode = "process"
+                self._execute_process(
+                    pending, extract, values, metrics, records, journal
+                )
+            else:
+                self._execute_serial(
+                    pending, extract, values, metrics, records, journal
+                )
+
+        # Stable first-appearance ordering, matching the plain engine.
+        order = {task.label: i for i, task in enumerate(tasks)}
+        metrics.groups.sort(key=lambda g: order.get(g.key, len(order)))
+
+        info = self.cache_info()
+        metrics.cache_hits = info["hits"]
+        metrics.cache_misses = info["misses"]
+        metrics.cache_rebuilds = info["rebuilds"]
+        metrics.retries = sum(
+            max(0, r.attempts - 1)
+            for r in records.values()
+            if r.status != "resumed"
+        )
+        metrics.quarantined = len(
+            [r for r in records.values() if r.status == "quarantined"]
+        )
+        metrics.timeouts = sum(r.timeouts for r in records.values())
+        metrics.wall_s = time.perf_counter() - t_start
+
+        report = RunReport(
+            run_fingerprint=run_fp,
+            n_points=len(points),
+            tasks=[records[task.fingerprint] for task in tasks],
+            mode=metrics.mode,
+            wall_s=metrics.wall_s,
+            pool_rebuilds=metrics.pool_rebuilds,
+            escalation_histogram=metrics.escalation_histogram(),
+        )
+        self.last_report = report
+        self.reports.append(report)
+        if self.config.run_dir is not None:
+            path = pathlib.Path(self.config.run_dir) / f"report-{run_fp}.json"
+            atomic_write_text(
+                path, json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+            )
+        maybe_write_bench_json(bench_name, metrics.to_json())
+        if self.config.verbose:
+            print(report.summary(), file=sys.stderr)
+        return SupervisedResult(values=values, metrics=metrics, report=report)
+
+    # ------------------------------------------------------------------
+    # Journal / resume
+    # ------------------------------------------------------------------
+    def _open_journal(
+        self, run_fp: str, tasks: List[_Task], n_points: int
+    ) -> Tuple[Optional[RunJournal], Dict[str, Dict]]:
+        config = self.config
+        if config.run_dir is None:
+            if config.resume:
+                raise ResumeMismatchError(
+                    "--resume requires a run directory"
+                )
+            return None, {}
+        run_dir = pathlib.Path(config.run_dir)
+        path = run_dir / f"journal-{run_fp}.jsonl"
+        header = {
+            "run_fingerprint": run_fp,
+            "n_points": n_points,
+            "n_tasks": len(tasks),
+        }
+        if config.resume:
+            if not run_dir.exists():
+                raise ResumeMismatchError(
+                    f"resume directory {run_dir} does not exist"
+                )
+            if not path.exists():
+                # This sub-run never started before the interruption
+                # (multi-run experiments journal each run separately):
+                # nothing to replay, start a fresh journal.
+                return RunJournal.start(path, header), {}
+            journal, loaded, records = RunJournal.open_existing(path)
+            if loaded.get("run_fingerprint") != run_fp:
+                raise ResumeMismatchError(
+                    f"journal {path} was written for run "
+                    f"{loaded.get('run_fingerprint')!r}, not {run_fp}",
+                    line=1,
+                )
+            if loaded.get("n_points") != n_points:
+                raise ResumeMismatchError(
+                    f"journal {path} covers {loaded.get('n_points')} "
+                    f"point(s) but this sweep has {n_points}",
+                    line=1,
+                )
+            known = {task.fingerprint for task in tasks}
+            for fingerprint in records:
+                if fingerprint not in known:
+                    raise ResumeMismatchError(
+                        f"journal {path} records task {fingerprint} which "
+                        "is not part of this sweep"
+                    )
+            return journal, records
+        run_dir.mkdir(parents=True, exist_ok=True)
+        return RunJournal.start(path, header), {}
+
+    def _restore(
+        self,
+        tasks: List[_Task],
+        journaled: Dict[str, Dict],
+        values: List[Any],
+        metrics: SweepMetrics,
+        records: Dict[str, TaskRecord],
+    ) -> List[_Task]:
+        """Replay journaled tasks; return the tasks still to run."""
+        pending: List[_Task] = []
+        for task in tasks:
+            entry = journaled.get(task.fingerprint)
+            payload = entry.get("payload") if entry else None
+            if entry is None or entry.get("status") != "done" or not payload:
+                # Unknown, quarantined, or journaled without a picklable
+                # payload: run (or re-run) it.
+                pending.append(task)
+                continue
+            try:
+                task_values = decode_payload(payload)
+            except Exception as exc:
+                raise ResumeMismatchError(
+                    f"journal payload of task {task.fingerprint} is "
+                    f"unreadable: {exc}"
+                ) from None
+            if len(task_values) != len(task.members):
+                raise ResumeMismatchError(
+                    f"journal payload of task {task.fingerprint} holds "
+                    f"{len(task_values)} value(s) for {len(task.members)} "
+                    "point(s)"
+                )
+            for (index, _), value in zip(task.members, task_values):
+                values[index] = value
+            group = entry.get("metrics")
+            if isinstance(group, dict):
+                try:
+                    metrics.groups.append(GroupMetrics(**group))
+                except TypeError:
+                    metrics.groups.append(
+                        GroupMetrics(key=task.label, n_points=len(task.members))
+                    )
+            record = records[task.fingerprint]
+            record.status = "resumed"
+            record.attempts = int(entry.get("attempts", 1))
+            record.timeouts = int(entry.get("timeouts", 0))
+            record.wall_s = float(entry.get("wall_s", 0.0))
+            metrics.resumed += 1
+        return pending
+
+    def _journal_task(
+        self,
+        journal: Optional[RunJournal],
+        task: _Task,
+        record: TaskRecord,
+        group_metrics: Optional[GroupMetrics],
+        task_values: Optional[List[Any]],
+    ) -> None:
+        if journal is None:
+            return
+        journal.append(
+            {
+                "kind": "task",
+                "fingerprint": task.fingerprint,
+                "label": task.label,
+                "status": record.status,
+                "attempts": record.attempts,
+                "timeouts": record.timeouts,
+                "wall_s": round(record.wall_s, 6),
+                "indices": [index for index, _ in task.members],
+                "error": record.error,
+                "metrics": asdict(group_metrics) if group_metrics else None,
+                "payload": (
+                    encode_payload(task_values)
+                    if task_values is not None
+                    else None
+                ),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Failure bookkeeping shared by both execution paths
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, attempts: int) -> float:
+        config = self.config
+        if config.backoff_base_s <= 0:
+            return 0.0
+        delay = min(
+            config.backoff_cap_s,
+            config.backoff_base_s * (2 ** max(0, attempts - 1)),
+        )
+        return delay * (1.0 + config.backoff_jitter * self._rng.random())
+
+    def _commit(
+        self,
+        task: _Task,
+        group_values: List[Any],
+        group_metrics: GroupMetrics,
+        records: Dict[str, TaskRecord],
+        values: List[Any],
+        metrics: SweepMetrics,
+        journal: Optional[RunJournal],
+    ) -> None:
+        for (index, _), value in zip(task.members, group_values):
+            values[index] = value
+        metrics.groups.append(group_metrics)
+        record = records[task.fingerprint]
+        record.status = "done"
+        record.attempts = task.attempts
+        record.timeouts = task.timeouts
+        record.wall_s = task.wall_s
+        self._journal_task(journal, task, record, group_metrics, group_values)
+
+    def _quarantine(
+        self,
+        task: _Task,
+        records: Dict[str, TaskRecord],
+        values: List[Any],
+        extract: Optional[Callable[[SweepOutcome], Any]],
+        journal: Optional[RunJournal],
+    ) -> None:
+        record = records[task.fingerprint]
+        record.status = "quarantined"
+        record.attempts = task.attempts
+        record.timeouts = task.timeouts
+        record.wall_s = task.wall_s
+        if task.last_error is not None:
+            record.error = (
+                f"{type(task.last_error).__name__}: {task.last_error}"
+            )
+        error = QuarantinedTopologyError(
+            f"topology {task.label} ({task.fingerprint}) quarantined after "
+            f"{task.attempts} attempt(s): {record.error or 'unknown error'}",
+            task=task.fingerprint,
+            attempts=task.attempts,
+            last_error=task.last_error,
+        )
+        if extract is None:
+            # Raw-outcome callers still get one entry per point, each
+            # carrying the typed quarantine error.
+            for index, point in task.members:
+                values[index] = SweepOutcome(point=point, error=error)
+        self._journal_task(journal, task, record, None, None)
+
+    def _handle_failure(
+        self,
+        task: _Task,
+        queue: List[_Task],
+        records: Dict[str, TaskRecord],
+        values: List[Any],
+        extract: Optional[Callable[[SweepOutcome], Any]],
+        journal: Optional[RunJournal],
+    ) -> None:
+        """Route one failed attempt: fail-fast, retry, or quarantine."""
+        if self.config.fail_fast:
+            error = task.last_error
+            if isinstance(error, ReproError):
+                raise error
+            raise ReproError(
+                f"fail-fast: task {task.label} ({task.fingerprint}) "
+                f"failed on attempt {task.attempts}: {error}"
+            ) from error
+        if task.attempts > self.config.max_retries:
+            self._quarantine(task, records, values, extract, journal)
+            return
+        records[task.fingerprint].status = "retrying"
+        task.ready_at = time.monotonic() + self._backoff_delay(task.attempts)
+        queue.append(task)
+
+    # ------------------------------------------------------------------
+    # Serial execution
+    # ------------------------------------------------------------------
+    def _execute_serial(
+        self,
+        tasks: List[_Task],
+        extract: Optional[Callable[[SweepOutcome], Any]],
+        values: List[Any],
+        metrics: SweepMetrics,
+        records: Dict[str, TaskRecord],
+        journal: Optional[RunJournal],
+    ) -> None:
+        queue = list(tasks)
+        while queue:
+            task = queue.pop(0)
+            delay = task.ready_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            records[task.fingerprint].status = "running"
+            task.attempts += 1
+            t0 = time.perf_counter()
+            try:
+                group_metrics = self.engine._run_group_local(
+                    task.key, task.members, extract, values
+                )
+            except Exception as exc:
+                task.wall_s += time.perf_counter() - t0
+                task.last_error = exc
+                self._handle_failure(
+                    task, queue, records, values, extract, journal
+                )
+                continue
+            task.wall_s += time.perf_counter() - t0
+            group_values = [values[index] for index, _ in task.members]
+            record = records[task.fingerprint]
+            record.status = "done"
+            record.attempts = task.attempts
+            record.timeouts = task.timeouts
+            record.wall_s = task.wall_s
+            metrics.groups.append(group_metrics)
+            self._journal_task(
+                journal, task, record, group_metrics, group_values
+            )
+
+    # ------------------------------------------------------------------
+    # Process execution (crash + deadline monitoring)
+    # ------------------------------------------------------------------
+    def _use_processes(
+        self, tasks: List[_Task], extract: Optional[Callable]
+    ) -> bool:
+        if extract is None:
+            return False
+        if self.workers <= 1 and self.config.task_timeout is None:
+            return False
+        try:
+            pickle.dumps(extract)
+            for task in tasks:
+                pickle.dumps(task.members[0][1].fault_plan)
+        except Exception:
+            return False
+        return True
+
+    def _new_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Tear a pool down hard, terminating hung workers."""
+        try:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+        except Exception:
+            pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _rebuild_pool(self, pool, metrics: SweepMetrics):
+        self._kill_pool(pool)
+        metrics.pool_rebuilds += 1
+        return self._new_pool()
+
+    def _execute_process(
+        self,
+        tasks: List[_Task],
+        extract: Callable[[SweepOutcome], Any],
+        values: List[Any],
+        metrics: SweepMetrics,
+        records: Dict[str, TaskRecord],
+        journal: Optional[RunJournal],
+    ) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        config = self.config
+        queue: List[_Task] = list(tasks)
+        inflight: Dict[Any, Tuple[_Task, Optional[float]]] = {}
+        pool = self._new_pool()
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                # Launch every ready task while worker capacity remains.
+                for task in [t for t in queue if t.ready_at <= now]:
+                    if len(inflight) >= self.workers:
+                        break
+                    queue.remove(task)
+                    records[task.fingerprint].status = "running"
+                    task.attempts += 1
+                    task.started_at = time.monotonic()
+                    plan = task.members[0][1].fault_plan
+                    try:
+                        future = pool.submit(
+                            _run_group_remote,
+                            task.key[0],
+                            plan,
+                            tuple(point for _, point in task.members),
+                            task.key[2],
+                            extract,
+                            task.label,
+                        )
+                    except Exception:
+                        # Pool already broken before the submit landed:
+                        # not the task's fault, rebuild and requeue free.
+                        task.attempts -= 1
+                        queue.append(task)
+                        pool = self._rebuild_pool(pool, metrics)
+                        break
+                    deadline = (
+                        None
+                        if config.task_timeout is None
+                        else task.started_at + config.task_timeout
+                    )
+                    inflight[future] = (task, deadline)
+
+                if not inflight:
+                    if not queue:
+                        break
+                    # Everything queued is backing off: sleep until the
+                    # earliest ready_at (bounded for responsiveness).
+                    wake = min(t.ready_at for t in queue)
+                    time.sleep(
+                        max(0.0, min(wake - time.monotonic(), 0.2))
+                    )
+                    continue
+
+                done, _ = wait(
+                    set(inflight),
+                    timeout=config.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    task, _deadline = inflight.pop(future)
+                    task.wall_s += time.monotonic() - task.started_at
+                    try:
+                        group_values, group_metrics = future.result()
+                    except BrokenProcessPool as exc:
+                        # Worker crash: the task on the crashed worker is
+                        # charged an attempt; the pool must be rebuilt.
+                        task.last_error = exc
+                        broken = True
+                        self._handle_failure(
+                            task, queue, records, values, extract, journal
+                        )
+                    except Exception as exc:
+                        task.last_error = exc
+                        self._handle_failure(
+                            task, queue, records, values, extract, journal
+                        )
+                    else:
+                        self._commit(
+                            task,
+                            group_values,
+                            group_metrics,
+                            records,
+                            values,
+                            metrics,
+                            journal,
+                        )
+                if broken:
+                    # Innocent in-flight siblings are requeued for free.
+                    for future, (task, _d) in list(inflight.items()):
+                        task.wall_s += time.monotonic() - task.started_at
+                        task.attempts -= 1
+                        task.ready_at = 0.0
+                        records[task.fingerprint].status = "pending"
+                        queue.append(task)
+                    inflight.clear()
+                    pool = self._rebuild_pool(pool, metrics)
+                    continue
+
+                # Deadline scan: a hung worker cannot be cancelled, so an
+                # expired task forces a pool kill; victims sharing the
+                # pool are requeued without an attempt charge.
+                now = time.monotonic()
+                expired = {
+                    future
+                    for future, (_t, deadline) in inflight.items()
+                    if deadline is not None and now > deadline
+                }
+                expired = {f for f in expired if not f.done()}
+                if expired:
+                    for future, (task, _d) in list(inflight.items()):
+                        task.wall_s += time.monotonic() - task.started_at
+                        if future in expired:
+                            task.timeouts += 1
+                            metrics.timeouts += 1
+                            task.last_error = TaskTimeoutError(
+                                f"task {task.label} ({task.fingerprint}) "
+                                f"exceeded its {config.task_timeout:g}s "
+                                "deadline",
+                                task=task.fingerprint,
+                                timeout_s=config.task_timeout,
+                            )
+                            self._handle_failure(
+                                task, queue, records, values, extract, journal
+                            )
+                        else:
+                            task.attempts -= 1
+                            task.ready_at = 0.0
+                            records[task.fingerprint].status = "pending"
+                            queue.append(task)
+                    inflight.clear()
+                    pool = self._rebuild_pool(pool, metrics)
+        finally:
+            self._kill_pool(pool)

@@ -25,6 +25,64 @@ class TestParser:
             build_parser().parse_args(["fig99"])
 
 
+class TestTypedFlagValidation:
+    """Bad numeric flag values exit 2 with one stderr line, no traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["contingency", "--seed", "x"],
+            ["fig6", "--grid", "abc"],
+            ["fig6", "--grid", "0"],
+            ["fig6", "--grid", "8", "--layers", "-3"],
+            ["fig7", "--samples", "0"],
+            ["fig6", "--grid", "8", "--max-retries", "-1"],
+            ["fig6", "--grid", "8", "--task-timeout", "0"],
+            ["fig6", "--grid", "8", "--task-timeout", "nan"],
+            ["fig6", "--grid", "8", "--workers", "0"],
+        ],
+    )
+    def test_invalid_numeric_flag_is_one_line_error(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [l for l in captured.err.splitlines() if l.strip()]
+        assert len(lines) == 1
+        assert lines[0].startswith("repro: ReproError:")
+        assert "Traceback" not in captured.err
+
+    def test_supervision_flags_parse_everywhere(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["headline", "--grid", "8", "--run-dir", "runs/x",
+             "--max-retries", "3", "--task-timeout", "1.5", "--workers", "2"]
+        )
+        assert args.run_dir == "runs/x"
+        assert args.max_retries == 3
+        assert args.task_timeout == 1.5
+        assert args.workers == 2
+        args = parser.parse_args(["table1", "--resume", "runs/x"])
+        assert args.resume == "runs/x"
+
+    def test_supervision_config_built_from_flags(self):
+        from repro.core.experiments import get_experiment
+
+        args = build_parser().parse_args(
+            ["fig6", "--grid", "8", "--layers", "2",
+             "--run-dir", "runs/y", "--fail-fast"]
+        )
+        config = get_experiment("fig6").config_from_args(args)
+        supervision = config.option("supervision")
+        assert supervision is not None
+        assert supervision.run_dir == "runs/y"
+        assert supervision.fail_fast is True
+        assert supervision.resume is False
+        # No supervision flags -> no supervisor is attached.
+        args = build_parser().parse_args(["fig6", "--grid", "8"])
+        config = get_experiment("fig6").config_from_args(args)
+        assert config.option("supervision") is None
+
+
 class TestExecution:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

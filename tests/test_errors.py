@@ -6,16 +6,38 @@ import pytest
 from repro.errors import (
     ConvergenceError,
     FaultInjectionError,
+    QuarantinedTopologyError,
     ReproError,
+    ResumeMismatchError,
     SingularCircuitError,
+    TaskTimeoutError,
 )
 from repro.grid.netlist import RESISTOR, Circuit
 
 
 class TestHierarchy:
     def test_all_derive_from_repro_error(self):
-        for exc in (SingularCircuitError, ConvergenceError, FaultInjectionError):
+        for exc in (
+            SingularCircuitError,
+            ConvergenceError,
+            FaultInjectionError,
+            TaskTimeoutError,
+            QuarantinedTopologyError,
+            ResumeMismatchError,
+        ):
             assert issubclass(exc, ReproError)
+
+    def test_supervision_errors_carry_context(self):
+        err = TaskTimeoutError("slow", task="abcd", timeout_s=2.5)
+        assert err.task == "abcd" and err.timeout_s == 2.5
+        cause = ValueError("root")
+        err = QuarantinedTopologyError(
+            "gone", task="abcd", attempts=3, last_error=cause
+        )
+        assert err.attempts == 3 and err.last_error is cause
+        err = ResumeMismatchError("bad line", line=7)
+        assert err.line == 7
+        assert ResumeMismatchError("no line").line is None
 
     def test_repro_error_is_runtime_error(self):
         # Pre-existing callers catching RuntimeError keep working.
