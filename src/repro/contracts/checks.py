@@ -1,0 +1,230 @@
+"""The physics invariant catalog.
+
+:func:`check_pdn_result` evaluates every applicable contract against a
+solved :class:`repro.pdn.results.PDNResult` (duck-typed — anything with
+a ``solution`` and the power accessors works):
+
+``finite_fields``
+    Every solved field (node voltages, source/converter branch
+    unknowns) is finite — no NaN/Inf leaked out of the solver.
+``kcl_residual``
+    Global energy-form KCL: the power sourced by the supplies matches
+    the power absorbed by loads, resistors and converter losses to a
+    relative tolerance; combined with the linear-system residual the
+    resilient solver recorded, when present.
+``passivity``
+    The network delivers no more power to the loads than the off-chip
+    sources put in (delivered load power <= input power).
+``voltage_bounds``
+    All node voltages lie within the stack's source span ``[0, V_max]``
+    plus a small relative margin — a DC resistive PDN cannot exceed its
+    sources.
+``efficiency_range``
+    System efficiency lies in ``[0, 1]`` (plus numerical slack).
+
+:func:`check_em_monotonicity` verifies the EM model's MTTF is monotone
+non-increasing in current density — used by the fuzz harness and
+available for spot audits.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from repro.contracts.report import (
+    ContractCheck,
+    ContractPolicy,
+    ContractReport,
+    enforce,
+    get_policy,
+)
+
+__all__ = [
+    "KCL_RELATIVE_TOLERANCE",
+    "PASSIVITY_RELATIVE_TOLERANCE",
+    "EFFICIENCY_TOLERANCE",
+    "VOLTAGE_RELATIVE_MARGIN",
+    "check_pdn_result",
+    "check_em_monotonicity",
+]
+
+#: Relative power-balance tolerance (fraction of the supplied power).
+KCL_RELATIVE_TOLERANCE = 1e-6
+#: How far load power may exceed source power before passivity trips.
+PASSIVITY_RELATIVE_TOLERANCE = 1e-9
+#: Slack on the efficiency-in-[0, 1] contract.
+EFFICIENCY_TOLERANCE = 1e-9
+#: Node-voltage excursion beyond [0, V_max], relative to V_max.
+VOLTAGE_RELATIVE_MARGIN = 1e-6
+
+
+def check_pdn_result(
+    result,
+    policy: Optional[ContractPolicy] = None,
+    context: str = "",
+    degraded: Optional[bool] = None,
+) -> Optional[ContractReport]:
+    """Evaluate the invariant catalog against one solved PDN result.
+
+    Returns the :class:`ContractReport` (or ``None`` when the active
+    policy disables checking), enforcing ``warn``/``raise`` severities
+    on the way out.  Checks of degraded solves are capped at ``record``
+    severity by the default policy so resilient sweeps keep running.
+    ``degraded`` force-marks the result degraded regardless of its
+    diagnostics — callers pass it for solves of fault-injected networks,
+    whose pristine invariants (passivity, efficiency in [0, 1], voltage
+    bounds) no longer hold by construction.
+    """
+    policy = policy or get_policy()
+    if not policy.enabled:
+        return None
+    t0 = perf_counter()
+    solution = result.solution
+    diagnostics = getattr(result, "diagnostics", None)
+    degraded = bool(degraded) or bool(diagnostics is not None and diagnostics.degraded)
+    report = ContractReport(degraded=degraded)
+
+    def add(name, passed, observed=None, limit=None, message=""):
+        report.checks.append(
+            ContractCheck(
+                name=name,
+                passed=bool(passed),
+                severity=policy.severity_for(name, degraded),
+                observed=None if observed is None else float(observed),
+                limit=None if limit is None else float(limit),
+                message=message,
+            )
+        )
+
+    # -- finite_fields --------------------------------------------------
+    voltages = solution.node_voltage
+    fields = [voltages, solution.vsource_currents()]
+    try:
+        fields.append(solution.converter_output_currents())
+    except (KeyError, AttributeError):
+        pass
+    n_bad = int(sum(np.size(f) - np.count_nonzero(np.isfinite(f)) for f in fields))
+    add(
+        "finite_fields",
+        n_bad == 0,
+        observed=n_bad,
+        limit=0,
+        message=f"{n_bad} non-finite solved field value(s)" if n_bad else "",
+    )
+
+    if n_bad == 0:
+        # The remaining invariants are meaningless on NaN fields.
+        supplied = solution.vsource_power()
+        load = solution.isource_power()
+        dissipated = solution.resistor_power() + solution.converter_series_loss()
+        scale = max(abs(supplied), 1e-12)
+
+        # -- kcl_residual -----------------------------------------------
+        balance = abs(supplied - (load + dissipated)) / scale
+        linear = float(getattr(diagnostics, "residual", 0.0) or 0.0)
+        observed = max(balance, linear)
+        add(
+            "kcl_residual",
+            observed <= KCL_RELATIVE_TOLERANCE,
+            observed=observed,
+            limit=KCL_RELATIVE_TOLERANCE,
+            message=f"relative power-balance error {observed:.3g}",
+        )
+
+        # -- passivity ---------------------------------------------------
+        excess = (load - supplied) / scale
+        add(
+            "passivity",
+            excess <= PASSIVITY_RELATIVE_TOLERANCE,
+            observed=excess,
+            limit=PASSIVITY_RELATIVE_TOLERANCE,
+            message=(
+                f"load power exceeds source power by {excess:.3g} (relative)"
+                if excess > PASSIVITY_RELATIVE_TOLERANCE
+                else ""
+            ),
+        )
+
+        # -- voltage_bounds ----------------------------------------------
+        sources = solution.vsource_values()
+        if sources.size:
+            v_max = float(np.max(np.abs(sources)))
+            margin = VOLTAGE_RELATIVE_MARGIN * max(v_max, 1e-12)
+            excursion = max(
+                float(np.max(voltages)) - v_max, -float(np.min(voltages))
+            )
+            add(
+                "voltage_bounds",
+                excursion <= margin,
+                observed=excursion,
+                limit=margin,
+                message=(
+                    f"node voltage leaves [0, {v_max:.3g}] V by {excursion:.3g} V"
+                    if excursion > margin
+                    else ""
+                ),
+            )
+
+        # -- efficiency_range --------------------------------------------
+        efficiency = 0.0 if supplied <= 0 else load / supplied
+        add(
+            "efficiency_range",
+            -EFFICIENCY_TOLERANCE <= efficiency <= 1.0 + EFFICIENCY_TOLERANCE,
+            observed=efficiency,
+            limit=1.0,
+            message=f"efficiency {efficiency:.6g} outside [0, 1]",
+        )
+
+    report.elapsed_s = perf_counter() - t0
+    return enforce(report, context)
+
+
+def check_em_monotonicity(
+    currents=None,
+    cross_section: Optional[float] = None,
+    em=None,
+    n_samples: int = 16,
+    policy: Optional[ContractPolicy] = None,
+) -> ContractReport:
+    """Verify MTTF is monotone non-increasing in current density.
+
+    Evaluates Black's median lifetime over ``currents`` (or a log-spaced
+    default sweep) sorted ascending, and checks the lifetimes never
+    increase (within a tiny relative slack).  Returns the report;
+    severity routing follows the active policy.
+    """
+    from repro.em.black import TSV_CROSS_SECTION, median_lifetimes_from_currents
+
+    policy = policy or get_policy()
+    report = ContractReport()
+    if not policy.enabled:
+        return report
+    t0 = perf_counter()
+    if cross_section is None:
+        cross_section = TSV_CROSS_SECTION
+    if currents is None:
+        currents = np.logspace(-4, 0, n_samples)
+    currents = np.sort(np.abs(np.asarray(currents, dtype=float)))
+    currents = currents[currents > 0]
+    lifetimes = median_lifetimes_from_currents(currents, cross_section, em=em)
+    rises = np.diff(lifetimes) > 1e-9 * np.abs(lifetimes[:-1])
+    n_rises = int(np.count_nonzero(rises))
+    report.checks.append(
+        ContractCheck(
+            name="em_mttf_monotone",
+            passed=n_rises == 0,
+            severity=policy.severity_for("em_mttf_monotone"),
+            observed=n_rises,
+            limit=0,
+            message=(
+                f"MTTF increased at {n_rises} of {len(currents) - 1} current steps"
+                if n_rises
+                else ""
+            ),
+        )
+    )
+    report.elapsed_s = perf_counter() - t0
+    return enforce(report)

@@ -1,0 +1,272 @@
+"""Hardened fixed-point driver shared by every outer iteration loop.
+
+The coupled models in this codebase — the closed-loop SC frequency
+iteration (:mod:`repro.pdn.closedloop`), the leakage-temperature loop
+(:mod:`repro.power.thermal_feedback`) and the regulator's
+self-consistent load resolution (:mod:`repro.regulator.control`) — were
+originally bare Picard iterations: ``x <- g(x)`` until a tolerance is
+met, with ad-hoc handling of the failure paths.  This module centralises
+that loop and hardens it:
+
+* **adaptive under-relaxation** — the update is ``x <- x + d * (g(x) -
+  x)`` with ``d = 1`` (plain Picard) by default; ``d`` is halved after
+  ``growth_patience`` consecutive residual increases or when an
+  oscillation is detected, down to ``min_damping``.  A converging plain
+  Picard iteration never triggers adaptation, so hardened loops
+  reproduce the legacy iterate sequence bit-for-bit.
+* **optional Anderson acceleration** — ``anderson_m > 0`` mixes the last
+  ``m`` residual differences (type-II AA with damping), which converges
+  much faster on stiff but contractive maps.  Off by default.
+* **oscillation detection** — ``g_k`` matching ``g_{k-2}`` (within
+  tolerance) while differing from ``g_{k-1}`` flags a period-2 cycle.
+* **divergence detection** — the residual growing over a window of
+  consecutive iterations *and* exceeding ``divergence_factor`` times the
+  best residual seen aborts the loop early; a step function may also
+  declare divergence itself by raising :class:`FixedPointDivergence`.
+* **graceful degradation** — on non-convergence the driver returns the
+  *best-residual* iterate flagged ``degraded=True`` together with the
+  full residual trace (``on_failure="degrade"``), or raises a typed
+  :class:`repro.errors.ConvergenceError` carrying the same record
+  (``on_failure="raise"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "FixedPointDivergence",
+    "FixedPointResult",
+    "fixed_point",
+    "relative_residual",
+    "absolute_residual",
+]
+
+
+class FixedPointDivergence(Exception):
+    """Raised *by a step function* to declare the iteration divergent.
+
+    This is a control-flow signal, not a :class:`repro.errors.ReproError`:
+    the driver catches it and routes it through the configured failure
+    policy (degrade or raise a typed ``ConvergenceError``).
+    """
+
+
+def relative_residual(x_new: np.ndarray, x_old: np.ndarray) -> float:
+    """``max |x_new - x_old| / |x_old|`` (zero entries fall back to abs)."""
+    x_new = np.asarray(x_new, dtype=float)
+    x_old = np.asarray(x_old, dtype=float)
+    denom = np.where(np.abs(x_old) > 0.0, np.abs(x_old), 1.0)
+    return float(np.max(np.abs(x_new - x_old) / denom))
+
+
+def absolute_residual(x_new: np.ndarray, x_old: np.ndarray) -> float:
+    """``max |x_new - x_old|``."""
+    return float(
+        np.max(np.abs(np.asarray(x_new, dtype=float) - np.asarray(x_old, dtype=float)))
+    )
+
+
+@dataclass
+class FixedPointResult:
+    """Outcome of one :func:`fixed_point` run.
+
+    ``x`` is the accepted iterate: the converged output ``g(x)`` on
+    success, otherwise the best-residual output seen (graceful
+    degradation).  ``best_iteration`` is its 1-based step index, which
+    callers use to recover per-iteration payloads they stashed from
+    inside the step function.
+    """
+
+    x: np.ndarray
+    converged: bool
+    degraded: bool
+    iterations: int
+    residual: float
+    residual_trace: List[float] = field(default_factory=list)
+    best_iteration: int = 0
+    oscillating: bool = False
+    diverged: bool = False
+    reason: str = ""
+    #: Damping factor in effect when the loop ended.
+    damping: float = 1.0
+
+
+def fixed_point(
+    step: Callable[[np.ndarray], np.ndarray],
+    x0,
+    *,
+    tolerance: float,
+    max_iterations: int,
+    residual_fn: Callable[[np.ndarray, np.ndarray], float] = relative_residual,
+    damping: float = 1.0,
+    adaptive_damping: bool = True,
+    min_damping: float = 0.05,
+    growth_patience: int = 2,
+    anderson_m: int = 0,
+    min_iterations: int = 1,
+    divergence_window: int = 3,
+    divergence_factor: float = 1e3,
+    on_failure: str = "degrade",
+) -> FixedPointResult:
+    """Drive ``x <- x + d * (step(x) - x)`` to a fixed point.
+
+    Converges when ``residual_fn(step(x), x) < tolerance`` after at
+    least ``min_iterations`` step evaluations (``min_iterations=2``
+    reproduces the legacy loops' "never accept the first iterate"
+    behaviour).  See the module docstring for the hardening semantics.
+    """
+    check_positive("tolerance", tolerance)
+    check_positive_int("max_iterations", max_iterations)
+    check_positive_int("min_iterations", min_iterations)
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must lie in (0, 1]")
+    if not 0.0 < min_damping <= damping:
+        raise ValueError("min_damping must lie in (0, damping]")
+    if anderson_m < 0:
+        raise ValueError("anderson_m must be >= 0")
+    if on_failure not in ("degrade", "raise"):
+        raise ValueError('on_failure must be "degrade" or "raise"')
+
+    x = np.array(np.atleast_1d(x0), dtype=float, copy=True)
+    d = damping
+    trace: List[float] = []
+    outputs: List[np.ndarray] = []  # last few g_k, for oscillation detection
+    best_r = np.inf
+    best_k = 0
+    best_x = x.copy()
+    oscillating = False
+    diverged = False
+    reason = ""
+    growth_run = 0
+    # Anderson history: columns of successive input/residual differences.
+    prev_x_in: Optional[np.ndarray] = None
+    prev_f: Optional[np.ndarray] = None
+    dx_cols: List[np.ndarray] = []
+    df_cols: List[np.ndarray] = []
+
+    for k in range(1, max_iterations + 1):
+        try:
+            g = np.array(np.atleast_1d(step(x)), dtype=float, copy=True)
+        except FixedPointDivergence as signal:
+            diverged = True
+            reason = str(signal)
+            break
+        r = float(residual_fn(g, x))
+        trace.append(r)
+        if np.isfinite(r) and r < best_r:
+            best_r, best_k, best_x = r, k, g
+        if k >= min_iterations and r < tolerance:
+            return FixedPointResult(
+                x=g,
+                converged=True,
+                degraded=False,
+                iterations=k,
+                residual=r,
+                residual_trace=trace,
+                best_iteration=k,
+                oscillating=oscillating,
+                damping=d,
+            )
+        # Period-2 oscillation: output matches two steps back but not the
+        # previous step, while the residual is still above tolerance.
+        # Damping only engages when the residual shows no improvement
+        # over the cycle — convergent ringing (residual still shrinking)
+        # is left on the plain Picard trajectory.
+        if len(outputs) >= 2:
+            g_back2, g_back1 = outputs[-2], outputs[-1]
+            if (
+                g.shape == g_back2.shape
+                and np.allclose(g, g_back2, rtol=tolerance, atol=0.0)
+                and not np.allclose(g, g_back1, rtol=tolerance, atol=0.0)
+            ):
+                oscillating = True
+                stuck = (
+                    len(trace) >= 3
+                    and np.isfinite(trace[-1])
+                    and np.isfinite(trace[-3])
+                    and trace[-1] >= trace[-3]
+                )
+                if adaptive_damping and stuck:
+                    d = max(min_damping, 0.5 * d)
+        outputs.append(g)
+        if len(outputs) > 3:
+            outputs.pop(0)
+        # Residual growth: damp after `growth_patience` consecutive rises.
+        if (
+            len(trace) >= 2
+            and np.isfinite(trace[-1])
+            and np.isfinite(trace[-2])
+            and trace[-1] > trace[-2]
+        ):
+            growth_run += 1
+            if adaptive_damping and growth_run >= growth_patience:
+                d = max(min_damping, 0.5 * d)
+                growth_run = 0
+        else:
+            growth_run = 0
+        # Divergence: monotone residual growth across the window AND the
+        # residual has blown far past the best value seen.
+        finite = [t for t in trace if np.isfinite(t)]
+        if (
+            len(trace) > divergence_window
+            and all(trace[-i] > trace[-i - 1] for i in range(1, divergence_window + 1))
+            and finite
+            and trace[-1] > divergence_factor * min(finite)
+        ):
+            diverged = True
+            reason = (
+                f"residual grew over {divergence_window} consecutive iterations "
+                f"(last {trace[-1]:.3g} vs best {min(finite):.3g})"
+            )
+            break
+        # Next iterate: damped Picard, optionally Anderson-mixed.
+        f = g - x
+        if anderson_m > 0:
+            if prev_x_in is not None and prev_f is not None:
+                dx_cols.append(x - prev_x_in)
+                df_cols.append(f - prev_f)
+                if len(dx_cols) > anderson_m:
+                    dx_cols.pop(0)
+                    df_cols.pop(0)
+            prev_x_in = x
+            prev_f = f
+            if df_cols:
+                df_mat = np.column_stack(df_cols)
+                dx_mat = np.column_stack(dx_cols)
+                gamma, *_ = np.linalg.lstsq(df_mat, f, rcond=None)
+                x = x + d * f - (dx_mat + d * df_mat) @ gamma
+            else:
+                x = g if d == 1.0 else x + d * f
+        else:
+            # d == 1 takes g directly: bit-exact plain Picard (x + 1.0 *
+            # (g - x) rounds differently).
+            x = g if d == 1.0 else x + d * f
+
+    iterations = len(trace)
+    if best_k == 0:  # no finite residual was ever recorded
+        best_x = x
+    if not reason:
+        reason = f"no convergence within {max_iterations} iterations"
+    result = FixedPointResult(
+        x=best_x,
+        converged=False,
+        degraded=True,
+        iterations=iterations,
+        residual=best_r,
+        residual_trace=trace,
+        best_iteration=best_k,
+        oscillating=oscillating,
+        diverged=diverged,
+        reason=reason,
+        damping=d,
+    )
+    if on_failure == "raise":
+        raise ConvergenceError(f"fixed-point iteration failed: {reason}", diagnostics=result)
+    return result

@@ -1,0 +1,249 @@
+"""Contract reports and severity policies.
+
+A *contract* is a declarative physics invariant checked against a solved
+result (see :mod:`repro.contracts.checks` for the catalog).  Every check
+lands in a :class:`ContractReport` as a :class:`ContractCheck` with a
+pass/fail verdict and the *severity* the active policy assigned to it:
+
+``record``
+    The violation is only recorded in the report (machine-readable).
+``warn``
+    Additionally emits a :class:`ContractWarning` via :mod:`warnings`.
+``raise``
+    Raises :class:`repro.errors.ContractViolationError` carrying the
+    full report.
+
+Degraded solves (island pruning, solver fallback rungs, non-converged
+fixed points) cap the effective severity at ``degraded_cap`` (default
+``record``): a result that is *already* flagged as degraded must not
+crash a resilient sweep a second time.
+
+The active policy is process-global, initialised lazily from the
+``REPRO_CONTRACTS`` environment variable (``off`` / ``record`` /
+``warn`` / ``raise`` / ``default``), and can be swapped with
+:func:`set_policy` or scoped with the :func:`contract_policy` context
+manager.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ContractViolationError, ReproError
+
+__all__ = [
+    "SEVERITIES",
+    "DEFAULT_SEVERITIES",
+    "CONTRACTS_ENV",
+    "ContractWarning",
+    "ContractCheck",
+    "ContractReport",
+    "ContractPolicy",
+    "policy_from_env",
+    "get_policy",
+    "set_policy",
+    "contract_policy",
+    "enforce",
+]
+
+#: Recognised severities, mildest first (used for capping comparisons).
+SEVERITIES = ("record", "warn", "raise")
+
+#: Per-check default severities: hard physics violations raise, soft
+#: bound excursions (tiny overshoots near sources) only warn.
+DEFAULT_SEVERITIES: Dict[str, str] = {
+    "finite_fields": "raise",
+    "kcl_residual": "raise",
+    "passivity": "raise",
+    "efficiency_range": "raise",
+    "voltage_bounds": "warn",
+    "em_mttf_monotone": "raise",
+}
+
+#: Environment variable selecting the process-wide policy.
+CONTRACTS_ENV = "REPRO_CONTRACTS"
+
+
+class ContractWarning(UserWarning):
+    """Emitted for contract violations at severity ``warn``."""
+
+
+@dataclass(frozen=True)
+class ContractCheck:
+    """One evaluated invariant."""
+
+    name: str
+    passed: bool
+    #: Severity the policy assigned (effective, i.e. after degraded cap).
+    severity: str
+    #: Observed value of the invariant metric, when scalar.
+    observed: Optional[float] = None
+    #: The limit it was compared against.
+    limit: Optional[float] = None
+    message: str = ""
+
+    @property
+    def status(self) -> str:
+        """``pass`` or, for violations, the effective severity."""
+        return "pass" if self.passed else self.severity
+
+
+@dataclass
+class ContractReport:
+    """Machine-readable outcome of a contract evaluation."""
+
+    checks: List[ContractCheck] = field(default_factory=list)
+    #: True when the checked result came from a degraded solve (severity
+    #: was capped accordingly).
+    degraded: bool = False
+    #: Wall time spent evaluating the checks (s), for overhead metering.
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def violations(self) -> List[ContractCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def histogram(self) -> Dict[str, int]:
+        """Counts per status (``pass`` / ``record`` / ``warn`` / ``raise``)."""
+        counts: Dict[str, int] = {}
+        for check in self.checks:
+            counts[check.status] = counts.get(check.status, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.passed:
+            return f"contracts: {len(self.checks)} checks passed"
+        parts = [
+            f"{check.name}[{check.severity}] {check.message}"
+            for check in self.violations()
+        ]
+        return "contracts: " + "; ".join(parts)
+
+    def to_json(self) -> Dict:
+        return {
+            "passed": self.passed,
+            "degraded": self.degraded,
+            "elapsed_s": self.elapsed_s,
+            "checks": [
+                {
+                    "name": check.name,
+                    "status": check.status,
+                    "observed": check.observed,
+                    "limit": check.limit,
+                    "message": check.message,
+                }
+                for check in self.checks
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ContractPolicy:
+    """Which checks run and how loudly violations are reported."""
+
+    enabled: bool = True
+    #: Per-check severities; unknown checks fall back to ``warn``.
+    severities: Mapping[str, str] = field(default_factory=lambda: dict(DEFAULT_SEVERITIES))
+    #: When set, forces this severity for every check.
+    override: Optional[str] = None
+    #: Severity cap applied to checks of degraded solves.
+    degraded_cap: str = "record"
+
+    def __post_init__(self) -> None:
+        for value in (self.override, self.degraded_cap):
+            if value is not None and value not in SEVERITIES:
+                raise ValueError(f"unknown severity {value!r}; expected one of {SEVERITIES}")
+
+    def severity_for(self, name: str, degraded: bool = False) -> str:
+        severity = self.override or self.severities.get(name, "warn")
+        if degraded:
+            cap = SEVERITIES.index(self.degraded_cap)
+            severity = SEVERITIES[min(SEVERITIES.index(severity), cap)]
+        return severity
+
+
+def policy_from_env(value: Optional[str] = None) -> ContractPolicy:
+    """Build the policy selected by ``REPRO_CONTRACTS``.
+
+    ``off``/``0``/``none`` disable checking entirely; ``record``,
+    ``warn`` and ``raise`` force that severity for every check; unset,
+    empty or ``default`` selects the per-check defaults.
+    """
+    if value is None:
+        value = os.environ.get(CONTRACTS_ENV, "")
+    value = value.strip().lower()
+    if value in ("off", "0", "none", "disabled", "false"):
+        return ContractPolicy(enabled=False)
+    if value in ("", "default", "on", "true", "1"):
+        return ContractPolicy()
+    if value in SEVERITIES:
+        return ContractPolicy(override=value)
+    raise ReproError(
+        f"{CONTRACTS_ENV} must be one of off|record|warn|raise|default, got {value!r}"
+    )
+
+
+_active_policy: Optional[ContractPolicy] = None
+
+
+def get_policy() -> ContractPolicy:
+    """The process-wide policy, initialised from the environment once."""
+    global _active_policy
+    if _active_policy is None:
+        _active_policy = policy_from_env()
+    return _active_policy
+
+
+def set_policy(policy: Optional[ContractPolicy]) -> Optional[ContractPolicy]:
+    """Install ``policy`` (None re-reads the environment on next use).
+
+    Returns the previously installed policy.
+    """
+    global _active_policy
+    previous = _active_policy
+    _active_policy = policy
+    return previous
+
+
+@contextmanager
+def contract_policy(policy: Optional[ContractPolicy] = None, **overrides):
+    """Scoped policy swap: ``with contract_policy(override="raise"): ...``."""
+    if policy is None:
+        policy = get_policy()
+    if overrides:
+        policy = replace(policy, **overrides)
+    previous = set_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_policy(previous)
+
+
+def enforce(report: ContractReport, context: str = "") -> ContractReport:
+    """Apply severities: warn/raise as the report's checks demand.
+
+    The full report is always built *before* enforcement so the
+    exception (and any warning) carries every check, not just the first
+    failure.
+    """
+    raising = [c for c in report.violations() if c.severity == "raise"]
+    warning = [c for c in report.violations() if c.severity == "warn"]
+    for check in warning:
+        warnings.warn(
+            f"contract violated{context}: {check.name}: {check.message}",
+            ContractWarning,
+            stacklevel=3,
+        )
+    if raising:
+        detail = "; ".join(f"{c.name}: {c.message}" for c in raising)
+        raise ContractViolationError(
+            f"physics contract violated{context}: {detail}", report=report
+        )
+    return report

@@ -38,6 +38,8 @@ __all__ = [
     "apply_common_args",
     "supervision_from_args",
     "resolve_engine",
+    "outcome_degraded",
+    "degraded_notes",
 ]
 
 
@@ -303,6 +305,29 @@ def apply_common_args(config: ExperimentConfig, args) -> ExperimentConfig:
     if supervision is not None:
         config.options["supervision"] = supervision
     return config
+
+
+def outcome_degraded(outcome) -> bool:
+    """True when a sweep outcome's result is flagged degraded.
+
+    A degraded result came from a fallback/pruned solve or carries
+    recorded physics-contract violations (see docs/CONTRACTS.md); its
+    numbers are best-effort, not converged ground truth.  Extractors
+    call this so the flag rides along with the extracted value even
+    when extraction happens in a worker process.
+    """
+    result = getattr(outcome, "result", None)
+    return bool(result is not None and getattr(result, "degraded", False))
+
+
+def degraded_notes(count: int) -> List[str]:
+    """The CLI warning lines for ``count`` degraded sweep points."""
+    if not count:
+        return []
+    return [
+        f"warning: {count} degraded/unconverged point(s) — values there are "
+        "best-effort, not converged ground truth (see docs/CONTRACTS.md)"
+    ]
 
 
 def resolve_engine(config: ExperimentConfig):

@@ -32,6 +32,8 @@ from repro.core.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
     add_grid_argument,
+    degraded_notes,
+    outcome_degraded,
     resolve_engine,
 )
 from repro.core.scenarios import VS_VDD_PADS_PER_CORE
@@ -68,12 +70,14 @@ def _c4_array_lifetime(result: PDNResult, em: EMParameters) -> float:
 
 
 # Module-level extractors so sweeps stay picklable for process fan-out.
-def _extract_tsv_lifetime(outcome, em: EMParameters) -> float:
-    return _tsv_array_lifetime(outcome.unwrap(), em)
+# Each returns ``(value, degraded)`` so the contract/convergence flag
+# survives the trip back from worker processes.
+def _extract_tsv_lifetime(outcome, em: EMParameters) -> Tuple[float, bool]:
+    return _tsv_array_lifetime(outcome.unwrap(), em), outcome_degraded(outcome)
 
 
-def _extract_c4_lifetime(outcome, em: EMParameters) -> float:
-    return _c4_array_lifetime(outcome.unwrap(), em)
+def _extract_c4_lifetime(outcome, em: EMParameters) -> Tuple[float, bool]:
+    return _c4_array_lifetime(outcome.unwrap(), em), outcome_degraded(outcome)
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,8 @@ class Fig5aResult:
     layers: LayerSweep
     #: Series name -> lifetime per layer count, normalised to 2-layer V-S.
     series: Dict[str, List[float]]
+    #: Sweep points whose solve was flagged degraded/unconverged.
+    degraded_points: int = 0
 
     def improvement_at(self, n_layers: int, baseline: str = "Reg. PDN, Few TSV") -> float:
         """V-S / regular lifetime ratio at a layer count."""
@@ -109,6 +115,8 @@ class Fig5bResult:
 
     layers: LayerSweep
     series: Dict[str, List[float]]
+    #: Sweep points whose solve was flagged degraded/unconverged.
+    degraded_points: int = 0
 
     def improvement_at(self, n_layers: int, baseline: str = "Reg. PDN (25% Power C4)") -> float:
         idx = self.layers.index(n_layers)
@@ -129,15 +137,20 @@ def _normalised_series(
     extract,
     vs_name: str,
     engine: SweepEngine,
-) -> Dict[str, List[float]]:
-    """Sweep all specs in one engine run and normalise to 2-layer V-S."""
+) -> Tuple[Dict[str, List[float]], int]:
+    """Sweep all specs in one engine run and normalise to 2-layer V-S.
+
+    Returns the normalised series plus the degraded-point count.
+    """
     points = [SweepPoint(spec=spec, tag=name) for name, spec in named_specs]
-    values = engine.run(points, extract=extract).values
+    flagged = engine.run(points, extract=extract).values
+    degraded = sum(1 for _, flag in flagged if flag)
     raw: Dict[str, List[float]] = {}
-    for (name, _), value in zip(named_specs, values):
+    for (name, _), (value, _) in zip(named_specs, flagged):
         raw.setdefault(name, []).append(value)
     reference = raw[vs_name][layers.index(2)] if 2 in layers else raw[vs_name][0]
-    return {k: [v / reference for v in vals] for k, vals in raw.items()}
+    series = {k: [v / reference for v in vals] for k, vals in raw.items()}
+    return series, degraded
 
 
 def run_fig5a(
@@ -173,10 +186,10 @@ def run_fig5a(
                 ),
             )
         )
-    series = _normalised_series(
+    series, degraded = _normalised_series(
         layers, named_specs, partial(_extract_tsv_lifetime, em=em), vs_name, engine
     )
-    return Fig5aResult(layers=layers, series=series)
+    return Fig5aResult(layers=layers, series=series, degraded_points=degraded)
 
 
 def run_fig5b(
@@ -218,10 +231,10 @@ def run_fig5b(
                 ),
             )
         )
-    series = _normalised_series(
+    series, degraded = _normalised_series(
         layers, named_specs, partial(_extract_c4_lifetime, em=em), vs_name, engine
     )
-    return Fig5bResult(layers=layers, series=series)
+    return Fig5bResult(layers=layers, series=series, degraded_points=degraded)
 
 
 class Fig5aExperiment(Experiment):
@@ -241,8 +254,13 @@ class Fig5aExperiment(Experiment):
         return ExperimentResult(
             name=self.name,
             table=result.format(),
-            data={"layers": list(result.layers), "series": result.series},
+            data={
+                "layers": list(result.layers),
+                "series": result.series,
+                "degraded_points": result.degraded_points,
+            },
             raw=result,
+            notes=degraded_notes(result.degraded_points),
         )
 
 
@@ -263,6 +281,11 @@ class Fig5bExperiment(Experiment):
         return ExperimentResult(
             name=self.name,
             table=result.format(),
-            data={"layers": list(result.layers), "series": result.series},
+            data={
+                "layers": list(result.layers),
+                "series": result.series,
+                "degraded_points": result.degraded_points,
+            },
             raw=result,
+            notes=degraded_notes(result.degraded_points),
         )

@@ -13,7 +13,7 @@ share a single factorisation and one batched multi-RHS solve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
@@ -23,6 +23,8 @@ from repro.core.experiments.base import (
     ExperimentResult,
     add_grid_argument,
     add_layers_argument,
+    degraded_notes,
+    outcome_degraded,
     resolve_engine,
 )
 from repro.runtime import PDNSpec, SweepEngine, SweepPoint
@@ -32,16 +34,16 @@ DEFAULT_IMBALANCES: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1
 DEFAULT_CONVERTERS: Tuple[int, ...] = (2, 4, 6, 8)
 
 
-def _extract_rated_ir_drop(outcome) -> Optional[float]:
-    """IR-drop fraction, or None when the converter rating is violated."""
+def _extract_rated_ir_drop(outcome) -> Tuple[Optional[float], bool]:
+    """(IR-drop fraction or None when rating-violated, degraded flag)."""
     result = outcome.unwrap()
     if result.converters_within_rating():
-        return result.max_ir_drop_fraction()
-    return None  # the paper skips these points
+        return result.max_ir_drop_fraction(), outcome_degraded(outcome)
+    return None, outcome_degraded(outcome)  # the paper skips these points
 
 
-def _extract_ir_drop(outcome) -> float:
-    return outcome.unwrap().max_ir_drop_fraction()
+def _extract_ir_drop(outcome) -> Tuple[float, bool]:
+    return outcome.unwrap().max_ir_drop_fraction(), outcome_degraded(outcome)
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,10 @@ class Fig6Result:
     vs_series: Dict[int, List[Optional[float]]]
     #: TSV topology name -> flat regular-PDN worst-case IR drop.
     regular_lines: Dict[str, float]
+    #: converters/core -> per-imbalance degraded/unconverged flags.
+    vs_degraded: Dict[int, List[bool]] = field(default_factory=dict)
+    #: Total sweep points (V-S + regular) flagged degraded.
+    degraded_points: int = 0
 
     def vs_at(self, converters: int, imbalance: float) -> Optional[float]:
         idx = self.imbalances.index(imbalance)
@@ -121,11 +127,14 @@ def run_fig6(
         for k in converters_per_core
         for imbalance in imbalances
     ]
-    vs_values = engine.run(vs_points, extract=_extract_rated_ir_drop).values
+    vs_flagged = engine.run(vs_points, extract=_extract_rated_ir_drop).values
     vs_series: Dict[int, List[Optional[float]]] = {}
+    vs_degraded: Dict[int, List[bool]] = {}
     n_imb = len(imbalances)
     for i, k in enumerate(converters_per_core):
-        vs_series[k] = list(vs_values[i * n_imb:(i + 1) * n_imb])
+        chunk = vs_flagged[i * n_imb:(i + 1) * n_imb]
+        vs_series[k] = [value for value, _ in chunk]
+        vs_degraded[k] = [bool(flag) for _, flag in chunk]
 
     regular_points = [
         SweepPoint(
@@ -134,14 +143,21 @@ def run_fig6(
         )
         for topology in ("Dense", "Sparse", "Few")
     ]
-    regular_values = engine.run(regular_points, extract=_extract_ir_drop).values
-    regular_lines = dict(zip(("Dense", "Sparse", "Few"), regular_values))
+    regular_flagged = engine.run(regular_points, extract=_extract_ir_drop).values
+    regular_lines = dict(
+        zip(("Dense", "Sparse", "Few"), (value for value, _ in regular_flagged))
+    )
+    degraded = sum(1 for _, flag in vs_flagged if flag) + sum(
+        1 for _, flag in regular_flagged if flag
+    )
 
     return Fig6Result(
         n_layers=n_layers,
         imbalances=imbalances,
         vs_series=vs_series,
         regular_lines=regular_lines,
+        vs_degraded=vs_degraded,
+        degraded_points=degraded,
     )
 
 
@@ -168,7 +184,7 @@ class Fig6Experiment(Experiment):
             grid_nodes=config.grid_nodes,
             engine=resolve_engine(config),
         )
-        notes = []
+        notes = degraded_notes(result.degraded_points)
         csv_path = config.option("csv")
         if csv_path:
             from repro.analysis.export import fig6_to_csv
@@ -182,6 +198,8 @@ class Fig6Experiment(Experiment):
                 "imbalances": list(result.imbalances),
                 "vs_series": {str(k): v for k, v in result.vs_series.items()},
                 "regular_lines": result.regular_lines,
+                "vs_degraded": {str(k): v for k, v in result.vs_degraded.items()},
+                "degraded_points": result.degraded_points,
             },
             raw=result,
             notes=notes,

@@ -16,7 +16,7 @@ one batched multi-RHS call.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
@@ -28,6 +28,8 @@ from repro.core.experiments.base import (
     ExperimentResult,
     add_grid_argument,
     add_layers_argument,
+    degraded_notes,
+    outcome_degraded,
     resolve_engine,
 )
 from repro.regulator.compact import SCCompactModel
@@ -70,12 +72,12 @@ def regular_sc_efficiency(
     return total_out / total_in
 
 
-def _extract_rated_efficiency(outcome) -> Optional[float]:
-    """Efficiency, or None when the converter rating is violated."""
+def _extract_rated_efficiency(outcome) -> Tuple[Optional[float], bool]:
+    """(Efficiency or None when rating-violated, degraded flag)."""
     result = outcome.unwrap()
     if result.converters_within_rating():
-        return result.efficiency()
-    return None
+        return result.efficiency(), outcome_degraded(outcome)
+    return None, outcome_degraded(outcome)
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,10 @@ class Fig8Result:
     vs_series: Dict[int, List[Optional[float]]]
     #: regular PDN + SC-for-all-power line.
     regular_sc: List[float]
+    #: converters/core -> per-imbalance degraded/unconverged flags.
+    vs_degraded: Dict[int, List[bool]] = field(default_factory=dict)
+    #: Total sweep points flagged degraded.
+    degraded_points: int = 0
 
     def vs_at(self, converters: int, imbalance: float) -> Optional[float]:
         idx = self.imbalances.index(imbalance)
@@ -142,17 +148,22 @@ def run_fig8(
         for k in converters_per_core
         for imbalance in imbalances
     ]
-    values = engine.run(points, extract=_extract_rated_efficiency).values
+    flagged = engine.run(points, extract=_extract_rated_efficiency).values
     vs_series: Dict[int, List[Optional[float]]] = {}
+    vs_degraded: Dict[int, List[bool]] = {}
     n_imb = len(imbalances)
     for i, k in enumerate(converters_per_core):
-        vs_series[k] = list(values[i * n_imb:(i + 1) * n_imb])
+        chunk = flagged[i * n_imb:(i + 1) * n_imb]
+        vs_series[k] = [value for value, _ in chunk]
+        vs_degraded[k] = [bool(flag) for _, flag in chunk]
     regular = [regular_sc_efficiency(i, n_layers) for i in imbalances]
     return Fig8Result(
         n_layers=n_layers,
         imbalances=imbalances,
         vs_series=vs_series,
         regular_sc=regular,
+        vs_degraded=vs_degraded,
+        degraded_points=sum(1 for _, flag in flagged if flag),
     )
 
 
@@ -179,7 +190,7 @@ class Fig8Experiment(Experiment):
             grid_nodes=config.grid_nodes,
             engine=resolve_engine(config),
         )
-        notes = []
+        notes = degraded_notes(result.degraded_points)
         csv_path = config.option("csv")
         if csv_path:
             from repro.analysis.export import fig8_to_csv
@@ -193,6 +204,8 @@ class Fig8Experiment(Experiment):
                 "imbalances": list(result.imbalances),
                 "vs_series": {str(k): v for k, v in result.vs_series.items()},
                 "regular_sc": result.regular_sc,
+                "vs_degraded": {str(k): v for k, v in result.vs_degraded.items()},
+                "degraded_points": result.degraded_points,
             },
             raw=result,
             notes=notes,

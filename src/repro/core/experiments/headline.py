@@ -21,6 +21,7 @@ from repro.core.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
     add_grid_argument,
+    degraded_notes,
     resolve_engine,
 )
 from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
@@ -40,6 +41,8 @@ class HeadlineReport:
     average_imbalance: float
     vs_extra_ir_drop_at_average: float
     crossover_imbalance: Optional[float]
+    #: Degraded/unconverged points rolled up from every sub-experiment.
+    degraded_points: int = 0
 
     def format(self) -> str:
         crossover = (
@@ -110,6 +113,9 @@ def run_headline(
         average_imbalance=average,
         vs_extra_ir_drop_at_average=vs_at_avg - dense,
         crossover_imbalance=fig6.crossover_imbalance(),
+        degraded_points=(
+            fig5a.degraded_points + fig5b.degraded_points + fig6.degraded_points
+        ),
     )
 
 
@@ -138,6 +144,8 @@ class HeadlineExperiment(Experiment):
                 "average_imbalance": report.average_imbalance,
                 "vs_extra_ir_drop_at_average": report.vs_extra_ir_drop_at_average,
                 "crossover_imbalance": report.crossover_imbalance,
+                "degraded_points": report.degraded_points,
             },
             raw=report,
+            notes=degraded_notes(report.degraded_points),
         )

@@ -18,6 +18,7 @@ from repro.core.experiments.base import (
     add_grid_argument,
     add_layers_argument,
     add_seed_argument,
+    degraded_notes,
     resolve_engine,
     typed_float,
     typed_int,
@@ -69,8 +70,10 @@ class ExploreExperiment(Experiment):
                 "n_points": len(result.points),
                 "n_feasible": len(result.feasible_points),
                 "n_pareto": len(result.pareto_frontier),
+                "degraded_points": result.degraded_points,
             },
             raw=result,
+            notes=degraded_notes(result.degraded_points),
         )
 
 

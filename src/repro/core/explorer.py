@@ -54,6 +54,9 @@ class DesignPoint:
     tsv_lifetime: float
     #: Silicon area overhead per core (KoZ + converters), fraction.
     area_overhead: float
+    #: True when the underlying solve was flagged degraded/unconverged;
+    #: the point's objectives are then best-effort values.
+    degraded: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -98,6 +101,11 @@ class ExplorationResult:
     @property
     def feasible_points(self) -> List[DesignPoint]:
         return [p for p in self.points if p.feasible]
+
+    @property
+    def degraded_points(self) -> int:
+        """Evaluated points whose solve was flagged degraded."""
+        return sum(1 for p in self.points if p.degraded)
 
     @property
     def pareto_frontier(self) -> List[DesignPoint]:
@@ -211,6 +219,7 @@ def _design_point_extract(
         c4_lifetime=c4_life,
         tsv_lifetime=tsv_life,
         area_overhead=_area_overhead(topology, converters, capacitor_technology),
+        degraded=bool(getattr(result, "degraded", False)),
     )
 
 
@@ -268,6 +277,7 @@ class DesignSpaceExplorer:
             c4_lifetime=c4_life,
             tsv_lifetime=tsv_life,
             area_overhead=self._area_overhead(topology, 0),
+            degraded=bool(getattr(result, "degraded", False)),
         )
 
     def evaluate_stacked(
@@ -294,6 +304,7 @@ class DesignSpaceExplorer:
             c4_lifetime=c4_life,
             tsv_lifetime=tsv_life,
             area_overhead=self._area_overhead(topology, converters),
+            degraded=bool(getattr(result, "degraded", False)),
         )
 
     def explore(

@@ -30,6 +30,11 @@ your design" from a genuine bug.  The hierarchy is deliberately shallow:
     A ``--resume`` run directory does not match the requested sweep: a
     missing or corrupted journal line, a different run fingerprint, or
     a journal written by an incompatible schema.
+``ContractViolationError``
+    A physics contract (KCL residual, passivity, voltage bounds,
+    efficiency range, finite fields, ...) failed at severity ``raise``.
+    Carries the full machine-readable
+    :class:`repro.contracts.ContractReport` in :attr:`report`.
 """
 
 from __future__ import annotations
@@ -88,6 +93,18 @@ class QuarantinedTopologyError(ReproError):
         self.last_error = last_error
 
 
+class ContractViolationError(ReproError):
+    """A physics contract failed at severity ``raise``.
+
+    ``report`` is the :class:`repro.contracts.ContractReport` with every
+    check that was evaluated, not just the one that tripped.
+    """
+
+    def __init__(self, message: str, report: Optional[Any] = None):
+        super().__init__(message)
+        self.report = report
+
+
 class ResumeMismatchError(ReproError):
     """A resume journal does not match the requested run.
 
@@ -108,4 +125,5 @@ __all__ = [
     "TaskTimeoutError",
     "QuarantinedTopologyError",
     "ResumeMismatchError",
+    "ContractViolationError",
 ]

@@ -72,6 +72,7 @@ class _Columnar:
         self._tag_runs: List[tuple] = []  # (tag, start, count)
         self._size = 0
         self._inactive: Set[int] = set()
+        self._active_cache: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return self._size
@@ -93,17 +94,20 @@ class _Columnar:
         return start, n
 
     def column(self, name: str) -> np.ndarray:
+        """Full column as one array.  Treat as read-only: the store owns
+        it, and in-place edits would corrupt the netlist."""
         chunks = self._chunks[name]
         if not chunks:
             return np.empty(0, dtype=self._dtype(name))
-        return np.concatenate(chunks)
+        if len(chunks) == 1 and len(chunks[0]) == self._size:
+            return chunks[0]
+        return self._consolidated(name)
 
     def _consolidated(self, name: str) -> np.ndarray:
         """Collapse a column's chunks into one mutable array and return it."""
         chunks = self._chunks[name]
         if len(chunks) != 1 or len(chunks[0]) != self._size:
-            merged = self.column(name)
-            self._chunks[name] = [merged]
+            self._chunks[name] = [np.concatenate(chunks)]
         return self._chunks[name][0]
 
     def scale(self, name: str, indices: np.ndarray, factor) -> None:
@@ -114,6 +118,7 @@ class _Columnar:
     def deactivate(self, indices: np.ndarray) -> None:
         """Mark elements as removed from the circuit (failed open)."""
         self._inactive.update(int(i) for i in np.atleast_1d(indices))
+        self._active_cache = None
 
     @property
     def n_inactive(self) -> int:
@@ -121,10 +126,17 @@ class _Columnar:
 
     @property
     def active(self) -> np.ndarray:
-        """Boolean mask over all elements; False = removed/failed-open."""
+        """Boolean mask over all elements; False = removed/failed-open.
+
+        Cached between ``deactivate`` calls; treat as read-only.
+        """
+        cached = self._active_cache
+        if cached is not None and len(cached) == self._size:
+            return cached
         mask = np.ones(self._size, dtype=bool)
         if self._inactive:
             mask[np.fromiter(self._inactive, dtype=int)] = False
+        self._active_cache = mask
         return mask
 
     def tag_indices(self, tag: str) -> np.ndarray:

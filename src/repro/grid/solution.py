@@ -75,11 +75,14 @@ class Solution:
     # ------------------------------------------------------------------
     # resistors
     # ------------------------------------------------------------------
+    @staticmethod
+    def _store_indices(store, tag: Optional[str]):
+        """Selector for one tag, or the whole store as a cheap view."""
+        return slice(None) if tag is None else store.tag_indices(tag)
+
     def _resistor_fields(self, tag: Optional[str]):
         store = self._circuit.store(RESISTOR)
-        idx = (
-            np.arange(len(store)) if tag is None else store.tag_indices(tag)
-        )
+        idx = self._store_indices(store, tag)
         v1 = self._node_voltage[store.column("n1")[idx]]
         v2 = self._node_voltage[store.column("n2")[idx]]
         r = store.column("resistance")[idx]
@@ -113,15 +116,23 @@ class Solution:
         Positive values mean the source is supplying power.
         """
         store = self._circuit.store(VSOURCE)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
         offset = self._assembled.vsource_offset
-        stamped = self._x[offset + idx]
+        if tag is None:
+            stamped = self._x[offset : offset + len(store)]
+        else:
+            stamped = self._x[offset + store.tag_indices(tag)]
         return -stamped  # stamped current flows + -> - inside the source
+
+    def vsource_values(self, tag: Optional[str] = None) -> np.ndarray:
+        """The source voltage values used for this solve (V)."""
+        store = self._circuit.store(VSOURCE)
+        idx = self._store_indices(store, tag)
+        return np.asarray(self._vsource_voltage)[idx]
 
     def vsource_power(self, tag: Optional[str] = None) -> float:
         """Total power delivered by the selected voltage sources (W)."""
         store = self._circuit.store(VSOURCE)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        idx = self._store_indices(store, tag)
         vpos = self._node_voltage[store.column("pos")[idx]]
         vneg = self._node_voltage[store.column("neg")[idx]]
         return float(np.sum((vpos - vneg) * self.vsource_currents(tag)))
@@ -136,7 +147,7 @@ class Solution:
         delivered to the logic (which shrinks as IR drop grows).
         """
         store = self._circuit.store(ISOURCE)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        idx = self._store_indices(store, tag)
         vsrc = self._node_voltage[store.column("src")[idx]]
         vdst = self._node_voltage[store.column("dst")[idx]]
         current = np.where(store.active[idx], self._isource_current[idx], 0.0)
@@ -145,7 +156,7 @@ class Solution:
     def isource_values(self, tag: Optional[str] = None) -> np.ndarray:
         """The current values used for this solve (A); 0 for shed loads."""
         store = self._circuit.store(ISOURCE)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        idx = self._store_indices(store, tag)
         return np.where(store.active[idx], self._isource_current[idx], 0.0)
 
     # ------------------------------------------------------------------
@@ -154,14 +165,15 @@ class Solution:
     def converter_output_currents(self, tag: Optional[str] = None) -> np.ndarray:
         """Output current j of each converter (A, positive = sourcing)."""
         store = self._circuit.store(CONVERTER)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
         offset = self._assembled.converter_offset
-        return self._x[offset + idx]
+        if tag is None:
+            return self._x[offset : offset + len(store)]
+        return self._x[offset + store.tag_indices(tag)]
 
     def converter_series_loss(self, tag: Optional[str] = None) -> float:
         """Total conduction loss j^2 * r_series across converters (W)."""
         store = self._circuit.store(CONVERTER)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        idx = self._store_indices(store, tag)
         j = self.converter_output_currents(tag)
         rser = store.column("r_series")[idx]
         return float(np.sum(j * j * rser))
@@ -169,7 +181,7 @@ class Solution:
     def converter_output_voltages(self, tag: Optional[str] = None) -> np.ndarray:
         """Voltage at each converter's output (mid) node (V)."""
         store = self._circuit.store(CONVERTER)
-        idx = np.arange(len(store)) if tag is None else store.tag_indices(tag)
+        idx = self._store_indices(store, tag)
         return self._node_voltage[store.column("mid")[idx]]
 
     # ------------------------------------------------------------------

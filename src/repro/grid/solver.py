@@ -89,6 +89,10 @@ class SolveDiagnostics:
     #: One-norm condition estimate of the (possibly pruned) MNA matrix,
     #: when a factorisation was available to compute it.
     condition_estimate: Optional[float] = None
+    #: ``repro.contracts.ContractReport`` of the physics-contract checks
+    #: run against the result built from this solve, when checking is
+    #: enabled (attached by the PDN layer, not the raw solver).
+    contracts: Optional[object] = None
 
     @property
     def n_dropped_nodes(self) -> int:

@@ -22,6 +22,8 @@ from repro.config.technology import (
     default_package,
     default_tsv,
 )
+from repro.contracts import check_pdn_result
+from repro.errors import ReproError
 from repro.grid.netlist import Circuit, ElementRef
 from repro.pdn.geometry import CellMultiplicity, GridGeometry, cells_to_arrays
 from repro.pdn.results import ConductorGroup, PDNResult
@@ -236,6 +238,10 @@ class BasePDN3D:
             for l, pmap in enumerate(power_maps):
                 if pmap.grid_nodes != self.geometry.grid_nodes:
                     raise ValueError("power map grid does not match the PDN grid")
+                if not np.all(np.isfinite(pmap.cell_power)):
+                    raise ReproError(
+                        f"power map for layer {l} contains NaN/Inf cell powers"
+                    )
                 currents[l * cells : (l + 1) * cells] = pmap.currents(vdd).ravel()
             return currents
         if layer_activities is None:
@@ -245,6 +251,11 @@ class BasePDN3D:
             raise ValueError(
                 f"layer_activities must have shape ({n_layers},), got "
                 f"{layer_activities.shape}"
+            )
+        bad = np.flatnonzero(~np.isfinite(layer_activities))
+        if bad.size:
+            raise ReproError(
+                f"layer_activities[{int(bad[0])}] is NaN/Inf (layer {int(bad[0])})"
             )
         if np.any((layer_activities < 0) | (layer_activities > 1)):
             raise ValueError("layer activities must lie in [0, 1]")
@@ -280,7 +291,7 @@ class BasePDN3D:
         solution = self._assembled.solve(
             isource_current=currents, resilient=resilient
         )
-        return self._make_result(solution)
+        return self._finalise_result(self._make_result(solution))
 
     def solve_batch(
         self,
@@ -308,7 +319,10 @@ class BasePDN3D:
         solutions = self._assembled.solve_batch(
             isource_currents=currents, resilient=resilient
         )
-        return [self._make_result(solution) for solution in solutions]
+        return [
+            self._finalise_result(self._make_result(solution))
+            for solution in solutions
+        ]
 
     def assembled(self):
         """The cached :class:`AssembledCircuit`, assembling on demand."""
@@ -325,3 +339,21 @@ class BasePDN3D:
             gnd_node_ids=self.gnd_ids,
             conductor_groups=self.conductor_groups,
         )
+
+    def _finalise_result(self, result: PDNResult) -> PDNResult:
+        """Run the physics-contract checks and attach the report.
+
+        Checks are pure reads — they never modify the solved values —
+        so enabling them cannot change any experiment output.  A check
+        failing at severity ``raise`` aborts here with a typed
+        :class:`repro.errors.ContractViolationError`.  Solves of a
+        fault-injected network are checked as degraded (severity capped
+        at ``record``): its pristine invariants no longer hold by
+        construction, and violations are data, not errors.
+        """
+        report = check_pdn_result(result, degraded=self.faulted)
+        result.contracts = report
+        diagnostics = result.diagnostics
+        if diagnostics is not None:
+            diagnostics.contracts = report
+        return result

@@ -9,16 +9,25 @@ iterates to a fixed point.  Because parasitic loss scales with
 frequency, lightly-loaded banks slow down and the system recovers most
 of the efficiency that Fig. 8 shows the open-loop design losing when
 converters are over-provisioned.
+
+The outer iteration rides on the shared hardened driver
+(:func:`repro.contracts.fixedpoint.fixed_point`): plain Picard while it
+converges (bit-identical to the legacy loop), adaptive under-relaxation
+on sustained residual growth, oscillation/divergence detection, and
+graceful degradation — a non-converged solve returns the best-residual
+operating point flagged ``degraded=True`` with the full residual trace
+instead of silently handing back the last iterate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.config.stackups import StackConfig
+from repro.contracts.fixedpoint import fixed_point
 from repro.pdn.results import PDNResult
 from repro.pdn.stacked3d import StackedPDN3D
 from repro.regulator.control import ClosedLoopControl
@@ -27,16 +36,24 @@ from repro.utils.validation import check_positive_int
 
 @dataclass
 class ClosedLoopResult:
-    """Converged closed-loop operating point."""
+    """Closed-loop operating point (converged, or best-effort degraded)."""
 
-    #: Final PDN result at the converged frequencies.
+    #: Final PDN result at the accepted frequencies.
     result: PDNResult
-    #: Converged per-rail switching frequencies (Hz).
+    #: Accepted per-rail switching frequencies (Hz).
     rail_frequencies: List[float]
     #: Frequency history across iterations (list of per-rail lists).
     history: List[List[float]]
     #: Whether the fixed point converged within tolerance.
     converged: bool
+    #: True when the loop did not converge and ``result`` is the
+    #: best-residual iterate (graceful degradation) — such points must be
+    #: surfaced, not averaged into aggregates.
+    degraded: bool = False
+    #: Relative frequency residual per iteration.
+    residual_trace: List[float] = field(default_factory=list)
+    #: True when a period-2 frequency cycle was detected.
+    oscillating: bool = False
 
     @property
     def iterations(self) -> int:
@@ -87,39 +104,63 @@ class ClosedLoopSystemSolver:
         return loads
 
     def solve(self, layer_activities: Optional[Sequence[float]] = None) -> ClosedLoopResult:
-        """Iterate to the closed-loop fixed point for one workload."""
-        spec = None
-        rail_fsw: Optional[List[float]] = None
+        """Iterate to the closed-loop fixed point for one workload.
+
+        On non-convergence the best-residual operating point is returned
+        flagged ``degraded=True`` (never an exception) so sweeps can
+        surface the point instead of crashing.
+        """
         history: List[List[float]] = []
-        converged = False
-        pdn = None
-        result = None
-        for _ in range(self.max_iterations):
+        results: List[PDNResult] = []
+        spec_holder = {}
+
+        def step(rail_fsw: np.ndarray) -> np.ndarray:
             pdn = StackedPDN3D(
                 self.stack,
                 converters_per_core=self.converters_per_core,
-                converter_fsw=rail_fsw,
+                converter_fsw=list(rail_fsw),
                 **self.pdn_kwargs,
             )
-            spec = pdn.converter_spec
+            spec_holder["spec"] = pdn.converter_spec
             result = pdn.solve(layer_activities=layer_activities)
+            results.append(result)
             loads = self._rail_loads(pdn, result)
-            new_fsw = [self.policy.frequency(spec, load) for load in loads]
+            new_fsw = [
+                self.policy.frequency(spec_holder["spec"], load) for load in loads
+            ]
             history.append(new_fsw)
-            if rail_fsw is not None:
-                rel = max(
-                    abs(a - b) / b for a, b in zip(new_fsw, rail_fsw)
-                )
-                if rel < self.tolerance:
-                    converged = True
-                    rail_fsw = new_fsw
-                    break
-            rail_fsw = new_fsw
+            return np.asarray(new_fsw)
+
+        # The nominal-frequency start vector reproduces the legacy
+        # ``converter_fsw=None`` first iteration exactly (the compact
+        # model treats None as the nominal switching frequency), and
+        # ``min_iterations=2`` reproduces its "never accept the first
+        # iterate" convergence test.
+        probe = StackedPDN3D(
+            self.stack,
+            converters_per_core=self.converters_per_core,
+            **self.pdn_kwargs,
+        )
+        nominal = probe.converter_spec.switching_frequency
+        x0 = np.full(self.stack.n_layers - 1, nominal)
+
+        fp = fixed_point(
+            step,
+            x0,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            min_iterations=2,
+            on_failure="degrade",
+        )
+        accepted = results[fp.best_iteration - 1] if results else None
         return ClosedLoopResult(
-            result=result,
-            rail_frequencies=list(rail_fsw),
+            result=accepted,
+            rail_frequencies=[float(f) for f in fp.x],
             history=history,
-            converged=converged,
+            converged=fp.converged,
+            degraded=fp.degraded,
+            residual_trace=list(fp.residual_trace),
+            oscillating=fp.oscillating,
         )
 
 
@@ -147,4 +188,5 @@ def closed_loop_efficiency_gain(
         "closed_loop": closed_eff,
         "gain": closed_eff - open_eff,
         "converged": closed.converged,
+        "degraded": closed.degraded,
     }

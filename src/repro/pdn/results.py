@@ -79,11 +79,21 @@ class PDNResult:
         self.conductor_groups = conductor_groups
         self._converter_multiplicity = converter_multiplicity
         self._converter_rating = converter_rating
+        #: ``repro.contracts.ContractReport`` attached by the PDN builder
+        #: when contract checking is enabled; None otherwise.
+        self.contracts = None
 
     @property
     def diagnostics(self):
         """Resilient-solve diagnostics, or None for a strict solve."""
         return self.solution.diagnostics
+
+    @property
+    def degraded(self) -> bool:
+        """True for pruned/fallback solves or recorded contract violations."""
+        if self.diagnostics is not None and self.diagnostics.degraded:
+            return True
+        return self.contracts is not None and not self.contracts.passed
 
     # ------------------------------------------------------------------
     # voltage noise

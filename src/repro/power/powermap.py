@@ -13,6 +13,7 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.config.stackups import StackConfig
+from repro.errors import ReproError
 from repro.floorplan.blocks import Rect
 from repro.power.mcpat_lite import CorePowerModel
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
@@ -25,6 +26,8 @@ class PowerMap:
         cell_power = np.asarray(cell_power, dtype=float)
         if cell_power.ndim != 2 or cell_power.shape[0] != cell_power.shape[1]:
             raise ValueError(f"cell_power must be square 2-D, got {cell_power.shape}")
+        if not np.all(np.isfinite(cell_power)):
+            raise ValueError("cell powers must be finite (NaN/Inf in power map)")
         if np.any(cell_power < 0):
             raise ValueError("cell powers must be non-negative")
         check_positive("die_side", die_side)
@@ -99,6 +102,8 @@ def rasterize_blocks(
     cell = die_side / grid_nodes
     grid = np.zeros((grid_nodes, grid_nodes))
     for name, power in block_powers.items():
+        if not np.isfinite(power):
+            raise ReproError(f"block {name!r} has NaN/Inf power")
         if power < 0:
             raise ValueError(f"block {name!r} has negative power")
         if name not in block_rects:
@@ -164,6 +169,9 @@ def layer_power_map(
             f"core_activities must have shape ({processor.core_count},), "
             f"got {core_activities.shape}"
         )
+    bad = np.flatnonzero(~np.isfinite(core_activities))
+    if bad.size:
+        raise ReproError(f"core_activities[{int(bad[0])}] is NaN/Inf (core {int(bad[0])})")
     if np.any((core_activities < 0) | (core_activities > 1)):
         raise ValueError("core activities must lie in [0, 1]")
 

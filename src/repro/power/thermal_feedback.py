@@ -6,28 +6,48 @@ effective power the PDN must deliver (and can diverge — thermal
 runaway).  This module iterates McPAT-lite power maps against the
 HotSpot-lite solver until the temperature field converges, yielding
 self-consistent power maps for the PDN and EM analyses.
+
+The iteration runs on the shared hardened driver
+(:func:`repro.contracts.fixedpoint.fixed_point`).  Two failure policies
+are offered: ``policy="raise"`` (default, legacy behaviour) raises
+:class:`ThermalRunawayError`; ``policy="degrade"`` returns the
+best-residual iterate flagged ``degraded=True`` with the residual trace
+— for feasibility screens that must survey unstable stackups without
+crashing the sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.config.stackups import StackConfig
+from repro.contracts.fixedpoint import FixedPointDivergence, fixed_point
+from repro.errors import ConvergenceError
 from repro.power.powermap import PowerMap, layer_power_map
 from repro.thermal.grid3d import HotSpotLite, ThermalConfig, ThermalResult
 from repro.utils.validation import check_positive, check_positive_int
 
 
-class ThermalRunawayError(RuntimeError):
-    """The leakage-temperature loop failed to converge (divergence)."""
+class ThermalRunawayError(ConvergenceError):
+    """The leakage-temperature loop failed to converge (divergence).
+
+    A :class:`repro.errors.ConvergenceError` subclass (and therefore a
+    ``RuntimeError``, preserving historical except clauses).
+    """
 
 
 @dataclass
 class CoupledOperatingPoint:
-    """Converged electro-thermal state of one stack workload."""
+    """Electro-thermal state of one stack workload.
+
+    ``converged`` / ``degraded`` distinguish a true fixed point from a
+    best-effort iterate returned under ``policy="degrade"``; degraded
+    points carry the residual trace and must be surfaced by consumers,
+    not averaged in.
+    """
 
     #: Self-consistent per-layer power maps (W per cell).
     power_maps: List[PowerMap]
@@ -37,6 +57,12 @@ class CoupledOperatingPoint:
     iterations: int
     #: Total stack power at the characterisation temperature (W).
     nominal_power: float
+    #: Whether the loop met its tolerance.
+    converged: bool = True
+    #: True when this is the best-residual iterate of a failed loop.
+    degraded: bool = False
+    #: Hotspot-delta residual (K) per iteration.
+    residual_trace: List[float] = field(default_factory=list)
 
     @property
     def total_power(self) -> float:
@@ -104,14 +130,19 @@ class LeakageThermalLoop:
         layer_activities: Optional[np.ndarray] = None,
         max_iterations: int = 25,
         tolerance_kelvin: float = 0.05,
+        policy: str = "raise",
     ) -> CoupledOperatingPoint:
         """Iterate to the self-consistent (power, temperature) point.
 
-        Raises :class:`ThermalRunawayError` when the loop diverges or
-        fails to settle within ``max_iterations``.
+        ``policy="raise"`` (default) raises :class:`ThermalRunawayError`
+        when the loop diverges or fails to settle within
+        ``max_iterations``; ``policy="degrade"`` instead returns the
+        best-residual iterate flagged ``degraded=True``.
         """
         check_positive_int("max_iterations", max_iterations)
         check_positive("tolerance_kelvin", tolerance_kelvin)
+        if policy not in ("raise", "degrade"):
+            raise ValueError('policy must be "raise" or "degrade"')
         n = self.stack.n_layers
         if layer_activities is None:
             layer_activities = np.ones(n)
@@ -121,28 +152,82 @@ class LeakageThermalLoop:
 
         nominal_maps = self._power_maps_at(layer_activities, None)
         nominal_power = sum(m.total_power for m in nominal_maps)
-        temperatures: Optional[List[np.ndarray]] = None
-        previous_hotspot = None
-        maps = nominal_maps
-        thermal = None
-        for iteration in range(1, max_iterations + 1):
+        cells = self._leak_map.cell_power.shape
+
+        payloads: List[Tuple[List[PowerMap], ThermalResult]] = []
+        hotspots: List[float] = []
+
+        def step(flat_temperatures: np.ndarray) -> np.ndarray:
+            temperatures = [
+                layer.reshape(cells)
+                for layer in np.split(flat_temperatures, n)
+            ]
             maps = self._power_maps_at(layer_activities, temperatures)
+            iteration = len(payloads) + 1
             if sum(m.total_power for m in maps) > 10.0 * nominal_power:
-                raise ThermalRunawayError(
+                raise FixedPointDivergence(
                     f"leakage exploded to >10x nominal after {iteration} iterations"
                 )
             thermal = self.solver.solve(power_maps=maps)
-            hotspot = thermal.hotspot
-            if previous_hotspot is not None and abs(hotspot - previous_hotspot) < tolerance_kelvin:
-                return CoupledOperatingPoint(
-                    power_maps=maps,
-                    thermal=thermal,
-                    iterations=iteration,
-                    nominal_power=nominal_power,
-                )
-            previous_hotspot = hotspot
-            temperatures = thermal.layer_temperatures
-        raise ThermalRunawayError(
-            f"no convergence within {max_iterations} iterations "
-            f"(last hotspot {previous_hotspot:.1f} C)"
+            payloads.append((maps, thermal))
+            hotspots.append(thermal.hotspot)
+            return np.concatenate([t.ravel() for t in thermal.layer_temperatures])
+
+        def hotspot_residual(x_new: np.ndarray, x_old: np.ndarray) -> float:
+            # The legacy convergence metric: |hotspot_k - hotspot_{k-1}|.
+            if len(hotspots) < 2:
+                return np.inf
+            return abs(hotspots[-1] - hotspots[-2])
+
+        # A t_char-filled start field reproduces the legacy
+        # ``temperatures=None`` first iteration (leakage factor exp(0)=1).
+        x0 = np.full(n * cells[0] * cells[1], self.t_char)
+        fp = fixed_point(
+            step,
+            x0,
+            tolerance=tolerance_kelvin,
+            max_iterations=max_iterations,
+            min_iterations=2,
+            residual_fn=hotspot_residual,
+            on_failure="degrade",
+        )
+
+        if fp.converged:
+            maps, thermal = payloads[fp.best_iteration - 1]
+            return CoupledOperatingPoint(
+                power_maps=maps,
+                thermal=thermal,
+                iterations=fp.best_iteration,
+                nominal_power=nominal_power,
+                converged=True,
+                residual_trace=list(fp.residual_trace),
+            )
+
+        if policy == "raise":
+            if fp.diverged and fp.reason.startswith("leakage exploded"):
+                raise ThermalRunawayError(fp.reason)
+            last_hotspot = hotspots[-1] if hotspots else float("nan")
+            raise ThermalRunawayError(
+                f"no convergence within {max_iterations} iterations "
+                f"(last hotspot {last_hotspot:.1f} C)"
+            )
+
+        # Graceful degradation: best-residual iterate, flagged.
+        if not payloads:
+            # Divergence before any thermal solve completed (cannot
+            # happen from the runaway guard, which needs one iteration
+            # of feedback, but kept as a safety net): report the
+            # nominal-power state.
+            thermal = self.solver.solve(power_maps=nominal_maps)
+            payloads.append((nominal_maps, thermal))
+        best = min(fp.best_iteration - 1, len(payloads) - 1) if fp.best_iteration else -1
+        maps, thermal = payloads[best]
+        return CoupledOperatingPoint(
+            power_maps=maps,
+            thermal=thermal,
+            iterations=len(payloads),
+            nominal_power=nominal_power,
+            converged=False,
+            degraded=True,
+            residual_trace=list(fp.residual_trace),
         )

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ContractViolationError, ReproError
 from repro.runtime.metrics import (
     GroupMetrics,
     SweepMetrics,
@@ -223,14 +223,26 @@ def _execute_group(
 
     # Tally the solver escalation ladder: resilient solves report the
     # rungs they climbed; strict direct solves count as a clean "lu".
+    # Alongside, roll the per-point physics-contract reports into the
+    # group's contract histogram (BENCH schema v3) and count degraded
+    # points so runs surface them instead of averaging them in.
     for outcome in outcomes:
         if outcome.error is not None:
             metrics.count_escalation("failed")
+            if isinstance(outcome.error, ContractViolationError):
+                metrics.count_contract("raise")
             continue
         diagnostics = getattr(outcome.result, "diagnostics", None)
         rungs = getattr(diagnostics, "escalations", None) or ["lu"]
         for rung in rungs:
             metrics.count_escalation(rung)
+        if diagnostics is not None and diagnostics.degraded:
+            metrics.count_contract("degraded_points")
+        report = getattr(outcome.result, "contracts", None)
+        if report is not None:
+            for status, count in report.histogram().items():
+                metrics.count_contract(status, count)
+            metrics.contracts_s += report.elapsed_s
 
     t0 = time.perf_counter()
     values = [extract(o) if extract is not None else o for o in outcomes]

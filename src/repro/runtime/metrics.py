@@ -19,7 +19,10 @@ from typing import Dict, List, Optional, Union
 #: Schema version of the emitted JSON; bump on layout changes.
 #: v2 added the robustness counters (retries, quarantined,
 #: pool_rebuilds, escalation histogram) and per-group executed/escalations.
-BENCH_SCHEMA = 2
+#: v3 added the physics-contract histogram ("contracts": per-run check
+#: status counts + degraded-point count) and per-group contract timing
+#: ("contracts_s"), so contract-checking overhead is tracked in BENCH.
+BENCH_SCHEMA = 3
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -52,6 +55,13 @@ class GroupMetrics:
     #: Solver escalation-ladder rung counts over the group's points
     #: (e.g. {"lu": 4, "refine": 1}); "failed" counts captured errors.
     escalations: Dict[str, int] = field(default_factory=dict)
+    #: Physics-contract status counts over the group's points: check
+    #: statuses ("pass"/"record"/"warn"), "raise" for points aborted by
+    #: a ContractViolationError, and "degraded_points" for results
+    #: flagged degraded (pruned/fallback solves, contract violations).
+    contracts: Dict[str, int] = field(default_factory=dict)
+    #: Wall time spent evaluating contracts over the group's points (s).
+    contracts_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -59,6 +69,9 @@ class GroupMetrics:
 
     def count_escalation(self, rung: str, n: int = 1) -> None:
         self.escalations[rung] = self.escalations.get(rung, 0) + n
+
+    def count_contract(self, status: str, n: int = 1) -> None:
+        self.contracts[status] = self.contracts.get(status, 0) + n
 
 
 @dataclass
@@ -110,6 +123,19 @@ class SweepMetrics:
                 histogram[rung] = histogram.get(rung, 0) + count
         return histogram
 
+    def contract_histogram(self) -> Dict[str, int]:
+        """Physics-contract status counts over the whole run."""
+        histogram: Dict[str, int] = {}
+        for group in self.groups:
+            for status, count in group.contracts.items():
+                histogram[status] = histogram.get(status, 0) + count
+        return histogram
+
+    @property
+    def contracts_s(self) -> float:
+        """Total wall time spent on contract checks (s)."""
+        return sum(g.contracts_s for g in self.groups)
+
     # ------------------------------------------------------------------
     def to_json(self) -> Dict:
         """Stable, machine-readable rendering of the whole run."""
@@ -130,13 +156,16 @@ class SweepMetrics:
                 "pool_rebuilds": self.pool_rebuilds,
                 "timeouts": self.timeouts,
                 "resumed": self.resumed,
+                "contracts_s": round(self.contracts_s, 6),
                 **{k: round(v, 6) for k, v in self.stage_totals().items()},
             },
             "escalations": self.escalation_histogram(),
+            "contracts": self.contract_histogram(),
             "groups": [
                 {**asdict(g), **{
                     k: round(getattr(g, k), 6)
-                    for k in ("build_s", "factorize_s", "solve_s", "post_s")
+                    for k in ("build_s", "factorize_s", "solve_s", "post_s",
+                              "contracts_s")
                 }}
                 for g in self.groups
             ],
@@ -150,6 +179,10 @@ class SweepMetrics:
                 f", {self.retries} retried, {self.quarantined} quarantined, "
                 f"{self.resumed} resumed"
             )
+        contracts = self.contract_histogram()
+        flagged = sum(v for k, v in contracts.items() if k != "pass")
+        if flagged:
+            robustness += f", {flagged} contract flag(s)"
         return (
             f"{self.n_points} point(s) in {self.n_groups} group(s), "
             f"{self.n_solve_calls} solve call(s), mode={self.mode}{robustness}: "

@@ -87,7 +87,8 @@ __all__ = [
 ]
 
 #: Schema version of the emitted report-<fp>.json files.
-REPORT_SCHEMA = 1
+#: v2 added the physics-contract histogram ("contracts").
+REPORT_SCHEMA = 2
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +218,9 @@ class RunReport:
     wall_s: float = 0.0
     pool_rebuilds: int = 0
     escalation_histogram: Dict[str, int] = field(default_factory=dict)
+    #: Physics-contract status counts over the run's points (check
+    #: statuses plus "degraded_points"); see BENCH schema v3.
+    contract_histogram: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -258,6 +262,7 @@ class RunReport:
             "pool_rebuilds": self.pool_rebuilds,
             "quarantined": self.quarantined_fingerprints(),
             "escalations": dict(self.escalation_histogram),
+            "contracts": dict(self.contract_histogram),
             "tasks": [asdict(t) for t in self.tasks],
         }
 
@@ -420,6 +425,7 @@ class RunSupervisor:
             wall_s=metrics.wall_s,
             pool_rebuilds=metrics.pool_rebuilds,
             escalation_histogram=metrics.escalation_histogram(),
+            contract_histogram=metrics.contract_histogram(),
         )
         self.last_report = report
         self.reports.append(report)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.config.stackups import ProcessorSpec
+from repro.errors import ReproError
 from repro.utils.rng import SeedLike, make_rng
 from repro.workload.imbalance import adjacent_imbalances
 from repro.workload.parsec import PARSEC_APPLICATIONS, ApplicationProfile
@@ -56,6 +57,10 @@ def sample_suite(
     result: Dict[str, SampleSet] = {}
     for name, profile in apps.items():
         activities = profile.sample_activities(n_samples, gen)
+        if not np.all(np.isfinite(activities)):
+            raise ReproError(
+                f"application {name!r} produced NaN/Inf activity samples"
+            )
         dynamic = activities * processor.dynamic_power
         result[name] = SampleSet(
             name=name,

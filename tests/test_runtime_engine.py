@@ -228,11 +228,13 @@ class TestMetrics:
         group = metrics.groups[0]
         assert group.build_s > 0 and group.factorize_s > 0 and group.solve_s > 0
         payload = metrics.to_json()
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["totals"]["n_points"] == 4
         assert payload["totals"]["retries"] == 0
         assert payload["totals"]["quarantined"] == 0
+        assert payload["totals"]["contracts_s"] >= 0
         assert payload["escalations"].get("lu", 0) == 4
+        assert payload["contracts"].get("pass", 0) > 0
         assert "summary" not in payload  # stable machine layout only
 
     def test_bench_json_written(self, tmp_path, monkeypatch):
