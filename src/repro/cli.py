@@ -27,6 +27,16 @@ retry with backoff and worker-crash quarantine for long sweeps::
     python -m repro headline --grid 24 --run-dir runs/headline
     python -m repro headline --grid 24 --resume runs/headline
 
+and the *observability* flags (``--trace [DIR]``, ``--log-level``; env:
+``REPRO_TRACE``, ``REPRO_TRACE_DIR``, ``REPRO_LOG``) which record
+hierarchical spans down to the solver's escalation rungs and emit
+structured one-line JSON logs.  Profile a traced run afterwards::
+
+    python -m repro headline --grid 24 --run-dir runs/headline --trace
+    python -m repro trace runs/headline
+
+See docs/OBSERVABILITY.md.
+
 Model/solver failures raise :class:`repro.errors.ReproError` subclasses;
 the CLI reports them as a one-line message on stderr and exits with
 status 2 instead of dumping a traceback.  Invalid numeric flag values
@@ -51,13 +61,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     from repro.core.experiments import all_experiments
-    from repro.core.experiments.base import add_supervision_arguments
+    from repro.core.experiments.base import (
+        add_observability_arguments,
+        add_supervision_arguments,
+    )
 
     for name, cls in all_experiments().items():
         cmd = sub.add_parser(name, help=cls.description)
         cls.configure_parser(cmd)
         add_supervision_arguments(cmd)
+        add_observability_arguments(cmd)
     return parser
+
+
+def _flush_cli_trace() -> None:
+    """Flush spans the experiment recorded outside an engine run.
+
+    Engine/supervisor runs flush their own spans as they finish; what
+    remains after the experiment span closes is the experiment envelope
+    itself (plus anything from non-engine code paths).  Appending them
+    to the same ``trace-<fingerprint>.jsonl`` completes the tree.
+    """
+    from repro.obs.export import flush_spans
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    spans = tracer.drain()
+    if spans:
+        flush_spans(spans, tracer.trace_id or "cli", trace_id=tracer.trace_id)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -71,17 +104,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
     from repro.core.experiments import get_experiment
+    from repro.core.experiments.base import configure_observability
+
+    configure_observability(args)
+    from repro.obs.trace import get_tracer
 
     experiment_cls = get_experiment(args.command)
     try:
-        config = experiment_cls.config_from_args(args)
-        result = experiment_cls().run(config)
+        with get_tracer().span("experiment", command=args.command):
+            config = experiment_cls.config_from_args(args)
+            result = experiment_cls().run(config)
     except ReproError as exc:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _flush_cli_trace()
     print(result.to_table())
     for note in result.notes:
-        print(note)
+        if note.startswith("warning:"):
+            # Degraded-point warnings go through structured logging, not
+            # bare prints — one JSON line on stderr, filterable by level.
+            from repro.obs.logs import get_logger
+
+            get_logger("cli").warning(
+                note[len("warning:"):].strip(), extra={"experiment": args.command}
+            )
+        else:
+            print(note)
     return 0
 
 

@@ -41,6 +41,7 @@ from repro.contracts.report import (
     enforce,
     get_policy,
 )
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "KCL_RELATIVE_TOLERANCE",
@@ -179,6 +180,22 @@ def check_pdn_result(
         )
 
     report.elapsed_s = perf_counter() - t0
+    tracer = get_tracer()
+    if tracer.enabled:
+        # The span duration IS the report's elapsed_s, so the BENCH
+        # contracts_s total and the trace's contracts span total agree
+        # exactly (both sum the same measurements).
+        histogram = report.histogram()
+        tracer.record(
+            "contracts",
+            report.elapsed_s,
+            degraded=degraded,
+            violations={
+                status: count
+                for status, count in histogram.items()
+                if status != "pass"
+            },
+        )
     return enforce(report, context)
 
 

@@ -38,6 +38,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.obs.trace import get_tracer
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = [
@@ -122,6 +123,64 @@ def fixed_point(
     reproduces the legacy loops' "never accept the first iterate"
     behaviour).  See the module docstring for the hardening semantics.
     """
+    with get_tracer().span("fixed_point") as span:
+        try:
+            result = _fixed_point_loop(
+                step,
+                x0,
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+                residual_fn=residual_fn,
+                damping=damping,
+                adaptive_damping=adaptive_damping,
+                min_damping=min_damping,
+                growth_patience=growth_patience,
+                anderson_m=anderson_m,
+                min_iterations=min_iterations,
+                divergence_window=divergence_window,
+                divergence_factor=divergence_factor,
+                on_failure=on_failure,
+            )
+        except ConvergenceError as exc:
+            diagnostics = getattr(exc, "diagnostics", None)
+            if isinstance(diagnostics, FixedPointResult):
+                span.set(
+                    converged=False,
+                    degraded=True,
+                    iterations=diagnostics.iterations,
+                    residual=_finite_or_none(diagnostics.residual),
+                )
+            raise
+        span.set(
+            converged=result.converged,
+            degraded=result.degraded,
+            iterations=result.iterations,
+            residual=_finite_or_none(result.residual),
+        )
+        return result
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    return float(value) if np.isfinite(value) else None
+
+
+def _fixed_point_loop(
+    step: Callable[[np.ndarray], np.ndarray],
+    x0,
+    *,
+    tolerance: float,
+    max_iterations: int,
+    residual_fn: Callable[[np.ndarray, np.ndarray], float],
+    damping: float,
+    adaptive_damping: bool,
+    min_damping: float,
+    growth_patience: int,
+    anderson_m: int,
+    min_iterations: int,
+    divergence_window: int,
+    divergence_factor: float,
+    on_failure: str,
+) -> FixedPointResult:
     check_positive("tolerance", tolerance)
     check_positive_int("max_iterations", max_iterations)
     check_positive_int("min_iterations", min_iterations)

@@ -12,6 +12,7 @@ Module         Reproduces
 ``headline``   The abstract's headline claims in one report
 ``contingency``  N-k failure robustness of both arrangements (new)
 ``tools``      Explorer / sensitivity / noise / report CLI wrappers
+``traceview``  Profiler over flushed run traces (``repro trace``)
 =============  ==========================================================
 
 Every driver is an :class:`repro.core.experiments.base.Experiment`
@@ -63,6 +64,7 @@ from repro.core.experiments.tools import (
     ReportExperiment,
     SensitivityExperiment,
 )
+from repro.core.experiments.traceview import TraceExperiment
 
 # Registration order defines CLI subcommand order.
 for _cls in (
@@ -80,6 +82,7 @@ for _cls in (
     NoiseExperiment,
     ContingencyExperiment,
     ReportExperiment,
+    TraceExperiment,
 ):
     register(_cls)
 del _cls
@@ -124,4 +127,5 @@ __all__ = [
     "SensitivityExperiment",
     "NoiseExperiment",
     "ReportExperiment",
+    "TraceExperiment",
 ]

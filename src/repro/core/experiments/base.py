@@ -35,7 +35,9 @@ __all__ = [
     "add_layers_argument",
     "add_seed_argument",
     "add_supervision_arguments",
+    "add_observability_arguments",
     "apply_common_args",
+    "configure_observability",
     "supervision_from_args",
     "resolve_engine",
     "outcome_degraded",
@@ -267,6 +269,42 @@ def add_supervision_arguments(parser) -> None:
         metavar="N",
         help="process fan-out width (default: REPRO_SWEEP_WORKERS or 1)",
     )
+
+
+def add_observability_arguments(parser) -> None:
+    """The tracing/logging flag group shared by every subcommand."""
+    group = parser.add_argument_group(
+        "observability",
+        "hierarchical tracing and structured logging "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    group.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="DIR",
+        help="record hierarchical spans; flush trace-<fingerprint>.jsonl "
+        "to DIR (default: --run-dir, REPRO_TRACE_DIR, or the cwd)",
+    )
+    group.add_argument(
+        "--log-level", type=str, default=None, metavar="LEVEL",
+        choices=["debug", "info", "warning", "error"],
+        help="structured JSON log threshold (also via REPRO_LOG)",
+    )
+
+
+def configure_observability(args) -> None:
+    """Apply --trace / --log-level (idempotent, cheap when absent)."""
+    level = getattr(args, "log_level", None)
+    if level is not None:
+        from repro.obs.logs import configure_logging
+
+        configure_logging(level)
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        from repro.obs.trace import configure
+
+        trace_dir = trace or getattr(args, "run_dir", None) or getattr(
+            args, "resume", None
+        )
+        configure(enabled=True, trace_dir=trace_dir or None)
 
 
 def supervision_from_args(args) -> Optional[Any]:

@@ -33,6 +33,7 @@ never a bare SciPy exception.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -47,6 +48,7 @@ from repro.errors import (
     SingularCircuitError,
 )
 from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, Circuit
+from repro.obs.trace import get_tracer
 from repro.grid.solution import Solution
 from repro.utils.validation import check_finite_array
 
@@ -82,6 +84,10 @@ class SolveDiagnostics:
     #: Escalation-ladder rungs visited, in order ("lu", "refine",
     #: "pruned-lu", "lgmres", "lstsq").  A clean solve is just ["lu"].
     escalations: List[str] = field(default_factory=list)
+    #: Wall time spent on each rung, parallel to ``escalations``, so
+    #: ladder cost is attributable per rung (batched clean columns get
+    #: an equal share of their batch's direct-solve time).
+    escalation_times_s: List[float] = field(default_factory=list)
     #: Iteration count of the fallback solver (0 for direct solves).
     iterations: int = 0
     #: Relative residual of the accepted solution.
@@ -120,6 +126,42 @@ class SolveDiagnostics:
         )
 
 
+class _RungTimer:
+    """Tracks the escalation ladder: rung names plus per-rung wall time.
+
+    The impl calls :meth:`start` at each rung transition; the public
+    wrapper calls :meth:`finish` exactly once (on return *or* on raise)
+    to close the last rung, stamp the diagnostics, and emit one trace
+    span per rung so ladder cost shows up in ``repro trace``.
+    """
+
+    __slots__ = ("names", "times", "_t")
+
+    def __init__(self):
+        self.names: List[str] = []
+        self.times: List[float] = []
+        self._t: Optional[float] = None
+
+    def start(self, name: str) -> None:
+        self._close()
+        self.names.append(name)
+        self._t = time.perf_counter()
+
+    def _close(self) -> None:
+        if self._t is not None:
+            self.times.append(time.perf_counter() - self._t)
+            self._t = None
+
+    def finish(self, diag: Optional[SolveDiagnostics]) -> None:
+        self._close()
+        if diag is not None:
+            diag.escalation_times_s = list(self.times)
+        tracer = get_tracer()
+        if tracer.enabled:
+            for name, elapsed in zip(self.names, self.times):
+                tracer.record("rung", elapsed, rung=name)
+
+
 class AssembledCircuit:
     """A factorised MNA system ready for repeated right-hand-side solves.
 
@@ -152,11 +194,13 @@ class AssembledCircuit:
         self._nv = circuit.count(VSOURCE)
         self._nc = circuit.count(CONVERTER)
         self.dimension = (self._n_nodes - 1) + self._nv + self._nc
-        self._stamps = self._collect_stamps()
-        self._matrix = coo_matrix(
-            (self._stamps[2], (self._stamps[0], self._stamps[1])),
-            shape=(self.dimension, self.dimension),
-        ).tocsc()
+        with get_tracer().span("assemble") as span:
+            self._stamps = self._collect_stamps()
+            self._matrix = coo_matrix(
+                (self._stamps[2], (self._stamps[0], self._stamps[1])),
+                shape=(self.dimension, self.dimension),
+            ).tocsc()
+            span.set(dimension=self.dimension, nnz=int(self._matrix.nnz))
         self._lu = None
         #: Matrix rows zeroed by pruning/pinning; their RHS entries are
         #: forced to zero.  Empty until the resilient path prunes.
@@ -653,26 +697,42 @@ class AssembledCircuit:
 
         # 1. Plain direct multi-RHS solve on the full system.
         if self.factorize():
+            t0 = time.perf_counter()
             x = self._lu.solve(z)
             finite = np.all(np.isfinite(x), axis=0)
             rel = self._batch_residuals(self._matrix, x, z)
+            batch_elapsed = time.perf_counter() - t0
+            clean = [
+                i
+                for i in pending
+                if finite[i] and rel[i] <= self.RESIDUAL_TOLERANCE
+            ]
+            # Clean columns share the batch's direct-solve wall equally;
+            # exact per-column cost of one multi-RHS triangular solve is
+            # not separable, and the shares sum to the measured total.
+            lu_share = batch_elapsed / len(clean) if clean else 0.0
             cond = None
-            for i in list(pending):
-                if finite[i] and rel[i] <= self.RESIDUAL_TOLERANCE:
-                    if cond is None:
-                        cond = self._condition_estimate(self._matrix, self._lu)
-                    diag = SolveDiagnostics(
-                        residual=float(rel[i]), escalations=["lu"]
-                    )
-                    diag.condition_estimate = cond
-                    solutions[i] = Solution(
-                        assembled=self,
-                        x=x[:, i],
-                        isource_current=resolved[i][0],
-                        vsource_voltage=resolved[i][1],
-                        diagnostics=diag,
-                    )
-                    pending.remove(i)
+            for i in clean:
+                if cond is None:
+                    cond = self._condition_estimate(self._matrix, self._lu)
+                diag = SolveDiagnostics(
+                    residual=float(rel[i]),
+                    escalations=["lu"],
+                    escalation_times_s=[lu_share],
+                )
+                diag.condition_estimate = cond
+                solutions[i] = Solution(
+                    assembled=self,
+                    x=x[:, i],
+                    isource_current=resolved[i][0],
+                    vsource_voltage=resolved[i][1],
+                    diagnostics=diag,
+                )
+                pending.remove(i)
+            if clean:
+                get_tracer().record(
+                    "rung", batch_elapsed, rung="lu", count=len(clean)
+                )
 
         # 2. Failing columns climb the per-point escalation ladder
         # (sharing this assembly's cached pruned system and LUs).
@@ -690,6 +750,8 @@ class AssembledCircuit:
 
     def _solve_strict(self, z: np.ndarray) -> np.ndarray:
         """The historical fail-fast path: SuperLU or a typed error."""
+        tracer = get_tracer()
+        t0 = time.perf_counter() if tracer.enabled else 0.0
         if self._lu is None:
             try:
                 self._lu = splu(self._matrix)
@@ -709,10 +771,42 @@ class AssembledCircuit:
                 f"solve residual {rel:.2e} exceeds tolerance; "
                 "the circuit is ill-conditioned or disconnected"
             )
+        if tracer.enabled:
+            # Strict solves count as a clean "lu" rung in the engine's
+            # escalation tally; record the matching span so trace and
+            # BENCH attribute the ladder identically.
+            tracer.record(
+                "rung",
+                time.perf_counter() - t0,
+                rung="lu",
+                count=int(z.shape[1]) if z.ndim == 2 else 1,
+            )
         return x
 
     def _solve_resilient(self, current: np.ndarray, voltage: np.ndarray):
         """Climb the escalation ladder until a solve meets tolerance.
+
+        Thin timing wrapper around :meth:`_solve_resilient_impl`: it
+        owns the per-rung :class:`_RungTimer`, stamps
+        ``escalation_times_s`` on the diagnostics (also on the
+        diagnostics carried by a raised error), and emits one "rung"
+        trace span per ladder rung climbed.
+        """
+        timer = _RungTimer()
+        try:
+            x, diag, effective = self._solve_resilient_impl(
+                current, voltage, timer
+            )
+        except (ConvergenceError, SingularCircuitError) as exc:
+            timer.finish(getattr(exc, "diagnostics", None))
+            raise
+        timer.finish(diag)
+        return x, diag, effective
+
+    def _solve_resilient_impl(
+        self, current: np.ndarray, voltage: np.ndarray, timer: _RungTimer
+    ):
+        """The ladder itself (see :meth:`_solve_resilient`).
 
         LU -> iterative refinement -> island pruning (LU + refinement)
         -> Jacobi-LGMRES -> dense lstsq.  Refinement rungs are gated on
@@ -724,8 +818,9 @@ class AssembledCircuit:
         current vector has shed loads zeroed so downstream power
         bookkeeping matches the pruned network.
         """
+        timer.start("lu")
         z = self._rhs(current, voltage)
-        ladder: List[str] = ["lu"]
+        ladder = timer.names
         # 1. Plain direct solve on the full system.
         attempt = self._direct_attempt(self._matrix, "_lu", z)
         if attempt is not None:
@@ -739,7 +834,7 @@ class AssembledCircuit:
             # 2. Iterative refinement against the existing factorisation.
             cond = self._condition_estimate(self._matrix, self._lu)
             if self._should_refine(cond):
-                ladder.append("refine")
+                timer.start("refine")
                 x, rel = self._refine_attempt(self._matrix, self._lu, x, z)
                 if rel <= self.RESIDUAL_TOLERANCE:
                     diag = SolveDiagnostics(
@@ -749,7 +844,7 @@ class AssembledCircuit:
                     return x, diag, current
 
         # 3. Ground floating islands, shed their loads, retry direct.
-        ladder.append("pruned-lu")
+        timer.start("pruned-lu")
         if self._pruned_matrix is None:
             self._diagnostics_template = self._build_pruned_system()
         base = self._diagnostics_template
@@ -777,7 +872,7 @@ class AssembledCircuit:
             cond = self._condition_estimate(self._pruned_matrix, self._pruned_lu)
             diag.condition_estimate = cond
             if self._should_refine(cond):
-                ladder.append("refine")
+                timer.start("refine")
                 x, rel = self._refine_attempt(
                     self._pruned_matrix, self._pruned_lu, x, z_pruned
                 )
@@ -787,7 +882,7 @@ class AssembledCircuit:
                     return x, diag, current
 
         # 5. Jacobi-preconditioned LGMRES on the pruned system.
-        ladder.append("lgmres")
+        timer.start("lgmres")
         iterative_rel = None
         attempt = self._iterative_attempt(self._pruned_matrix, z_pruned, diag)
         if attempt is not None:
@@ -798,7 +893,7 @@ class AssembledCircuit:
             iterative_rel = rel
 
         # 6. Dense least squares, the ladder's last rung.
-        ladder.append("lstsq")
+        timer.start("lstsq")
         attempt = self._lstsq_attempt(self._pruned_matrix, z_pruned)
         if attempt is not None:
             x, rel = attempt

@@ -1,0 +1,44 @@
+"""repro.obs — dependency-free tracing, metrics, and structured logging.
+
+The observability layer for the reproduction: hierarchical spans from
+the experiment entrypoint down to individual solver-escalation rungs
+(:mod:`repro.obs.trace`), a typed metrics registry that the BENCH /
+RunReport schemas are views over (:mod:`repro.obs.metrics`), JSON-line
+logging (:mod:`repro.obs.logs`), trace/Chrome/Prometheus exporters
+(:mod:`repro.obs.export`), and the ``repro trace`` profile analysis
+(:mod:`repro.obs.profile`).  See docs/OBSERVABILITY.md.
+"""
+
+from .logs import LOG_ENV, JsonLineFormatter, configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    TRACE_DIR_ENV,
+    TRACE_ENV,
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    activate_worker_context,
+    configure,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    "LOG_ENV",
+    "JsonLineFormatter",
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_DIR_ENV",
+    "TRACE_ENV",
+    "TRACE_SCHEMA",
+    "Span",
+    "Tracer",
+    "activate_worker_context",
+    "configure",
+    "get_tracer",
+    "span",
+]

@@ -1,0 +1,196 @@
+"""Trace and metrics exporters.
+
+Three formats, one source of truth (the span list):
+
+* ``trace-<fp>.jsonl`` — the canonical per-run trace: a header line
+  carrying the schema + run fingerprint, then one span record per line.
+  Written through the supervisor journal's atomic tmp+rename machinery
+  (without its fsync — traces are advisory, and the fsync would cost
+  more than the whole flush), so a crash mid-flush never leaves a torn
+  file.
+  Resumed runs append to the existing trace (deduplicated by span id —
+  ids are ``uuid4``-derived, so replays restored from the journal do not
+  re-emit old spans under new identities).
+* Chrome ``trace_event`` JSON (``chrome-trace-<fp>.json``) — open in
+  chrome://tracing / Perfetto.  Complete ``ph:"X"`` duration events on
+  the wall-clock timeline, one track per (pid, tid).
+* Prometheus textfile (``metrics-<fp>.prom``) — a
+  :class:`repro.obs.metrics.MetricsRegistry` snapshot for a textfile
+  collector.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .trace import TRACE_DIR_ENV, TRACE_SCHEMA, Span
+
+__all__ = [
+    "resolve_trace_dir",
+    "trace_path",
+    "flush_spans",
+    "load_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+    "chrome_trace_events",
+]
+
+PathLike = Union[str, Path]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    # Imported lazily: journal.py is runtime-layer and obs must stay
+    # importable on its own (the CLI trace viewer needs no engine).
+    from repro.runtime.journal import atomic_write_text
+
+    # durable=False: rename-atomicity without the fsyncs.  Losing a
+    # trace to an OS crash is acceptable; charging two fsyncs to every
+    # traced sweep is not (it would dwarf the tracing itself).
+    atomic_write_text(path, text, durable=False)
+
+
+def resolve_trace_dir(explicit: Optional[PathLike] = None) -> Path:
+    """Where trace artifacts land: explicit arg > $REPRO_TRACE_DIR > cwd."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(TRACE_DIR_ENV, "").strip()
+    return Path(env) if env else Path(".")
+
+
+def trace_path(run_fingerprint: str, trace_dir: Optional[PathLike] = None) -> Path:
+    return resolve_trace_dir(trace_dir) / f"trace-{run_fingerprint}.jsonl"
+
+
+def _header(run_fingerprint: str, trace_id: Optional[str]) -> Dict:
+    return {
+        "kind": "header",
+        "schema": TRACE_SCHEMA,
+        "run_fingerprint": run_fingerprint,
+        "trace": trace_id,
+    }
+
+
+def flush_spans(
+    spans: Iterable[Span],
+    run_fingerprint: str,
+    trace_dir: Optional[PathLike] = None,
+    trace_id: Optional[str] = None,
+) -> Optional[Path]:
+    """Write (or extend) ``trace-<fp>.jsonl`` atomically.
+
+    If a trace for this fingerprint already exists — a ``--resume`` run,
+    or a multi-experiment session sharing one fingerprint — its spans
+    are loaded first and new spans are appended, deduplicated by span
+    id, then the whole file is rewritten atomically.  Returns the path,
+    or ``None`` when there was nothing to write.
+    """
+    new_spans = list(spans)
+    if not new_spans:
+        return None
+    path = trace_path(run_fingerprint, trace_dir)
+    merged: List[Span] = []
+    seen = set()
+    if path.exists():
+        for span in load_trace(path):
+            if span.span_id not in seen:
+                seen.add(span.span_id)
+                merged.append(span)
+    for span in new_spans:
+        if span.span_id not in seen:
+            seen.add(span.span_id)
+            merged.append(span)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(_header(run_fingerprint, trace_id))]
+    lines.extend(json.dumps(span.to_json(), sort_keys=False) for span in merged)
+    _atomic_write_text(path, "\n".join(lines) + "\n")
+    return path
+
+
+def load_trace(path: PathLike) -> List[Span]:
+    """Read span records back from a ``trace-*.jsonl`` file."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") != "span":
+                continue
+            spans.append(Span.from_json(record))
+    return spans
+
+
+def load_trace_header(path: PathLike) -> Optional[Dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "header":
+                return record
+            return None
+    return None
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict]:
+    """Spans as complete (``ph: "X"``) ``trace_event`` dicts, ts in µs."""
+    events: List[Dict] = []
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        args = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        event["args"] = args
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(
+    spans: Iterable[Span],
+    path: PathLike,
+    run_fingerprint: Optional[str] = None,
+) -> Path:
+    """Write a chrome://tracing-loadable ``trace_event`` JSON file."""
+    spans = list(spans)
+    # Normalise ts so the timeline starts near zero (Perfetto renders
+    # absolute epoch-µs timestamps as a decade-wide empty track).
+    events = chrome_trace_events(spans)
+    if events:
+        t0 = min(e["ts"] for e in events)
+        for event in events:
+            event["ts"] -= t0
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"run_fingerprint": run_fingerprint or ""},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write_text(path, json.dumps(doc))
+    return path
+
+
+def write_prometheus(
+    registry: MetricsRegistry,
+    path: PathLike,
+) -> Path:
+    """Snapshot a registry in Prometheus textfile format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write_text(path, registry.to_prometheus())
+    return path

@@ -1,0 +1,114 @@
+"""Structured logging for the CLI and runtime.
+
+One-line JSON records on stderr, level-controlled by ``--log-level`` or
+the ``REPRO_LOG`` environment variable.  Replaces the bare ``print``
+warnings that previously leaked from the supervisor and the CLI's
+degraded-point notes, so long runs produce grep-able, timestamped,
+machine-parsable diagnostics instead of interleaved prose.
+
+Usage::
+
+    from repro.obs import get_logger
+    log = get_logger(__name__)
+    log.warning("degraded points", extra={"count": 3, "command": "fig6"})
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Optional
+
+__all__ = ["LOG_ENV", "JsonLineFormatter", "configure_logging", "get_logger"]
+
+#: Select the log level (``debug``/``info``/``warning``/``error``).
+LOG_ENV = "REPRO_LOG"
+
+_ROOT_LOGGER_NAME = "repro"
+#: LogRecord attributes that are plumbing, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format each record as one JSON object per line.
+
+    Anything passed via ``extra=`` that is not a stock LogRecord
+    attribute is included verbatim, so call sites can attach structured
+    fields (counts, fingerprints, topology keys) without string
+    formatting.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = record.exc_info[0].__name__
+            payload["exc_msg"] = str(record.exc_info[1])
+        return json.dumps(payload, sort_keys=False)
+
+    def formatTime(self, record, datefmt=None):  # pragma: no cover - unused
+        return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    if not level:
+        return logging.WARNING
+    name = level.strip().upper()
+    resolved = logging.getLevelName(name)
+    if isinstance(resolved, int):
+        return resolved
+    return logging.WARNING
+
+
+def configure_logging(level: Optional[str] = None, stream=None) -> logging.Logger:
+    """Install the JSON handler on the ``repro`` logger (idempotent).
+
+    ``level`` defaults to ``$REPRO_LOG``, then ``warning``.  Calling
+    again just updates the level — handlers are never duplicated, so
+    library users and repeated CLI invocations in one process are safe.
+    """
+    if level is None:
+        level = os.environ.get(LOG_ENV)
+    logger = logging.getLogger(_ROOT_LOGGER_NAME)
+    logger.setLevel(_resolve_level(level))
+    logger.propagate = False
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_obs", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_obs = True
+        handler.setFormatter(JsonLineFormatter())
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A child of the ``repro`` logger; configures the root on first use."""
+    root = logging.getLogger(_ROOT_LOGGER_NAME)
+    if not root.handlers:
+        configure_logging()
+    if not name or name == _ROOT_LOGGER_NAME:
+        return root
+    if name.startswith("repro."):
+        return logging.getLogger(name)
+    return root.getChild(name)

@@ -1,0 +1,280 @@
+"""Typed metrics: counters, gauges, and histograms with labels.
+
+A :class:`MetricsRegistry` is the single home for the run tallies that
+used to live scattered across ``runtime/metrics.py`` (stage timers),
+``SolveDiagnostics`` (escalation rungs), ``ContractReport`` (violation
+histograms) and the supervisor ``RunReport`` (retries/quarantines).
+The legacy BENCH/report fields survive as *views* computed from a
+registry (see :meth:`repro.runtime.metrics.SweepMetrics.registry`), so
+downstream consumers keep their schema while new consumers get one
+queryable, exportable store.
+
+Everything here is dependency-free stdlib; rendering follows the
+Prometheus text exposition format so a node_exporter textfile collector
+can scrape snapshots directly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum, optionally split by labels."""
+
+    name: str
+    help: str = ""
+    _series: Dict[LabelKey, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._series.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+    def by_label(self, label: str) -> Dict[str, float]:
+        """Sum series grouped by one label's values."""
+        out: Dict[str, float] = {}
+        for key, value in self._series.items():
+            for name, lv in key:
+                if name == label:
+                    out[lv] = out.get(lv, 0.0) + value
+        return out
+
+    def to_prometheus(self, prefix: str) -> List[str]:
+        full = f"{prefix}{self.name}"
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {full} {self.help}")
+        lines.append(f"# TYPE {full} counter")
+        if not self._series:
+            lines.append(f"{full} 0")
+        for key in sorted(self._series):
+            lines.append(f"{full}{_render_labels(key)} {self._series[key]:.9g}")
+        return lines
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move either way."""
+
+    name: str
+    help: str = ""
+    _series: Dict[LabelKey, float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+    def to_prometheus(self, prefix: str) -> List[str]:
+        full = f"{prefix}{self.name}"
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {full} {self.help}")
+        lines.append(f"# TYPE {full} gauge")
+        if not self._series:
+            lines.append(f"{full} 0")
+        for key in sorted(self._series):
+            lines.append(f"{full}{_render_labels(key)} {self._series[key]:.9g}")
+        return lines
+
+
+@dataclass
+class _HistogramSeries:
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+@dataclass
+class Histogram:
+    """Summary-style histogram: count / sum / min / max per label set.
+
+    Deliberately bucket-free: the quantities the BENCH schema needs are
+    totals and counts, and the full sample distribution already lives in
+    the trace spans, so buckets here would duplicate data.
+    """
+
+    name: str
+    help: str = ""
+    unit: str = "seconds"
+    _series: Dict[LabelKey, _HistogramSeries] = field(default_factory=dict)
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries()
+        series.observe(float(value))
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def total_sum(self) -> float:
+        return sum(s.total for s in self._series.values())
+
+    def total_count(self) -> int:
+        return sum(s.count for s in self._series.values())
+
+    def sum_by_label(self, label: str) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for key, series in self._series.items():
+            for name, lv in key:
+                if name == label:
+                    out[lv] = out.get(lv, 0.0) + series.total
+        return out
+
+    def count_by_label(self, label: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for key, series in self._series.items():
+            for name, lv in key:
+                if name == label:
+                    out[lv] = out.get(lv, 0) + series.count
+        return out
+
+    def series(self) -> Dict[LabelKey, _HistogramSeries]:
+        return dict(self._series)
+
+    def to_prometheus(self, prefix: str) -> List[str]:
+        full = f"{prefix}{self.name}_{self.unit}"
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {full} {self.help}")
+        lines.append(f"# TYPE {full} summary")
+        for key in sorted(self._series):
+            series = self._series[key]
+            labels = _render_labels(key)
+            lines.append(f"{full}_sum{labels} {series.total:.9g}")
+            lines.append(f"{full}_count{labels} {series.count}")
+        if not self._series:
+            lines.append(f"{full}_sum 0")
+            lines.append(f"{full}_count 0")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of typed metrics with one export surface."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+    def _register(self, kind, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = kind(name=name, help=help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", unit: str = "seconds") -> Histogram:
+        return self._register(Histogram, name, help, unit=unit)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def metrics(self) -> Iterable[Any]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- export ---------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Render every metric in Prometheus text exposition format."""
+        prefix = f"{self.namespace}_" if self.namespace else ""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.to_prometheus(prefix))
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-JSON dump of every series, for tests and debugging."""
+        out: Dict[str, Any] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    _render_labels(k) or "total": {
+                        "count": s.count,
+                        "sum": s.total,
+                    }
+                    for k, s in metric.series().items()
+                }
+            else:
+                out[metric.name] = {
+                    _render_labels(k) or "total": v for k, v in metric.series().items()
+                }
+        return out

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ContractViolationError, ReproError
+from repro.obs.trace import activate_worker_context, get_tracer
+from repro.runtime.fingerprint import run_fingerprint, task_fingerprint
 from repro.runtime.metrics import (
     GroupMetrics,
     SweepMetrics,
@@ -165,20 +167,27 @@ def group_points(
 def _build_group(spec: PDNSpec, plan: Any):
     """Build one topology's PDN, apply its plan, factorise eagerly.
 
-    Returns ``(pdn, fault_report, build_s, factorize_s)``.
+    Returns ``(pdn, fault_report, build_s, factorize_s)``.  With tracing
+    enabled the "build"/"factorize" span durations *are* the returned
+    stage timings, so BENCH stage totals and span totals agree exactly.
     """
-    t0 = time.perf_counter()
-    pdn = spec.build()
-    report = None
-    if plan is not None:
-        actual = plan(pdn) if callable(plan) else plan
-        report = pdn.apply_faults(actual)
-    t1 = time.perf_counter()
-    assembled = pdn.assembled()
-    # A faulted system may be singular; factorize() then reports False
-    # and the resilient solve path deals with it per batch.
-    assembled.factorize()
-    t2 = time.perf_counter()
+    tracer = get_tracer()
+    with tracer.span("build") as build_span:
+        t0 = time.perf_counter()
+        pdn = spec.build()
+        report = None
+        if plan is not None:
+            actual = plan(pdn) if callable(plan) else plan
+            report = pdn.apply_faults(actual)
+        t1 = time.perf_counter()
+    with tracer.span("factorize") as factorize_span:
+        assembled = pdn.assembled()
+        # A faulted system may be singular; factorize() then reports False
+        # and the resilient solve path deals with it per batch.
+        assembled.factorize()
+        t2 = time.perf_counter()
+    if tracer.enabled:
+        return pdn, report, build_span.duration_s, factorize_span.duration_s
     return pdn, report, t1 - t0, t2 - t1
 
 
@@ -191,35 +200,42 @@ def _execute_group(
     metrics: GroupMetrics,
 ) -> List[Any]:
     """Solve one topology group (batched, with per-point fallback)."""
+    tracer = get_tracer()
     activity_sets = [p.activities_tuple() for p in points]
     t0 = time.perf_counter()
     outcomes: List[SweepOutcome]
-    try:
-        results = pdn.solve_batch(activity_sets, resilient=resilient)
-        metrics.n_solve_calls += 1
-        outcomes = [
-            SweepOutcome(point=p, result=r, fault_report=fault_report)
-            for p, r in zip(points, results)
-        ]
-    except ReproError:
-        # One bad point must not sink its batch siblings: fall back to
-        # per-point solves and capture each point's typed error.
-        metrics.sequential_fallback = True
-        outcomes = []
-        for p, activities in zip(points, activity_sets):
+    with tracer.span(
+        "solve", n_points=len(points), resilient=bool(resilient)
+    ) as solve_span:
+        try:
+            results = pdn.solve_batch(activity_sets, resilient=resilient)
             metrics.n_solve_calls += 1
-            try:
-                result = pdn.solve(
-                    layer_activities=activities, resilient=resilient
-                )
-                outcomes.append(
-                    SweepOutcome(point=p, result=result, fault_report=fault_report)
-                )
-            except ReproError as exc:
-                outcomes.append(
-                    SweepOutcome(point=p, error=exc, fault_report=fault_report)
-                )
-    metrics.solve_s += time.perf_counter() - t0
+            outcomes = [
+                SweepOutcome(point=p, result=r, fault_report=fault_report)
+                for p, r in zip(points, results)
+            ]
+        except ReproError:
+            # One bad point must not sink its batch siblings: fall back to
+            # per-point solves and capture each point's typed error.
+            metrics.sequential_fallback = True
+            solve_span.set(sequential_fallback=True)
+            outcomes = []
+            for p, activities in zip(points, activity_sets):
+                metrics.n_solve_calls += 1
+                try:
+                    result = pdn.solve(
+                        layer_activities=activities, resilient=resilient
+                    )
+                    outcomes.append(
+                        SweepOutcome(point=p, result=result, fault_report=fault_report)
+                    )
+                except ReproError as exc:
+                    outcomes.append(
+                        SweepOutcome(point=p, error=exc, fault_report=fault_report)
+                    )
+    metrics.solve_s += (
+        solve_span.duration_s if tracer.enabled else time.perf_counter() - t0
+    )
 
     # Tally the solver escalation ladder: resilient solves report the
     # rungs they climbed; strict direct solves count as a clean "lu".
@@ -245,8 +261,11 @@ def _execute_group(
             metrics.contracts_s += report.elapsed_s
 
     t0 = time.perf_counter()
-    values = [extract(o) if extract is not None else o for o in outcomes]
-    metrics.post_s += time.perf_counter() - t0
+    with tracer.span("post", n_points=len(points)) as post_span:
+        values = [extract(o) if extract is not None else o for o in outcomes]
+    metrics.post_s += (
+        post_span.duration_s if tracer.enabled else time.perf_counter() - t0
+    )
     metrics.n_points = len(points)
     return values
 
@@ -258,14 +277,26 @@ def _run_group_remote(
     resilient: bool,
     extract: Callable[[SweepOutcome], Any],
     key_label: str,
-) -> Tuple[List[Any], GroupMetrics]:
-    """Worker-process entry point: build, solve and extract one group."""
+    trace_ctx: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[Any], GroupMetrics, List[Any]]:
+    """Worker-process entry point: build, solve and extract one group.
+
+    ``trace_ctx`` (from :meth:`Tracer.worker_context`) re-arms tracing in
+    the worker with the coordinator's trace id and parent span, so the
+    returned spans slot into the parent's tree on :meth:`Tracer.adopt`.
+    """
+    tracing = activate_worker_context(trace_ctx)
+    tracer = get_tracer()
     metrics = GroupMetrics(key=key_label, executed="remote")
-    pdn, report, build_s, factorize_s = _build_group(spec, plan)
-    metrics.build_s = build_s
-    metrics.factorize_s = factorize_s
-    values = _execute_group(pdn, points, resilient, extract, report, metrics)
-    return values, metrics
+    with tracer.span(
+        "group", key=key_label, n_points=len(points), executed="remote"
+    ):
+        pdn, report, build_s, factorize_s = _build_group(spec, plan)
+        metrics.build_s = build_s
+        metrics.factorize_s = factorize_s
+        values = _execute_group(pdn, points, resilient, extract, report, metrics)
+    spans = tracer.drain() if tracing else []
+    return values, metrics, spans
 
 
 class SweepEngine:
@@ -323,27 +354,44 @@ class SweepEngine:
         t_start = time.perf_counter()
         points = list(points)
         groups = group_points(points)
+        run_fp = run_fingerprint(
+            [task_fingerprint(key, members) for key, members in groups.items()],
+            len(points),
+        )
+        tracer = get_tracer()
+        if tracer.enabled and tracer.trace_id is None:
+            tracer.set_trace_id(run_fp)
 
-        metrics = SweepMetrics(workers=self.workers)
+        metrics = SweepMetrics(workers=self.workers, run_fingerprint=run_fp)
         values: List[Any] = [None] * len(points)
 
-        parallel_keys: List[GroupKey] = []
-        if self.workers > 1 and extract is not None and len(groups) > 1:
-            parallel_keys = list(groups)
+        with tracer.span(
+            "sweep",
+            run_fingerprint=run_fp,
+            n_points=len(points),
+            n_groups=len(groups),
+            workers=self.workers,
+        ) as sweep_span:
+            parallel_keys: List[GroupKey] = []
+            if self.workers > 1 and extract is not None and len(groups) > 1:
+                parallel_keys = list(groups)
 
-        done = set()
-        if parallel_keys:
-            done = self._run_parallel(
-                groups, parallel_keys, extract, values, metrics
-            )
-            if done:
-                metrics.mode = "process"
+            done = set()
+            if parallel_keys:
+                done = self._run_parallel(
+                    groups, parallel_keys, extract, values, metrics
+                )
+                if done:
+                    metrics.mode = "process"
 
-        for key, members in groups.items():
-            if key in done:
-                continue
-            group_metrics = self._run_group_local(key, members, extract, values)
-            metrics.groups.append(group_metrics)
+            for key, members in groups.items():
+                if key in done:
+                    continue
+                group_metrics = self._run_group_local(
+                    key, members, extract, values
+                )
+                metrics.groups.append(group_metrics)
+            sweep_span.set(mode=metrics.mode)
 
         # Re-order group metrics to first-appearance order for stable
         # BENCH output regardless of which groups ran remotely.
@@ -357,6 +405,12 @@ class SweepEngine:
         metrics.cache_rebuilds = info["rebuilds"]
         metrics.wall_s = time.perf_counter() - t_start
         maybe_write_bench_json(bench_name, metrics.to_json())
+        if tracer.enabled:
+            from repro.obs.export import flush_spans
+
+            flush_spans(
+                tracer.drain(), run_fp, trace_id=tracer.trace_id
+            )
         return SweepResult(values=values, metrics=metrics)
 
     # ------------------------------------------------------------------
@@ -412,18 +466,25 @@ class SweepEngine:
     ) -> GroupMetrics:
         group_metrics = GroupMetrics(key=self._key_label(key))
         plan = members[0][1].fault_plan
-        entry = self._obtain_structure(key, plan, group_metrics)
-        if not group_metrics.cached:
-            group_metrics.build_s = entry.build_s
-            group_metrics.factorize_s = entry.factorize_s
-        group_values = _execute_group(
-            entry.pdn,
-            [point for _, point in members],
-            key[2],
-            extract,
-            entry.fault_report,
-            group_metrics,
-        )
+        with get_tracer().span(
+            "group",
+            key=group_metrics.key,
+            n_points=len(members),
+            executed="local",
+        ) as group_span:
+            entry = self._obtain_structure(key, plan, group_metrics)
+            if not group_metrics.cached:
+                group_metrics.build_s = entry.build_s
+                group_metrics.factorize_s = entry.factorize_s
+            group_span.set(cached=group_metrics.cached)
+            group_values = _execute_group(
+                entry.pdn,
+                [point for _, point in members],
+                key[2],
+                extract,
+                entry.fault_report,
+                group_metrics,
+            )
         for (index, _), value in zip(members, group_values):
             values[index] = value
         return group_metrics
@@ -448,6 +509,8 @@ class SweepEngine:
             from concurrent.futures import ProcessPoolExecutor
         except ImportError:  # pragma: no cover - stdlib always has it
             return done
+        tracer = get_tracer()
+        trace_ctx = tracer.worker_context()
         try:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 futures = {}
@@ -463,17 +526,19 @@ class SweepEngine:
                             key[2],
                             extract,
                             self._key_label(key),
+                            trace_ctx,
                         )
                     except Exception:
                         continue
                 for key, future in futures.items():
                     try:
-                        group_values, group_metrics = future.result()
+                        group_values, group_metrics, spans = future.result()
                     except Exception:
                         continue  # serial fallback picks this group up
                     for (index, _), value in zip(groups[key], group_values):
                         values[index] = value
                     metrics.groups.append(group_metrics)
+                    tracer.adopt(spans)
                     done.add(key)
         except Exception:
             return done

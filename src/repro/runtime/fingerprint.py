@@ -1,0 +1,86 @@
+"""Content fingerprints shared by the engine, supervisor, and obs layer.
+
+Historically these lived in :mod:`repro.runtime.supervisor`; they moved
+here so the engine (and the trace exporters) can stamp every artifact of
+a run — ``BENCH_*.json``, ``report-<fp>.json``, ``journal-<fp>.jsonl``,
+``trace-<fp>.jsonl`` — with the *same* run fingerprint without importing
+the supervisor.  One fingerprint joins all four files of a run.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import re
+from typing import Any, Sequence, Tuple
+
+__all__ = [
+    "task_fingerprint",
+    "run_fingerprint",
+]
+
+
+def _stable_repr(value: Any) -> str:
+    """A repr that is identical across independent interpreter runs.
+
+    RNG generators are described by their bit-generator state (content,
+    not object identity); any other default repr has its ``at 0x...``
+    memory address stripped.
+    """
+    state = getattr(getattr(value, "bit_generator", None), "state", None)
+    if state is not None:
+        return f"rng:{state!r}"
+    return re.sub(r" at 0x[0-9a-fA-F]+", "", repr(value))
+
+
+def _plan_description(plan: Any) -> str:
+    """A run-stable textual identity for a fault plan.
+
+    Unlike the engine's in-process ``_plan_key`` (which falls back to
+    ``id(plan)`` for factories), this must not change between the
+    original run and a resumed one, so factories are described by their
+    qualified name plus stable reprs of their partial arguments.
+    """
+    if plan is None:
+        return "none"
+    fingerprint = getattr(plan, "fingerprint", None)
+    if fingerprint is not None:
+        return f"plan:{fingerprint()!r}"
+    if isinstance(plan, functools.partial):
+        func = plan.func
+        args = [_stable_repr(a) for a in plan.args]
+        keywords = [
+            (k, _stable_repr(v)) for k, v in sorted(plan.keywords.items())
+        ]
+        return (
+            f"factory:{getattr(func, '__module__', '?')}."
+            f"{getattr(func, '__qualname__', repr(func))}"
+            f":{args!r}:{keywords!r}"
+        )
+    name = getattr(plan, "__qualname__", None)
+    if name is not None:
+        return f"factory:{getattr(plan, '__module__', '?')}.{name}"
+    return f"factory:{type(plan).__module__}.{type(plan).__qualname__}"
+
+
+def task_fingerprint(key, members: Sequence[Tuple[int, Any]]) -> str:
+    """Content fingerprint of one topology task (16 hex chars).
+
+    ``key`` is an engine ``GroupKey`` — ``(spec, plan identity,
+    resilient)`` — and ``members`` the group's ``(index, point)`` pairs.
+    """
+    spec, _, resilient = key
+    plan = members[0][1].fault_plan
+    parts = [repr(spec.key()), _plan_description(plan), repr(bool(resilient))]
+    for index, point in members:
+        parts.append(repr((index, point.activities_tuple(), point.tag)))
+    digest = hashlib.sha256(
+        "\n".join(parts).encode("utf-8", "backslashreplace")
+    )
+    return digest.hexdigest()[:16]
+
+
+def run_fingerprint(task_fingerprints: Sequence[str], n_points: int) -> str:
+    """Fingerprint of a whole run: its point count and task set."""
+    parts = [str(n_points)] + list(task_fingerprints)
+    return hashlib.sha256("\n".join(parts).encode("ascii")).hexdigest()[:16]

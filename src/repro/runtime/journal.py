@@ -38,19 +38,30 @@ __all__ = [
 JOURNAL_SCHEMA = 1
 
 
-def atomic_write_text(path: Union[str, pathlib.Path], text: str) -> pathlib.Path:
+def atomic_write_text(
+    path: Union[str, pathlib.Path],
+    text: str,
+    durable: bool = True,
+) -> pathlib.Path:
     """Write ``text`` to ``path`` atomically (tmp file, fsync, rename).
 
     The containing directory is fsync'd too when the platform allows
-    it, so the rename itself survives a crash.
+    it, so the rename itself survives a crash.  ``durable=False`` skips
+    both fsyncs: readers still never observe a torn file (the rename is
+    what guarantees that), but an OS crash may lose the write — the
+    right trade for advisory artifacts like trace flushes, where the
+    fsync would dominate the cost of the write itself.
     """
     path = pathlib.Path(path)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()
-        os.fsync(handle.fileno())
+        if durable:
+            os.fsync(handle.fileno())
     os.replace(tmp, path)
+    if not durable:
+        return path
     try:
         dir_fd = os.open(path.parent, os.O_RDONLY)
     except OSError:  # pragma: no cover - e.g. platforms without dir fds

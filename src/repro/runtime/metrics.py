@@ -16,13 +16,18 @@ import pathlib
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.obs.metrics import MetricsRegistry
+
 #: Schema version of the emitted JSON; bump on layout changes.
 #: v2 added the robustness counters (retries, quarantined,
 #: pool_rebuilds, escalation histogram) and per-group executed/escalations.
 #: v3 added the physics-contract histogram ("contracts": per-run check
 #: status counts + degraded-point count) and per-group contract timing
 #: ("contracts_s"), so contract-checking overhead is tracked in BENCH.
-BENCH_SCHEMA = 3
+#: v4 added "run_fingerprint" (joins BENCH files with report-<fp>.json /
+#: journal-<fp>.jsonl / trace-<fp>.jsonl from the same run) and made the
+#: aggregate fields views over a typed repro.obs.metrics registry.
+BENCH_SCHEMA = 4
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -83,6 +88,9 @@ class SweepMetrics:
     #: "serial" or "process" (ProcessPoolExecutor fan-out).
     mode: str = "serial"
     workers: int = 1
+    #: Content fingerprint of the run (see repro.runtime.fingerprint) —
+    #: the join key across BENCH / report / journal / trace artifacts.
+    run_fingerprint: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
     cache_rebuilds: int = 0
@@ -107,40 +115,85 @@ class SweepMetrics:
     def n_solve_calls(self) -> int:
         return sum(g.n_solve_calls for g in self.groups)
 
+    def registry(self) -> MetricsRegistry:
+        """The run's tallies as a typed :class:`MetricsRegistry`.
+
+        This is the authoritative store since BENCH schema v4: the
+        legacy aggregate accessors below (``stage_totals`` /
+        ``escalation_histogram`` / ``contract_histogram`` /
+        ``contracts_s``) are views computed from it, and its Prometheus
+        rendering is what ``metrics-<fp>.prom`` snapshots export.
+        """
+        registry = MetricsRegistry()
+        stage = registry.histogram(
+            "stage", "wall time per sweep stage, per topology group"
+        )
+        escalations = registry.counter(
+            "escalations_total", "solver escalation-ladder rung executions"
+        )
+        contracts = registry.counter(
+            "contract_status_total", "physics-contract check statuses"
+        )
+        contract_time = registry.histogram(
+            "contracts", "wall time spent evaluating physics contracts"
+        )
+        points = registry.counter("points_total", "sweep points evaluated")
+        solve_calls = registry.counter(
+            "solve_calls_total", "linear-system solve calls issued"
+        )
+        for group in self.groups:
+            stage.observe(group.build_s, stage="build", group=group.key)
+            stage.observe(group.factorize_s, stage="factorize", group=group.key)
+            stage.observe(group.solve_s, stage="solve", group=group.key)
+            stage.observe(group.post_s, stage="post", group=group.key)
+            contract_time.observe(group.contracts_s, group=group.key)
+            points.inc(group.n_points, group=group.key)
+            solve_calls.inc(group.n_solve_calls, group=group.key)
+            for rung, count in group.escalations.items():
+                escalations.inc(count, rung=rung, group=group.key)
+            for status, count in group.contracts.items():
+                contracts.inc(count, status=status, group=group.key)
+        gauge = registry.gauge("run", "run-level counters")
+        gauge.set(self.wall_s, field="wall_s")
+        gauge.set(self.workers, field="workers")
+        for name in ("cache_hits", "cache_misses", "cache_rebuilds",
+                     "retries", "quarantined", "pool_rebuilds",
+                     "timeouts", "resumed"):
+            gauge.set(getattr(self, name), field=name)
+        return registry
+
     def stage_totals(self) -> Dict[str, float]:
+        sums = self.registry().get("stage").sum_by_label("stage")
         return {
-            "build_s": sum(g.build_s for g in self.groups),
-            "factorize_s": sum(g.factorize_s for g in self.groups),
-            "solve_s": sum(g.solve_s for g in self.groups),
-            "post_s": sum(g.post_s for g in self.groups),
+            "build_s": sums.get("build", 0.0),
+            "factorize_s": sums.get("factorize", 0.0),
+            "solve_s": sums.get("solve", 0.0),
+            "post_s": sums.get("post", 0.0),
         }
 
     def escalation_histogram(self) -> Dict[str, int]:
         """Solver escalation-ladder rung counts over the whole run."""
-        histogram: Dict[str, int] = {}
-        for group in self.groups:
-            for rung, count in group.escalations.items():
-                histogram[rung] = histogram.get(rung, 0) + count
-        return histogram
+        by_rung = self.registry().get("escalations_total").by_label("rung")
+        return {rung: int(count) for rung, count in by_rung.items()}
 
     def contract_histogram(self) -> Dict[str, int]:
         """Physics-contract status counts over the whole run."""
-        histogram: Dict[str, int] = {}
-        for group in self.groups:
-            for status, count in group.contracts.items():
-                histogram[status] = histogram.get(status, 0) + count
-        return histogram
+        by_status = self.registry().get("contract_status_total").by_label(
+            "status"
+        )
+        return {status: int(count) for status, count in by_status.items()}
 
     @property
     def contracts_s(self) -> float:
         """Total wall time spent on contract checks (s)."""
-        return sum(g.contracts_s for g in self.groups)
+        return self.registry().get("contracts").total_sum()
 
     # ------------------------------------------------------------------
     def to_json(self) -> Dict:
         """Stable, machine-readable rendering of the whole run."""
         return {
             "schema": BENCH_SCHEMA,
+            "run_fingerprint": self.run_fingerprint,
             "mode": self.mode,
             "workers": self.workers,
             "wall_s": round(self.wall_s, 6),

@@ -37,14 +37,11 @@ the run directory) instead of raising.
 
 from __future__ import annotations
 
-import functools
-import hashlib
 import json
+import logging
 import pathlib
 import pickle
 import random
-import re
-import sys
 import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -55,6 +52,8 @@ from repro.errors import (
     ResumeMismatchError,
     TaskTimeoutError,
 )
+from repro.obs.logs import get_logger
+from repro.obs.trace import get_tracer
 from repro.runtime.engine import (
     GroupKey,
     SweepEngine,
@@ -63,6 +62,12 @@ from repro.runtime.engine import (
     SweepResult,
     _run_group_remote,
     group_points,
+)
+from repro.runtime.fingerprint import (
+    _plan_description,  # noqa: F401  (re-exported for compatibility)
+    _stable_repr,  # noqa: F401
+    run_fingerprint,
+    task_fingerprint,
 )
 from repro.runtime.journal import (
     RunJournal,
@@ -91,74 +96,14 @@ __all__ = [
 REPORT_SCHEMA = 2
 
 
+#: Module logger (JSON-line records via repro.obs.logs).
+_log = get_logger(__name__)
+
+
 # ----------------------------------------------------------------------
-# Fingerprints
-# ----------------------------------------------------------------------
-
-def _stable_repr(value: Any) -> str:
-    """A repr that is identical across independent interpreter runs.
-
-    RNG generators are described by their bit-generator state (content,
-    not object identity); any other default repr has its ``at 0x...``
-    memory address stripped.
-    """
-    state = getattr(getattr(value, "bit_generator", None), "state", None)
-    if state is not None:
-        return f"rng:{state!r}"
-    return re.sub(r" at 0x[0-9a-fA-F]+", "", repr(value))
-
-
-def _plan_description(plan: Any) -> str:
-    """A run-stable textual identity for a fault plan.
-
-    Unlike the engine's in-process :func:`_plan_key` (which falls back
-    to ``id(plan)`` for factories), this must not change between the
-    original run and a resumed one, so factories are described by their
-    qualified name plus stable reprs of their partial arguments.
-    """
-    if plan is None:
-        return "none"
-    fingerprint = getattr(plan, "fingerprint", None)
-    if fingerprint is not None:
-        return f"plan:{fingerprint()!r}"
-    if isinstance(plan, functools.partial):
-        func = plan.func
-        args = [_stable_repr(a) for a in plan.args]
-        keywords = [
-            (k, _stable_repr(v)) for k, v in sorted(plan.keywords.items())
-        ]
-        return (
-            f"factory:{getattr(func, '__module__', '?')}."
-            f"{getattr(func, '__qualname__', repr(func))}"
-            f":{args!r}:{keywords!r}"
-        )
-    name = getattr(plan, "__qualname__", None)
-    if name is not None:
-        return f"factory:{getattr(plan, '__module__', '?')}.{name}"
-    return f"factory:{type(plan).__module__}.{type(plan).__qualname__}"
-
-
-def task_fingerprint(
-    key: GroupKey, members: Sequence[Tuple[int, SweepPoint]]
-) -> str:
-    """Content fingerprint of one topology task (16 hex chars)."""
-    spec, _, resilient = key
-    plan = members[0][1].fault_plan
-    parts = [repr(spec.key()), _plan_description(plan), repr(bool(resilient))]
-    for index, point in members:
-        parts.append(repr((index, point.activities_tuple(), point.tag)))
-    digest = hashlib.sha256(
-        "\n".join(parts).encode("utf-8", "backslashreplace")
-    )
-    return digest.hexdigest()[:16]
-
-
-def run_fingerprint(task_fingerprints: Sequence[str], n_points: int) -> str:
-    """Fingerprint of a whole run: its point count and task set."""
-    parts = [str(n_points)] + list(task_fingerprints)
-    return hashlib.sha256("\n".join(parts).encode("ascii")).hexdigest()[:16]
-
-
+# Fingerprints live in repro.runtime.fingerprint (shared with the engine
+# and the trace exporters); task_fingerprint / run_fingerprint are
+# re-exported here for compatibility.
 # ----------------------------------------------------------------------
 # Configuration and reporting dataclasses
 # ----------------------------------------------------------------------
@@ -372,8 +317,11 @@ class RunSupervisor:
             for key, members in groups.items()
         ]
         run_fp = run_fingerprint([t.fingerprint for t in tasks], len(points))
+        tracer = get_tracer()
+        if tracer.enabled and tracer.trace_id is None:
+            tracer.set_trace_id(run_fp)
 
-        metrics = SweepMetrics(workers=self.workers)
+        metrics = SweepMetrics(workers=self.workers, run_fingerprint=run_fp)
         values: List[Any] = [None] * len(points)
         records: Dict[str, TaskRecord] = {
             task.fingerprint: TaskRecord(
@@ -384,19 +332,28 @@ class RunSupervisor:
             for task in tasks
         }
 
-        journal, journaled = self._open_journal(run_fp, tasks, len(points))
-        pending = self._restore(tasks, journaled, values, metrics, records)
+        with tracer.span(
+            "sweep",
+            run_fingerprint=run_fp,
+            n_points=len(points),
+            n_groups=len(tasks),
+            workers=self.workers,
+            supervised=True,
+        ) as sweep_span:
+            journal, journaled = self._open_journal(run_fp, tasks, len(points))
+            pending = self._restore(tasks, journaled, values, metrics, records)
 
-        if pending:
-            if self._use_processes(pending, extract):
-                metrics.mode = "process"
-                self._execute_process(
-                    pending, extract, values, metrics, records, journal
-                )
-            else:
-                self._execute_serial(
-                    pending, extract, values, metrics, records, journal
-                )
+            if pending:
+                if self._use_processes(pending, extract):
+                    metrics.mode = "process"
+                    self._execute_process(
+                        pending, extract, values, metrics, records, journal
+                    )
+                else:
+                    self._execute_serial(
+                        pending, extract, values, metrics, records, journal
+                    )
+            sweep_span.set(mode=metrics.mode, resumed=metrics.resumed)
 
         # Stable first-appearance ordering, matching the plain engine.
         order = {task.label: i for i, task in enumerate(tasks)}
@@ -435,8 +392,25 @@ class RunSupervisor:
                 path, json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
             )
         maybe_write_bench_json(bench_name, metrics.to_json())
+        if tracer.enabled:
+            from repro.obs.export import flush_spans
+
+            flush_spans(tracer.drain(), run_fp, trace_id=tracer.trace_id)
         if self.config.verbose:
-            print(report.summary(), file=sys.stderr)
+            # --verbose promises the summary on stderr regardless of the
+            # configured log level, so lift the logger floor to INFO.
+            root = logging.getLogger("repro")
+            if root.level > logging.INFO:
+                root.setLevel(logging.INFO)
+            _log.info(
+                report.summary(),
+                extra={
+                    "run_fingerprint": run_fp,
+                    "mode": metrics.mode,
+                    "quarantined": len(report.quarantined),
+                    "retried": len(report.retried),
+                },
+            )
         return SupervisedResult(values=values, metrics=metrics, report=report)
 
     # ------------------------------------------------------------------
@@ -585,6 +559,29 @@ class RunSupervisor:
         )
         return delay * (1.0 + config.backoff_jitter * self._rng.random())
 
+    @staticmethod
+    def _record_task_span(task: _Task, status: str) -> None:
+        """Synthesise a "task" span covering the task's attempts.
+
+        Worker-side spans only come home on success, so this parent-side
+        record is what keeps retried and quarantined attempts visible in
+        the trace (``repro trace`` attributes retries from it).
+        """
+        get_tracer().record(
+            "task",
+            task.wall_s,
+            fingerprint=task.fingerprint,
+            key=task.label,
+            attempts=task.attempts,
+            timeouts=task.timeouts,
+            status=status,
+            error=(
+                type(task.last_error).__name__
+                if status != "done" and task.last_error is not None
+                else None
+            ),
+        )
+
     def _commit(
         self,
         task: _Task,
@@ -603,6 +600,7 @@ class RunSupervisor:
         record.attempts = task.attempts
         record.timeouts = task.timeouts
         record.wall_s = task.wall_s
+        self._record_task_span(task, "done")
         self._journal_task(journal, task, record, group_metrics, group_values)
 
     def _quarantine(
@@ -628,6 +626,16 @@ class RunSupervisor:
             task=task.fingerprint,
             attempts=task.attempts,
             last_error=task.last_error,
+        )
+        self._record_task_span(task, "quarantined")
+        _log.warning(
+            "task quarantined",
+            extra={
+                "task": task.fingerprint,
+                "key": task.label,
+                "attempts": task.attempts,
+                "error": record.error,
+            },
         )
         if extract is None:
             # Raw-outcome callers still get one entry per point, each
@@ -701,6 +709,7 @@ class RunSupervisor:
             record.timeouts = task.timeouts
             record.wall_s = task.wall_s
             metrics.groups.append(group_metrics)
+            self._record_task_span(task, "done")
             self._journal_task(
                 journal, task, record, group_metrics, group_values
             )
@@ -761,6 +770,8 @@ class RunSupervisor:
         config = self.config
         queue: List[_Task] = list(tasks)
         inflight: Dict[Any, Tuple[_Task, Optional[float]]] = {}
+        tracer = get_tracer()
+        trace_ctx = tracer.worker_context()
         pool = self._new_pool()
         try:
             while queue or inflight:
@@ -783,6 +794,7 @@ class RunSupervisor:
                             task.key[2],
                             extract,
                             task.label,
+                            trace_ctx,
                         )
                     except Exception:
                         # Pool already broken before the submit landed:
@@ -819,7 +831,8 @@ class RunSupervisor:
                     task, _deadline = inflight.pop(future)
                     task.wall_s += time.monotonic() - task.started_at
                     try:
-                        group_values, group_metrics = future.result()
+                        group_values, group_metrics, spans = future.result()
+                        tracer.adopt(spans)
                     except BrokenProcessPool as exc:
                         # Worker crash: the task on the crashed worker is
                         # charged an attempt; the pool must be rebuilt.

@@ -30,6 +30,7 @@ EXPECTED_ORDER = [
     "noise",
     "contingency",
     "report",
+    "trace",
 ]
 
 
