@@ -19,13 +19,24 @@ Examples::
     python -m repro contingency --layers 4 --grid 16 --seed 7
 
 Every subcommand also accepts the shared *run supervision* flags
-(``--run-dir``, ``--resume``, ``--max-retries``, ``--task-timeout``,
-``--fail-fast``, ``--workers``) which route engine-backed experiments
-through :class:`repro.runtime.RunSupervisor` — checkpoint/resume,
-retry with backoff and worker-crash quarantine for long sweeps::
+(``--run-dir``, ``--resume``, ``--resume-salvage``, ``--max-retries``,
+``--task-timeout``, ``--fail-fast``, ``--workers``) which route
+engine-backed experiments through :class:`repro.runtime.RunSupervisor`
+— checkpoint/resume, retry with backoff and worker-crash quarantine for
+long sweeps::
 
     python -m repro headline --grid 24 --run-dir runs/headline
     python -m repro headline --grid 24 --resume runs/headline
+
+and the *fleet* flags (``--fleet HOST:PORT``, ``--lease-timeout``,
+``--fleet-wait``) which lease the same supervised tasks to ``repro
+worker`` processes over TCP — on this machine or others — degrading
+transparently to in-process execution when no worker connects::
+
+    python -m repro headline --grid 24 --run-dir runs/h --fleet :7341 &
+    python -m repro worker 127.0.0.1:7341
+
+See docs/DISTRIBUTED.md for the protocol and failure semantics.
 
 and the *observability* flags (``--trace [DIR]``, ``--log-level``; env:
 ``REPRO_TRACE``, ``REPRO_TRACE_DIR``, ``REPRO_LOG``) which record

@@ -13,6 +13,7 @@ Module         Reproduces
 ``contingency``  N-k failure robustness of both arrangements (new)
 ``tools``      Explorer / sensitivity / noise / report CLI wrappers
 ``traceview``  Profiler over flushed run traces (``repro trace``)
+``worker``     Fleet worker joining a ``--fleet`` coordinator (new)
 =============  ==========================================================
 
 Every driver is an :class:`repro.core.experiments.base.Experiment`
@@ -65,6 +66,7 @@ from repro.core.experiments.tools import (
     SensitivityExperiment,
 )
 from repro.core.experiments.traceview import TraceExperiment
+from repro.core.experiments.worker import WorkerExperiment
 
 # Registration order defines CLI subcommand order.
 for _cls in (
@@ -83,6 +85,7 @@ for _cls in (
     ContingencyExperiment,
     ReportExperiment,
     TraceExperiment,
+    WorkerExperiment,
 ):
     register(_cls)
 del _cls
@@ -128,4 +131,5 @@ __all__ = [
     "NoiseExperiment",
     "ReportExperiment",
     "TraceExperiment",
+    "WorkerExperiment",
 ]

@@ -250,6 +250,11 @@ def add_supervision_arguments(parser) -> None:
         help="resume an interrupted run from its journal directory",
     )
     group.add_argument(
+        "--resume-salvage", action="store_true",
+        help="with --resume: truncate the journal at its first corrupted "
+        "record (logged) instead of refusing to resume",
+    )
+    group.add_argument(
         "--max-retries", type=typed_int("--max-retries", minimum=0),
         default=None, metavar="N",
         help="retries per topology task before quarantine (default 2)",
@@ -268,6 +273,26 @@ def add_supervision_arguments(parser) -> None:
         "--workers", type=typed_int("--workers", minimum=1), default=None,
         metavar="N",
         help="process fan-out width (default: REPRO_SWEEP_WORKERS or 1)",
+    )
+    group.add_argument(
+        "--fleet", type=str, default=None, metavar="HOST:PORT",
+        help="lease tasks to 'repro worker' processes via a coordinator "
+        "bound here (port 0 picks one; see docs/DISTRIBUTED.md); with no "
+        "workers attached the run degrades to in-process execution",
+    )
+    group.add_argument(
+        "--lease-timeout",
+        type=typed_float("--lease-timeout", minimum=0.0, exclusive=True),
+        default=None, metavar="SECONDS",
+        help="per-lease deadline before a fleet task is reassigned "
+        "(default 60)",
+    )
+    group.add_argument(
+        "--fleet-wait",
+        type=typed_float("--fleet-wait", minimum=0.0),
+        default=None, metavar="SECONDS",
+        help="grace window to wait for fleet workers before degrading to "
+        "in-process execution (default 10)",
     )
 
 
@@ -314,24 +339,35 @@ def supervision_from_args(args) -> Optional[Any]:
     max_retries = getattr(args, "max_retries", None)
     task_timeout = getattr(args, "task_timeout", None)
     fail_fast = bool(getattr(args, "fail_fast", False))
+    fleet = getattr(args, "fleet", None)
+    lease_timeout = getattr(args, "lease_timeout", None)
+    fleet_wait = getattr(args, "fleet_wait", None)
     if (
         run_dir is None
         and max_retries is None
         and task_timeout is None
         and not fail_fast
+        and fleet is None
     ):
         return None
     from repro.runtime import SupervisorConfig
 
-    return SupervisorConfig(
+    config = SupervisorConfig(
         max_retries=2 if max_retries is None else max_retries,
         task_timeout=task_timeout,
         fail_fast=fail_fast,
         run_dir=run_dir,
         resume=resume is not None,
+        salvage=bool(getattr(args, "resume_salvage", False)),
+        fleet=fleet,
         workers=getattr(args, "workers", None),
         verbose=True,
     )
+    if lease_timeout is not None:
+        config.lease_timeout_s = lease_timeout
+    if fleet_wait is not None:
+        config.fleet_wait_s = fleet_wait
+    return config
 
 
 def apply_common_args(config: ExperimentConfig, args) -> ExperimentConfig:

@@ -29,7 +29,7 @@ from repro.core.experiments.base import (
     ExperimentResult,
     typed_int,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, TraceDataError
 
 __all__ = ["TraceExperiment", "find_trace_files", "bench_stage_totals"]
 
@@ -136,9 +136,10 @@ class TraceExperiment(Experiment):
         if wanted:
             traces = [t for t in traces if wanted in t.name]
         if not traces:
-            raise ReproError(
+            raise TraceDataError(
                 f"no trace-*.jsonl found under {path} "
-                "(run with --trace or REPRO_TRACE=1 first)"
+                "(run with --trace or REPRO_TRACE=1 first)",
+                path=str(path),
             )
         if len(traces) > 1:
             names = ", ".join(t.name for t in traces)
@@ -147,7 +148,15 @@ class TraceExperiment(Experiment):
                 "pick one with --run FINGERPRINT"
             )
         trace_file = traces[0]
+        # load_trace raises a typed TraceDataError on torn files; the
+        # CLI renders it as a one-line diagnostic, not a traceback.
         spans = load_trace(trace_file)
+        if not spans:
+            raise TraceDataError(
+                f"trace {trace_file} holds no spans (empty or header-only "
+                "file — did the traced run crash before its flush?)",
+                path=str(trace_file),
+            )
         header = load_trace_header(trace_file) or {}
         run_fp = header.get("run_fingerprint")
 

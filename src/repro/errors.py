@@ -30,6 +30,15 @@ your design" from a genuine bug.  The hierarchy is deliberately shallow:
     A ``--resume`` run directory does not match the requested sweep: a
     missing or corrupted journal line, a different run fingerprint, or
     a journal written by an incompatible schema.
+``FleetTransportError``
+    A fleet worker could not reach (or lost) its coordinator beyond its
+    patience window; see docs/DISTRIBUTED.md.
+``WorkerLostError``
+    A fleet worker died while holding a task lease; the task is
+    re-leased or quarantined under the normal retry policy.
+``TraceDataError``
+    ``repro trace`` was pointed at a run directory with no trace, an
+    empty trace, or a torn/unparsable trace file.
 ``ContractViolationError``
     A physics contract (KCL residual, passivity, voltage bounds,
     efficiency range, finite fields, ...) failed at severity ``raise``.
@@ -117,6 +126,47 @@ class ResumeMismatchError(ReproError):
         self.line = line
 
 
+class FleetTransportError(ReproError):
+    """The fleet coordinator/worker transport failed.
+
+    Raised on the *worker* side when the coordinator cannot be reached
+    (or stops responding) beyond the worker's patience window.  The
+    coordinator side never raises this: transport trouble there degrades
+    the run to the in-process execution path instead.
+    """
+
+    def __init__(self, message: str, address: Optional[str] = None):
+        super().__init__(message)
+        #: The "host:port" the worker was talking to, when known.
+        self.address = address
+
+
+class WorkerLostError(ReproError):
+    """A fleet worker died mid-task (socket drop or missed heartbeats).
+
+    Recorded as the failing attempt's error for the task whose lease the
+    dead worker held; the task is retried elsewhere or quarantined by
+    the normal policy.
+    """
+
+    def __init__(self, message: str, worker: Optional[str] = None,
+                 task: Optional[str] = None):
+        super().__init__(message)
+        #: Id of the worker that was lost, when known.
+        self.worker = worker
+        #: Fingerprint of the leased task charged with the failure.
+        self.task = task
+
+
+class TraceDataError(ReproError):
+    """A trace file required by ``repro trace`` is missing, empty, or
+    torn (unparsable JSONL); carries the offending path."""
+
+    def __init__(self, message: str, path: Optional[str] = None):
+        super().__init__(message)
+        self.path = path
+
+
 __all__ = [
     "ReproError",
     "SingularCircuitError",
@@ -125,5 +175,8 @@ __all__ = [
     "TaskTimeoutError",
     "QuarantinedTopologyError",
     "ResumeMismatchError",
+    "FleetTransportError",
+    "WorkerLostError",
+    "TraceDataError",
     "ContractViolationError",
 ]

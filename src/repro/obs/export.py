@@ -26,6 +26,8 @@ import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.errors import TraceDataError
+
 from .metrics import MetricsRegistry
 from .trace import TRACE_DIR_ENV, TRACE_SCHEMA, Span
 
@@ -95,7 +97,13 @@ def flush_spans(
     merged: List[Span] = []
     seen = set()
     if path.exists():
-        for span in load_trace(path):
+        try:
+            previous = load_trace(path)
+        except TraceDataError:
+            # A torn pre-existing trace must not fail the run's flush;
+            # start the file over with this run's spans only.
+            previous = []
+        for span in previous:
             if span.span_id not in seen:
                 seen.add(span.span_id)
                 merged.append(span)
@@ -110,31 +118,64 @@ def flush_spans(
     return path
 
 
+def _parse_trace_line(path: PathLike, number: int, line: str) -> Dict:
+    """One trace record, or a typed error naming the torn line."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceDataError(
+            f"trace {path} is torn: unparsable record at line {number} "
+            f"({exc.msg})",
+            path=str(path),
+        ) from None
+    if not isinstance(record, dict):
+        raise TraceDataError(
+            f"trace {path} is torn: line {number} is not a trace record",
+            path=str(path),
+        )
+    return record
+
+
 def load_trace(path: PathLike) -> List[Span]:
-    """Read span records back from a ``trace-*.jsonl`` file."""
+    """Read span records back from a ``trace-*.jsonl`` file.
+
+    Raises :class:`repro.errors.TraceDataError` when the file cannot be
+    read or holds an unparsable (torn) line — trace viewers turn that
+    into a one-line diagnostic instead of a traceback.
+    """
     spans: List[Span] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if record.get("kind") != "span":
-                continue
-            spans.append(Span.from_json(record))
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = _parse_trace_line(path, number, line)
+                if record.get("kind") != "span":
+                    continue
+                spans.append(Span.from_json(record))
+    except OSError as exc:
+        raise TraceDataError(
+            f"cannot read trace {path}: {exc}", path=str(path)
+        ) from None
     return spans
 
 
 def load_trace_header(path: PathLike) -> Optional[Dict]:
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if record.get("kind") == "header":
-                return record
-            return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = _parse_trace_line(path, number, line)
+                if record.get("kind") == "header":
+                    return record
+                return None
+    except OSError as exc:
+        raise TraceDataError(
+            f"cannot read trace {path}: {exc}", path=str(path)
+        ) from None
     return None
 
 

@@ -1,4 +1,4 @@
-"""Batched sweep runtime: PDNSpec, SweepEngine, run supervision, metrics."""
+"""Batched sweep runtime: PDNSpec, SweepEngine, supervision, fleet, metrics."""
 
 from repro.runtime.spec import (
     PDNSpec,
@@ -26,6 +26,14 @@ from repro.runtime.journal import (
     JOURNAL_SCHEMA,
     RunJournal,
     atomic_write_text,
+    clean_stale_tmp,
+)
+from repro.runtime.chaos import ChaosMonkey, ChaosPlan
+from repro.runtime.fleet import (
+    FleetCoordinator,
+    PROTOCOL_VERSION,
+    parse_address,
+    run_worker,
 )
 from repro.runtime.supervisor import (
     RunReport,
@@ -57,6 +65,13 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "RunJournal",
     "atomic_write_text",
+    "clean_stale_tmp",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "FleetCoordinator",
+    "PROTOCOL_VERSION",
+    "parse_address",
+    "run_worker",
     "RunSupervisor",
     "SupervisorConfig",
     "SupervisedResult",

@@ -1,0 +1,223 @@
+"""Deterministic fault injection for the distributed sweep fleet.
+
+A :class:`ChaosPlan` names, exactly, the faults a ``repro worker``
+process must inflict on itself: die by SIGKILL just before reporting a
+given task, freeze past the lease deadline before reporting another,
+and drop or duplicate specific fire-and-forget protocol messages.  The
+plan travels to the worker through the ``REPRO_CHAOS`` environment
+variable as JSON, so the chaos harness (``scripts/chaos_fleet_check.py``)
+can orchestrate multi-process failure scenarios without any code hooks
+in the happy path — a worker with no ``REPRO_CHAOS`` set pays one dict
+lookup at startup and nothing else.
+
+Determinism is the whole point: :meth:`ChaosPlan.seeded` derives every
+fault choice from a seed, so a chaos run is exactly replayable and the
+harness can assert bit-identical results against a serial baseline run.
+
+Only fire-and-forget message kinds (``result``, ``failure``,
+``heartbeat``, ``goodbye``) may be dropped or duplicated — the
+request/reply pairs of the protocol are how the worker stays in sync
+with the coordinator, and losing one would model a broken client, not a
+lossy network.  See docs/DISTRIBUTED.md for the failure matrix each
+fault exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.logs import get_logger
+
+__all__ = [
+    "CHAOS_ENV",
+    "DROPPABLE_KINDS",
+    "ChaosPlan",
+    "ChaosMonkey",
+]
+
+_log = get_logger(__name__)
+
+#: Environment variable carrying a ChaosPlan as JSON to worker processes.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Message kinds chaos may drop/duplicate: exactly the fire-and-forget
+#: ones.  Request/reply kinds are exempt (see module docstring).
+DROPPABLE_KINDS = ("result", "failure", "heartbeat", "goodbye")
+
+
+@dataclass
+class ChaosPlan:
+    """A worker's fault schedule, derived from a seed or given explicitly.
+
+    Task indices count the leases a worker *finished executing*, 0-based
+    — ``kill_on_task=1`` means the worker solves its second task and is
+    SIGKILLed before the result leaves the process.  Message indices
+    count sends per kind, 0-based, after the fault hooks ran.
+    """
+
+    #: SIGKILL the worker right before it reports this (0-based) task.
+    kill_on_task: Optional[int] = None
+    #: Sleep ``freeze_s`` before reporting this task — long enough past
+    #: the lease deadline, the coordinator reassigns the lease and the
+    #: thawed worker's late result exercises the idempotent commit.
+    freeze_on_task: Optional[int] = None
+    freeze_s: float = 0.0
+    #: Per-kind 0-based send indices to swallow (never sent).
+    drop: Dict[str, List[int]] = field(default_factory=dict)
+    #: Per-kind 0-based send indices to send twice (duplicate delivery).
+    dup: Dict[str, List[int]] = field(default_factory=dict)
+    #: Provenance: the seed this plan was derived from, if any.
+    seed: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_tasks: int,
+        kill: bool = False,
+        freeze: bool = False,
+        freeze_s: float = 5.0,
+        drop_result: bool = False,
+        dup_result: bool = False,
+    ) -> "ChaosPlan":
+        """Derive a plan's fault positions deterministically from ``seed``.
+
+        Each requested fault lands on a pseudo-random (but seed-stable)
+        task/message index within the first ``n_tasks`` units of work,
+        so harness scenarios replay exactly.
+        """
+        rng = random.Random(seed)
+        span = max(1, n_tasks)
+        plan = cls(seed=seed)
+        if kill:
+            plan.kill_on_task = rng.randrange(span)
+        if freeze:
+            plan.freeze_on_task = rng.randrange(span)
+            plan.freeze_s = freeze_s
+            if plan.freeze_on_task == plan.kill_on_task:
+                # A dead worker cannot also freeze; shift the freeze.
+                plan.freeze_on_task = (plan.freeze_on_task + 1) % span
+        if drop_result:
+            plan.drop = {"result": [rng.randrange(span)]}
+        if dup_result:
+            plan.dup = {"result": [rng.randrange(span)]}
+        return plan
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        return {
+            "kill_on_task": self.kill_on_task,
+            "freeze_on_task": self.freeze_on_task,
+            "freeze_s": self.freeze_s,
+            "drop": {k: list(v) for k, v in self.drop.items()},
+            "dup": {k: list(v) for k, v in self.dup.items()},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ChaosPlan":
+        return cls(
+            kill_on_task=payload.get("kill_on_task"),
+            freeze_on_task=payload.get("freeze_on_task"),
+            freeze_s=float(payload.get("freeze_s", 0.0) or 0.0),
+            drop={
+                str(k): [int(i) for i in v]
+                for k, v in (payload.get("drop") or {}).items()
+            },
+            dup={
+                str(k): [int(i) for i in v]
+                for k, v in (payload.get("dup") or {}).items()
+            },
+            seed=payload.get("seed"),
+        )
+
+    def to_env(self) -> str:
+        """The ``REPRO_CHAOS`` value that ships this plan to a worker."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosPlan"]:
+        """The plan in ``REPRO_CHAOS``, or None (malformed JSON is None
+        too, with a warning — chaos must never break a production run)."""
+        raw = os.environ.get(CHAOS_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("not a JSON object")
+            return cls.from_json(payload)
+        except (ValueError, TypeError) as exc:
+            _log.warning(
+                "ignoring malformed REPRO_CHAOS plan",
+                extra={"error": str(exc)},
+            )
+            return None
+
+
+class ChaosMonkey:
+    """Stateful applier of a :class:`ChaosPlan` inside one worker.
+
+    A ``None`` plan makes every hook a no-op, so the worker calls the
+    hooks unconditionally.
+    """
+
+    def __init__(self, plan: Optional[ChaosPlan]):
+        self.plan = plan
+        self._tasks_finished = 0
+        self._sent: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def on_task_executed(self) -> None:
+        """Fault hook between finishing a solve and reporting it.
+
+        Called once per executed lease, in order.  May never return
+        (SIGKILL) or may block past the lease deadline (freeze).
+        """
+        index = self._tasks_finished
+        self._tasks_finished += 1
+        if self.plan is None:
+            return
+        if self.plan.freeze_on_task == index and self.plan.freeze_s > 0:
+            _log.warning(
+                "chaos: freezing worker past its lease",
+                extra={"task_index": index, "freeze_s": self.plan.freeze_s},
+            )
+            time.sleep(self.plan.freeze_s)
+        if self.plan.kill_on_task == index:
+            _log.warning(
+                "chaos: SIGKILLing worker mid-task",
+                extra={"task_index": index},
+            )
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def copies(self, kind: str) -> int:
+        """How many copies of this send to emit: 0 (drop), 1, or 2 (dup).
+
+        Only consults the plan for :data:`DROPPABLE_KINDS`; request/reply
+        messages always go out exactly once.
+        """
+        index = self._sent.get(kind, 0)
+        self._sent[kind] = index + 1
+        if self.plan is None or kind not in DROPPABLE_KINDS:
+            return 1
+        if index in self.plan.drop.get(kind, ()):
+            _log.warning(
+                "chaos: dropping message",
+                extra={"kind": kind, "send_index": index},
+            )
+            return 0
+        if index in self.plan.dup.get(kind, ()):
+            _log.warning(
+                "chaos: duplicating message",
+                extra={"kind": kind, "send_index": index},
+            )
+            return 2
+        return 1

@@ -12,7 +12,12 @@ skipped; everything else re-runs.
 Any unparsable line raises
 :class:`repro.errors.ResumeMismatchError` carrying the offending
 1-based line number — a journal that cannot be trusted must not be
-silently half-replayed.
+silently half-replayed.  ``salvage=True`` relaxes that for the tail
+only: the journal is truncated at the *first* corrupted record (with a
+logged warning naming the line and how many records were dropped) and
+every intact record before it is replayed normally.  Header corruption
+still hard-fails — without a trusted header there is nothing to salvage
+against.
 """
 
 from __future__ import annotations
@@ -22,17 +27,21 @@ import json
 import os
 import pathlib
 import pickle
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ResumeMismatchError
+from repro.obs.logs import get_logger
 
 __all__ = [
     "JOURNAL_SCHEMA",
     "RunJournal",
     "atomic_write_text",
+    "clean_stale_tmp",
     "encode_payload",
     "decode_payload",
 ]
+
+_log = get_logger(__name__)
 
 #: Schema version of the journal layout; bump on record changes.
 JOURNAL_SCHEMA = 1
@@ -73,6 +82,36 @@ def atomic_write_text(
     finally:
         os.close(dir_fd)
     return path
+
+
+def clean_stale_tmp(directory: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """Remove leftover ``*.tmp`` files from an interrupted atomic write.
+
+    A crash between the tmp-file write and the ``os.replace`` in
+    :func:`atomic_write_text` (durable or not) strands a ``*.tmp`` next
+    to the real artifact.  The stranded file holds a superseded or
+    partial payload and must never be read; on the next run over the
+    same directory it is deleted.  Returns the paths removed.
+    """
+    directory = pathlib.Path(directory)
+    removed: List[pathlib.Path] = []
+    if not directory.is_dir():
+        return removed
+    for tmp in sorted(directory.glob("*.tmp")):
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - racing writer/permissions
+            continue
+        removed.append(tmp)
+    if removed:
+        _log.warning(
+            "removed stale tmp file(s) from an interrupted write",
+            extra={
+                "directory": str(directory),
+                "files": [p.name for p in removed],
+            },
+        )
+    return removed
 
 
 def encode_payload(values: Any) -> Optional[str]:
@@ -117,14 +156,19 @@ class RunJournal:
 
     @classmethod
     def open_existing(
-        cls, path: Union[str, pathlib.Path]
+        cls, path: Union[str, pathlib.Path], salvage: bool = False
     ) -> Tuple["RunJournal", Dict, Dict[str, Dict]]:
         """Load a journal for resume.
 
         Returns ``(journal, header, task_records)`` where
         ``task_records`` maps task fingerprints to their latest record.
         Raises :class:`ResumeMismatchError` (with the 1-based line
-        number) on any corrupted, truncated or unknown record.
+        number) on any corrupted, truncated or unknown record — unless
+        ``salvage`` is set, in which case the journal is truncated at
+        the first corrupted record (warning logged with the drop count)
+        and the intact prefix is replayed.  A corrupted *header* always
+        raises: the salvage must have a trusted run identity to salvage
+        against.
         """
         journal = cls(path)
         path = journal.path
@@ -137,49 +181,76 @@ class RunJournal:
             raise ResumeMismatchError(f"journal {path} is empty", line=1)
         for number, line in enumerate(lines, start=1):
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ResumeMismatchError(
-                    f"journal {path}: corrupted or truncated record at "
-                    f"line {number}: {exc.msg}",
-                    line=number,
-                ) from None
-            if not isinstance(record, dict) or "kind" not in record:
-                raise ResumeMismatchError(
-                    f"journal {path}: line {number} is not a journal record",
-                    line=number,
+                record = cls._parse_line(path, number, line)
+            except ResumeMismatchError:
+                if not salvage or number == 1:
+                    raise
+                dropped = len(lines) - (number - 1)
+                _log.warning(
+                    "salvage: truncating journal at first corrupted record",
+                    extra={
+                        "journal": str(path),
+                        "line": number,
+                        "dropped_records": dropped,
+                    },
                 )
+                lines = lines[: number - 1]
+                journal._lines = list(lines)
+                journal._flush()
+                break
             if number == 1:
-                if record["kind"] != "header":
-                    raise ResumeMismatchError(
-                        f"journal {path}: first line is not a header",
-                        line=1,
-                    )
-                if record.get("schema") != JOURNAL_SCHEMA:
-                    raise ResumeMismatchError(
-                        f"journal {path}: schema {record.get('schema')!r} "
-                        f"!= expected {JOURNAL_SCHEMA}",
-                        line=1,
-                    )
                 header = record
-            elif record["kind"] == "task":
-                if "fingerprint" not in record or "status" not in record:
-                    raise ResumeMismatchError(
-                        f"journal {path}: task record at line {number} is "
-                        "missing its fingerprint or status",
-                        line=number,
-                    )
-                records[record["fingerprint"]] = record
             else:
-                raise ResumeMismatchError(
-                    f"journal {path}: unknown record kind "
-                    f"{record['kind']!r} at line {number}",
-                    line=number,
-                )
+                records[record["fingerprint"]] = record
         if header is None:  # pragma: no cover - unreachable (line 1 checked)
             raise ResumeMismatchError(f"journal {path} has no header", line=1)
         journal._lines = list(lines)
         return journal, header, records
+
+    @classmethod
+    def _parse_line(
+        cls, path: pathlib.Path, number: int, line: str
+    ) -> Dict:
+        """Parse and validate one journal line (1-based ``number``)."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ResumeMismatchError(
+                f"journal {path}: corrupted or truncated record at "
+                f"line {number}: {exc.msg}",
+                line=number,
+            ) from None
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ResumeMismatchError(
+                f"journal {path}: line {number} is not a journal record",
+                line=number,
+            )
+        if number == 1:
+            if record["kind"] != "header":
+                raise ResumeMismatchError(
+                    f"journal {path}: first line is not a header",
+                    line=1,
+                )
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise ResumeMismatchError(
+                    f"journal {path}: schema {record.get('schema')!r} "
+                    f"!= expected {JOURNAL_SCHEMA}",
+                    line=1,
+                )
+            return record
+        if record["kind"] == "task":
+            if "fingerprint" not in record or "status" not in record:
+                raise ResumeMismatchError(
+                    f"journal {path}: task record at line {number} is "
+                    "missing its fingerprint or status",
+                    line=number,
+                )
+            return record
+        raise ResumeMismatchError(
+            f"journal {path}: unknown record kind "
+            f"{record['kind']!r} at line {number}",
+            line=number,
+        )
 
     # ------------------------------------------------------------------
     def append(self, record: Dict) -> None:

@@ -27,7 +27,10 @@ from repro.obs.metrics import MetricsRegistry
 #: v4 added "run_fingerprint" (joins BENCH files with report-<fp>.json /
 #: journal-<fp>.jsonl / trace-<fp>.jsonl from the same run) and made the
 #: aggregate fields views over a typed repro.obs.metrics registry.
-BENCH_SCHEMA = 4
+#: v5 added the distributed-fleet counters to "totals" (leases_expired,
+#: worker_deaths, reassignments) and the "fleet" run mode — additive,
+#: so v4 readers keep working.
+BENCH_SCHEMA = 5
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -101,6 +104,13 @@ class SweepMetrics:
     pool_rebuilds: int = 0
     timeouts: int = 0
     resumed: int = 0
+    #: Distributed-fleet counters (zero for in-process runs): leases
+    #: that overran their deadline, workers that died mid-run (socket
+    #: drop or missed heartbeats without a clean goodbye), and tasks
+    #: re-leased after their previous lease expired or its holder died.
+    leases_expired: int = 0
+    worker_deaths: int = 0
+    reassignments: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -158,7 +168,8 @@ class SweepMetrics:
         gauge.set(self.workers, field="workers")
         for name in ("cache_hits", "cache_misses", "cache_rebuilds",
                      "retries", "quarantined", "pool_rebuilds",
-                     "timeouts", "resumed"):
+                     "timeouts", "resumed", "leases_expired",
+                     "worker_deaths", "reassignments"):
             gauge.set(getattr(self, name), field=name)
         return registry
 
@@ -209,6 +220,9 @@ class SweepMetrics:
                 "pool_rebuilds": self.pool_rebuilds,
                 "timeouts": self.timeouts,
                 "resumed": self.resumed,
+                "leases_expired": self.leases_expired,
+                "worker_deaths": self.worker_deaths,
+                "reassignments": self.reassignments,
                 "contracts_s": round(self.contracts_s, 6),
                 **{k: round(v, 6) for k, v in self.stage_totals().items()},
             },
@@ -236,6 +250,12 @@ class SweepMetrics:
         flagged = sum(v for k, v in contracts.items() if k != "pass")
         if flagged:
             robustness += f", {flagged} contract flag(s)"
+        if self.worker_deaths or self.leases_expired or self.reassignments:
+            robustness += (
+                f", {self.worker_deaths} worker death(s), "
+                f"{self.leases_expired} expired lease(s), "
+                f"{self.reassignments} reassignment(s)"
+            )
         return (
             f"{self.n_points} point(s) in {self.n_groups} group(s), "
             f"{self.n_solve_calls} solve call(s), mode={self.mode}{robustness}: "

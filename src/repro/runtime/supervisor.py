@@ -37,11 +37,11 @@ the run directory) instead of raising.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import pathlib
 import pickle
-import random
 import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -72,6 +72,7 @@ from repro.runtime.fingerprint import (
 from repro.runtime.journal import (
     RunJournal,
     atomic_write_text,
+    clean_stale_tmp,
     decode_payload,
     encode_payload,
 )
@@ -93,7 +94,10 @@ __all__ = [
 
 #: Schema version of the emitted report-<fp>.json files.
 #: v2 added the physics-contract histogram ("contracts").
-REPORT_SCHEMA = 2
+#: v3 added the fleet counters (leases_expired, worker_deaths,
+#: reassignments) and the per-worker accounting list ("workers") —
+#: additive, so v2 readers keep working.
+REPORT_SCHEMA = 3
 
 
 #: Module logger (JSON-line records via repro.obs.logs).
@@ -126,8 +130,30 @@ class SupervisorConfig:
     run_dir: Optional[str] = None
     #: Replay an existing journal in ``run_dir`` before running.
     resume: bool = False
+    #: With ``resume``: truncate the journal at its first corrupted
+    #: record (logged) instead of refusing with ResumeMismatchError.
+    salvage: bool = False
     #: Process fan-out width; None inherits the wrapped engine's.
     workers: Optional[int] = None
+    #: Coordinator bind address ("host:port") for the distributed sweep
+    #: fleet; None keeps everything in-process.  With an address set,
+    #: tasks are leased to connected ``repro worker`` processes and the
+    #: run degrades transparently to the in-process path when no worker
+    #: ever connects (or the transport cannot be brought up).
+    fleet: Optional[str] = None
+    #: Per-lease deadline; an expired lease is reassigned (the frozen
+    #: worker's late result is dropped by the idempotent commit).
+    lease_timeout_s: float = 60.0
+    #: How long the coordinator waits for a first worker before falling
+    #: back to the in-process execution path.
+    fleet_wait_s: float = 10.0
+    #: Worker heartbeat period; a worker silent for
+    #: ``heartbeat_grace * heartbeat_s`` is declared dead.
+    heartbeat_s: float = 2.0
+    heartbeat_grace: float = 4.0
+    #: Failed attempts a single worker may accumulate before the
+    #: coordinator stops leasing to it (its own quarantine).
+    worker_max_failures: int = 3
     #: Exponential backoff: base * 2**(attempt-1), capped, jittered.
     backoff_base_s: float = 0.25
     backoff_cap_s: float = 8.0
@@ -166,6 +192,13 @@ class RunReport:
     #: Physics-contract status counts over the run's points (check
     #: statuses plus "degraded_points"); see BENCH schema v3.
     contract_histogram: Dict[str, int] = field(default_factory=dict)
+    #: Fleet robustness counters (zero for in-process runs).
+    leases_expired: int = 0
+    worker_deaths: int = 0
+    reassignments: int = 0
+    #: Per-worker accounting dicts from the fleet coordinator
+    #: (worker id, tasks done, failures, clean shutdown vs death).
+    workers: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -208,16 +241,29 @@ class RunReport:
             "quarantined": self.quarantined_fingerprints(),
             "escalations": dict(self.escalation_histogram),
             "contracts": dict(self.contract_histogram),
+            "fleet": {
+                "leases_expired": self.leases_expired,
+                "worker_deaths": self.worker_deaths,
+                "reassignments": self.reassignments,
+                "workers": [dict(w) for w in self.workers],
+            },
             "tasks": [asdict(t) for t in self.tasks],
         }
 
     def summary(self) -> str:
+        fleet = ""
+        if self.leases_expired or self.worker_deaths or self.reassignments:
+            fleet = (
+                f", {self.worker_deaths} worker death(s), "
+                f"{self.leases_expired} lease(s) expired, "
+                f"{self.reassignments} reassignment(s)"
+            )
         return (
             f"run {self.run_fingerprint}: {len(self.completed)}/"
             f"{len(self.tasks)} task(s) done "
             f"({len(self.resumed)} resumed, {len(self.retried)} retried, "
             f"{len(self.quarantined)} quarantined, "
-            f"{self.pool_rebuilds} pool rebuild(s)) "
+            f"{self.pool_rebuilds} pool rebuild(s){fleet}) "
             f"in {self.wall_s:.2f}s"
         )
 
@@ -243,6 +289,34 @@ class _Task:
     started_at: float = 0.0
     wall_s: float = 0.0
     last_error: Optional[BaseException] = None
+
+
+@dataclass
+class _RunState:
+    """Shared mutable state of one supervised run.
+
+    Every execution backend — serial, process pool, and the distributed
+    fleet coordinator — routes its outcomes through the same commit /
+    retry / quarantine core by mutating one of these.  ``queue`` holds
+    tasks awaiting (re-)execution; ``_handle_failure`` pushes retries
+    back onto it with their backoff ``ready_at`` stamped.
+    """
+
+    values: List[Any]
+    metrics: SweepMetrics
+    records: Dict[str, TaskRecord]
+    journal: Optional[RunJournal]
+    extract: Optional[Callable[[SweepOutcome], Any]]
+    queue: List[_Task] = field(default_factory=list)
+    #: Per-worker accounting dicts filled in by the fleet coordinator.
+    fleet_workers: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record(self, task: _Task) -> TaskRecord:
+        return self.records[task.fingerprint]
+
+    def committed(self, task: _Task) -> bool:
+        """True once the task's result landed (idempotence guard)."""
+        return self.records[task.fingerprint].status in ("done", "resumed")
 
 
 # ----------------------------------------------------------------------
@@ -273,8 +347,6 @@ class RunSupervisor:
         #: callers find all of them in :attr:`reports`).
         self.last_report: Optional[RunReport] = None
         self.reports: List[RunReport] = []
-        # Seeded: backoff jitter must not perturb run reproducibility.
-        self._rng = random.Random(0x5EED)
 
     # ------------------------------------------------------------------
     # Engine-compatible surface
@@ -341,18 +413,29 @@ class RunSupervisor:
             supervised=True,
         ) as sweep_span:
             journal, journaled = self._open_journal(run_fp, tasks, len(points))
-            pending = self._restore(tasks, journaled, values, metrics, records)
+            state = _RunState(
+                values=values,
+                metrics=metrics,
+                records=records,
+                journal=journal,
+                extract=extract,
+            )
+            pending = self._restore(tasks, journaled, state)
 
+            if pending and self.config.fleet is not None:
+                # Distributed path; returns whatever it could not place
+                # on workers (everything, when the transport is down or
+                # no worker ever connected) for the in-process paths.
+                from repro.runtime.fleet import execute_fleet
+
+                pending = execute_fleet(self, pending, state)
             if pending:
                 if self._use_processes(pending, extract):
-                    metrics.mode = "process"
-                    self._execute_process(
-                        pending, extract, values, metrics, records, journal
-                    )
+                    if metrics.mode == "serial":
+                        metrics.mode = "process"
+                    self._execute_process(pending, state)
                 else:
-                    self._execute_serial(
-                        pending, extract, values, metrics, records, journal
-                    )
+                    self._execute_serial(pending, state)
             sweep_span.set(mode=metrics.mode, resumed=metrics.resumed)
 
         # Stable first-appearance ordering, matching the plain engine.
@@ -383,6 +466,10 @@ class RunSupervisor:
             pool_rebuilds=metrics.pool_rebuilds,
             escalation_histogram=metrics.escalation_histogram(),
             contract_histogram=metrics.contract_histogram(),
+            leases_expired=metrics.leases_expired,
+            worker_deaths=metrics.worker_deaths,
+            reassignments=metrics.reassignments,
+            workers=state.fleet_workers,
         )
         self.last_report = report
         self.reports.append(report)
@@ -438,12 +525,18 @@ class RunSupervisor:
                 raise ResumeMismatchError(
                     f"resume directory {run_dir} does not exist"
                 )
+            # A crash mid-atomic-write strands a *.tmp beside the real
+            # artifact (journal, trace, report — durable or not); the
+            # stranded bytes are superseded and must not be read.
+            clean_stale_tmp(run_dir)
             if not path.exists():
                 # This sub-run never started before the interruption
                 # (multi-run experiments journal each run separately):
                 # nothing to replay, start a fresh journal.
                 return RunJournal.start(path, header), {}
-            journal, loaded, records = RunJournal.open_existing(path)
+            journal, loaded, records = RunJournal.open_existing(
+                path, salvage=config.salvage
+            )
             if loaded.get("run_fingerprint") != run_fp:
                 raise ResumeMismatchError(
                     f"journal {path} was written for run "
@@ -471,11 +564,12 @@ class RunSupervisor:
         self,
         tasks: List[_Task],
         journaled: Dict[str, Dict],
-        values: List[Any],
-        metrics: SweepMetrics,
-        records: Dict[str, TaskRecord],
+        state: _RunState,
     ) -> List[_Task]:
         """Replay journaled tasks; return the tasks still to run."""
+        values = state.values
+        metrics = state.metrics
+        records = state.records
         pending: List[_Task] = []
         for task in tasks:
             entry = journaled.get(task.fingerprint)
@@ -547,9 +641,19 @@ class RunSupervisor:
         )
 
     # ------------------------------------------------------------------
-    # Failure bookkeeping shared by both execution paths
+    # Failure bookkeeping shared by every execution path (serial,
+    # process pool, distributed fleet)
     # ------------------------------------------------------------------
-    def _backoff_delay(self, attempts: int) -> float:
+    def _backoff_delay(self, attempts: int, fingerprint: str = "") -> float:
+        """Exponential backoff with *deterministic* jitter.
+
+        The jitter is a pure function of (task fingerprint, attempt):
+        two runs of the same sweep produce identical retry schedules, so
+        supervised timing behaviour is reproducible and never depends on
+        how many times any global RNG was consumed beforehand.  Distinct
+        tasks still spread out (different fingerprints, different
+        jitter), which is all the jitter is for.
+        """
         config = self.config
         if config.backoff_base_s <= 0:
             return 0.0
@@ -557,7 +661,11 @@ class RunSupervisor:
             config.backoff_cap_s,
             config.backoff_base_s * (2 ** max(0, attempts - 1)),
         )
-        return delay * (1.0 + config.backoff_jitter * self._rng.random())
+        digest = hashlib.sha256(
+            f"{fingerprint}:{attempts}".encode("ascii", "backslashreplace")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64
+        return delay * (1.0 + config.backoff_jitter * unit)
 
     @staticmethod
     def _record_task_span(task: _Task, status: str) -> None:
@@ -587,31 +695,33 @@ class RunSupervisor:
         task: _Task,
         group_values: List[Any],
         group_metrics: GroupMetrics,
-        records: Dict[str, TaskRecord],
-        values: List[Any],
-        metrics: SweepMetrics,
-        journal: Optional[RunJournal],
-    ) -> None:
+        state: _RunState,
+    ) -> bool:
+        """Land one finished task's values; idempotent by fingerprint.
+
+        At-least-once backends (the fleet reassigns expired leases, so a
+        frozen worker's late result can race its replacement's) call
+        this for every delivery; only the first per fingerprint commits.
+        Returns True when the commit landed, False for a duplicate.
+        """
+        if state.committed(task):
+            return False
         for (index, _), value in zip(task.members, group_values):
-            values[index] = value
-        metrics.groups.append(group_metrics)
-        record = records[task.fingerprint]
+            state.values[index] = value
+        state.metrics.groups.append(group_metrics)
+        record = state.record(task)
         record.status = "done"
         record.attempts = task.attempts
         record.timeouts = task.timeouts
         record.wall_s = task.wall_s
         self._record_task_span(task, "done")
-        self._journal_task(journal, task, record, group_metrics, group_values)
+        self._journal_task(
+            state.journal, task, record, group_metrics, group_values
+        )
+        return True
 
-    def _quarantine(
-        self,
-        task: _Task,
-        records: Dict[str, TaskRecord],
-        values: List[Any],
-        extract: Optional[Callable[[SweepOutcome], Any]],
-        journal: Optional[RunJournal],
-    ) -> None:
-        record = records[task.fingerprint]
+    def _quarantine(self, task: _Task, state: _RunState) -> None:
+        record = state.record(task)
         record.status = "quarantined"
         record.attempts = task.attempts
         record.timeouts = task.timeouts
@@ -637,22 +747,14 @@ class RunSupervisor:
                 "error": record.error,
             },
         )
-        if extract is None:
+        if state.extract is None:
             # Raw-outcome callers still get one entry per point, each
             # carrying the typed quarantine error.
             for index, point in task.members:
-                values[index] = SweepOutcome(point=point, error=error)
-        self._journal_task(journal, task, record, None, None)
+                state.values[index] = SweepOutcome(point=point, error=error)
+        self._journal_task(state.journal, task, record, None, None)
 
-    def _handle_failure(
-        self,
-        task: _Task,
-        queue: List[_Task],
-        records: Dict[str, TaskRecord],
-        values: List[Any],
-        extract: Optional[Callable[[SweepOutcome], Any]],
-        journal: Optional[RunJournal],
-    ) -> None:
+    def _handle_failure(self, task: _Task, state: _RunState) -> None:
         """Route one failed attempt: fail-fast, retry, or quarantine."""
         if self.config.fail_fast:
             error = task.last_error
@@ -663,55 +765,50 @@ class RunSupervisor:
                 f"failed on attempt {task.attempts}: {error}"
             ) from error
         if task.attempts > self.config.max_retries:
-            self._quarantine(task, records, values, extract, journal)
+            self._quarantine(task, state)
             return
-        records[task.fingerprint].status = "retrying"
-        task.ready_at = time.monotonic() + self._backoff_delay(task.attempts)
-        queue.append(task)
+        state.record(task).status = "retrying"
+        task.ready_at = time.monotonic() + self._backoff_delay(
+            task.attempts, task.fingerprint
+        )
+        state.queue.append(task)
 
     # ------------------------------------------------------------------
     # Serial execution
     # ------------------------------------------------------------------
-    def _execute_serial(
-        self,
-        tasks: List[_Task],
-        extract: Optional[Callable[[SweepOutcome], Any]],
-        values: List[Any],
-        metrics: SweepMetrics,
-        records: Dict[str, TaskRecord],
-        journal: Optional[RunJournal],
-    ) -> None:
-        queue = list(tasks)
+    def _execute_serial(self, tasks: List[_Task], state: _RunState) -> None:
+        queue = state.queue
+        queue.extend(tasks)
         while queue:
             task = queue.pop(0)
             delay = task.ready_at - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-            records[task.fingerprint].status = "running"
+            state.record(task).status = "running"
             task.attempts += 1
             t0 = time.perf_counter()
             try:
                 group_metrics = self.engine._run_group_local(
-                    task.key, task.members, extract, values
+                    task.key, task.members, state.extract, state.values
                 )
             except Exception as exc:
                 task.wall_s += time.perf_counter() - t0
                 task.last_error = exc
-                self._handle_failure(
-                    task, queue, records, values, extract, journal
-                )
+                self._handle_failure(task, state)
                 continue
             task.wall_s += time.perf_counter() - t0
-            group_values = [values[index] for index, _ in task.members]
-            record = records[task.fingerprint]
+            group_values = [state.values[index] for index, _ in task.members]
+            # _run_group_local already wrote the values; record the
+            # commit bookkeeping (it cannot be a duplicate here).
+            record = state.record(task)
             record.status = "done"
             record.attempts = task.attempts
             record.timeouts = task.timeouts
             record.wall_s = task.wall_s
-            metrics.groups.append(group_metrics)
+            state.metrics.groups.append(group_metrics)
             self._record_task_span(task, "done")
             self._journal_task(
-                journal, task, record, group_metrics, group_values
+                state.journal, task, record, group_metrics, group_values
             )
 
     # ------------------------------------------------------------------
@@ -755,20 +852,16 @@ class RunSupervisor:
         metrics.pool_rebuilds += 1
         return self._new_pool()
 
-    def _execute_process(
-        self,
-        tasks: List[_Task],
-        extract: Callable[[SweepOutcome], Any],
-        values: List[Any],
-        metrics: SweepMetrics,
-        records: Dict[str, TaskRecord],
-        journal: Optional[RunJournal],
-    ) -> None:
+    def _execute_process(self, tasks: List[_Task], state: _RunState) -> None:
         from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures.process import BrokenProcessPool
 
         config = self.config
-        queue: List[_Task] = list(tasks)
+        extract = state.extract
+        metrics = state.metrics
+        records = state.records
+        queue = state.queue
+        queue.extend(tasks)
         inflight: Dict[Any, Tuple[_Task, Optional[float]]] = {}
         tracer = get_tracer()
         trace_ctx = tracer.worker_context()
@@ -838,24 +931,12 @@ class RunSupervisor:
                         # charged an attempt; the pool must be rebuilt.
                         task.last_error = exc
                         broken = True
-                        self._handle_failure(
-                            task, queue, records, values, extract, journal
-                        )
+                        self._handle_failure(task, state)
                     except Exception as exc:
                         task.last_error = exc
-                        self._handle_failure(
-                            task, queue, records, values, extract, journal
-                        )
+                        self._handle_failure(task, state)
                     else:
-                        self._commit(
-                            task,
-                            group_values,
-                            group_metrics,
-                            records,
-                            values,
-                            metrics,
-                            journal,
-                        )
+                        self._commit(task, group_values, group_metrics, state)
                 if broken:
                     # Innocent in-flight siblings are requeued for free.
                     for future, (task, _d) in list(inflight.items()):
@@ -891,9 +972,7 @@ class RunSupervisor:
                                 task=task.fingerprint,
                                 timeout_s=config.task_timeout,
                             )
-                            self._handle_failure(
-                                task, queue, records, values, extract, journal
-                            )
+                            self._handle_failure(task, state)
                         else:
                             task.attempts -= 1
                             task.ready_at = 0.0

@@ -31,6 +31,7 @@ EXPECTED_ORDER = [
     "contingency",
     "report",
     "trace",
+    "worker",
 ]
 
 
