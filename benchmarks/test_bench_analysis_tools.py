@@ -81,11 +81,11 @@ def test_pdn_impedance_profile(benchmark, record_output):
 
 def test_frequency_guardbands(benchmark, record_output):
     """Translate the Fig. 6 noise numbers into frequency cost."""
-    from repro.core.experiments.fig6 import run_fig6
+    from repro.core.experiments.fig6 import compute_fig6
     from repro.core.guardband import AlphaPowerModel, fig6_guardbands
 
     def evaluate():
-        result = run_fig6(n_layers=8, grid_nodes=12)
+        result = compute_fig6(n_layers=8, grid_nodes=12)
         return result, fig6_guardbands(result, imbalance=0.6)
 
     result, bands = benchmark.pedantic(evaluate, rounds=1, iterations=1)

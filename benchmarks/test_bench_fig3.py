@@ -1,10 +1,10 @@
 """Fig. 3 — SC converter compact model vs transient circuit simulation."""
 
-from repro.core.experiments.fig3 import run_fig3
+from repro.core.experiments.fig3 import compute_fig3
 
 
 def test_fig3_validation(benchmark, record_output):
-    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    result = benchmark.pedantic(compute_fig3, rounds=1, iterations=1)
     record_output(result.format(), "fig3_validation")
     # The paper's point: the compact model is accurate for both policies.
     assert result.max_efficiency_error() < 0.10

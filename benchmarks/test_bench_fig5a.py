@@ -2,12 +2,12 @@
 
 from conftest import BENCH_GRID
 
-from repro.core.experiments.fig5 import run_fig5a
+from repro.core.experiments.fig5 import compute_fig5a
 
 
 def test_fig5a_tsv_mttf(benchmark, record_output):
     result = benchmark.pedantic(
-        run_fig5a, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+        compute_fig5a, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
     )
     summary = result.format() + "\n\n" + "\n".join(
         [

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_GRID
 
-from repro.core.experiments.fig5 import run_fig5b
+from repro.core.experiments.fig5 import compute_fig5b
 
 
 def test_fig5b_c4_mttf(benchmark, record_output):
     result = benchmark.pedantic(
-        run_fig5b, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+        compute_fig5b, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
     )
     summary = result.format() + "\n\n" + (
         f"V-S / Reg(25%) at 8 layers: {result.improvement_at(8):.2f}x "

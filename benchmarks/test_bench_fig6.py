@@ -2,12 +2,12 @@
 
 from conftest import BENCH_GRID
 
-from repro.core.experiments.fig6 import run_fig6
+from repro.core.experiments.fig6 import compute_fig6
 
 
 def test_fig6_ir_drop(benchmark, record_output):
     result = benchmark.pedantic(
-        run_fig6, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+        compute_fig6, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
     )
     lines = [result.format()]
     cross = result.crossover_imbalance(converters=8, regular="Dense")

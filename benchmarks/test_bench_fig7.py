@@ -1,11 +1,11 @@
 """Fig. 7 — PARSEC power-sample distributions (box plot)."""
 
-from repro.core.experiments.fig7 import run_fig7
+from repro.core.experiments.fig7 import compute_fig7
 
 
 def test_fig7_workload_distributions(benchmark, record_output):
     result = benchmark.pedantic(
-        run_fig7, kwargs={"n_samples": 1000}, rounds=1, iterations=1
+        compute_fig7, kwargs={"n_samples": 1000}, rounds=1, iterations=1
     )
     record_output(result.format(), "fig7_workload")
     assert abs(result.average_max_imbalance - 0.65) < 0.05

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_GRID
 
-from repro.core.experiments.fig8 import run_fig8
+from repro.core.experiments.fig8 import compute_fig8
 
 
 def test_fig8_power_efficiency(benchmark, record_output):
     result = benchmark.pedantic(
-        run_fig8, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
+        compute_fig8, kwargs={"grid_nodes": BENCH_GRID}, rounds=1, iterations=1
     )
     record_output(result.format(), "fig8_efficiency")
 

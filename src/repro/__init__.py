@@ -17,8 +17,10 @@ Typical entry points::
     result = pdn.solve()
     print(result.max_ir_drop_fraction())
 
-    from repro.core.experiments import run_fig6
-    print(run_fig6().format())
+    from repro.core.experiments import compute_fig6
+    print(compute_fig6().format())
+
+or, from a shell, ``python -m repro fig6`` (see ``python -m repro -h``).
 """
 
 from repro.config import (

@@ -38,6 +38,12 @@ transparently to in-process execution when no worker connects::
 
 See docs/DISTRIBUTED.md for the protocol and failure semantics.
 
+Every subcommand also takes ``--solver {lu,cholesky,iterative}`` (env:
+``REPRO_SOLVER``) selecting the linear-solver backend from the registry
+in :mod:`repro.grid.backends` — see docs/SOLVERS.md::
+
+    python -m repro fig3 --solver cholesky
+
 and the *observability* flags (``--trace [DIR]``, ``--log-level``; env:
 ``REPRO_TRACE``, ``REPRO_TRACE_DIR``, ``REPRO_LOG``) which record
 hierarchical spans down to the solver's escalation rungs and emit
@@ -74,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.core.experiments import all_experiments
     from repro.core.experiments.base import (
         add_observability_arguments,
+        add_solver_arguments,
         add_supervision_arguments,
     )
 
@@ -81,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=cls.description)
         cls.configure_parser(cmd)
         add_supervision_arguments(cmd)
+        add_solver_arguments(cmd)
         add_observability_arguments(cmd)
     return parser
 
@@ -115,13 +123,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
     from repro.core.experiments import get_experiment
-    from repro.core.experiments.base import configure_observability
+    from repro.core.experiments.base import (
+        configure_observability,
+        configure_solver,
+    )
 
     configure_observability(args)
     from repro.obs.trace import get_tracer
 
     experiment_cls = get_experiment(args.command)
     try:
+        configure_solver(args)
         with get_tracer().span("experiment", command=args.command):
             config = experiment_cls.config_from_args(args)
             result = experiment_cls().run(config)
@@ -129,6 +141,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
     finally:
+        if getattr(args, "solver", None) is not None:
+            # The override is process-global; don't leak it past this
+            # invocation (in-process callers may run main() repeatedly).
+            from repro.grid.backends import set_default_backend
+
+            set_default_backend(None)
         _flush_cli_trace()
     print(result.to_table())
     for note in result.notes:

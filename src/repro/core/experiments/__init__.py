@@ -18,8 +18,10 @@ Module         Reproduces
 
 Every driver is an :class:`repro.core.experiments.base.Experiment`
 registered here in CLI order — ``python -m repro``'s subcommands are
-generated from this registry.  The historical ``run_*`` functions are
-kept as thin deprecated shims.
+generated from this registry.  Reproduce a figure with ``repro
+<subcommand>``; programmatic callers use the ``compute_fig*`` functions
+(the engine-backed implementations the Experiment classes run) or the
+classes themselves.  The pre-registry ``run_fig*`` shims are gone.
 """
 
 from repro.core.experiments.base import (
@@ -36,18 +38,18 @@ from repro.core.experiments.contingency import (
     ContingencyResult,
     run_contingency,
 )
-from repro.core.experiments.fig3 import Fig3Experiment, Fig3Result, run_fig3
+from repro.core.experiments.fig3 import Fig3Experiment, Fig3Result, compute_fig3
 from repro.core.experiments.fig5 import (
     Fig5aExperiment,
     Fig5aResult,
     Fig5bExperiment,
     Fig5bResult,
-    run_fig5a,
-    run_fig5b,
+    compute_fig5a,
+    compute_fig5b,
 )
-from repro.core.experiments.fig6 import Fig6Experiment, Fig6Result, run_fig6
-from repro.core.experiments.fig7 import Fig7Experiment, Fig7Result, run_fig7
-from repro.core.experiments.fig8 import Fig8Experiment, Fig8Result, run_fig8
+from repro.core.experiments.fig6 import Fig6Experiment, Fig6Result, compute_fig6
+from repro.core.experiments.fig7 import Fig7Experiment, Fig7Result, compute_fig7
+from repro.core.experiments.fig8 import Fig8Experiment, Fig8Result, compute_fig8
 from repro.core.experiments.tables import (
     Table1Experiment,
     Table2Experiment,
@@ -103,22 +105,22 @@ __all__ = [
     "run_contingency",
     "Fig3Experiment",
     "Fig3Result",
-    "run_fig3",
+    "compute_fig3",
     "Fig5aExperiment",
     "Fig5aResult",
     "Fig5bExperiment",
     "Fig5bResult",
-    "run_fig5a",
-    "run_fig5b",
+    "compute_fig5a",
+    "compute_fig5b",
     "Fig6Experiment",
     "Fig6Result",
-    "run_fig6",
+    "compute_fig6",
     "Fig7Experiment",
     "Fig7Result",
-    "run_fig7",
+    "compute_fig7",
     "Fig8Experiment",
     "Fig8Result",
-    "run_fig8",
+    "compute_fig8",
     "Table1Experiment",
     "Table2Experiment",
     "table1_report",

@@ -9,8 +9,9 @@ to text (:meth:`ExperimentResult.to_table`) or machine-readable JSON
 :func:`register` makes it show up in ``python -m repro`` automatically —
 the CLI is generated from this registry, not hand-written per figure.
 
-The historical per-figure functions (``run_fig5a`` and friends) remain
-as thin deprecated shims over these classes.
+The per-figure ``compute_fig*`` functions are the engine-backed
+implementations the Experiment classes run; the pre-registry
+``run_fig*`` shims have been removed — use ``repro <subcommand>``.
 """
 
 from __future__ import annotations
@@ -294,6 +295,32 @@ def add_supervision_arguments(parser) -> None:
         help="grace window to wait for fleet workers before degrading to "
         "in-process execution (default 10)",
     )
+
+
+def add_solver_arguments(parser) -> None:
+    """The solver-backend flag group shared by every subcommand."""
+    group = parser.add_argument_group(
+        "solver backend",
+        "linear-solver backend selection (see docs/SOLVERS.md)",
+    )
+    group.add_argument(
+        "--solver", type=str, default=None, metavar="BACKEND",
+        help="solver backend: lu (default), cholesky, or iterative "
+        "(also via REPRO_SOLVER; unknown names are a one-line error)",
+    )
+
+
+def configure_solver(args) -> None:
+    """Apply --solver as the process-default backend (validated).
+
+    An unknown name raises :class:`repro.errors.SolverBackendError`,
+    which the CLI reports as a one-line message — never a traceback.
+    """
+    name = getattr(args, "solver", None)
+    if name is not None:
+        from repro.grid.backends import set_default_backend
+
+        set_default_backend(name)
 
 
 def add_observability_arguments(parser) -> None:

@@ -119,7 +119,7 @@ def _sweep(
     return points
 
 
-def run_fig3(
+def compute_fig3(
     spec: Optional[SCConverterSpec] = None,
     v_top: float = 2.0,
     v_bottom: float = 0.0,
@@ -139,7 +139,7 @@ class Fig3Experiment(Experiment):
     description = "Fig. 3: SC converter model validation"
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-        result = run_fig3()
+        result = compute_fig3()
         return ExperimentResult(
             name=self.name,
             table=result.format(),

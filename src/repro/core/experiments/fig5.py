@@ -153,7 +153,7 @@ def _normalised_series(
     return series, degraded
 
 
-def run_fig5a(
+def compute_fig5a(
     layers: LayerSweep = DEFAULT_LAYERS,
     grid_nodes: int = 20,
     em: Optional[EMParameters] = None,
@@ -161,7 +161,7 @@ def run_fig5a(
 ) -> Fig5aResult:
     """Reproduce Fig. 5a (TSV array lifetimes).
 
-    Deprecated shim — prefer :class:`Fig5aExperiment`.
+    The engine-backed implementation behind :class:`Fig5aExperiment`.
     """
     em = em or default_em()
     engine = engine or SweepEngine()
@@ -192,7 +192,7 @@ def run_fig5a(
     return Fig5aResult(layers=layers, series=series, degraded_points=degraded)
 
 
-def run_fig5b(
+def compute_fig5b(
     layers: LayerSweep = DEFAULT_LAYERS,
     pad_fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
     grid_nodes: int = 20,
@@ -201,7 +201,7 @@ def run_fig5b(
 ) -> Fig5bResult:
     """Reproduce Fig. 5b (C4 pad array lifetimes).
 
-    Deprecated shim — prefer :class:`Fig5bExperiment`.
+    The engine-backed implementation behind :class:`Fig5bExperiment`.
     """
     em = em or default_em()
     engine = engine or SweepEngine()
@@ -247,7 +247,7 @@ class Fig5aExperiment(Experiment):
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         config = config or ExperimentConfig()
-        result = run_fig5a(
+        result = compute_fig5a(
             grid_nodes=config.grid_nodes,
             engine=resolve_engine(config),
         )
@@ -274,7 +274,7 @@ class Fig5bExperiment(Experiment):
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         config = config or ExperimentConfig()
-        result = run_fig5b(
+        result = compute_fig5b(
             grid_nodes=config.grid_nodes,
             engine=resolve_engine(config),
         )

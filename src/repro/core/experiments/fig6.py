@@ -100,7 +100,7 @@ class Fig6Result:
         return table + "\n" + "\n".join(lines)
 
 
-def run_fig6(
+def compute_fig6(
     n_layers: int = 8,
     imbalances: Sequence[float] = DEFAULT_IMBALANCES,
     converters_per_core: Sequence[int] = DEFAULT_CONVERTERS,
@@ -109,7 +109,7 @@ def run_fig6(
 ) -> Fig6Result:
     """Reproduce the Fig. 6 noise comparison.
 
-    Deprecated shim — prefer :class:`Fig6Experiment`.
+    The engine-backed implementation behind :class:`Fig6Experiment`.
     """
     engine = engine or SweepEngine()
     imbalances = tuple(imbalances)
@@ -179,7 +179,7 @@ class Fig6Experiment(Experiment):
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         config = config or ExperimentConfig()
-        result = run_fig6(
+        result = compute_fig6(
             n_layers=config.n_layers,
             grid_nodes=config.grid_nodes,
             engine=resolve_engine(config),

@@ -83,7 +83,7 @@ class Fig7Result:
         )
 
 
-def run_fig7(
+def compute_fig7(
     n_samples: int = 1000,
     processor: Optional[ProcessorSpec] = None,
     rng: SeedLike = None,
@@ -112,7 +112,7 @@ class Fig7Experiment(Experiment):
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         config = config or ExperimentConfig()
-        result = run_fig7(
+        result = compute_fig7(
             n_samples=config.option("samples", 1000), rng=config.seed
         )
         return ExperimentResult(

@@ -122,7 +122,7 @@ class Fig8Result:
         )
 
 
-def run_fig8(
+def compute_fig8(
     n_layers: int = 8,
     imbalances: Sequence[float] = DEFAULT_IMBALANCES,
     converters_per_core: Sequence[int] = DEFAULT_CONVERTERS,
@@ -131,7 +131,7 @@ def run_fig8(
 ) -> Fig8Result:
     """Reproduce the Fig. 8 efficiency comparison.
 
-    Deprecated shim — prefer :class:`Fig8Experiment`.
+    The engine-backed implementation behind :class:`Fig8Experiment`.
     """
     engine = engine or SweepEngine()
     imbalances = tuple(imbalances)
@@ -185,7 +185,7 @@ class Fig8Experiment(Experiment):
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         config = config or ExperimentConfig()
-        result = run_fig8(
+        result = compute_fig8(
             n_layers=config.n_layers,
             grid_nodes=config.grid_nodes,
             engine=resolve_engine(config),

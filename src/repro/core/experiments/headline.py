@@ -24,9 +24,9 @@ from repro.core.experiments.base import (
     degraded_notes,
     resolve_engine,
 )
-from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
-from repro.core.experiments.fig6 import Fig6Result, run_fig6
-from repro.core.experiments.fig7 import Fig7Result, run_fig7
+from repro.core.experiments.fig5 import Fig5aResult, Fig5bResult, compute_fig5a, compute_fig5b
+from repro.core.experiments.fig6 import Fig6Result, compute_fig6
+from repro.core.experiments.fig7 import Fig7Result, compute_fig7
 from repro.runtime import SweepEngine
 
 
@@ -82,10 +82,10 @@ def run_headline(
     and factorised exactly once across the whole report.
     """
     engine = engine or SweepEngine()
-    fig5a = fig5a or run_fig5a(grid_nodes=grid_nodes, engine=engine)
-    fig5b = fig5b or run_fig5b(grid_nodes=grid_nodes, engine=engine)
-    fig6 = fig6 or run_fig6(grid_nodes=grid_nodes, engine=engine)
-    fig7 = fig7 or run_fig7()
+    fig5a = fig5a or compute_fig5a(grid_nodes=grid_nodes, engine=engine)
+    fig5b = fig5b or compute_fig5b(grid_nodes=grid_nodes, engine=engine)
+    fig6 = fig6 or compute_fig6(grid_nodes=grid_nodes, engine=engine)
+    fig7 = fig7 or compute_fig7()
 
     vs_series = fig5a.series["V-S PDN, Few TSV"]
     reg_series = fig5a.series["Reg. PDN, Few TSV"]

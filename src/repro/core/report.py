@@ -12,12 +12,12 @@ import time
 from typing import Optional
 
 from repro.core.experiments import (
-    run_fig3,
-    run_fig5a,
-    run_fig5b,
-    run_fig6,
-    run_fig7,
-    run_fig8,
+    compute_fig3,
+    compute_fig5a,
+    compute_fig5b,
+    compute_fig6,
+    compute_fig7,
+    compute_fig8,
     run_headline,
     table1_report,
     table2_report,
@@ -42,22 +42,22 @@ def generate_report(grid_nodes: int = 16, rng: Optional[int] = None) -> str:
     section("Table 1 — PDN modeling parameters", table1_report())
     section("Table 2 — TSV configurations", table2_report())
 
-    fig3 = run_fig3()
+    fig3 = compute_fig3()
     section("Fig. 3 — SC converter model validation", fig3.format())
 
-    fig5a = run_fig5a(grid_nodes=grid_nodes)
+    fig5a = compute_fig5a(grid_nodes=grid_nodes)
     section("Fig. 5a — TSV array EM lifetime", fig5a.format())
 
-    fig5b = run_fig5b(grid_nodes=grid_nodes)
+    fig5b = compute_fig5b(grid_nodes=grid_nodes)
     section("Fig. 5b — C4 array EM lifetime", fig5b.format())
 
-    fig6 = run_fig6(grid_nodes=grid_nodes)
+    fig6 = compute_fig6(grid_nodes=grid_nodes)
     section("Fig. 6 — IR drop vs workload imbalance", fig6.format())
 
-    fig7 = run_fig7(rng=rng)
+    fig7 = compute_fig7(rng=rng)
     section("Fig. 7 — PARSEC power distributions", fig7.format())
 
-    fig8 = run_fig8(grid_nodes=grid_nodes)
+    fig8 = compute_fig8(grid_nodes=grid_nodes)
     section("Fig. 8 — system power efficiency", fig8.format())
 
     headline = run_headline(

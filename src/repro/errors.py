@@ -44,6 +44,13 @@ your design" from a genuine bug.  The hierarchy is deliberately shallow:
     efficiency range, finite fields, ...) failed at severity ``raise``.
     Carries the full machine-readable
     :class:`repro.contracts.ContractReport` in :attr:`report`.
+``SolverBackendError``
+    An unknown solver backend was requested (``--solver``,
+    ``REPRO_SOLVER`` or the registry API); see docs/SOLVERS.md.
+``NotSPDError``
+    An ``spd_only`` solver backend (cholesky) was handed a system that
+    is not symmetric positive definite.  Inside the escalation ladder
+    this is a failed rung, not a fatal error.
 """
 
 from __future__ import annotations
@@ -158,6 +165,22 @@ class WorkerLostError(ReproError):
         self.task = task
 
 
+class SolverBackendError(ReproError):
+    """An unknown (or unregistered) solver backend was requested."""
+
+
+class NotSPDError(ReproError):
+    """An ``spd_only`` backend was given a non-SPD system.
+
+    ``reason`` is the short screen verdict ("complex-valued system",
+    "non-positive diagonal entry", "asymmetric stamps ...").
+    """
+
+    def __init__(self, message: str, reason: Optional[str] = None):
+        super().__init__(message)
+        self.reason = reason
+
+
 class TraceDataError(ReproError):
     """A trace file required by ``repro trace`` is missing, empty, or
     torn (unparsable JSONL); carries the offending path."""
@@ -179,4 +202,6 @@ __all__ = [
     "WorkerLostError",
     "TraceDataError",
     "ContractViolationError",
+    "SolverBackendError",
+    "NotSPDError",
 ]

@@ -13,17 +13,40 @@ the compact model of paper Fig. 2.
 """
 
 from repro.grid.ac import ACAnalysis, ImpedanceProfile, pdn_impedance_profile
+from repro.grid.backends import (
+    Factorization,
+    SolverBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.grid.dynamic import Capacitor, Inductor, TransientEngine, TransientTrace
 from repro.grid.netlist import Circuit, ElementRef
 from repro.grid.solution import Solution
-from repro.grid.solver import AssembledCircuit, SolveDiagnostics
+from repro.grid.solver import (
+    AssembledCircuit,
+    SolveDiagnostics,
+    SolveOptions,
+    SolveRequest,
+)
 
 __all__ = [
     "Circuit",
     "ElementRef",
     "AssembledCircuit",
     "SolveDiagnostics",
+    "SolveOptions",
+    "SolveRequest",
     "Solution",
+    "SolverBackend",
+    "Factorization",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
     "Capacitor",
     "Inductor",
     "TransientEngine",

@@ -22,8 +22,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix
-from scipy.sparse.linalg import splu
 
+from repro.grid.backends import get_backend, notice_once, resolve_backend
 from repro.grid.dynamic import Capacitor, Inductor
 from repro.grid.netlist import RESISTOR, VSOURCE, Circuit, NodeKey
 from repro.utils.validation import check_positive
@@ -63,10 +63,16 @@ class ACAnalysis:
         circuit: Circuit,
         capacitors: Sequence[Capacitor] = (),
         inductors: Sequence[Inductor] = (),
+        backend=None,
     ):
         if circuit.ground is None:
             raise ValueError("circuit needs a ground reference")
         self.circuit = circuit
+        #: Solver backend for the per-frequency complex solves.  The AC
+        #: system is complex symmetric (never SPD), so ``cholesky``
+        #: degrades to ``lu`` with a one-line notice; ``iterative``
+        #: runs LGMRES.
+        self.backend = resolve_backend(backend)
         self.capacitors = list(capacitors)
         self.inductors = list(inductors)
         self._ground = circuit.ground
@@ -144,6 +150,26 @@ class ACAnalysis:
         ).tocsc()
         return matrix, dim
 
+    def _factorize(self, matrix):
+        """Factorise one frequency point's system with the chosen backend.
+
+        A backend that cannot handle the complex system (cholesky is
+        ``spd_only``) falls back to ``lu`` with a one-line notice, same
+        policy as the DC solver layer.
+        """
+        try:
+            return self.backend.factorize(matrix)
+        except (RuntimeError, ValueError):
+            if self.backend.name == "lu":
+                raise
+            notice_once(
+                f"ac-{self.backend.name}-lu-fallback",
+                f"solver backend '{self.backend.name}' cannot factorize the "
+                "complex AC system; falling back to lu",
+                backend=self.backend.name,
+            )
+            return get_backend("lu").factorize(matrix)
+
     # ------------------------------------------------------------------
     def impedance(
         self,
@@ -168,7 +194,7 @@ class ACAnalysis:
                 rhs[pos] += 1.0
             if neg >= 0:
                 rhs[neg] -= 1.0
-            solution = splu(matrix).solve(rhs)
+            solution = self._factorize(matrix).solve(rhs)
             v_pos = solution[pos] if pos >= 0 else 0.0
             v_neg = solution[neg] if neg >= 0 else 0.0
             z_values[i] = v_pos - v_neg
@@ -180,6 +206,7 @@ def pdn_impedance_profile(
     frequencies: Optional[Sequence[float]] = None,
     decap_per_layer: float = 100e-9,
     probe_layer: Optional[int] = None,
+    backend=None,
 ) -> ImpedanceProfile:
     """Impedance seen by a load at the centre of ``probe_layer``.
 
@@ -208,7 +235,7 @@ def pdn_impedance_profile(
         ]
         if pkg.decap > 0:
             capacitors.append(Capacitor(PKG_VDD, PKG_GND, pkg.decap))
-    analysis = ACAnalysis(pdn.circuit, capacitors, inductors)
+    analysis = ACAnalysis(pdn.circuit, capacitors, inductors, backend=backend)
     if frequencies is None:
         frequencies = np.logspace(5, 10, 41)  # 100 kHz .. 10 GHz
     layer = n_layers - 1 if probe_layer is None else probe_layer

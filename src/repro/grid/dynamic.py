@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.grid.netlist import ISOURCE, Circuit, NodeKey
+from repro.grid.solver import SolveRequest
 from repro.utils.validation import check_positive
 
 
@@ -196,7 +197,7 @@ class TransientEngine:
             )
             hist_l = ind_i
             overrides = np.concatenate([loads, hist_c, hist_l])
-            solution = self._assembled.solve(isource_current=overrides)
+            solution = self._assembled.solve(SolveRequest(isource_current=overrides))
             volts = solution.node_voltage
             cap_v = np.array([volts[a] - volts[b] for a, b in self._cap_nodes])
             ind_i = hist_l + np.array(

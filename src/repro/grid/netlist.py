@@ -397,11 +397,16 @@ class Circuit:
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
-    def assemble(self):
-        """Freeze the topology into an LU-factorable MNA system."""
+    def assemble(self, backend=None):
+        """Freeze the topology into a factorisable MNA system.
+
+        ``backend`` picks the solver backend (a name from
+        :mod:`repro.grid.backends`, a backend object, or ``None`` for
+        the process default).
+        """
         from repro.grid.solver import AssembledCircuit
 
-        return AssembledCircuit(self)
+        return AssembledCircuit(self, backend=backend)
 
     def solve(self):
         """Convenience: assemble and solve in one step."""

@@ -1,16 +1,25 @@
-"""MNA assembly, sparse LU solve, and the resilient solve path.
+"""MNA assembly, pluggable sparse factorisation, and the resilient solve path.
 
 :class:`AssembledCircuit` freezes a :class:`repro.grid.netlist.Circuit`
-topology into a sparse MNA matrix, LU-factorises it once (SuperLU via
-``scipy.sparse.linalg.splu``) and then solves for any set of source
-values.  Because independent sources only enter the right-hand side,
-parameter sweeps over load currents — the inner loop of every experiment
-in the paper — reuse the factorisation and cost only a triangular solve.
+topology into a sparse MNA matrix, factorises it once through a
+:class:`repro.grid.backends.SolverBackend` (``lu`` — SuperLU via
+``scipy.sparse.linalg.splu`` — by default) and then solves for any set
+of source values.  Because independent sources only enter the
+right-hand side, parameter sweeps over load currents — the inner loop
+of every experiment in the paper — reuse the factorisation and cost
+only a triangular solve.
+
+The canonical entry point is ``solve(request)`` with a
+:class:`SolveRequest` (one operating point or a batch) carrying typed
+:class:`SolveOptions` (resilient, refine, backend override).  The
+pre-registry keyword forms ``solve(isource_current=...)`` and
+``solve_batch(...)`` still work but are deprecated: each warns once per
+process through the structured logger.
 
 Fault-injected netlists (see :mod:`repro.faults`) can leave the system
 singular: an opened TSV tier floats a whole layer, a dead converter bank
-floats an intermediate rail.  ``solve(resilient=True)`` refuses to die on
-such inputs.  Before declaring defeat it
+floats an intermediate rail.  ``SolveOptions(resilient=True)`` refuses
+to die on such inputs.  Before declaring defeat it
 
 1. detects floating subnetworks with
    ``scipy.sparse.csgraph.connected_components`` over the conduction
@@ -19,12 +28,13 @@ such inputs.  Before declaring defeat it
 2. pins any remaining structurally-empty MNA rows with identity
    stamps (dead source/converter branches);
 3. climbs a solver **escalation ladder** on each (full or pruned)
-   system: SuperLU direct solve, then iterative refinement against the
-   existing factorisation (gated on the 1-norm condition estimate from
-   ``scipy.sparse.linalg.onenormest``), then a Jacobi-preconditioned
-   LGMRES iteration, and finally a dense least-squares solve for small
-   systems.  Every rung climbed is recorded in
-   :attr:`SolveDiagnostics.escalations`.
+   system: the selected backend's direct solve (a non-``lu`` backend
+   that cannot factorise falls back to ``lu`` as its own rung, with a
+   one-line structured-log notice), then iterative refinement against
+   the existing factorisation (gated on the cached 1-norm condition
+   estimate), then a Jacobi-preconditioned LGMRES iteration, and
+   finally a dense least-squares solve for small systems.  Every rung
+   climbed is recorded in :attr:`SolveDiagnostics.escalations`.
 
 Only when the whole ladder fails does it raise — always a typed
 :class:`repro.errors.ReproError` subclass carrying the diagnostics,
@@ -35,17 +45,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.sparse import coo_matrix
 from scipy.sparse.csgraph import connected_components
-from scipy.sparse.linalg import LinearOperator, lgmres, onenormest, splu
+from scipy.sparse.linalg import LinearOperator, lgmres
 
 from repro.errors import (
     ConvergenceError,
     FaultInjectionError,
     SingularCircuitError,
+)
+from repro.grid.backends import (
+    Factorization,
+    SolverBackend,
+    get_backend,
+    notice_once,
+    resolve_backend,
 )
 from repro.grid.netlist import CONVERTER, ISOURCE, RESISTOR, VSOURCE, Circuit
 from repro.obs.trace import get_tracer
@@ -55,9 +72,80 @@ from repro.utils.validation import check_finite_array
 __all__ = [
     "AssembledCircuit",
     "SolveDiagnostics",
+    "SolveOptions",
+    "SolveRequest",
     "SingularCircuitError",
     "ConvergenceError",
 ]
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Typed knobs of a solve, independent of the operating point.
+
+    ``resilient``
+        Climb the escalation ladder instead of failing fast on a
+        singular or ill-conditioned system.
+    ``refine``
+        Allow the iterative-refinement rungs (meaningless for backends
+        whose factorisations set ``supports_refine = False``).
+    ``backend``
+        Per-request override of the assembly's solver backend, by
+        registry name (see :mod:`repro.grid.backends`).  ``None`` uses
+        the backend the circuit was assembled with.
+    """
+
+    resilient: bool = False
+    refine: bool = True
+    backend: Optional[str] = None
+
+
+@dataclass(eq=False)
+class SolveRequest:
+    """One solve: a single operating point or a batch of them.
+
+    Exactly one of the single-point form (``isource_current`` /
+    ``vsource_voltage`` overrides, both optional) or the batched form
+    (``isource_currents``: a sequence of per-point load-current
+    overrides, ``None`` entries meaning stored values) may be used.
+    ``AssembledCircuit.solve`` returns a single
+    :class:`~repro.grid.solution.Solution` for the former and a list
+    for the latter.
+    """
+
+    isource_current: Optional[np.ndarray] = None
+    vsource_voltage: Optional[np.ndarray] = None
+    isource_currents: Optional[Sequence[Optional[np.ndarray]]] = None
+    options: SolveOptions = field(default_factory=SolveOptions)
+
+    def __post_init__(self):
+        if self.isource_current is not None and self.isource_currents is not None:
+            raise ValueError(
+                "SolveRequest takes isource_current (single point) or "
+                "isource_currents (batch), not both"
+            )
+
+    @property
+    def batched(self) -> bool:
+        return self.isource_currents is not None
+
+
+#: Deprecated entry points that already warned this process.
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(entry: str) -> None:
+    """One structured-log deprecation warning per entry point per process."""
+    if entry in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(entry)
+    from repro.obs.logs import get_logger
+
+    get_logger(__name__).warning(
+        f"{entry} is deprecated; pass a SolveRequest to "
+        "AssembledCircuit.solve() instead",
+        extra={"deprecated": entry},
+    )
 
 
 @dataclass
@@ -81,8 +169,12 @@ class SolveDiagnostics:
     #: not), "refined" (iterative refinement), "iterative" (the
     #: Jacobi-LGMRES fallback) or "lstsq" (dense least squares).
     fallback: str = "none"
-    #: Escalation-ladder rungs visited, in order ("lu", "refine",
-    #: "pruned-lu", "lgmres", "lstsq").  A clean solve is just ["lu"].
+    #: Escalation-ladder rungs visited, in order.  The first rung is the
+    #: selected backend's direct solve (named after the backend, so
+    #: plain "lu" by default); a non-``lu`` backend that cannot
+    #: factorise inserts an in-rung "lu" fallback; then "refine",
+    #: "pruned-<backend>", "lgmres", "lstsq".  A clean default solve is
+    #: just ["lu"].
     escalations: List[str] = field(default_factory=list)
     #: Wall time spent on each rung, parallel to ``escalations``, so
     #: ladder cost is attributable per rung (batched clean columns get
@@ -93,8 +185,12 @@ class SolveDiagnostics:
     #: Relative residual of the accepted solution.
     residual: float = 0.0
     #: One-norm condition estimate of the (possibly pruned) MNA matrix,
-    #: when a factorisation was available to compute it.
+    #: when a factorisation was available to compute it.  Cached on the
+    #: factorisation object, so repeated solves against one
+    #: factorisation estimate it once.
     condition_estimate: Optional[float] = None
+    #: Registry name of the solver backend this solve ran under.
+    backend: str = "lu"
     #: ``repro.contracts.ContractReport`` of the physics-contract checks
     #: run against the result built from this solve, when checking is
     #: enabled (attached by the PDN layer, not the raw solver).
@@ -162,11 +258,21 @@ class _RungTimer:
                 tracer.record("rung", elapsed, rung=name)
 
 
+#: Cache sentinel: this backend already failed to factorise this matrix.
+_FACT_FAILED = object()
+
+
 class AssembledCircuit:
     """A factorised MNA system ready for repeated right-hand-side solves.
 
     The unknown vector is laid out as ``[node voltages (ground dropped),
     voltage-source branch currents, converter output currents]``.
+
+    ``backend`` selects the :class:`repro.grid.backends.SolverBackend`
+    used for direct factorisations (name, backend object, or ``None``
+    for the process default — ``--solver`` / ``REPRO_SOLVER`` / "lu").
+    Factorisations are cached per (backend, full-or-pruned matrix), so
+    a per-request backend override pays its factorisation once.
     """
 
     #: Relative residual above which a solve is reported as singular.
@@ -182,12 +288,17 @@ class AssembledCircuit:
     #: dimension (it materialises the full matrix).
     LSTSQ_MAX_DIMENSION = 3000
 
-    def __init__(self, circuit: Circuit):
+    def __init__(
+        self,
+        circuit: Circuit,
+        backend: Union[None, str, SolverBackend] = None,
+    ):
         if circuit.ground is None:
             raise ValueError("circuit has no ground: call Circuit.set_ground() first")
         if circuit.count(RESISTOR) == 0 and circuit.count(VSOURCE) == 0:
             raise ValueError("circuit has no conducting elements")
         self.circuit = circuit
+        self.backend = resolve_backend(backend)
         self._revision = circuit.revision
         self._ground = circuit.ground
         self._n_nodes = circuit.node_count
@@ -201,12 +312,15 @@ class AssembledCircuit:
                 shape=(self.dimension, self.dimension),
             ).tocsc()
             span.set(dimension=self.dimension, nnz=int(self._matrix.nnz))
-        self._lu = None
+        #: Factorisation cache: (backend name, "full"|"pruned") ->
+        #: Factorization | _FACT_FAILED.  Pruned entries are dropped
+        #: whenever the pruned system is rebuilt.
+        self._facts: dict = {}
+        self._fact_errors: dict = {}
         #: Matrix rows zeroed by pruning/pinning; their RHS entries are
         #: forced to zero.  Empty until the resilient path prunes.
         self._forced_zero_rows: np.ndarray = np.empty(0, dtype=int)
         self._pruned_matrix = None
-        self._pruned_lu = None
         self._diagnostics_template: Optional[SolveDiagnostics] = None
         self._island_node_mask: Optional[np.ndarray] = None
         self._shed_isource_mask: Optional[np.ndarray] = None
@@ -447,9 +561,78 @@ class AssembledCircuit:
         self._pruned_matrix = coo_matrix(
             (vals2, (rows2, cols2)), shape=(self.dimension, self.dimension)
         ).tocsc()
-        self._pruned_lu = None
+        # The pruned matrix changed: every cached pruned factorisation
+        # (and its cached condition estimate) is stale.
+        self._facts = {k: v for k, v in self._facts.items() if k[1] != "pruned"}
+        self._fact_errors = {
+            k: v for k, v in self._fact_errors.items() if k[1] != "pruned"
+        }
         self._island_node_mask = island_mask
         return diag
+
+    # ------------------------------------------------------------------
+    # factorisation cache
+    # ------------------------------------------------------------------
+    def _factorization(
+        self, backend: SolverBackend, pruned: bool = False
+    ) -> Optional[Factorization]:
+        """Cached factorisation of the full or pruned matrix by ``backend``.
+
+        Returns None when the backend cannot factorise that matrix (the
+        failure is cached too, so each backend attempts each matrix at
+        most once; the triggering exception lands in ``_fact_errors``).
+        """
+        key = (backend.name, "pruned" if pruned else "full")
+        fact = self._facts.get(key)
+        if fact is None:
+            matrix = self._pruned_matrix if pruned else self._matrix
+            try:
+                fact = backend.factorize(matrix)
+            except (RuntimeError, ValueError) as exc:
+                self._fact_errors[key] = exc
+                fact = _FACT_FAILED
+            self._facts[key] = fact
+        return None if fact is _FACT_FAILED else fact
+
+    def _fallback_factorization(
+        self,
+        backend: SolverBackend,
+        pruned: bool = False,
+        timer: Optional[_RungTimer] = None,
+    ) -> Tuple[Optional[Factorization], str]:
+        """The backend's factorisation, or the ``lu`` fallback.
+
+        A non-``lu`` backend that cannot factorise (non-SPD input, say)
+        degrades to ``lu`` with a one-line structured-log notice; under
+        a resilient timer the fallback is timed as its own ladder rung,
+        so a failed cholesky rung escalates exactly like a failed LU
+        rung.  Returns ``(factorisation or None, rung name)``.
+        """
+        prefix = "pruned-" if pruned else ""
+        fact = self._factorization(backend, pruned)
+        if fact is not None or backend.name == "lu":
+            return fact, prefix + backend.name
+        exc = self._fact_errors.get((backend.name, "pruned" if pruned else "full"))
+        notice_once(
+            f"{backend.name}-lu-fallback",
+            f"solver backend '{backend.name}' could not factorize this "
+            f"system ({exc}); falling back to lu",
+            backend=backend.name,
+        )
+        if timer is not None:
+            timer.start(prefix + "lu")
+        return self._factorization(get_backend("lu"), pruned), prefix + "lu"
+
+    @property
+    def _lu(self) -> Optional[Factorization]:
+        """The assembly backend's cached full-matrix factorisation."""
+        fact = self._facts.get((self.backend.name, "full"))
+        return None if fact in (None, _FACT_FAILED) else fact
+
+    @property
+    def _pruned_lu(self) -> Optional[Factorization]:
+        fact = self._facts.get((self.backend.name, "pruned"))
+        return None if fact in (None, _FACT_FAILED) else fact
 
     # ------------------------------------------------------------------
     # solving
@@ -461,51 +644,51 @@ class AssembledCircuit:
                 "call Circuit.assemble() again to pick up the changes"
             )
 
-    def _condition_estimate(self, matrix, lu) -> Optional[float]:
-        if self.dimension < 2:
-            return None
-        try:
-            # onenormest needs the adjoint too; SuperLU solves A^T x = b.
-            inv = LinearOperator(
-                matrix.shape,
-                matvec=lu.solve,
-                rmatvec=lambda v: lu.solve(v, trans="T"),
-            )
-            return float(onenormest(matrix) * onenormest(inv))
-        except Exception:  # estimation is best-effort only
-            return None
-
     def _relative_residual(self, matrix, x, z) -> float:
         residual = np.linalg.norm(matrix @ x - z)
         scale = max(1.0, float(np.linalg.norm(z)))
         return residual / scale
 
-    def _direct_attempt(self, matrix, lu_attr: str, z):
-        """Try SuperLU; return (x, relative_residual) or None on failure."""
-        lu = getattr(self, lu_attr)
-        if lu is None:
-            try:
-                lu = splu(matrix)
-            except (RuntimeError, ValueError):
-                return None
-            setattr(self, lu_attr, lu)
-        x = lu.solve(z)
+    def _direct_attempt(
+        self,
+        backend: SolverBackend,
+        z: np.ndarray,
+        pruned: bool = False,
+        timer: Optional[_RungTimer] = None,
+    ):
+        """One direct ladder rung: backend solve (with in-rung lu fallback).
+
+        Returns ``(x, relative_residual, factorisation, rung_name)`` or
+        None when no direct factorisation produced a finite answer.
+        The rung name records which factorisation actually answered
+        (e.g. ``"pruned-lu"`` after an in-rung fallback), so the ladder
+        can tell whether an explicit lu rung would be redundant.
+        """
+        matrix = self._pruned_matrix if pruned else self._matrix
+        fact, rung = self._fallback_factorization(backend, pruned, timer)
+        if fact is None:
+            return None
+        try:
+            x = fact.solve_batch(z) if z.ndim == 2 else fact.solve(z)
+        except (RuntimeError, ValueError):
+            return None
         if not np.all(np.isfinite(x)):
             return None
-        return x, self._relative_residual(matrix, x, z)
+        return x, self._relative_residual(matrix, x, z), fact, rung
 
-    def _refine_attempt(self, matrix, lu, x, z):
-        """Iterative refinement against an existing LU factorisation.
+    def _refine_attempt(self, matrix, fact: Factorization, x, z):
+        """Iterative refinement against an existing factorisation.
 
-        Classical residual correction: ``x += lu.solve(z - A x)`` until
-        the relative residual meets the tolerance or the pass budget is
-        spent.  Returns ``(x, relative_residual)`` of the best iterate.
+        Classical residual correction: ``x += fact.solve(z - A x)``
+        until the relative residual meets the tolerance or the pass
+        budget is spent.  Returns ``(x, relative_residual)`` of the
+        best iterate.
         """
         rel = self._relative_residual(matrix, x, z)
         for _ in range(self.MAX_REFINEMENT_PASSES):
             if rel <= self.RESIDUAL_TOLERANCE:
                 break
-            dx = lu.solve(z - matrix @ x)
+            dx = fact.solve(z - matrix @ x)
             if not np.all(np.isfinite(dx)):
                 break
             refined = x + dx
@@ -568,26 +751,34 @@ class AssembledCircuit:
 
     def solve(
         self,
+        request: Optional[SolveRequest] = None,
+        *,
         isource_current: Optional[np.ndarray] = None,
         vsource_voltage: Optional[np.ndarray] = None,
-        resilient: bool = False,
-    ) -> Solution:
-        """Solve the DC operating point.
+        resilient: Optional[bool] = None,
+    ) -> Union[Solution, List[Solution]]:
+        """Solve one operating point or a batch of them.
 
-        Parameters
-        ----------
-        isource_current, vsource_voltage:
-            Optional full-length override arrays for the independent
-            source values; ``None`` uses the values given at netlist
-            construction.  The system matrix is untouched either way, so
-            sweeps amortise the factorisation.  Non-finite entries are
-            rejected with a ``ValueError`` naming the offending index.
-        resilient:
-            When True, a singular or near-singular system is not fatal:
-            floating subnetworks are pruned (grounded, their loads shed)
-            and an iterative fallback is tried before raising.  The
-            returned :class:`repro.grid.solution.Solution` carries a
-            :class:`SolveDiagnostics` describing every measure taken.
+        The canonical form takes a :class:`SolveRequest`::
+
+            assembled.solve(SolveRequest(
+                isource_current=currents,
+                options=SolveOptions(resilient=True),
+            ))
+
+        and returns one :class:`~repro.grid.solution.Solution` (or a
+        list of them for a batched request, in input order).  With
+        ``SolveOptions(resilient=True)`` a singular or near-singular
+        system is not fatal: floating subnetworks are pruned (grounded,
+        their loads shed) and the escalation ladder is climbed before
+        raising; the returned Solution then carries a
+        :class:`SolveDiagnostics` describing every measure taken.
+
+        The keyword form ``solve(isource_current=..., vsource_voltage=
+        ..., resilient=...)`` is **deprecated** (it warns once per
+        process via the structured logger) and delegates here; calling
+        ``solve()`` with no arguments solves the stored operating point
+        and is not deprecated.
 
         Raises
         ------
@@ -595,17 +786,96 @@ class AssembledCircuit:
             The system has no unique solution (and, in resilient mode,
             pruning did not make it solvable).
         repro.errors.ConvergenceError
-            Resilient mode only: the iterative fallback ran out of
-            iterations on a near-singular system.
+            An iterative solve ran out of iterations.
         repro.errors.FaultInjectionError
             The circuit was mutated after assembly.
         """
+        legacy = (
+            isource_current is not None
+            or vsource_voltage is not None
+            or resilient is not None
+        )
+        if request is not None and not isinstance(request, SolveRequest):
+            # Positional legacy form: solve(current_array).
+            isource_current, request, legacy = request, None, True
+        if legacy:
+            if request is not None:
+                raise ValueError(
+                    "pass either a SolveRequest or the legacy keyword "
+                    "arguments, not both"
+                )
+            _warn_deprecated("AssembledCircuit.solve(isource_current=...)")
+            request = SolveRequest(
+                isource_current=isource_current,
+                vsource_voltage=vsource_voltage,
+                options=SolveOptions(resilient=bool(resilient)),
+            )
+        return self._solve_request(request if request is not None else SolveRequest())
+
+    def solve_batch(
+        self,
+        isource_currents: Optional[Sequence[Optional[np.ndarray]]] = None,
+        vsource_voltage: Optional[np.ndarray] = None,
+        resilient: bool = False,
+    ) -> List[Solution]:
+        """Deprecated wrapper: batched solve against one factorisation.
+
+        Use ``solve(SolveRequest(isource_currents=...))`` instead; this
+        form warns once per process via the structured logger and then
+        behaves identically (all points share the system matrix, so the
+        right-hand sides are stacked into one dense matrix and solved
+        in a single multi-RHS triangular solve).
+        """
+        _warn_deprecated("AssembledCircuit.solve_batch(...)")
         self._check_revision()
-        current, voltage = self._resolve_sources(isource_current, vsource_voltage)
-        if resilient:
-            x, diag, current = self._solve_resilient(current, voltage)
+        if isource_currents is None:
+            raise ValueError("solve_batch needs a sequence of operating points")
+        return self._solve_request(
+            SolveRequest(
+                isource_currents=isource_currents,
+                vsource_voltage=vsource_voltage,
+                options=SolveOptions(resilient=resilient),
+            )
+        )
+
+    def _solve_request(self, request: SolveRequest):
+        """Canonical solve: every public entry point lands here."""
+        self._check_revision()
+        options = request.options
+        backend = (
+            resolve_backend(options.backend)
+            if options.backend is not None
+            else self.backend
+        )
+        if request.batched:
+            resolved = [
+                self._resolve_sources(currents, request.vsource_voltage)
+                for currents in request.isource_currents
+            ]
+            if not resolved:
+                return []
+            if options.resilient:
+                return self._solve_resilient_batch(resolved, backend, options)
+            z = np.column_stack([self._rhs(c, v) for c, v in resolved])
+            x = self._solve_strict(z, backend)
+            return [
+                Solution(
+                    assembled=self,
+                    x=x[:, i],
+                    isource_current=resolved[i][0],
+                    vsource_voltage=resolved[i][1],
+                )
+                for i in range(len(resolved))
+            ]
+        current, voltage = self._resolve_sources(
+            request.isource_current, request.vsource_voltage
+        )
+        if options.resilient:
+            x, diag, current = self._solve_resilient(
+                current, voltage, backend, options
+            )
         else:
-            x = self._solve_strict(self._rhs(current, voltage))
+            x = self._solve_strict(self._rhs(current, voltage), backend)
             diag = None
         return Solution(
             assembled=self,
@@ -615,64 +885,21 @@ class AssembledCircuit:
             diagnostics=diag,
         )
 
-    def factorize(self) -> bool:
-        """Eagerly LU-factorise the full MNA matrix.
+    def factorize(self, backend: Union[None, str, SolverBackend] = None) -> bool:
+        """Eagerly factorise the full MNA matrix.
 
         Normally the factorisation happens lazily inside the first
         :meth:`solve`; the sweep engine calls this explicitly so build,
         factorise and solve time can be attributed to separate stages.
-        Returns False (instead of raising) when the matrix is singular,
-        leaving the resilient path to deal with it later.
+        A non-``lu`` backend that cannot factorise warms its ``lu``
+        fallback here too, so the degraded path is also paid in the
+        factorise stage.  Returns False (instead of raising) when no
+        direct factorisation is obtainable, leaving the resilient path
+        to deal with it later.
         """
-        if self._lu is None:
-            try:
-                self._lu = splu(self._matrix)
-            except (RuntimeError, ValueError):
-                return False
-        return True
-
-    def solve_batch(
-        self,
-        isource_currents: Optional[Sequence[Optional[np.ndarray]]] = None,
-        vsource_voltage: Optional[np.ndarray] = None,
-        resilient: bool = False,
-    ) -> List[Solution]:
-        """Solve many operating points against one factorisation.
-
-        ``isource_currents`` is a sequence of per-point load-current
-        overrides (each entry as in :meth:`solve`; ``None`` entries use
-        the stored values).  All points share the system matrix, so the
-        right-hand sides are stacked into one dense matrix and solved in
-        a single multi-RHS triangular solve — the amortisation this
-        module's docstring promises, now paid once per *sweep* instead
-        of once per point.
-
-        Returns one :class:`Solution` per entry, in input order, and is
-        numerically identical to calling :meth:`solve` point by point
-        (the same factorisation caches are used for both paths).
-        """
-        self._check_revision()
-        if isource_currents is None:
-            raise ValueError("solve_batch needs a sequence of operating points")
-        resolved = [
-            self._resolve_sources(currents, vsource_voltage)
-            for currents in isource_currents
-        ]
-        if not resolved:
-            return []
-        if resilient:
-            return self._solve_resilient_batch(resolved)
-        z = np.column_stack([self._rhs(c, v) for c, v in resolved])
-        x = self._solve_strict(z)
-        return [
-            Solution(
-                assembled=self,
-                x=x[:, i],
-                isource_current=resolved[i][0],
-                vsource_voltage=resolved[i][1],
-            )
-            for i in range(len(resolved))
-        ]
+        chosen = self.backend if backend is None else resolve_backend(backend)
+        fact, _ = self._fallback_factorization(chosen)
+        return fact is not None
 
     def _batch_residuals(self, matrix, x: np.ndarray, z: np.ndarray) -> np.ndarray:
         """Per-column relative residuals of a multi-RHS solve."""
@@ -680,7 +907,9 @@ class AssembledCircuit:
         scale = np.maximum(1.0, np.linalg.norm(z, axis=0))
         return residual / scale
 
-    def _solve_resilient_batch(self, resolved) -> List[Solution]:
+    def _solve_resilient_batch(
+        self, resolved, backend: SolverBackend, options: SolveOptions
+    ) -> List[Solution]:
         """Batched mirror of :meth:`_solve_resilient`.
 
         Columns whose full-system direct solve meets the residual
@@ -696,49 +925,56 @@ class AssembledCircuit:
         pending = list(range(k))
 
         # 1. Plain direct multi-RHS solve on the full system.
-        if self.factorize():
+        fact, rung = self._fallback_factorization(backend)
+        if fact is not None:
             t0 = time.perf_counter()
-            x = self._lu.solve(z)
-            finite = np.all(np.isfinite(x), axis=0)
-            rel = self._batch_residuals(self._matrix, x, z)
-            batch_elapsed = time.perf_counter() - t0
-            clean = [
-                i
-                for i in pending
-                if finite[i] and rel[i] <= self.RESIDUAL_TOLERANCE
-            ]
-            # Clean columns share the batch's direct-solve wall equally;
-            # exact per-column cost of one multi-RHS triangular solve is
-            # not separable, and the shares sum to the measured total.
-            lu_share = batch_elapsed / len(clean) if clean else 0.0
-            cond = None
-            for i in clean:
-                if cond is None:
-                    cond = self._condition_estimate(self._matrix, self._lu)
-                diag = SolveDiagnostics(
-                    residual=float(rel[i]),
-                    escalations=["lu"],
-                    escalation_times_s=[lu_share],
-                )
-                diag.condition_estimate = cond
-                solutions[i] = Solution(
-                    assembled=self,
-                    x=x[:, i],
-                    isource_current=resolved[i][0],
-                    vsource_voltage=resolved[i][1],
-                    diagnostics=diag,
-                )
-                pending.remove(i)
-            if clean:
-                get_tracer().record(
-                    "rung", batch_elapsed, rung="lu", count=len(clean)
-                )
+            try:
+                x = fact.solve_batch(z)
+            except (RuntimeError, ValueError):
+                x = None
+            if x is not None:
+                finite = np.all(np.isfinite(x), axis=0)
+                rel = self._batch_residuals(self._matrix, x, z)
+                batch_elapsed = time.perf_counter() - t0
+                clean = [
+                    i
+                    for i in pending
+                    if finite[i] and rel[i] <= self.RESIDUAL_TOLERANCE
+                ]
+                # Clean columns share the batch's direct-solve wall
+                # equally; exact per-column cost of one multi-RHS
+                # triangular solve is not separable, and the shares sum
+                # to the measured total.
+                lu_share = batch_elapsed / len(clean) if clean else 0.0
+                for i in clean:
+                    diag = SolveDiagnostics(
+                        residual=float(rel[i]),
+                        escalations=[rung],
+                        escalation_times_s=[lu_share],
+                        backend=backend.name,
+                    )
+                    diag.condition_estimate = fact.condition_estimate()
+                    solutions[i] = Solution(
+                        assembled=self,
+                        x=x[:, i],
+                        isource_current=resolved[i][0],
+                        vsource_voltage=resolved[i][1],
+                        diagnostics=diag,
+                    )
+                    pending.remove(i)
+                if clean:
+                    get_tracer().record(
+                        "rung", batch_elapsed, rung=rung, count=len(clean)
+                    )
 
         # 2. Failing columns climb the per-point escalation ladder
-        # (sharing this assembly's cached pruned system and LUs).
+        # (sharing this assembly's cached pruned system and
+        # factorisations).
         for i in pending:
             current, voltage = resolved[i]
-            x_i, diag, effective = self._solve_resilient(current, voltage)
+            x_i, diag, effective = self._solve_resilient(
+                current, voltage, backend, options
+            )
             solutions[i] = Solution(
                 assembled=self,
                 x=x_i,
@@ -748,18 +984,22 @@ class AssembledCircuit:
             )
         return solutions
 
-    def _solve_strict(self, z: np.ndarray) -> np.ndarray:
-        """The historical fail-fast path: SuperLU or a typed error."""
+    def _solve_strict(
+        self, z: np.ndarray, backend: Optional[SolverBackend] = None
+    ) -> np.ndarray:
+        """The historical fail-fast path: one direct solve or a typed error."""
+        backend = self.backend if backend is None else backend
         tracer = get_tracer()
         t0 = time.perf_counter() if tracer.enabled else 0.0
-        if self._lu is None:
-            try:
-                self._lu = splu(self._matrix)
-            except RuntimeError as exc:  # SuperLU signals exact singularity
-                raise SingularCircuitError(
-                    f"MNA matrix is singular ({exc}); check for floating nodes"
-                ) from exc
-        x = self._lu.solve(z)
+        fact, rung = self._fallback_factorization(backend)
+        if fact is None:
+            exc = self._fact_errors.get(("lu", "full")) or self._fact_errors.get(
+                (backend.name, "full")
+            )
+            raise SingularCircuitError(
+                f"MNA matrix is singular ({exc}); check for floating nodes"
+            ) from exc
+        x = fact.solve_batch(z) if z.ndim == 2 else fact.solve(z)
         if not np.all(np.isfinite(x)):
             raise SingularCircuitError("solve produced non-finite voltages")
         if z.ndim == 2:  # multi-RHS: every column must meet the tolerance
@@ -772,18 +1012,24 @@ class AssembledCircuit:
                 "the circuit is ill-conditioned or disconnected"
             )
         if tracer.enabled:
-            # Strict solves count as a clean "lu" rung in the engine's
+            # Strict solves count as a clean direct rung in the engine's
             # escalation tally; record the matching span so trace and
             # BENCH attribute the ladder identically.
             tracer.record(
                 "rung",
                 time.perf_counter() - t0,
-                rung="lu",
+                rung=rung,
                 count=int(z.shape[1]) if z.ndim == 2 else 1,
             )
         return x
 
-    def _solve_resilient(self, current: np.ndarray, voltage: np.ndarray):
+    def _solve_resilient(
+        self,
+        current: np.ndarray,
+        voltage: np.ndarray,
+        backend: Optional[SolverBackend] = None,
+        options: Optional[SolveOptions] = None,
+    ):
         """Climb the escalation ladder until a solve meets tolerance.
 
         Thin timing wrapper around :meth:`_solve_resilient_impl`: it
@@ -792,10 +1038,12 @@ class AssembledCircuit:
         diagnostics carried by a raised error), and emits one "rung"
         trace span per ladder rung climbed.
         """
+        backend = self.backend if backend is None else backend
+        options = SolveOptions(resilient=True) if options is None else options
         timer = _RungTimer()
         try:
             x, diag, effective = self._solve_resilient_impl(
-                current, voltage, timer
+                current, voltage, timer, backend, options
             )
         except (ConvergenceError, SingularCircuitError) as exc:
             timer.finish(getattr(exc, "diagnostics", None))
@@ -804,47 +1052,101 @@ class AssembledCircuit:
         return x, diag, effective
 
     def _solve_resilient_impl(
-        self, current: np.ndarray, voltage: np.ndarray, timer: _RungTimer
+        self,
+        current: np.ndarray,
+        voltage: np.ndarray,
+        timer: _RungTimer,
+        backend: SolverBackend,
+        options: SolveOptions,
     ):
         """The ladder itself (see :meth:`_solve_resilient`).
 
-        LU -> iterative refinement -> island pruning (LU + refinement)
-        -> Jacobi-LGMRES -> dense lstsq.  Refinement rungs are gated on
-        the 1-norm condition estimate: a numerically singular system
+        Backend direct solve (with in-rung lu fallback) -> iterative
+        refinement -> plain lu (non-default backends whose own solve
+        failed or missed tolerance) -> island pruning (direct +
+        refinement, with the same lu escalation) -> Jacobi-LGMRES ->
+        dense lstsq.  Refinement rungs are gated on the factorisation's
+        cached 1-norm condition estimate: a numerically singular system
         has no digits left for refinement to win back, so the ladder
-        skips straight to pruning.
+        skips straight to pruning.  The explicit lu rungs guarantee a
+        non-default backend is never *worse* than lu under resilience:
+        a solve-time failure (e.g. LGMRES stalling on a large
+        saddle-point system) escalates to the direct factorisation
+        before any structural surgery; they are skipped when the rung
+        above already answered from lu's factorisation (in-rung
+        factorize-time fallback).
 
         Returns ``(x, diagnostics, effective_isource_current)`` — the
         current vector has shed loads zeroed so downstream power
         bookkeeping matches the pruned network.
         """
-        timer.start("lu")
+        timer.start(backend.name)
         z = self._rhs(current, voltage)
         ladder = timer.names
         # 1. Plain direct solve on the full system.
-        attempt = self._direct_attempt(self._matrix, "_lu", z)
+        attempt = self._direct_attempt(backend, z, pruned=False, timer=timer)
         if attempt is not None:
-            x, rel = attempt
+            x, rel, fact, _ = attempt
             if rel <= self.RESIDUAL_TOLERANCE:
-                diag = SolveDiagnostics(residual=rel, escalations=ladder)
-                diag.condition_estimate = self._condition_estimate(
-                    self._matrix, self._lu
+                diag = SolveDiagnostics(
+                    residual=rel, escalations=ladder, backend=backend.name
                 )
+                diag.condition_estimate = fact.condition_estimate()
                 return x, diag, current
             # 2. Iterative refinement against the existing factorisation.
-            cond = self._condition_estimate(self._matrix, self._lu)
-            if self._should_refine(cond):
+            cond = fact.condition_estimate()
+            if (
+                options.refine
+                and fact.supports_refine
+                and self._should_refine(cond)
+            ):
                 timer.start("refine")
-                x, rel = self._refine_attempt(self._matrix, self._lu, x, z)
+                x, rel = self._refine_attempt(self._matrix, fact, x, z)
                 if rel <= self.RESIDUAL_TOLERANCE:
                     diag = SolveDiagnostics(
-                        residual=rel, fallback="refined", escalations=ladder
+                        residual=rel,
+                        fallback="refined",
+                        escalations=ladder,
+                        backend=backend.name,
                     )
                     diag.condition_estimate = cond
                     return x, diag, current
 
+        # 2b. A non-default backend that failed at *solve* time (its
+        # factorize-time failures already degraded to lu in-rung above)
+        # escalates to the plain lu factorisation of the same full
+        # system before any structural surgery.
+        if backend.name != "lu" and (attempt is None or attempt[3] != "lu"):
+            timer.start("lu")
+            attempt = self._direct_attempt(get_backend("lu"), z, pruned=False)
+            if attempt is not None:
+                x, rel, fact, _ = attempt
+                if rel <= self.RESIDUAL_TOLERANCE:
+                    diag = SolveDiagnostics(
+                        residual=rel, escalations=ladder, backend=backend.name
+                    )
+                    diag.condition_estimate = fact.condition_estimate()
+                    return x, diag, current
+                cond = fact.condition_estimate()
+                if (
+                    options.refine
+                    and fact.supports_refine
+                    and self._should_refine(cond)
+                ):
+                    timer.start("refine")
+                    x, rel = self._refine_attempt(self._matrix, fact, x, z)
+                    if rel <= self.RESIDUAL_TOLERANCE:
+                        diag = SolveDiagnostics(
+                            residual=rel,
+                            fallback="refined",
+                            escalations=ladder,
+                            backend=backend.name,
+                        )
+                        diag.condition_estimate = cond
+                        return x, diag, current
+
         # 3. Ground floating islands, shed their loads, retry direct.
-        timer.start("pruned-lu")
+        timer.start(f"pruned-{backend.name}")
         if self._pruned_matrix is None:
             self._diagnostics_template = self._build_pruned_system()
         base = self._diagnostics_template
@@ -854,32 +1156,65 @@ class AssembledCircuit:
             shed_loads=base.shed_loads,
             stabilized_rows=base.stabilized_rows,
             escalations=ladder,
+            backend=backend.name,
         )
         if len(current) and self._shed_isource_mask is not None:
             current = np.where(self._shed_isource_mask, 0.0, current)
         z_pruned = self._rhs(current, voltage)
         z_pruned[self._forced_zero_rows] = 0.0
-        attempt = self._direct_attempt(self._pruned_matrix, "_pruned_lu", z_pruned)
+        attempt = self._direct_attempt(backend, z_pruned, pruned=True, timer=timer)
         if attempt is not None:
-            x, rel = attempt
+            x, rel, fact, _ = attempt
             if rel <= self.RESIDUAL_TOLERANCE:
                 diag.residual = rel
-                diag.condition_estimate = self._condition_estimate(
-                    self._pruned_matrix, self._pruned_lu
-                )
+                diag.condition_estimate = fact.condition_estimate()
                 return x, diag, current
             # 4. Refinement on the pruned system, same conditioning gate.
-            cond = self._condition_estimate(self._pruned_matrix, self._pruned_lu)
+            cond = fact.condition_estimate()
             diag.condition_estimate = cond
-            if self._should_refine(cond):
+            if (
+                options.refine
+                and fact.supports_refine
+                and self._should_refine(cond)
+            ):
                 timer.start("refine")
                 x, rel = self._refine_attempt(
-                    self._pruned_matrix, self._pruned_lu, x, z_pruned
+                    self._pruned_matrix, fact, x, z_pruned
                 )
                 if rel <= self.RESIDUAL_TOLERANCE:
                     diag.residual = rel
                     diag.fallback = "refined"
                     return x, diag, current
+
+        # 4b. Same lu escalation on the pruned system (see 2b).
+        if backend.name != "lu" and (
+            attempt is None or attempt[3] != "pruned-lu"
+        ):
+            timer.start("pruned-lu")
+            attempt = self._direct_attempt(
+                get_backend("lu"), z_pruned, pruned=True
+            )
+            if attempt is not None:
+                x, rel, fact, _ = attempt
+                if rel <= self.RESIDUAL_TOLERANCE:
+                    diag.residual = rel
+                    diag.condition_estimate = fact.condition_estimate()
+                    return x, diag, current
+                cond = fact.condition_estimate()
+                diag.condition_estimate = cond
+                if (
+                    options.refine
+                    and fact.supports_refine
+                    and self._should_refine(cond)
+                ):
+                    timer.start("refine")
+                    x, rel = self._refine_attempt(
+                        self._pruned_matrix, fact, x, z_pruned
+                    )
+                    if rel <= self.RESIDUAL_TOLERANCE:
+                        diag.residual = rel
+                        diag.fallback = "refined"
+                        return x, diag, current
 
         # 5. Jacobi-preconditioned LGMRES on the pruned system.
         timer.start("lgmres")

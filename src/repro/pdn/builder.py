@@ -24,7 +24,9 @@ from repro.config.technology import (
 )
 from repro.contracts import check_pdn_result
 from repro.errors import ReproError
+from repro.grid.backends import resolve_backend
 from repro.grid.netlist import Circuit, ElementRef
+from repro.grid.solver import SolveOptions, SolveRequest
 from repro.pdn.geometry import CellMultiplicity, GridGeometry, cells_to_arrays
 from repro.pdn.results import ConductorGroup, PDNResult
 from repro.power.powermap import PowerMap, layer_power_map
@@ -285,11 +287,12 @@ class BasePDN3D:
         """
         if resilient is None:
             resilient = self.faulted
-        if self._assembled is None:
-            self._assembled = self.circuit.assemble()
         currents = self._load_current_vector(layer_activities, power_maps)
-        solution = self._assembled.solve(
-            isource_current=currents, resilient=resilient
+        solution = self.assembled().solve(
+            SolveRequest(
+                isource_current=currents,
+                options=SolveOptions(resilient=resilient),
+            )
         )
         return self._finalise_result(self._make_result(solution))
 
@@ -310,24 +313,34 @@ class BasePDN3D:
         """
         if resilient is None:
             resilient = self.faulted
-        if self._assembled is None:
-            self._assembled = self.circuit.assemble()
         currents = [
             self._load_current_vector(activities, None)
             for activities in activity_sets
         ]
-        solutions = self._assembled.solve_batch(
-            isource_currents=currents, resilient=resilient
+        solutions = self.assembled().solve(
+            SolveRequest(
+                isource_currents=currents,
+                options=SolveOptions(resilient=resilient),
+            )
         )
         return [
             self._finalise_result(self._make_result(solution))
             for solution in solutions
         ]
 
-    def assembled(self):
-        """The cached :class:`AssembledCircuit`, assembling on demand."""
-        if self._assembled is None:
-            self._assembled = self.circuit.assemble()
+    def assembled(self, backend=None):
+        """The cached :class:`AssembledCircuit`, assembling on demand.
+
+        ``backend`` (a solver-backend name from
+        :mod:`repro.grid.backends`, or ``None`` for the process
+        default) selects the factorisation backend; asking for a
+        different backend than the cached assembly re-assembles.
+        """
+        if self._assembled is None or (
+            backend is not None
+            and self._assembled.backend.name != resolve_backend(backend).name
+        ):
+            self._assembled = self.circuit.assemble(backend=backend)
         return self._assembled
 
     # Subclasses fill converter metadata.

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ContractViolationError, ReproError
+from repro.grid.backends import default_backend_name, resolve_backend
 from repro.obs.trace import activate_worker_context, get_tracer
 from repro.runtime.fingerprint import run_fingerprint, task_fingerprint
 from repro.runtime.metrics import (
@@ -127,7 +128,7 @@ class _CachedStructure:
     factorize_s: float
 
 
-GroupKey = Tuple[PDNSpec, Any, bool]
+GroupKey = Tuple[PDNSpec, Any, bool, str]
 
 
 def _plan_key(plan: Any) -> Any:
@@ -149,27 +150,41 @@ def _group_resilient(point: SweepPoint) -> bool:
 
 def group_points(
     points: Sequence[SweepPoint],
+    solver: Optional[str] = None,
 ) -> Dict[GroupKey, List[Tuple[int, SweepPoint]]]:
     """Group points by topology, keeping each point's input index.
 
-    The grouping key is ``(spec, fault-plan identity, resilient)`` — the
-    engine's structure-cache key — in first-appearance order.  The run
-    supervisor uses the same grouping so its task boundaries, journal
-    fingerprints and retry units match the engine's solve batches.
+    The grouping key is ``(spec, fault-plan identity, resilient, solver
+    backend)`` — the engine's structure-cache key — in first-appearance
+    order.  ``solver`` defaults to the process-wide backend (so a
+    ``--solver`` switch between runs is a cache miss, never a stale
+    factorisation).  The run supervisor uses the same grouping so its
+    task boundaries, journal fingerprints and retry units match the
+    engine's solve batches.
     """
+    if solver is None:
+        solver = resolve_backend(default_backend_name()).name
     groups: Dict[GroupKey, List[Tuple[int, SweepPoint]]] = {}
     for index, point in enumerate(points):
-        key = (point.spec, _plan_key(point.fault_plan), _group_resilient(point))
+        key = (
+            point.spec,
+            _plan_key(point.fault_plan),
+            _group_resilient(point),
+            solver,
+        )
         groups.setdefault(key, []).append((index, point))
     return groups
 
 
-def _build_group(spec: PDNSpec, plan: Any):
+def _build_group(spec: PDNSpec, plan: Any, solver: Optional[str] = None):
     """Build one topology's PDN, apply its plan, factorise eagerly.
 
     Returns ``(pdn, fault_report, build_s, factorize_s)``.  With tracing
     enabled the "build"/"factorize" span durations *are* the returned
     stage timings, so BENCH stage totals and span totals agree exactly.
+    ``solver`` picks the factorisation backend; a non-``lu`` backend
+    that cannot factorise warms its lu fallback here too, so the
+    degraded cost lands in the factorise stage, not the first solve.
     """
     tracer = get_tracer()
     with tracer.span("build") as build_span:
@@ -181,7 +196,8 @@ def _build_group(spec: PDNSpec, plan: Any):
             report = pdn.apply_faults(actual)
         t1 = time.perf_counter()
     with tracer.span("factorize") as factorize_span:
-        assembled = pdn.assembled()
+        assembled = pdn.assembled(backend=solver)
+        factorize_span.set(backend=assembled.backend.name)
         # A faulted system may be singular; factorize() then reports False
         # and the resilient solve path deals with it per batch.
         assembled.factorize()
@@ -249,7 +265,7 @@ def _execute_group(
                 metrics.count_contract("raise")
             continue
         diagnostics = getattr(outcome.result, "diagnostics", None)
-        rungs = getattr(diagnostics, "escalations", None) or ["lu"]
+        rungs = getattr(diagnostics, "escalations", None) or [metrics.backend]
         for rung in rungs:
             metrics.count_escalation(rung)
         if diagnostics is not None and diagnostics.degraded:
@@ -278,20 +294,25 @@ def _run_group_remote(
     extract: Callable[[SweepOutcome], Any],
     key_label: str,
     trace_ctx: Optional[Dict[str, Any]] = None,
+    solver: Optional[str] = None,
 ) -> Tuple[List[Any], GroupMetrics, List[Any]]:
     """Worker-process entry point: build, solve and extract one group.
 
     ``trace_ctx`` (from :meth:`Tracer.worker_context`) re-arms tracing in
     the worker with the coordinator's trace id and parent span, so the
     returned spans slot into the parent's tree on :meth:`Tracer.adopt`.
+    ``solver`` is the coordinator's backend choice; workers honour it so
+    a distributed run solves with one backend fleet-wide.
     """
     tracing = activate_worker_context(trace_ctx)
     tracer = get_tracer()
-    metrics = GroupMetrics(key=key_label, executed="remote")
+    metrics = GroupMetrics(
+        key=key_label, executed="remote", backend=solver or "lu"
+    )
     with tracer.span(
         "group", key=key_label, n_points=len(points), executed="remote"
     ):
-        pdn, report, build_s, factorize_s = _build_group(spec, plan)
+        pdn, report, build_s, factorize_s = _build_group(spec, plan, solver)
         metrics.build_s = build_s
         metrics.factorize_s = factorize_s
         values = _execute_group(pdn, points, resilient, extract, report, metrics)
@@ -353,7 +374,8 @@ class SweepEngine:
         """
         t_start = time.perf_counter()
         points = list(points)
-        groups = group_points(points)
+        solver = resolve_backend(default_backend_name()).name
+        groups = group_points(points, solver)
         run_fp = run_fingerprint(
             [task_fingerprint(key, members) for key, members in groups.items()],
             len(points),
@@ -362,7 +384,9 @@ class SweepEngine:
         if tracer.enabled and tracer.trace_id is None:
             tracer.set_trace_id(run_fp)
 
-        metrics = SweepMetrics(workers=self.workers, run_fingerprint=run_fp)
+        metrics = SweepMetrics(
+            workers=self.workers, run_fingerprint=run_fp, solver=solver
+        )
         values: List[Any] = [None] * len(points)
 
         with tracer.span(
@@ -415,12 +439,15 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
     def _key_label(self, key: GroupKey) -> str:
-        spec, plan_key, resilient = key
+        spec, plan_key, resilient = key[0], key[1], key[2]
+        solver = key[3] if len(key) > 3 else "lu"
         label = spec.label()
         if plan_key is not None:
             label += "+faults"
         if resilient:
             label += "/resilient"
+        if solver != "lu":
+            label += f"@{solver}"
         return label
 
     def _cacheable(self, key: GroupKey) -> bool:
@@ -445,7 +472,8 @@ class SweepEngine:
                 return cached
         else:
             self._cache_misses += 1
-        pdn, report, build_s, factorize_s = _build_group(spec, plan)
+        solver = key[3] if len(key) > 3 else None
+        pdn, report, build_s, factorize_s = _build_group(spec, plan, solver)
         entry = _CachedStructure(
             pdn=pdn,
             fault_report=report,
@@ -464,7 +492,10 @@ class SweepEngine:
         extract: Optional[Callable[[SweepOutcome], Any]],
         values: List[Any],
     ) -> GroupMetrics:
-        group_metrics = GroupMetrics(key=self._key_label(key))
+        group_metrics = GroupMetrics(
+            key=self._key_label(key),
+            backend=key[3] if len(key) > 3 else "lu",
+        )
         plan = members[0][1].fault_plan
         with get_tracer().span(
             "group",
@@ -527,6 +558,7 @@ class SweepEngine:
                             extract,
                             self._key_label(key),
                             trace_ctx,
+                            key[3] if len(key) > 3 else None,
                         )
                     except Exception:
                         continue

@@ -67,11 +67,18 @@ def task_fingerprint(key, members: Sequence[Tuple[int, Any]]) -> str:
     """Content fingerprint of one topology task (16 hex chars).
 
     ``key`` is an engine ``GroupKey`` — ``(spec, plan identity,
-    resilient)`` — and ``members`` the group's ``(index, point)`` pairs.
+    resilient, solver backend)`` — and ``members`` the group's
+    ``(index, point)`` pairs.  The solver backend is part of the
+    content (a resumed run must not serve cholesky results to an lu
+    request), except that the default ``"lu"`` is omitted so
+    fingerprints of default-backend runs match pre-backend journals.
     """
-    spec, _, resilient = key
+    spec, resilient = key[0], key[2]
+    solver = key[3] if len(key) > 3 else "lu"
     plan = members[0][1].fault_plan
     parts = [repr(spec.key()), _plan_description(plan), repr(bool(resilient))]
+    if solver != "lu":
+        parts.append(f"solver:{solver}")
     for index, point in members:
         parts.append(repr((index, point.activities_tuple(), point.tag)))
     digest = hashlib.sha256(

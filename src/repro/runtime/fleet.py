@@ -81,7 +81,9 @@ _log = get_logger(__name__)
 
 #: Bumped on any wire-format change; hello/welcome carry it and a
 #: mismatched worker is refused instead of mis-parsed.
-PROTOCOL_VERSION = 1
+#: v2 appended the coordinator's solver-backend name to the lease
+#: payload tuple, so workers factorise with the coordinator's choice.
+PROTOCOL_VERSION = 2
 
 #: Name of the discovery file a coordinator writes into its run dir.
 FLEET_FILE = "fleet.json"
@@ -475,6 +477,7 @@ class FleetCoordinator:
             self.state.extract,
             task.label,
             self._trace_ctx,
+            task.key[3] if len(task.key) > 3 else None,
         ))
         _log.info(
             "fleet: leased task",
@@ -960,12 +963,13 @@ def run_worker(
                 fingerprint = reply["task"]
                 t0 = time.perf_counter()
                 try:
-                    spec, plan, points, resilient, extract, label, ctx = (
+                    spec, plan, points, resilient, extract, label, ctx, solver = (
                         decode_payload(reply["payload"])
                     )
                     activate_worker_context(ctx)
                     values, group_metrics, spans = _run_group_remote(
-                        spec, plan, points, resilient, extract, label, ctx
+                        spec, plan, points, resilient, extract, label, ctx,
+                        solver,
                     )
                 except Exception as exc:
                     failures += 1

@@ -30,7 +30,10 @@ from repro.obs.metrics import MetricsRegistry
 #: v5 added the distributed-fleet counters to "totals" (leases_expired,
 #: worker_deaths, reassignments) and the "fleet" run mode — additive,
 #: so v4 readers keep working.
-BENCH_SCHEMA = 5
+#: v6 added the solver-backend fields: run-level "solver" (the registry
+#: name the sweep ran under) and per-group "backend" — additive, so v5
+#: readers keep working.
+BENCH_SCHEMA = 6
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -60,6 +63,9 @@ class GroupMetrics:
     #: Where the group ran: "local" (in-process) or "remote" (worker
     #: process).  Both paths emit the same schema either way.
     executed: str = "local"
+    #: Solver backend the group's factorisation/solves ran under (a
+    #: registry name from repro.grid.backends).
+    backend: str = "lu"
     #: Solver escalation-ladder rung counts over the group's points
     #: (e.g. {"lu": 4, "refine": 1}); "failed" counts captured errors.
     escalations: Dict[str, int] = field(default_factory=dict)
@@ -91,6 +97,9 @@ class SweepMetrics:
     #: "serial" or "process" (ProcessPoolExecutor fan-out).
     mode: str = "serial"
     workers: int = 1
+    #: Solver backend the run was requested under (repro.grid.backends
+    #: registry name; per-group "backend" can differ on mixed runs).
+    solver: str = "lu"
     #: Content fingerprint of the run (see repro.runtime.fingerprint) —
     #: the join key across BENCH / report / journal / trace artifacts.
     run_fingerprint: Optional[str] = None
@@ -207,6 +216,7 @@ class SweepMetrics:
             "run_fingerprint": self.run_fingerprint,
             "mode": self.mode,
             "workers": self.workers,
+            "solver": self.solver,
             "wall_s": round(self.wall_s, 6),
             "totals": {
                 "n_points": self.n_points,

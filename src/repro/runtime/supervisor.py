@@ -52,6 +52,7 @@ from repro.errors import (
     ResumeMismatchError,
     TaskTimeoutError,
 )
+from repro.grid.backends import default_backend_name, resolve_backend
 from repro.obs.logs import get_logger
 from repro.obs.trace import get_tracer
 from repro.runtime.engine import (
@@ -378,7 +379,8 @@ class RunSupervisor:
         """
         t_start = time.perf_counter()
         points = list(points)
-        groups = group_points(points)
+        solver = resolve_backend(default_backend_name()).name
+        groups = group_points(points, solver)
         tasks = [
             _Task(
                 fingerprint=task_fingerprint(key, members),
@@ -393,7 +395,9 @@ class RunSupervisor:
         if tracer.enabled and tracer.trace_id is None:
             tracer.set_trace_id(run_fp)
 
-        metrics = SweepMetrics(workers=self.workers, run_fingerprint=run_fp)
+        metrics = SweepMetrics(
+            workers=self.workers, run_fingerprint=run_fp, solver=solver
+        )
         values: List[Any] = [None] * len(points)
         records: Dict[str, TaskRecord] = {
             task.fingerprint: TaskRecord(
@@ -888,6 +892,7 @@ class RunSupervisor:
                             extract,
                             task.label,
                             trace_ctx,
+                            task.key[3] if len(task.key) > 3 else None,
                         )
                     except Exception:
                         # Pool already broken before the submit landed:

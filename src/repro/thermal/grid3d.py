@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.config.stackups import StackConfig
 from repro.grid.netlist import Circuit
+from repro.grid.solver import SolveRequest
 from repro.power.powermap import PowerMap, layer_power_map
 from repro.utils.validation import check_positive
 
@@ -174,7 +175,7 @@ class HotSpotLite:
         if len(power_maps) != stack.n_layers:
             raise ValueError(f"need {stack.n_layers} power maps")
         heats = np.concatenate([m.cell_power.ravel() for m in power_maps])
-        solution = self._assembled.solve(isource_current=heats)
+        solution = self._assembled.solve(SolveRequest(isource_current=heats))
         layers = [
             solution.voltage_by_id(ids).reshape(g, g) + self.config.ambient
             for ids in self._node_ids

@@ -103,18 +103,15 @@ class TestRunContract:
         assert config.option("csv") == "out.csv"
         assert config.option("missing", 7) == 7
 
-    def test_legacy_run_functions_still_importable(self):
-        from repro.core.experiments import (
-            run_fig5a,
-            run_fig6,
-            run_fig8,
-            run_contingency,
-            run_headline,
-        )
+    def test_run_fig_shims_removed(self):
+        # The pre-registry run_fig* compatibility shims are gone; the
+        # engine-backed compute_fig* functions are the programmatic API.
+        import repro.core.experiments as experiments
 
-        for shim in (run_fig5a, run_fig8, run_contingency, run_headline):
-            assert callable(shim)
-        result = run_fig6(
+        for name in ("run_fig3", "run_fig5a", "run_fig5b", "run_fig6",
+                     "run_fig7", "run_fig8"):
+            assert not hasattr(experiments, name)
+        result = experiments.compute_fig6(
             n_layers=2,
             grid_nodes=TEST_GRID,
             imbalances=(0.0, 0.5),

@@ -5,13 +5,13 @@ import pytest
 from repro.core.experiments.fig3 import (
     CLOSED_LOOP_LOADS,
     OPEN_LOOP_LOADS,
-    run_fig3,
+    compute_fig3,
 )
 
 
 @pytest.fixture(scope="module")
 def result():
-    return run_fig3()
+    return compute_fig3()
 
 
 class TestFig3:

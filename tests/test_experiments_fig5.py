@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.experiments.fig5 import run_fig5a, run_fig5b
+from repro.core.experiments.fig5 import compute_fig5a, compute_fig5b
 
 GRID = 8
 LAYERS = (2, 4, 8)
@@ -10,12 +10,12 @@ LAYERS = (2, 4, 8)
 
 @pytest.fixture(scope="module")
 def fig5a():
-    return run_fig5a(layers=LAYERS, grid_nodes=GRID)
+    return compute_fig5a(layers=LAYERS, grid_nodes=GRID)
 
 
 @pytest.fixture(scope="module")
 def fig5b():
-    return run_fig5b(layers=LAYERS, grid_nodes=GRID)
+    return compute_fig5b(layers=LAYERS, grid_nodes=GRID)
 
 
 class TestFig5a:

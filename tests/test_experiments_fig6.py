@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.core.experiments.fig6 import run_fig6
+from repro.core.experiments.fig6 import compute_fig6
 
 
 @pytest.fixture(scope="module")
 def result():
-    return run_fig6(
+    return compute_fig6(
         n_layers=4,
         imbalances=(0.0, 0.25, 0.5, 0.75, 1.0),
         converters_per_core=(2, 8),

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.core.experiments.fig7 import run_fig7
+from repro.core.experiments.fig7 import compute_fig7
 
 
 @pytest.fixture(scope="module")
 def result():
-    return run_fig7(n_samples=1000, rng=20150607)
+    return compute_fig7(n_samples=1000, rng=20150607)
 
 
 class TestFig7:

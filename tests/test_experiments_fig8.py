@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.core.experiments.fig8 import regular_sc_efficiency, run_fig8
+from repro.core.experiments.fig8 import regular_sc_efficiency, compute_fig8
 
 
 @pytest.fixture(scope="module")
 def result():
-    return run_fig8(
+    return compute_fig8(
         n_layers=4,
         imbalances=(0.1, 0.5, 1.0),
         converters_per_core=(2, 8),

@@ -62,9 +62,9 @@ class TestJson:
 
 class TestFigureExports:
     def test_fig6(self, tmp_path):
-        from repro.core.experiments import run_fig6
+        from repro.core.experiments import compute_fig6
 
-        result = run_fig6(
+        result = compute_fig6(
             n_layers=2, imbalances=(0.0, 0.5), converters_per_core=(4,), grid_nodes=8
         )
         path = fig6_to_csv(result, tmp_path / "fig6.csv")
@@ -73,9 +73,9 @@ class TestFigureExports:
         assert len(rows) == 3
 
     def test_fig8(self, tmp_path):
-        from repro.core.experiments import run_fig8
+        from repro.core.experiments import compute_fig8
 
-        result = run_fig8(
+        result = compute_fig8(
             n_layers=2, imbalances=(0.1, 0.5), converters_per_core=(4,), grid_nodes=8
         )
         path = fig8_to_csv(result, tmp_path / "fig8.csv")

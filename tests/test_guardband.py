@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.experiments.fig6 import run_fig6
+from repro.core.experiments.fig6 import compute_fig6
 from repro.core.guardband import AlphaPowerModel, fig6_guardbands
 
 
@@ -48,7 +48,7 @@ class TestAlphaPowerModel:
 class TestFig6Guardbands:
     @pytest.fixture(scope="class")
     def guardbands(self):
-        result = run_fig6(
+        result = compute_fig6(
             n_layers=4,
             imbalances=(0.0, 0.5, 1.0),
             converters_per_core=(2, 8),
@@ -61,7 +61,7 @@ class TestFig6Guardbands:
         assert "V-S PDN, 8 conv/core" in guardbands
 
     def test_skipped_points_are_none(self):
-        result = run_fig6(
+        result = compute_fig6(
             n_layers=4,
             imbalances=(1.0,),
             converters_per_core=(2,),
@@ -76,7 +76,7 @@ class TestFig6Guardbands:
                 assert 0.0 < value < 0.5
 
     def test_more_converters_need_less_guardband(self, guardbands):
-        result = run_fig6(
+        result = compute_fig6(
             n_layers=4,
             imbalances=(0.3,),
             converters_per_core=(4, 8),

@@ -8,22 +8,22 @@ all hold.
 
 import pytest
 
-from repro.core.experiments import run_fig5a, run_fig5b, run_fig6, run_fig7, run_headline
+from repro.core.experiments import compute_fig5a, compute_fig5b, compute_fig6, compute_fig7, run_headline
 
 GRID = 8
 
 
 @pytest.fixture(scope="module")
 def report():
-    fig5a = run_fig5a(layers=(2, 4, 8), grid_nodes=GRID)
-    fig5b = run_fig5b(layers=(2, 4, 8), grid_nodes=GRID)
-    fig6 = run_fig6(
+    fig5a = compute_fig5a(layers=(2, 4, 8), grid_nodes=GRID)
+    fig5b = compute_fig5b(layers=(2, 4, 8), grid_nodes=GRID)
+    fig6 = compute_fig6(
         n_layers=8,
         imbalances=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
         converters_per_core=(8,),
         grid_nodes=GRID,
     )
-    fig7 = run_fig7(rng=20150607)
+    fig7 = compute_fig7(rng=20150607)
     return run_headline(grid_nodes=GRID, fig5a=fig5a, fig5b=fig5b, fig6=fig6, fig7=fig7)
 
 

@@ -111,9 +111,9 @@ class TestExportPipeline:
         import csv
 
         from repro.analysis.export import fig6_to_csv
-        from repro.core.experiments import run_fig6
+        from repro.core.experiments import compute_fig6
 
-        result = run_fig6(
+        result = compute_fig6(
             n_layers=2, imbalances=(0.0, 1.0), converters_per_core=(8,),
             grid_nodes=GRID,
         )

@@ -71,9 +71,9 @@ class TestBuilders:
 class TestFig5Accessors:
     @pytest.fixture(scope="class")
     def fig5a(self):
-        from repro.core.experiments.fig5 import run_fig5a
+        from repro.core.experiments.fig5 import compute_fig5a
 
-        return run_fig5a(layers=(2, 4), grid_nodes=GRID)
+        return compute_fig5a(layers=(2, 4), grid_nodes=GRID)
 
     def test_improvement_against_custom_baseline(self, fig5a):
         value = fig5a.improvement_at(4, baseline="Reg. PDN, Sparse TSV")
