@@ -38,6 +38,18 @@ transparently to in-process execution when no worker connects::
 
 See docs/DISTRIBUTED.md for the protocol and failure semantics.
 
+``repro serve`` runs the resilient exploration service — an async TCP
+front-end that answers PDNSpec queries from a persistent fingerprint
+cache with bounded admission, per-query ``--deadline`` budgets and
+circuit-breaker degradation — and ``repro query`` is its client::
+
+    python -m repro serve --cache-dir runs/svc --deadline 30 &
+    python -m repro query --cache-dir runs/svc --layers 8 --grid 16
+    python -m repro query --cache-dir runs/svc --service-metrics
+    python -m repro query --cache-dir runs/svc --stop
+
+See docs/SERVICE.md for the wire protocol and degradation semantics.
+
 Every subcommand also takes ``--solver {lu,cholesky,iterative}`` (env:
 ``REPRO_SOLVER``) selecting the linear-solver backend from the registry
 in :mod:`repro.grid.backends` — see docs/SOLVERS.md::

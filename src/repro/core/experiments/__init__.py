@@ -14,6 +14,7 @@ Module         Reproduces
 ``tools``      Explorer / sensitivity / noise / report CLI wrappers
 ``traceview``  Profiler over flushed run traces (``repro trace``)
 ``worker``     Fleet worker joining a ``--fleet`` coordinator (new)
+``service``    Exploration service: ``repro serve`` / ``repro query`` (new)
 =============  ==========================================================
 
 Every driver is an :class:`repro.core.experiments.base.Experiment`
@@ -67,6 +68,7 @@ from repro.core.experiments.tools import (
     ReportExperiment,
     SensitivityExperiment,
 )
+from repro.core.experiments.service import QueryExperiment, ServeExperiment
 from repro.core.experiments.traceview import TraceExperiment
 from repro.core.experiments.worker import WorkerExperiment
 
@@ -88,6 +90,8 @@ for _cls in (
     ReportExperiment,
     TraceExperiment,
     WorkerExperiment,
+    ServeExperiment,
+    QueryExperiment,
 ):
     register(_cls)
 del _cls
@@ -134,4 +138,6 @@ __all__ = [
     "ReportExperiment",
     "TraceExperiment",
     "WorkerExperiment",
+    "ServeExperiment",
+    "QueryExperiment",
 ]

@@ -1,0 +1,370 @@
+"""``repro serve`` / ``repro query``: the exploration service CLI.
+
+``serve`` runs the resilient query front-end of
+:mod:`repro.service.server` until SIGINT/SIGTERM (clean drain), and
+``query`` is the matching one-shot client: it builds a
+:class:`~repro.runtime.PDNSpec` from flags, submits it, and renders the
+response envelope — including typed shed/deadline/degraded outcomes —
+as a one-line table.  See docs/SERVICE.md for the wire protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional
+
+from repro.core.experiments.base import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentResult,
+    add_grid_argument,
+    add_layers_argument,
+    typed_float,
+    typed_int,
+)
+from repro.errors import ReproError
+
+__all__ = ["ServeExperiment", "QueryExperiment"]
+
+
+def _activities_list(flag: str) -> Callable[[str], List[float]]:
+    """Comma-separated float-list converter (one-line errors, exit 2)."""
+
+    def convert(text: str) -> List[float]:
+        values = []
+        for part in text.split(","):
+            try:
+                values.append(float(part))
+            except (TypeError, ValueError):
+                raise ReproError(
+                    f"{flag} expects comma-separated numbers, got {part!r}"
+                ) from None
+        if not values:
+            raise ReproError(f"{flag} needs at least one value")
+        return values
+
+    convert.__name__ = "floats"
+    return convert
+
+
+def _add_deadline_argument(parser, help_text: str) -> None:
+    """The shared ``--deadline`` flag: strictly positive, finite.
+
+    Reuses the same typed-converter path as ``--task-timeout``, so
+    ``--deadline 0``, negatives and NaN all fail as one-line
+    :class:`~repro.errors.ReproError` diagnostics (exit 2) on both
+    ``repro serve`` and ``repro query``.
+    """
+    parser.add_argument(
+        "--deadline",
+        type=typed_float("--deadline", minimum=0.0, exclusive=True),
+        default=None, metavar="SECONDS",
+        help=help_text,
+    )
+
+
+class ServeExperiment(Experiment):
+    name = "serve"
+    description = (
+        "Run the resilient exploration service (fingerprint cache, "
+        "admission control, circuit breaker)"
+    )
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        parser.add_argument(
+            "--bind", type=str, default="127.0.0.1:0", metavar="HOST:PORT",
+            help="listen address (default 127.0.0.1:0; port 0 picks a free "
+            "port, published in the cache dir's service.json)",
+        )
+        parser.add_argument(
+            "--cache-dir", type=str, default="service-cache", metavar="DIR",
+            help="persistent result-cache directory (default service-cache)",
+        )
+        parser.add_argument(
+            "--cache-max-mb",
+            type=typed_float("--cache-max-mb", minimum=0.0, exclusive=True),
+            default=None, metavar="MB",
+            help="LRU size cap for the cache directory (default: unbounded)",
+        )
+        parser.add_argument(
+            "--cache-ttl",
+            type=typed_float("--cache-ttl", minimum=0.0, exclusive=True),
+            default=None, metavar="SECONDS",
+            help="entry freshness window; expired entries serve only as "
+            "breaker-open degraded answers (default: never stale)",
+        )
+        parser.add_argument(
+            "--max-queue", type=typed_int("--max-queue", minimum=1),
+            default=64, metavar="N",
+            help="admission queue bound; a full queue sheds queries with a "
+            "typed 429-style response (default 64)",
+        )
+        _add_deadline_argument(
+            parser,
+            "default per-query deadline when a request sets none "
+            "(default: unbounded)",
+        )
+        parser.add_argument(
+            "--breaker-threshold",
+            type=typed_int("--breaker-threshold", minimum=1),
+            default=5, metavar="K",
+            help="consecutive solve failures that open the circuit breaker "
+            "(default 5)",
+        )
+        parser.add_argument(
+            "--breaker-cooldown",
+            type=typed_float("--breaker-cooldown", minimum=0.0, exclusive=True),
+            default=10.0, metavar="SECONDS",
+            help="open-state cooldown before a half-open probe (default 10)",
+        )
+        parser.add_argument(
+            "--coarse-grid",
+            type=typed_int("--coarse-grid", minimum=2),
+            default=6, metavar="NODES",
+            help="grid resolution of breaker-open degraded answers "
+            "(default 6)",
+        )
+        parser.add_argument(
+            "--solve-workers",
+            type=typed_int("--solve-workers", minimum=1),
+            default=1, metavar="N",
+            help="queue-draining solver workers (default 1)",
+        )
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = super().config_from_args(args)
+        for key in (
+            "bind", "cache_dir", "cache_max_mb", "cache_ttl", "max_queue",
+            "deadline", "breaker_threshold", "breaker_cooldown",
+            "coarse_grid", "solve_workers",
+        ):
+            config.options[key] = getattr(args, key)
+        return config
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        import asyncio
+        import signal
+
+        from repro.service.server import ExplorationService, ServiceConfig
+
+        config = config or ExperimentConfig()
+        service_config = ServiceConfig(
+            bind=str(config.option("bind", "127.0.0.1:0")),
+            cache_dir=str(config.option("cache_dir", "service-cache")),
+            cache_max_mb=config.option("cache_max_mb"),
+            cache_ttl_s=config.option("cache_ttl"),
+            max_queue=int(config.option("max_queue", 64)),
+            default_deadline_s=config.option("deadline"),
+            breaker_threshold=int(config.option("breaker_threshold", 5)),
+            breaker_cooldown_s=float(config.option("breaker_cooldown", 10.0)),
+            coarse_grid=int(config.option("coarse_grid", 6)),
+            solve_workers=int(config.option("solve_workers", 1)),
+            supervision=config.option("supervision"),
+        )
+        service = ExplorationService(config=service_config)
+
+        async def _serve() -> None:
+            loop = asyncio.get_running_loop()
+            address = await service.start()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        sig,
+                        lambda: loop.create_task(service.shutdown(drain=True)),
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without loop signal handlers
+            print(
+                f"exploration service listening on {address} "
+                f"(cache {service_config.cache_dir}; Ctrl-C drains and stops)",
+                flush=True,
+            )
+            await service.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass  # signal handler already drained; belt and braces
+        counters = service.counters()
+        table = (
+            f"service stopped after {counters['uptime_s']:.1f}s: "
+            f"{counters['requests'].get('query', 0)} query(ies), "
+            f"{counters['cache']['hits']} cache hit(s), "
+            f"{counters['admission']['shed']} shed, "
+            f"breaker {counters['breaker']['state']}"
+        )
+        return ExperimentResult(name=self.name, table=table, data=counters)
+
+
+class QueryExperiment(Experiment):
+    name = "query"
+    description = "Submit one design-point query to a running service"
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        parser.add_argument(
+            "--connect", type=str, default=None, metavar="HOST:PORT",
+            help="service address (default: discover from the cache dir's "
+            "service.json)",
+        )
+        parser.add_argument(
+            "--cache-dir", type=str, default="service-cache", metavar="DIR",
+            help="server cache directory used for address discovery "
+            "(default service-cache)",
+        )
+        parser.add_argument(
+            "--arrangement", type=str, default="regular",
+            choices=["regular", "voltage-stacked"],
+            help="PDN arrangement to query (default regular)",
+        )
+        add_layers_argument(parser, default=8)
+        add_grid_argument(parser, default=20)
+        parser.add_argument(
+            "--topology", type=str, default="Few",
+            help="TSV topology name (default Few)",
+        )
+        parser.add_argument(
+            "--pad-fraction",
+            type=typed_float("--pad-fraction", minimum=0.0, exclusive=True),
+            default=0.25, metavar="FRACTION",
+            help="power-pad fraction (default 0.25)",
+        )
+        parser.add_argument(
+            "--converters", type=typed_int("--converters", minimum=0),
+            default=0, metavar="N",
+            help="SC converters per core (voltage-stacked only)",
+        )
+        parser.add_argument(
+            "--vdd-pads", type=typed_int("--vdd-pads", minimum=0),
+            default=0, metavar="N",
+            help="V-S through-via pad override (0 = by pad fraction)",
+        )
+        parser.add_argument(
+            "--activities", type=_activities_list("--activities"),
+            default=None, metavar="A1,A2,...",
+            help="per-layer activity factors (comma separated; default: "
+            "the balanced workload)",
+        )
+        _add_deadline_argument(
+            parser, "per-query deadline budget (default: the server's)"
+        )
+        parser.add_argument(
+            "--client-timeout",
+            type=typed_float("--client-timeout", minimum=0.0, exclusive=True),
+            default=120.0, metavar="SECONDS",
+            help="socket timeout waiting for the response (default 120)",
+        )
+        probe = parser.add_mutually_exclusive_group()
+        probe.add_argument(
+            "--health", action="store_true",
+            help="probe liveness instead of querying",
+        )
+        probe.add_argument(
+            "--ready", action="store_true",
+            help="probe readiness instead of querying",
+        )
+        probe.add_argument(
+            "--service-metrics", action="store_true",
+            help="dump the service counters instead of querying",
+        )
+        probe.add_argument(
+            "--stop", action="store_true",
+            help="ask the service to drain and shut down",
+        )
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = super().config_from_args(args)
+        for key in (
+            "connect", "cache_dir", "arrangement", "topology",
+            "pad_fraction", "converters", "vdd_pads", "activities",
+            "deadline", "client_timeout", "health", "ready",
+            "service_metrics", "stop",
+        ):
+            config.options[key] = getattr(args, key)
+        return config
+
+    # ------------------------------------------------------------------
+    def _spec(self, config: ExperimentConfig):
+        from repro.runtime.spec import PDNSpec
+
+        try:
+            return PDNSpec(
+                arrangement=str(config.option("arrangement", "regular")),
+                n_layers=config.n_layers,
+                topology=str(config.option("topology", "Few")),
+                power_pad_fraction=float(config.option("pad_fraction", 0.25)),
+                vdd_pads_per_core=int(config.option("vdd_pads", 0)),
+                grid_nodes=config.grid_nodes,
+                converters_per_core=int(config.option("converters", 0)),
+            )
+        except ValueError as exc:
+            raise ReproError(f"invalid query spec: {exc}") from None
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        from repro.service.client import ServiceClient, discover_address
+
+        config = config or ExperimentConfig()
+        address = config.option("connect") or discover_address(
+            config.option("cache_dir", "service-cache")
+        )
+        with ServiceClient(
+            address, timeout_s=float(config.option("client_timeout", 120.0))
+        ) as client:
+            if config.option("health"):
+                response = client.health()
+            elif config.option("ready"):
+                response = client.ready()
+            elif config.option("service_metrics"):
+                response = client.metrics()
+                response.pop("prometheus", None)  # table stays readable
+            elif config.option("stop"):
+                response = client.shutdown(drain=True)
+            else:
+                response = client.query(
+                    self._spec(config),
+                    activities=config.option("activities"),
+                    deadline_s=config.option("deadline"),
+                )
+        return self._render(response, address)
+
+    def _render(self, response: dict, address: str) -> ExperimentResult:
+        kind = response.get("kind")
+        if kind == "error":
+            # Typed error envelope -> typed one-line CLI failure (exit 2),
+            # keeping shed/deadline/unavailable distinguishable by text.
+            raise ReproError(
+                f"service at {address} answered {response.get('code')} "
+                f"{response.get('status')}: {response.get('error_type')}: "
+                f"{response.get('error')}"
+            )
+        notes: List[str] = []
+        if kind == "result":
+            result = response.get("result", {})
+            flags = []
+            if response.get("cached"):
+                flags.append("cached")
+            if response.get("coalesced"):
+                flags.append("coalesced")
+            if response.get("degraded"):
+                flags.append(f"degraded:{response.get('degraded_mode')}")
+                notes.append(
+                    "warning: degraded answer "
+                    f"({response.get('degraded_mode')}) — the solve backend "
+                    "is unhealthy; values are best-effort"
+                )
+            table = (
+                f"query {response.get('fingerprint')} "
+                f"[{' '.join(flags) or 'solved'}]: "
+                f"max IR drop {result.get('max_ir_drop_v', float('nan')):.6g} V "
+                f"({100 * result.get('max_ir_drop_fraction', float('nan')):.3g}% "
+                f"of rail), efficiency "
+                f"{100 * result.get('efficiency', float('nan')):.4g}%"
+            )
+        else:
+            table = f"{kind}: {json.dumps(response, sort_keys=True)}"
+        return ExperimentResult(
+            name=self.name, table=table, data=response, notes=notes
+        )

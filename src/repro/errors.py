@@ -47,6 +47,22 @@ your design" from a genuine bug.  The hierarchy is deliberately shallow:
 ``SolverBackendError``
     An unknown solver backend was requested (``--solver``,
     ``REPRO_SOLVER`` or the registry API); see docs/SOLVERS.md.
+``ServiceOverloadError``
+    The exploration service's bounded admission queue was full; the
+    query was shed with a 429-style response instead of growing memory
+    without bound.  See docs/SERVICE.md.
+``DeadlineExceededError``
+    A service query overran its per-request deadline (queued too long,
+    or the solve outlived the remaining budget).  Subclasses
+    :class:`TaskTimeoutError` so supervisor-side timeout handling treats
+    the two identically.
+``CircuitOpenError``
+    The service's circuit breaker is open (the solve backend failed
+    repeatedly) and no degraded answer — stale cache entry or
+    coarse-grid solve — could be produced either.
+``ServiceProtocolError``
+    A service request line was malformed: unparsable JSON, an unknown
+    request kind, or an invalid query payload (400-style).
 ``NotSPDError``
     An ``spd_only`` solver backend (cholesky) was handed a system that
     is not symmetric positive definite.  Inside the escalation ladder
@@ -169,6 +185,49 @@ class SolverBackendError(ReproError):
     """An unknown (or unregistered) solver backend was requested."""
 
 
+class ServiceOverloadError(ReproError):
+    """The service admission queue is full; the query was shed.
+
+    ``queue_depth``/``limit`` describe the queue at shed time, and
+    ``retry_after_s`` is the server's backoff hint to the client.
+    """
+
+    def __init__(self, message: str, queue_depth: Optional[int] = None,
+                 limit: Optional[int] = None,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(TaskTimeoutError):
+    """A service query ran out of its per-request deadline.
+
+    Inherits :class:`TaskTimeoutError` (``task`` holds the query
+    fingerprint, ``timeout_s`` the deadline) so callers that already
+    handle supervised timeouts handle service deadlines for free.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """The breaker is open and no degraded answer was possible.
+
+    ``failures`` is the consecutive-failure count that opened the
+    breaker; ``retry_after_s`` how long until the next half-open probe.
+    """
+
+    def __init__(self, message: str, failures: Optional[int] = None,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.failures = failures
+        self.retry_after_s = retry_after_s
+
+
+class ServiceProtocolError(ReproError):
+    """A malformed service request (bad JSON, kind, or query payload)."""
+
+
 class NotSPDError(ReproError):
     """An ``spd_only`` backend was given a non-SPD system.
 
@@ -204,4 +263,8 @@ __all__ = [
     "ContractViolationError",
     "SolverBackendError",
     "NotSPDError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "ServiceProtocolError",
 ]

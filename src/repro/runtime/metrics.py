@@ -33,7 +33,13 @@ from repro.obs.metrics import MetricsRegistry
 #: v6 added the solver-backend fields: run-level "solver" (the registry
 #: name the sweep ran under) and per-group "backend" — additive, so v5
 #: readers keep working.
-BENCH_SCHEMA = 6
+#: v7 added the exploration-service counter block: ``BENCH_service*.json``
+#: files written by :mod:`repro.service` share this schema number and
+#: carry a "service" section (cache hit/miss/evict, shed, coalesced,
+#: solve and breaker-transition counters plus the breaker state).
+#: Sweep-level BENCH files are unchanged — additive, v6 readers keep
+#: working.
+BENCH_SCHEMA = 7
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"

@@ -112,6 +112,13 @@ class PDNSpec:
     def is_stacked(self) -> bool:
         return self.arrangement == VOLTAGE_STACKED
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (the service wire protocol's "spec" object).
+
+        Round-trips through ``PDNSpec(**spec.to_dict())`` and JSON.
+        """
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
     def key(self) -> Tuple:
         """The value tuple this spec hashes by (cache-key debugging)."""
         return (

@@ -320,6 +320,30 @@ class _RunState:
         return self.records[task.fingerprint].status in ("done", "resumed")
 
 
+def _pool_worker_init() -> None:
+    """Detach inherited signal plumbing in pool worker processes.
+
+    Forked workers inherit the parent's Python signal handlers *and*
+    its signal wakeup fd — asyncio's self-pipe when the parent runs an
+    event loop (``repro serve``).  Without this reset, terminating a
+    worker (``_kill_pool``, deadline teardown) makes the *worker's*
+    inherited C handler write the signal number into the shared pipe,
+    which the parent's loop then dispatches as if the parent itself had
+    been signalled — a clean pool shutdown would drain the service.
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
 # ----------------------------------------------------------------------
 # The supervisor
 # ----------------------------------------------------------------------
@@ -363,6 +387,35 @@ class RunSupervisor:
 
     def clear_cache(self) -> None:
         self.engine.clear_cache()
+
+    def deadline_scoped(self, remaining_s: float) -> "RunSupervisor":
+        """A supervisor for one deadline-bounded run over the same engine.
+
+        The exploration service (:mod:`repro.service`) threads each
+        query's remaining deadline budget into the supervisor's
+        task-timeout machinery through this hook: the clone shares the
+        engine (so structure-cache reuse survives) but clamps
+        ``task_timeout`` to ``remaining_s`` — an already-tighter
+        configured timeout wins.  In process mode that makes the
+        deadline *enforced* (the hung worker is killed), not just
+        observed.  Journaling and resume are disabled on the clone: a
+        per-query run is request-scoped, not a checkpointed sweep.
+        """
+        remaining_s = max(0.001, float(remaining_s))
+        timeout = self.config.task_timeout
+        clamped = remaining_s if timeout is None else min(timeout, remaining_s)
+        config = replace(
+            self.config,
+            task_timeout=clamped,
+            run_dir=None,
+            resume=False,
+            salvage=False,
+            verbose=False,
+        )
+        clone = RunSupervisor(engine=self.engine, config=config)
+        # Share report history so service callers see per-query reports.
+        clone.reports = self.reports
+        return clone
 
     # ------------------------------------------------------------------
     def run(
@@ -836,7 +889,9 @@ class RunSupervisor:
     def _new_pool(self):
         from concurrent.futures import ProcessPoolExecutor
 
-        return ProcessPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_pool_worker_init
+        )
 
     @staticmethod
     def _kill_pool(pool) -> None:

@@ -1,0 +1,56 @@
+"""repro.service — the resilient exploration front-end.
+
+A small serving stack that turns the sweep machinery into
+design-exploration-as-a-service: an asyncio newline-JSON TCP server
+(:mod:`~repro.service.server`) answering PDNSpec queries from a
+persistent fingerprint-keyed cache (:mod:`~repro.service.cache`),
+with bounded admission + per-request deadlines
+(:mod:`~repro.service.admission`) and circuit-breaker degradation
+(:mod:`~repro.service.breaker`).  ``repro serve`` / ``repro query``
+are the CLI entry points; docs/SERVICE.md documents the protocol.
+"""
+
+from repro.service.admission import AdmissionQueue, Deadline
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.cache import (
+    CACHE_SCHEMA,
+    CacheEntry,
+    ResultCache,
+    query_fingerprint,
+)
+from repro.service.client import ServiceClient, discover_address
+from repro.service.server import (
+    SERVICE_FILE,
+    SERVICE_PROTOCOL,
+    ExplorationService,
+    QueryExecutor,
+    ServiceConfig,
+    ServiceHandle,
+    extract_summary,
+    serve_in_background,
+    spec_from_payload,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Deadline",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "CACHE_SCHEMA",
+    "CacheEntry",
+    "ResultCache",
+    "query_fingerprint",
+    "ServiceClient",
+    "discover_address",
+    "SERVICE_FILE",
+    "SERVICE_PROTOCOL",
+    "ExplorationService",
+    "QueryExecutor",
+    "ServiceConfig",
+    "ServiceHandle",
+    "extract_summary",
+    "serve_in_background",
+    "spec_from_payload",
+]

@@ -1,0 +1,171 @@
+"""Circuit breaker around the exploration service's solve backend.
+
+Classic three-state breaker (see docs/SERVICE.md for tuning guidance)::
+
+    closed --K consecutive failures--> open
+    open   --cooldown elapsed-------> half-open (one probe allowed)
+    half-open --probe succeeds------> closed
+    half-open --probe fails---------> open (cooldown restarts)
+
+While the breaker is **open** the service does not stop answering: it
+serves stale cache entries or coarse-grid solves flagged
+``degraded: true`` and only returns a typed
+:class:`repro.errors.CircuitOpenError` response when neither degraded
+path can produce numbers.  The breaker therefore converts a failing
+backend from "every query burns a full solve attempt and times out"
+into "queries get instant degraded answers while one probe per cooldown
+window checks for recovery".
+
+Thread-safe; deadline-free (the clock is injectable for tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.logs import get_logger
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+_log = get_logger(__name__)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric rendering for gauges (Prometheus cannot carry strings).
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        #: (to_state, count) transition tally for the metrics endpoint.
+        self._transitions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open()
+            retry_after = None
+            if self._state == OPEN and self._opened_at is not None:
+                retry_after = max(
+                    0.0,
+                    self._opened_at + self.cooldown_s - self._clock(),
+                )
+            return {
+                "state": self._state,
+                "state_code": STATE_CODES[self._state],
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "retry_after_s": retry_after,
+                "transitions": dict(self._transitions),
+            }
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe window (0 when not open)."""
+        snap = self.snapshot()
+        return float(snap["retry_after_s"] or 0.0)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> Tuple[bool, bool]:
+        """May a solve proceed right now?  Returns ``(allowed, probe)``.
+
+        Closed: always ``(True, False)``.  Open: ``(False, False)``
+        until the cooldown elapses, then the breaker half-opens and
+        exactly one caller gets ``(True, True)`` — the probe — while
+        concurrent callers keep getting ``(False, False)`` until the
+        probe's verdict is recorded.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True, False
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True, True
+            return False, False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._probe_inflight = False
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open, cooldown restarts.
+                self._probe_inflight = False
+                self._consecutive_failures += 1
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the cooldown elapsed (lock held)."""
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_inflight = False
+
+    def _transition(self, to_state: str) -> None:
+        """Move to ``to_state`` with logging + tally (lock held)."""
+        if to_state == OPEN:
+            self._opened_at = self._clock()
+        elif to_state == CLOSED:
+            self._opened_at = None
+        from_state, self._state = self._state, to_state
+        self._transitions[to_state] = self._transitions.get(to_state, 0) + 1
+        level = _log.warning if to_state == OPEN else _log.info
+        level(
+            "service breaker transition",
+            extra={
+                "from": from_state,
+                "to": to_state,
+                "consecutive_failures": self._consecutive_failures,
+            },
+        )
+
+    def transitions(self) -> List[Tuple[str, int]]:
+        with self._lock:
+            return sorted(self._transitions.items())

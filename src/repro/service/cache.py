@@ -1,0 +1,295 @@
+"""Persistent content-addressed result cache for the exploration service.
+
+One cache directory holds one JSON file per answered query, named by the
+query's content fingerprint (``result-<fp>.json``) — the *same*
+:func:`repro.runtime.fingerprint.task_fingerprint` the supervisor
+journals and the fleet leases by, so a cached service answer, a journal
+record and a trace file of the same design point all share one key.
+
+Robustness properties:
+
+* **Atomic writes.**  Every entry lands through
+  :func:`repro.runtime.journal.atomic_write_text` (tmp + rename), so a
+  SIGKILL mid-write never leaves a torn entry; readers see the previous
+  entry or the new one.
+* **Crash hygiene.**  :meth:`ResultCache.open` sweeps stale ``*.tmp``
+  files stranded by an interrupted write — the same
+  :func:`repro.runtime.journal.clean_stale_tmp` sweep ``--resume`` runs
+  on run directories — so a long-lived server never accumulates junk.
+* **Bounded size.**  ``max_mb`` caps the directory; inserts evict the
+  least-recently-*used* entries (hits bump an entry's mtime) until the
+  cap holds, with evictions counted in the service metrics.  A
+  long-lived server therefore never fills the disk.
+* **Freshness.**  ``ttl_s`` ages entries: an expired entry is not served
+  on the fast path, but it is deliberately *kept* — while the circuit
+  breaker is open the service serves stale entries as degraded answers
+  (``degraded: true, stale: true``) rather than failing closed.
+
+All methods are thread-safe; the service calls them from the event loop
+and from solve-completion callbacks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.logs import get_logger
+from repro.runtime.fingerprint import task_fingerprint
+from repro.runtime.journal import atomic_write_text, clean_stale_tmp
+from repro.runtime.spec import PDNSpec
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheEntry",
+    "ResultCache",
+    "query_fingerprint",
+]
+
+_log = get_logger(__name__)
+
+#: Schema version of the on-disk entry layout; bump on record changes.
+CACHE_SCHEMA = 1
+
+_PREFIX = "result-"
+_SUFFIX = ".json"
+
+
+def query_fingerprint(
+    spec: PDNSpec,
+    activities: Optional[List[float]] = None,
+    solver: str = "lu",
+) -> str:
+    """Content fingerprint of one service query (16 hex chars).
+
+    Delegates to the runtime's :func:`task_fingerprint` over a
+    single-point pristine group, so a service cache key is bit-for-bit
+    the fingerprint the supervisor would journal for the same solve —
+    default-solver queries match pre-service journals exactly.
+    """
+    from repro.runtime.engine import SweepPoint
+
+    point = SweepPoint(
+        spec=spec,
+        layer_activities=tuple(activities) if activities else None,
+    )
+    key = (spec, None, False, solver)
+    return task_fingerprint(key, [(0, point)])
+
+
+@dataclass
+class CacheEntry:
+    """One cache lookup's answer: the stored payload plus freshness."""
+
+    fingerprint: str
+    payload: Dict[str, Any]
+    #: Seconds since the entry was written (0.0 for a fresh write).
+    age_s: float = 0.0
+    #: True when the entry outlived the cache TTL (served only as a
+    #: degraded answer while the breaker is open).
+    stale: bool = False
+
+
+@dataclass
+class _Stored:
+    """Index record for one on-disk entry."""
+
+    path: pathlib.Path
+    size: int
+    #: Last-used stamp (monotonic): hits refresh it, eviction sorts by it.
+    used_at: float = 0.0
+    created_at: float = field(default_factory=time.time)
+
+
+class ResultCache:
+    """A bounded, persistent, fingerprint-keyed result store."""
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        max_mb: Optional[float] = None,
+        ttl_s: Optional[float] = None,
+    ):
+        self.directory = pathlib.Path(directory)
+        self.max_bytes = (
+            None if max_mb is None else max(0, int(max_mb * 1024 * 1024))
+        )
+        self.ttl_s = ttl_s
+        self._index: Dict[str, _Stored] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+        self.writes = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def open(self) -> "ResultCache":
+        """Create the directory, sweep stale tmp files, index entries."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        swept = clean_stale_tmp(self.directory)
+        with self._lock:
+            self._index.clear()
+            for path in sorted(self.directory.glob(f"{_PREFIX}*{_SUFFIX}")):
+                fingerprint = path.name[len(_PREFIX):-len(_SUFFIX)]
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                self._index[fingerprint] = _Stored(
+                    path=path,
+                    size=stat.st_size,
+                    used_at=stat.st_mtime,
+                    created_at=stat.st_mtime,
+                )
+        if self._index or swept:
+            _log.info(
+                "service cache opened",
+                extra={
+                    "directory": str(self.directory),
+                    "entries": len(self._index),
+                    "swept_tmp": len(swept),
+                },
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            return sum(s.size for s in self._index.values())
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "size_bytes": self.size_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_hits": self.stale_hits,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------------
+    def get(
+        self, fingerprint: str, allow_stale: bool = False
+    ) -> Optional[CacheEntry]:
+        """Look one fingerprint up; None on miss (or unreadable entry).
+
+        A fresh hit bumps the entry's recency (both in the index and on
+        disk, so LRU ordering survives a restart).  An entry older than
+        ``ttl_s`` is a miss unless ``allow_stale`` — the breaker-open
+        degraded path — in which case it comes back flagged ``stale``.
+        """
+        with self._lock:
+            stored = self._index.get(fingerprint)
+            if stored is None:
+                self.misses += 1
+                return None
+            try:
+                record = json.loads(stored.path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                # A corrupted entry must never poison answers: drop it
+                # and treat the query as a miss.
+                _log.warning(
+                    "service cache: dropping unreadable entry",
+                    extra={"fingerprint": fingerprint, "error": str(exc)},
+                )
+                self._discard(fingerprint, stored)
+                self.misses += 1
+                return None
+            if record.get("schema") != CACHE_SCHEMA:
+                self._discard(fingerprint, stored)
+                self.misses += 1
+                return None
+            age_s = max(0.0, time.time() - stored.created_at)
+            stale = self.ttl_s is not None and age_s > self.ttl_s
+            if stale and not allow_stale:
+                self.misses += 1
+                return None
+            if stale:
+                self.stale_hits += 1
+            else:
+                self.hits += 1
+                stored.used_at = time.time()
+                try:
+                    os.utime(stored.path)
+                except OSError:
+                    pass
+            return CacheEntry(
+                fingerprint=fingerprint,
+                payload=record.get("payload", {}),
+                age_s=age_s,
+                stale=stale,
+            )
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> pathlib.Path:
+        """Store one answer atomically; evicts LRU entries over the cap."""
+        record = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "payload": payload,
+            "created": time.time(),
+        }
+        text = json.dumps(record, sort_keys=True) + "\n"
+        path = self.directory / f"{_PREFIX}{fingerprint}{_SUFFIX}"
+        atomic_write_text(path, text, durable=False)
+        now = time.time()
+        with self._lock:
+            self._index[fingerprint] = _Stored(
+                path=path,
+                size=len(text.encode("utf-8")),
+                used_at=now,
+                created_at=now,
+            )
+            self.writes += 1
+            self._evict_over_cap(protect=fingerprint)
+        return path
+
+    # ------------------------------------------------------------------
+    def _discard(self, fingerprint: str, stored: _Stored) -> None:
+        """Remove one entry (lock held)."""
+        self._index.pop(fingerprint, None)
+        try:
+            stored.path.unlink()
+        except OSError:
+            pass
+
+    def _evict_over_cap(self, protect: Optional[str] = None) -> None:
+        """Drop least-recently-used entries until the size cap holds.
+
+        ``protect`` names the entry just written — even a cap smaller
+        than one entry keeps the newest answer (the cap bounds growth,
+        it must not turn the cache into a black hole).
+        """
+        if self.max_bytes is None:
+            return
+        total = sum(s.size for s in self._index.values())
+        if total <= self.max_bytes:
+            return
+        victims = sorted(
+            (fp for fp in self._index if fp != protect),
+            key=lambda fp: self._index[fp].used_at,
+        )
+        for fingerprint in victims:
+            if total <= self.max_bytes:
+                break
+            stored = self._index[fingerprint]
+            total -= stored.size
+            self._discard(fingerprint, stored)
+            self.evictions += 1
+            _log.info(
+                "service cache: evicted LRU entry",
+                extra={
+                    "fingerprint": fingerprint,
+                    "size_bytes": stored.size,
+                },
+            )

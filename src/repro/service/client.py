@@ -1,0 +1,134 @@
+"""Synchronous client for the exploration service wire protocol.
+
+A thin blocking socket client (stdlib only, like the fleet worker's
+transport): one JSON object per line out, one per line back.  Used by
+``repro query``, the service e2e tests and ``scripts/service_check.py``;
+it is also the reference implementation of the protocol documented in
+docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError, ServiceProtocolError
+from repro.runtime.fleet import parse_address
+from repro.runtime.spec import PDNSpec
+
+__all__ = ["ServiceClient", "discover_address"]
+
+
+def discover_address(cache_dir: Union[str, pathlib.Path]) -> str:
+    """Read the server's bound address from its ``service.json`` file.
+
+    Lets clients find a port-0 server: ``repro serve --bind 127.0.0.1:0
+    --cache-dir D`` publishes its ephemeral port into ``D/service.json``.
+    """
+    from repro.service.server import SERVICE_FILE
+
+    path = pathlib.Path(cache_dir) / SERVICE_FILE
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        return str(record["address"])
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        raise ReproError(
+            f"no service discovery file at {path} ({exc}); "
+            "is the server running with this --cache-dir?"
+        ) from None
+
+
+class ServiceClient:
+    """One connection to a running exploration service.
+
+    Context-manager friendly; requests on one client are sequential
+    (the server answers a connection's requests in order).  Open one
+    client per concurrent in-flight query.
+    """
+
+    def __init__(self, address: str, timeout_s: float = 60.0):
+        self.address = address
+        host, port = parse_address(address)
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, block for its response object."""
+        self._file.write((json.dumps(message) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ReproError(
+                f"service at {self.address} closed the connection "
+                "without answering"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceProtocolError(
+                f"unparsable service response: {exc.msg}"
+            ) from None
+        if not isinstance(response, dict):
+            raise ServiceProtocolError(
+                f"service response must be an object, got "
+                f"{type(response).__name__}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        spec: Union[PDNSpec, Dict[str, Any]],
+        activities: Optional[List[float]] = None,
+        deadline_s: Optional[float] = None,
+        request_id: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Submit one design-point query; returns the response envelope.
+
+        The response is returned as-is — including typed error
+        envelopes (``kind: "error"`` with ``status``/``code``/
+        ``error_type``) — so callers can distinguish a shed from a
+        deadline from a degraded answer.
+        """
+        if isinstance(spec, PDNSpec):
+            spec = spec.to_dict()
+        message: Dict[str, Any] = {"kind": "query", "spec": spec}
+        if activities is not None:
+            message["activities"] = list(activities)
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        if request_id is not None:
+            message["id"] = request_id
+        return self.request(message)
+
+    def health(self) -> Dict[str, Any]:
+        return self.request({"kind": "health"})
+
+    def ready(self) -> Dict[str, Any]:
+        return self.request({"kind": "ready"})
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request({"kind": "metrics"})
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.request({"kind": "shutdown", "drain": drain})

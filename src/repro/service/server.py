@@ -1,0 +1,989 @@
+"""The resilient exploration service: an asyncio newline-JSON front-end.
+
+``repro serve`` turns the reproduction into design-exploration-as-a-
+service: clients submit :class:`repro.runtime.PDNSpec`-shaped queries
+over TCP (one JSON object per line, the same framing as the fleet
+protocol in :mod:`repro.runtime.fleet`) and get back solved PDN
+summaries.  Design-space exploration traffic is repeated-query shaped,
+so the serving stack is built around a persistent content-addressed
+cache and a ladder of robustness primitives:
+
+1. **Fingerprint cache** — answers are memoized by the *same* content
+   fingerprint the run supervisor journals
+   (:func:`repro.service.cache.query_fingerprint`); repeated queries are
+   sub-millisecond hits, bit-identical to a direct
+   :class:`~repro.runtime.SweepEngine` run.
+2. **Single-flight coalescing** — N concurrent identical queries cost
+   one solve; the other N-1 await the leader's result.
+3. **Bounded admission** — a full queue sheds with a typed 429-style
+   response (:class:`repro.errors.ServiceOverloadError`); memory never
+   grows with offered load.
+4. **Deadlines** — per-request budgets expire queries in the queue and
+   propagate into the supervisor's task-timeout machinery mid-solve
+   (:meth:`~repro.runtime.RunSupervisor.deadline_scoped`); an overrun
+   returns a typed 504-style response while the orphaned solve still
+   populates the cache on completion, so the client's retry hits.
+5. **Circuit breaker** — K consecutive solve failures open the breaker;
+   while open, queries are answered from stale cache entries or a
+   coarse-grid solve, flagged ``degraded: true``, and one probe per
+   cooldown window tests recovery (:mod:`repro.service.breaker`).
+
+``health`` / ``ready`` / ``metrics`` requests expose liveness,
+readiness and the full counter set (Prometheus text included); the
+counters also land in ``BENCH_service.json`` (schema v7) at shutdown.
+See docs/SERVICE.md for the wire protocol and failure semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadError,
+    ServiceProtocolError,
+    TaskTimeoutError,
+)
+from repro.grid.backends import default_backend_name, resolve_backend
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
+from repro.runtime.fleet import parse_address
+from repro.runtime.journal import atomic_write_text
+from repro.runtime.metrics import BENCH_SCHEMA, write_bench_json
+from repro.runtime.spec import ARRANGEMENTS, PDNSpec
+from repro.service.admission import AdmissionQueue, Deadline
+from repro.service.breaker import STATE_CODES, CircuitBreaker
+from repro.service.cache import ResultCache, query_fingerprint
+
+__all__ = [
+    "SERVICE_PROTOCOL",
+    "SERVICE_FILE",
+    "ServiceConfig",
+    "QueryExecutor",
+    "ExplorationService",
+    "ServiceHandle",
+    "extract_summary",
+    "spec_from_payload",
+    "serve_in_background",
+]
+
+_log = get_logger(__name__)
+
+#: Bumped on any wire-format change; hello-free protocol, so the
+#: version rides in every response envelope instead.
+SERVICE_PROTOCOL = 1
+
+#: Discovery file written into the cache directory (like fleet.json):
+#: names the bound address so ``repro query`` finds a port-0 server.
+SERVICE_FILE = "service.json"
+
+#: Fields a query's "spec" object may carry (the PDNSpec surface).
+_SPEC_FIELDS = (
+    "arrangement",
+    "n_layers",
+    "topology",
+    "power_pad_fraction",
+    "vdd_pads_per_core",
+    "grid_nodes",
+    "converters_per_core",
+)
+
+
+def extract_summary(outcome) -> Dict[str, Any]:
+    """The service's sweep extractor: one JSON-serialisable summary.
+
+    Module-level (hence picklable) so supervised process-mode runs can
+    ship it to pool workers; values are plain floats, so a JSON round
+    trip through the wire is bit-exact — a cached service answer equals
+    a direct engine run to the last ulp.
+    """
+    from repro.core.experiments.base import outcome_degraded
+
+    result = outcome.unwrap()
+    return {
+        "max_ir_drop_v": float(result.max_ir_drop()),
+        "max_ir_drop_fraction": float(result.max_ir_drop_fraction()),
+        "efficiency": float(result.efficiency()),
+        "load_power_w": float(result.load_power()),
+        "source_power_w": float(result.source_power()),
+        "degraded_solve": bool(outcome_degraded(outcome)),
+    }
+
+
+def spec_from_payload(payload: Any) -> PDNSpec:
+    """Validate a request's "spec" object into a PDNSpec (typed errors)."""
+    if not isinstance(payload, dict):
+        raise ServiceProtocolError(
+            f"query 'spec' must be an object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(_SPEC_FIELDS))
+    if unknown:
+        raise ServiceProtocolError(
+            f"unknown spec field(s) {unknown}; allowed: {list(_SPEC_FIELDS)}"
+        )
+    try:
+        return PDNSpec(**payload)
+    except (TypeError, ValueError) as exc:
+        raise ServiceProtocolError(f"invalid spec: {exc}") from None
+
+
+def _parse_activities(payload: Any) -> Optional[Tuple[float, ...]]:
+    if payload is None:
+        return None
+    if not isinstance(payload, (list, tuple)):
+        raise ServiceProtocolError(
+            "query 'activities' must be a list of numbers or null"
+        )
+    try:
+        return tuple(float(a) for a in payload)
+    except (TypeError, ValueError) as exc:
+        raise ServiceProtocolError(f"invalid activities: {exc}") from None
+
+
+def _parse_deadline(payload: Any, default_s: Optional[float]) -> Deadline:
+    if payload is None:
+        return Deadline.after(default_s)
+    try:
+        budget = float(payload)
+    except (TypeError, ValueError):
+        raise ServiceProtocolError(
+            f"query 'deadline_s' must be a number, got {payload!r}"
+        ) from None
+    if budget != budget or budget <= 0:
+        raise ServiceProtocolError(
+            f"query 'deadline_s' must be > 0 and finite, got {payload!r}"
+        )
+    return Deadline.after(budget)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the serving stack (all ``repro serve``-settable)."""
+
+    #: Bind address; port 0 picks a free port (see ``service.json``).
+    bind: str = "127.0.0.1:0"
+    #: Cache directory (created; swept for stale tmp files on open).
+    cache_dir: str = "service-cache"
+    #: LRU size cap in MiB; None = unbounded.
+    cache_max_mb: Optional[float] = None
+    #: Entry freshness window; expired entries serve only as degraded
+    #: stale answers while the breaker is open.  None = never stale.
+    cache_ttl_s: Optional[float] = None
+    #: Bounded admission queue length (full = typed 429 shed).
+    max_queue: int = 64
+    #: Concurrent solver workers draining the queue.
+    solve_workers: int = 1
+    #: Default per-request deadline when a query does not set one.
+    default_deadline_s: Optional[float] = None
+    #: Consecutive solve failures that open the breaker.
+    breaker_threshold: int = 5
+    #: Seconds the breaker stays open before a half-open probe.
+    breaker_cooldown_s: float = 10.0
+    #: Grid resolution of breaker-open degraded answers (skipped when
+    #: the query is already at or below it).
+    coarse_grid: int = 6
+    #: Optional :class:`repro.runtime.SupervisorConfig`: run each miss
+    #: under a RunSupervisor (retry/quarantine; process mode enforces
+    #: deadlines by killing hung workers).  None = plain engine.
+    supervision: Optional[Any] = None
+    #: Basename of the BENCH counters file written at shutdown into
+    #: ``cache_dir`` (None disables).
+    bench_name: Optional[str] = "service"
+
+
+# ----------------------------------------------------------------------
+# Query execution (sync, runs on worker threads)
+# ----------------------------------------------------------------------
+
+class QueryExecutor:
+    """Runs cache misses on a shared engine (optionally supervised).
+
+    One lock serializes solves: the engine's structure cache and the
+    supervisor are not reentrant, and concurrency for the service comes
+    from cache hits and coalescing, not parallel factorisations.  A
+    supervised executor threads each query's remaining deadline into
+    the supervisor's task-timeout machinery via
+    :meth:`~repro.runtime.RunSupervisor.deadline_scoped`.
+    """
+
+    def __init__(self, engine: Any = None, supervision: Any = None):
+        from repro.runtime import RunSupervisor, SweepEngine
+
+        self.engine = engine or SweepEngine()
+        self._supervisor = (
+            RunSupervisor(engine=self.engine, config=supervision)
+            if supervision is not None
+            else None
+        )
+        self._lock = threading.Lock()
+
+    def solve(
+        self,
+        spec: PDNSpec,
+        activities: Optional[Tuple[float, ...]],
+        deadline: Deadline,
+    ) -> Dict[str, Any]:
+        from repro.runtime import SweepPoint
+
+        deadline.check()
+        point = SweepPoint(spec=spec, layer_activities=activities)
+        with self._lock:
+            deadline.check()
+            if self._supervisor is None:
+                result = self.engine.run([point], extract=extract_summary)
+                return result.values[0]
+            remaining = deadline.remaining_s()
+            supervisor = (
+                self._supervisor
+                if remaining is None
+                else self._supervisor.deadline_scoped(remaining)
+            )
+            result = supervisor.run([point], extract=extract_summary)
+        value = result.values[0]
+        if value is not None:
+            return value
+        # Quarantined: surface the recorded error as a typed failure.
+        record = result.report.tasks[0]
+        if record.timeouts:
+            raise DeadlineExceededError(
+                f"solve exceeded the remaining deadline budget "
+                f"({record.error})",
+                task=record.fingerprint,
+                timeout_s=deadline.budget_s,
+            )
+        raise ReproError(
+            f"solve quarantined after {record.attempts} attempt(s): "
+            f"{record.error or 'unknown error'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+@dataclass
+class _WorkItem:
+    """One admitted query travelling from admission to a solver worker."""
+
+    fingerprint: str
+    spec: PDNSpec
+    activities: Optional[Tuple[float, ...]]
+    deadline: Deadline
+    future: "asyncio.Future"
+    solver: str
+
+
+class ExplorationService:
+    """The asyncio TCP server tying cache, admission and breaker together.
+
+    ``solve_fn(spec, activities, deadline) -> dict`` defaults to a
+    :class:`QueryExecutor` over a shared engine; tests inject stubs.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        engine: Any = None,
+        solve_fn: Optional[Callable[..., Dict[str, Any]]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.cache = ResultCache(
+            self.config.cache_dir,
+            max_mb=self.config.cache_max_mb,
+            ttl_s=self.config.cache_ttl_s,
+        )
+        self.admission = AdmissionQueue(max_queue=self.config.max_queue)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        if solve_fn is None:
+            self._executor = QueryExecutor(
+                engine=engine, supervision=self.config.supervision
+            )
+            solve_fn = self._executor.solve
+        else:
+            self._executor = None
+        self.solve_fn = solve_fn
+        self._flights: Dict[str, asyncio.Future] = {}
+        self._connections: set = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._workers: List[asyncio.Task] = []
+        self._stopped = asyncio.Event()
+        self._draining = False
+        self._started_at = time.monotonic()
+        self.address: Optional[str] = None
+        # Counters (read by metrics/health; plain ints under the GIL).
+        self.requests: Dict[str, int] = {}
+        self.responses: Dict[str, int] = {}
+        self.solves: Dict[str, int] = {}
+        self.degraded: Dict[str, int] = {}
+        self.coalesced = 0
+        self.inflight = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> str:
+        """Open the cache, bind, start workers; returns ``host:port``."""
+        host, port = parse_address(self.config.bind)
+        self.cache.open()
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=host, port=port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.address = f"{sock[0]}:{sock[1]}"
+        self._started_at = time.monotonic()
+        for i in range(max(1, int(self.config.solve_workers))):
+            self._workers.append(
+                asyncio.create_task(self._solver_worker(), name=f"solver-{i}")
+            )
+        self._write_discovery()
+        _log.info(
+            "exploration service listening",
+            extra={
+                "address": self.address,
+                "cache_dir": str(self.cache.directory),
+                "max_queue": self.admission.max_queue,
+            },
+        )
+        return self.address
+
+    def _write_discovery(self) -> None:
+        atomic_write_text(
+            self.cache.directory / SERVICE_FILE,
+            json.dumps(
+                {
+                    "address": self.address,
+                    "protocol": SERVICE_PROTOCOL,
+                    "pid": os.getpid(),
+                },
+                sort_keys=True,
+            )
+            + "\n",
+            durable=False,
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight queries, stop.
+
+        With ``drain`` the admission queue is emptied by the workers and
+        every outstanding response is written before the loop stops —
+        clients never see a connection die mid-answer on a clean stop.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if drain:
+            try:
+                await asyncio.wait_for(self.admission.drain(), timeout=60.0)
+            except asyncio.TimeoutError:  # pragma: no cover - safety net
+                _log.warning("shutdown drain timed out; stopping anyway")
+            # Give connection handlers one loop turn to write responses.
+            await asyncio.sleep(0)
+        for worker in self._workers:
+            worker.cancel()
+        # Close idle connections so their handlers see EOF and exit
+        # before the loop tears down (no orphaned readline tasks).
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._write_bench()
+        self._stopped.set()
+        _log.info("exploration service stopped", extra={"drained": drain})
+
+    def _write_bench(self) -> None:
+        if self.config.bench_name is None:
+            return
+        try:
+            write_bench_json(
+                self.config.bench_name,
+                self.bench_payload(),
+                directory=self.cache.directory,
+            )
+        except OSError:  # pragma: no cover - disk full on shutdown
+            _log.warning("could not write service BENCH file")
+
+    # ------------------------------------------------------------------
+    # Counters / metrics
+    # ------------------------------------------------------------------
+    def _count(self, table: Dict[str, int], key: str, n: int = 1) -> None:
+        table[key] = table.get(key, 0) + n
+
+    def counters(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": dict(self.requests),
+            "responses": dict(self.responses),
+            "cache": self.cache.counters(),
+            "admission": self.admission.counters(),
+            "breaker": self.breaker.snapshot(),
+            "solves": dict(self.solves),
+            "degraded": dict(self.degraded),
+            "coalesced": self.coalesced,
+            "inflight": self.inflight,
+        }
+
+    def registry(self) -> MetricsRegistry:
+        """The service counters as a typed registry (Prometheus-ready)."""
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "service_requests_total", "requests received, by kind"
+        )
+        for kind, count in self.requests.items():
+            requests.inc(count, kind=kind)
+        responses = registry.counter(
+            "service_responses_total", "responses sent, by status"
+        )
+        for status, count in self.responses.items():
+            responses.inc(count, status=status)
+        cache = registry.counter(
+            "service_cache_total", "cache events (hit/miss/stale/write/evict)"
+        )
+        cache_counters = self.cache.counters()
+        for event in ("hits", "misses", "stale_hits", "writes", "evictions"):
+            cache.inc(cache_counters[event], event=event)
+        shed = registry.counter(
+            "service_shed_total", "queries shed by admission control"
+        )
+        shed.inc(self.admission.shed, reason="queue_full")
+        shed.inc(self.admission.expired_in_queue, reason="deadline_in_queue")
+        solves = registry.counter(
+            "service_solves_total", "backend solves, by outcome"
+        )
+        for status, count in self.solves.items():
+            solves.inc(count, status=status)
+        degraded = registry.counter(
+            "service_degraded_total", "degraded answers, by mode"
+        )
+        for mode, count in self.degraded.items():
+            degraded.inc(count, mode=mode)
+        coalesced = registry.counter(
+            "service_coalesced_total", "queries coalesced into a flight"
+        )
+        coalesced.inc(self.coalesced)
+        transitions = registry.counter(
+            "service_breaker_transitions_total", "breaker transitions, by state"
+        )
+        for state, count in self.breaker.transitions():
+            transitions.inc(count, to=state)
+        gauge = registry.gauge("service_state", "service state gauges")
+        gauge.set(self.admission.depth(), field="queue_depth")
+        gauge.set(self.inflight, field="inflight")
+        gauge.set(STATE_CODES[self.breaker.state], field="breaker_state")
+        gauge.set(len(self.cache), field="cache_entries")
+        gauge.set(self.cache.size_bytes(), field="cache_size_bytes")
+        gauge.set(time.monotonic() - self._started_at, field="uptime_s")
+        return registry
+
+    def bench_payload(self) -> Dict[str, Any]:
+        """The BENCH schema-v7 counter block (see runtime.metrics)."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "service": self.counters(),
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ServiceProtocolError(
+                            "request must be a JSON object"
+                        )
+                except json.JSONDecodeError as exc:
+                    message = {}
+                    response = self._error_response(
+                        None,
+                        ServiceProtocolError(f"unparsable request: {exc.msg}"),
+                    )
+                else:
+                    response = await self._dispatch(message)
+                response.setdefault("protocol", SERVICE_PROTOCOL)
+                if "id" in message:
+                    response["id"] = message["id"]
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:  # pragma: no cover - handler must never leak
+            _log.warning(
+                "service connection handler error", extra={"peer": str(peer)}
+            )
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        kind = message.get("kind")
+        self._count(self.requests, str(kind))
+        if kind == "query":
+            return await self._handle_query(message)
+        if kind == "health":
+            return self._handle_health()
+        if kind == "ready":
+            return self._handle_ready()
+        if kind == "metrics":
+            return {
+                "kind": "metrics",
+                "status": "ok",
+                "code": 200,
+                "counters": self.counters(),
+                "prometheus": self.registry().to_prometheus(),
+            }
+        if kind == "shutdown":
+            drain = bool(message.get("drain", True))
+            asyncio.get_running_loop().create_task(self.shutdown(drain=drain))
+            return {
+                "kind": "shutdown",
+                "status": "draining" if drain else "stopping",
+                "code": 200,
+            }
+        return self._error_response(
+            None, ServiceProtocolError(f"unknown request kind {kind!r}")
+        )
+
+    def _handle_health(self) -> Dict[str, Any]:
+        return {
+            "kind": "health",
+            "status": "ok",
+            "code": 200,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "breaker": self.breaker.state,
+            "queue_depth": self.admission.depth(),
+            "inflight": self.inflight,
+            "cache_entries": len(self.cache),
+            "draining": self._draining,
+        }
+
+    def _handle_ready(self) -> Dict[str, Any]:
+        reasons = []
+        if self._draining:
+            reasons.append("draining")
+        if self.admission.depth() >= self.admission.max_queue:
+            reasons.append("admission queue full")
+        if self.breaker.state == "open":
+            reasons.append("breaker open (degraded answers only)")
+        ready = "draining" not in reasons and (
+            "admission queue full" not in reasons
+        )
+        return {
+            "kind": "ready",
+            "status": "ok" if ready else "not-ready",
+            "code": 200 if ready else 503,
+            "reasons": reasons,
+        }
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    async def _handle_query(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        t0 = time.perf_counter()
+        response = await self._answer_query(message)
+        wall = time.perf_counter() - t0
+        response["wall_s"] = round(wall, 6)
+        self._count(self.responses, response.get("status", "unknown"))
+        get_tracer().record(
+            "service.request",
+            wall,
+            fingerprint=response.get("fingerprint"),
+            status=response.get("status"),
+            code=response.get("code"),
+            cached=response.get("cached", False),
+            degraded=response.get("degraded", False),
+        )
+        return response
+
+    async def _answer_query(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            spec = spec_from_payload(message.get("spec"))
+            activities = _parse_activities(message.get("activities"))
+            deadline = _parse_deadline(
+                message.get("deadline_s"), self.config.default_deadline_s
+            )
+            if activities is not None and len(activities) != spec.n_layers:
+                raise ServiceProtocolError(
+                    f"activities has {len(activities)} value(s) for "
+                    f"{spec.n_layers} layer(s)"
+                )
+        except ServiceProtocolError as exc:
+            return self._error_response(None, exc)
+        solver = resolve_backend(default_backend_name()).name
+        fingerprint = query_fingerprint(spec, activities, solver)
+
+        # 1. Cache fast path: repeated queries never touch admission.
+        entry = self.cache.get(fingerprint)
+        if entry is not None:
+            return self._ok_response(
+                fingerprint, entry.payload, solver, cached=True
+            )
+
+        if self._draining:
+            return self._error_response(
+                fingerprint,
+                ServiceOverloadError(
+                    "service is draining for shutdown", retry_after_s=1.0
+                ),
+                status="unavailable",
+                code=503,
+            )
+
+        # 2. Single-flight: concurrent identical queries share one solve.
+        flight = self._flights.get(fingerprint)
+        coalesced = flight is not None
+        if flight is None:
+            flight = asyncio.get_running_loop().create_future()
+            self._flights[fingerprint] = flight
+            item = _WorkItem(
+                fingerprint=fingerprint,
+                spec=spec,
+                activities=activities,
+                deadline=deadline,
+                future=flight,
+                solver=solver,
+            )
+            try:
+                # 3. Bounded admission: full queue = typed shed.
+                self.admission.submit(item, deadline)
+            except ServiceOverloadError as exc:
+                self._flights.pop(fingerprint, None)
+                flight.cancel()
+                return self._error_response(
+                    fingerprint, exc, status="overloaded", code=429
+                )
+        else:
+            self.coalesced += 1
+
+        # 4. Await the flight under *this* request's own deadline.
+        try:
+            remaining = deadline.remaining_s()
+            payload = await asyncio.wait_for(
+                asyncio.shield(flight), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            return self._error_response(
+                fingerprint,
+                DeadlineExceededError(
+                    f"query {fingerprint} exceeded its "
+                    f"{deadline.budget_s:g}s deadline while "
+                    f"{'coalesced' if coalesced else 'queued/solving'}",
+                    task=fingerprint,
+                    timeout_s=deadline.budget_s,
+                ),
+                status="deadline",
+                code=504,
+            )
+        except asyncio.CancelledError:
+            return self._error_response(
+                fingerprint,
+                ServiceOverloadError("query cancelled during shutdown"),
+                status="unavailable",
+                code=503,
+            )
+        response = dict(payload)
+        if coalesced:
+            response["coalesced"] = True
+        return response
+
+    # ------------------------------------------------------------------
+    # Solver workers
+    # ------------------------------------------------------------------
+    async def _solver_worker(self) -> None:
+        while True:
+            admitted = await self.admission.next()
+            item: _WorkItem = admitted.item
+            self.inflight += 1
+            try:
+                payload = await self._execute(item)
+            except Exception as exc:  # pragma: no cover - worker armor
+                payload = self._error_response(
+                    item.fingerprint,
+                    ReproError(f"internal service error: {exc}"),
+                    status="solve-error",
+                    code=500,
+                )
+            finally:
+                self.inflight -= 1
+                self._flights.pop(item.fingerprint, None)
+                self.admission.task_done()
+            if not item.future.done():
+                item.future.set_result(payload)
+
+    async def _execute(self, item: _WorkItem) -> Dict[str, Any]:
+        # Expired while queued: typed timeout, never a wasted solve.
+        if item.deadline.expired():
+            self.admission.expired_in_queue += 1
+            return self._error_response(
+                item.fingerprint,
+                DeadlineExceededError(
+                    f"query {item.fingerprint} spent its "
+                    f"{item.deadline.budget_s:g}s deadline in the "
+                    "admission queue",
+                    task=item.fingerprint,
+                    timeout_s=item.deadline.budget_s,
+                ),
+                status="deadline",
+                code=504,
+            )
+        allowed, probe = self.breaker.allow()
+        if not allowed:
+            return await self._degraded_answer(item)
+        return await self._solve(item, probe=probe)
+
+    async def _solve(self, item: _WorkItem, probe: bool) -> Dict[str, Any]:
+        try:
+            summary = await asyncio.to_thread(
+                self.solve_fn, item.spec, item.activities, item.deadline
+            )
+        except (DeadlineExceededError, TaskTimeoutError) as exc:
+            # A timeout says nothing about backend health: the breaker
+            # sees neither success nor failure.  A probe stays pending —
+            # release it so the next query may probe again.
+            if probe:
+                self.breaker.record_failure()
+            self._count(self.solves, "timeout")
+            return self._error_response(
+                item.fingerprint, exc, status="deadline", code=504
+            )
+        except ReproError as exc:
+            self.breaker.record_failure()
+            self._count(self.solves, "error")
+            _log.warning(
+                "service solve failed",
+                extra={
+                    "fingerprint": item.fingerprint,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            return self._error_response(
+                item.fingerprint, exc, status="solve-error", code=500
+            )
+        except Exception as exc:
+            self.breaker.record_failure()
+            self._count(self.solves, "error")
+            return self._error_response(
+                item.fingerprint,
+                ReproError(f"{type(exc).__name__}: {exc}"),
+                status="solve-error",
+                code=500,
+            )
+        self.breaker.record_success()
+        self._count(self.solves, "ok")
+        self.cache.put(item.fingerprint, summary)
+        return self._ok_response(
+            item.fingerprint, summary, item.solver, cached=False
+        )
+
+    async def _degraded_answer(self, item: _WorkItem) -> Dict[str, Any]:
+        """Breaker-open path: stale cache, then coarse grid, then 503."""
+        stale = self.cache.get(item.fingerprint, allow_stale=True)
+        if stale is not None:
+            self._count(self.degraded, "stale-cache")
+            response = self._ok_response(
+                item.fingerprint, stale.payload, item.solver, cached=True
+            )
+            response.update(
+                degraded=True,
+                degraded_mode="stale-cache",
+                stale=True,
+                age_s=round(stale.age_s, 3),
+            )
+            return response
+        coarse = min(self.config.coarse_grid, item.spec.grid_nodes)
+        if coarse < item.spec.grid_nodes:
+            coarse_spec = item.spec.with_(grid_nodes=coarse)
+            try:
+                summary = await asyncio.to_thread(
+                    self.solve_fn, coarse_spec, item.activities, item.deadline
+                )
+            except Exception as exc:
+                _log.warning(
+                    "degraded coarse-grid solve failed",
+                    extra={
+                        "fingerprint": item.fingerprint,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+            else:
+                self._count(self.degraded, "coarse-grid")
+                response = self._ok_response(
+                    item.fingerprint, summary, item.solver, cached=False
+                )
+                response.update(
+                    degraded=True,
+                    degraded_mode="coarse-grid",
+                    coarse_grid=coarse,
+                )
+                return response
+        self._count(self.degraded, "unavailable")
+        snapshot = self.breaker.snapshot()
+        return self._error_response(
+            item.fingerprint,
+            CircuitOpenError(
+                "solve backend circuit breaker is open and no degraded "
+                "answer is available",
+                failures=int(snapshot["consecutive_failures"]),
+                retry_after_s=snapshot["retry_after_s"],
+            ),
+            status="unavailable",
+            code=503,
+        )
+
+    # ------------------------------------------------------------------
+    # Response envelopes
+    # ------------------------------------------------------------------
+    def _ok_response(
+        self,
+        fingerprint: str,
+        payload: Dict[str, Any],
+        solver: str,
+        cached: bool,
+    ) -> Dict[str, Any]:
+        return {
+            "kind": "result",
+            "status": "ok",
+            "code": 200,
+            "fingerprint": fingerprint,
+            "cached": cached,
+            "degraded": False,
+            "solver": solver,
+            "result": payload,
+        }
+
+    def _error_response(
+        self,
+        fingerprint: Optional[str],
+        error: ReproError,
+        status: Optional[str] = None,
+        code: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if status is None or code is None:
+            status, code = {
+                ServiceProtocolError: ("bad-request", 400),
+                ServiceOverloadError: ("overloaded", 429),
+                DeadlineExceededError: ("deadline", 504),
+                CircuitOpenError: ("unavailable", 503),
+            }.get(type(error), ("solve-error", 500))
+        response: Dict[str, Any] = {
+            "kind": "error",
+            "status": status,
+            "code": code,
+            "error_type": type(error).__name__,
+            "error": str(error),
+        }
+        if fingerprint is not None:
+            response["fingerprint"] = fingerprint
+        retry_after = getattr(error, "retry_after_s", None)
+        if retry_after is not None:
+            response["retry_after_s"] = round(float(retry_after), 3)
+        return response
+
+
+# ----------------------------------------------------------------------
+# Background-thread harness (tests, notebooks, scripts)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ServiceHandle:
+    """A running service on a background thread, with its address."""
+
+    service: ExplorationService
+    address: str
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop = field(repr=False, default=None)
+
+    def stop(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        if self.loop is not None and self.loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(drain=drain), self.loop
+            )
+        self.thread.join(timeout=timeout_s)
+
+
+def serve_in_background(
+    config: Optional[ServiceConfig] = None,
+    engine: Any = None,
+    solve_fn: Optional[Callable[..., Dict[str, Any]]] = None,
+) -> ServiceHandle:
+    """Start an :class:`ExplorationService` on its own thread + loop."""
+    service = ExplorationService(config=config, engine=engine, solve_fn=solve_fn)
+    started = threading.Event()
+    box: Dict[str, Any] = {}
+
+    def _run() -> None:
+        async def _main() -> None:
+            box["loop"] = asyncio.get_running_loop()
+            box["address"] = await service.start()
+            started.set()
+            await service.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except Exception as exc:  # startup failure: unblock the caller
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise ReproError("service did not start within 30s")
+    if "error" in box:
+        raise box["error"]
+    return ServiceHandle(
+        service=service,
+        address=box["address"],
+        thread=thread,
+        loop=box["loop"],
+    )
+
+
+# Keep the spec-field tuple honest against PDNSpec's dataclass surface.
+assert set(_SPEC_FIELDS) >= {
+    f for f in PDNSpec.__dataclass_fields__
+}, "spec fields drifted"
+assert ARRANGEMENTS  # re-exported validation vocabulary stays imported

@@ -32,6 +32,8 @@ EXPECTED_ORDER = [
     "report",
     "trace",
     "worker",
+    "serve",
+    "query",
 ]
 
 
