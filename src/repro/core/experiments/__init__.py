@@ -68,7 +68,11 @@ from repro.core.experiments.tools import (
     ReportExperiment,
     SensitivityExperiment,
 )
-from repro.core.experiments.service import QueryExperiment, ServeExperiment
+from repro.core.experiments.service import (
+    CacheExperiment,
+    QueryExperiment,
+    ServeExperiment,
+)
 from repro.core.experiments.traceview import TraceExperiment
 from repro.core.experiments.worker import WorkerExperiment
 
@@ -92,6 +96,7 @@ for _cls in (
     WorkerExperiment,
     ServeExperiment,
     QueryExperiment,
+    CacheExperiment,
 ):
     register(_cls)
 del _cls
@@ -140,4 +145,5 @@ __all__ = [
     "WorkerExperiment",
     "ServeExperiment",
     "QueryExperiment",
+    "CacheExperiment",
 ]

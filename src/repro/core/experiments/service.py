@@ -1,11 +1,16 @@
-"""``repro serve`` / ``repro query``: the exploration service CLI.
+"""``repro serve`` / ``repro query`` / ``repro cache``: the service CLI.
 
 ``serve`` runs the resilient query front-end of
-:mod:`repro.service.server` until SIGINT/SIGTERM (clean drain), and
-``query`` is the matching one-shot client: it builds a
-:class:`~repro.runtime.PDNSpec` from flags, submits it, and renders the
+:mod:`repro.service.server` until SIGINT/SIGTERM (clean drain); several
+``serve`` processes sharing one ``--cache-dir`` form an HA replica set,
+and ``--fleet HOST:PORT`` additionally fans cache misses out to
+``repro worker`` processes.  ``query`` is the matching one-shot client:
+it builds a :class:`~repro.runtime.PDNSpec` from flags, submits it with
+replica failover (and ``--retries`` shed-retries), and renders the
 response envelope — including typed shed/deadline/degraded outcomes —
-as a one-line table.  See docs/SERVICE.md for the wire protocol.
+as a one-line table.  ``cache`` inspects and maintains a cache
+directory offline (``stats | verify | invalidate``).  See
+docs/SERVICE.md for the wire protocol and HA semantics.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from repro.core.experiments.base import (
 )
 from repro.errors import ReproError
 
-__all__ = ["ServeExperiment", "QueryExperiment"]
+__all__ = ["ServeExperiment", "QueryExperiment", "CacheExperiment"]
 
 
 def _activities_list(flag: str) -> Callable[[str], List[float]]:
@@ -146,10 +151,24 @@ class ServeExperiment(Experiment):
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         import asyncio
         import signal
+        from dataclasses import replace
 
         from repro.service.server import ExplorationService, ServiceConfig
 
         config = config or ExperimentConfig()
+        # The common --fleet/--lease-timeout/--fleet-wait flags land in
+        # the supervision config, but for `serve` the fleet belongs to
+        # the *service* (a persistent ServiceFleet), not to any one
+        # per-query supervised run — pull it out and strip it so a
+        # supervised miss never spins up a one-run coordinator.
+        supervision = config.option("supervision")
+        fleet = None
+        lease_timeout_s, fleet_wait_s = 60.0, 10.0
+        if supervision is not None and getattr(supervision, "fleet", None):
+            fleet = supervision.fleet
+            lease_timeout_s = supervision.lease_timeout_s
+            fleet_wait_s = supervision.fleet_wait_s
+            supervision = replace(supervision, fleet=None)
         service_config = ServiceConfig(
             bind=str(config.option("bind", "127.0.0.1:0")),
             cache_dir=str(config.option("cache_dir", "service-cache")),
@@ -161,7 +180,10 @@ class ServeExperiment(Experiment):
             breaker_cooldown_s=float(config.option("breaker_cooldown", 10.0)),
             coarse_grid=int(config.option("coarse_grid", 6)),
             solve_workers=int(config.option("solve_workers", 1)),
-            supervision=config.option("supervision"),
+            supervision=supervision,
+            fleet=fleet,
+            lease_timeout_s=lease_timeout_s,
+            fleet_wait_s=fleet_wait_s,
         )
         service = ExplorationService(config=service_config)
 
@@ -176,9 +198,14 @@ class ServeExperiment(Experiment):
                     )
                 except (NotImplementedError, RuntimeError):
                     pass  # platform without loop signal handlers
+            fleet_note = (
+                f", fleet on {service.fleet_address}" if service.fleet else ""
+            )
             print(
-                f"exploration service listening on {address} "
-                f"(cache {service_config.cache_dir}; Ctrl-C drains and stops)",
+                f"exploration service listening on {address} as "
+                f"{service.replica_id} (cache {service_config.cache_dir}, "
+                f"epoch {service.epoch}{fleet_note}; "
+                "Ctrl-C drains and stops)",
                 flush=True,
             )
             await service.serve_forever()
@@ -256,6 +283,13 @@ class QueryExperiment(Experiment):
             default=120.0, metavar="SECONDS",
             help="socket timeout waiting for the response (default 120)",
         )
+        parser.add_argument(
+            "--retries", type=typed_int("--retries", minimum=0),
+            default=0, metavar="N",
+            help="retry typed 429/503 sheds up to N times, honouring the "
+            "server's retry_after_s hint and never sleeping past "
+            "--deadline (default 0)",
+        )
         probe = parser.add_mutually_exclusive_group()
         probe.add_argument(
             "--health", action="store_true",
@@ -280,7 +314,7 @@ class QueryExperiment(Experiment):
         for key in (
             "connect", "cache_dir", "arrangement", "topology",
             "pad_fraction", "converters", "vdd_pads", "activities",
-            "deadline", "client_timeout", "health", "ready",
+            "deadline", "client_timeout", "retries", "health", "ready",
             "service_metrics", "stop",
         ):
             config.options[key] = getattr(args, key)
@@ -304,31 +338,54 @@ class QueryExperiment(Experiment):
             raise ReproError(f"invalid query spec: {exc}") from None
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-        from repro.service.client import ServiceClient, discover_address
+        from repro.service.client import (
+            connect_any,
+            discover_addresses,
+            robust_query,
+        )
 
         config = config or ExperimentConfig()
-        address = config.option("connect") or discover_address(
-            config.option("cache_dir", "service-cache")
+        timeout_s = float(config.option("client_timeout", 120.0))
+        connect = config.option("connect")
+        if connect:
+            path, addresses = None, [str(connect)]
+        else:
+            path, addresses = discover_addresses(
+                config.option("cache_dir", "service-cache")
+            )
+        display = (
+            addresses[0]
+            if len(addresses) == 1
+            else f"{len(addresses)} replica(s) {addresses}"
         )
-        with ServiceClient(
-            address, timeout_s=float(config.option("client_timeout", 120.0))
-        ) as client:
-            if config.option("health"):
-                response = client.health()
-            elif config.option("ready"):
-                response = client.ready()
-            elif config.option("service_metrics"):
-                response = client.metrics()
-                response.pop("prometheus", None)  # table stays readable
-            elif config.option("stop"):
-                response = client.shutdown(drain=True)
-            else:
-                response = client.query(
-                    self._spec(config),
-                    activities=config.option("activities"),
-                    deadline_s=config.option("deadline"),
-                )
-        return self._render(response, address)
+        if (
+            config.option("health")
+            or config.option("ready")
+            or config.option("service_metrics")
+            or config.option("stop")
+        ):
+            with connect_any(addresses, timeout_s=timeout_s, path=path) as client:
+                if config.option("health"):
+                    response = client.health()
+                elif config.option("ready"):
+                    response = client.ready()
+                elif config.option("service_metrics"):
+                    response = client.metrics()
+                    response.pop("prometheus", None)  # table stays readable
+                else:
+                    response = client.shutdown(drain=True)
+                display = client.address
+        else:
+            response = robust_query(
+                self._spec(config),
+                addresses=addresses,
+                activities=config.option("activities"),
+                deadline_s=config.option("deadline"),
+                retries=int(config.option("retries", 0)),
+                client_timeout_s=timeout_s,
+                discovery_path=path,
+            )
+        return self._render(response, display)
 
     def _render(self, response: dict, address: str) -> ExperimentResult:
         kind = response.get("kind")
@@ -368,3 +425,93 @@ class QueryExperiment(Experiment):
         return ExperimentResult(
             name=self.name, table=table, data=response, notes=notes
         )
+
+
+class CacheExperiment(Experiment):
+    name = "cache"
+    description = (
+        "Inspect or maintain a service result cache "
+        "(stats | verify | invalidate)"
+    )
+
+    @classmethod
+    def configure_parser(cls, parser) -> None:
+        parser.add_argument(
+            "action", type=str, choices=("stats", "verify", "invalidate"),
+            help="stats: directory summary with per-epoch histogram; "
+            "verify: integrity-check every entry, evicting corrupt ones; "
+            "invalidate: remove entries by code epoch (--epoch)",
+        )
+        parser.add_argument(
+            "--cache-dir", type=str, default="service-cache", metavar="DIR",
+            help="cache directory to operate on (default service-cache)",
+        )
+        parser.add_argument(
+            "--epoch", type=str, default=None, metavar="TOKEN",
+            help="for invalidate: the epoch generation to remove, or "
+            "'stale' for every entry not at the current code epoch",
+        )
+
+    @classmethod
+    def config_from_args(cls, args) -> ExperimentConfig:
+        config = super().config_from_args(args)
+        config.options["action"] = args.action
+        config.options["cache_dir"] = args.cache_dir
+        config.options["epoch"] = getattr(args, "epoch", None)
+        return config
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        import pathlib
+
+        from repro.service.cache import ResultCache
+
+        config = config or ExperimentConfig()
+        action = str(config.option("action", "stats"))
+        directory = pathlib.Path(
+            str(config.option("cache_dir", "service-cache"))
+        )
+        if not directory.is_dir():
+            raise ReproError(
+                f"no cache directory at {directory}; pass the --cache-dir a "
+                "server was started with"
+            )
+        cache = ResultCache(directory).open()
+        if action == "stats":
+            data = cache.stats()
+            epochs = ", ".join(
+                f"{epoch}:{count}"
+                for epoch, count in sorted(data["by_epoch"].items())
+            )
+            table = (
+                f"cache {data['directory']}: {data['entries']} entry(ies), "
+                f"{data['size_bytes']} bytes, current epoch {data['epoch']} "
+                f"(by epoch: {epochs or 'empty'})"
+            )
+        elif action == "verify":
+            data = cache.verify()
+            data["corrupt"] = cache.corrupt
+            table = (
+                f"cache verify: {data['checked']} checked, {data['ok']} ok, "
+                f"{data['evicted']} evicted ({cache.corrupt} corrupt), "
+                f"current epoch {data['epoch']}"
+            )
+        else:  # invalidate
+            token = config.option("epoch")
+            if not token:
+                raise ReproError(
+                    "cache invalidate needs --epoch TOKEN (a generation to "
+                    "remove) or --epoch stale (everything not at the "
+                    "current code epoch)"
+                )
+            target = None if str(token) == "stale" else str(token)
+            removed = cache.invalidate(epoch=target)
+            data = {
+                "removed": removed,
+                "epoch": target or "stale",
+                "current_epoch": cache.epoch,
+            }
+            table = (
+                f"cache invalidate: removed {removed} entry(ies) "
+                f"({'not at current epoch ' + cache.epoch if target is None else 'epoch ' + target})"
+            )
+        return ExperimentResult(name=self.name, table=table, data=data)

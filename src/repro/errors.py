@@ -63,6 +63,11 @@ your design" from a genuine bug.  The hierarchy is deliberately shallow:
 ``ServiceProtocolError``
     A service request line was malformed: unparsable JSON, an unknown
     request kind, or an invalid query payload (400-style).
+``ServiceUnavailableError``
+    No live exploration-service replica could be reached: the discovery
+    file is missing, or it exists but every address it names is dead
+    (a crashed server leaves ``service.json`` behind).  Carries the
+    discovery file path so the one-line CLI error names the stale file.
 ``NotSPDError``
     An ``spd_only`` solver backend (cholesky) was handed a system that
     is not symmetric positive definite.  Inside the escalation ladder
@@ -228,6 +233,22 @@ class ServiceProtocolError(ReproError):
     """A malformed service request (bad JSON, kind, or query payload)."""
 
 
+class ServiceUnavailableError(ReproError):
+    """No live service replica answered (stale or missing discovery).
+
+    ``path`` is the ``service.json`` discovery file consulted (when
+    any), ``addresses`` the replica addresses that were tried and found
+    dead.  A stale file is the classic cause: a SIGKILLed server never
+    deregisters, so clients must probe liveness instead of trusting it.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None,
+                 addresses: Optional[Any] = None):
+        super().__init__(message)
+        self.path = path
+        self.addresses = list(addresses) if addresses else []
+
+
 class NotSPDError(ReproError):
     """An ``spd_only`` backend was given a non-SPD system.
 
@@ -267,4 +288,5 @@ __all__ = [
     "DeadlineExceededError",
     "CircuitOpenError",
     "ServiceProtocolError",
+    "ServiceUnavailableError",
 ]

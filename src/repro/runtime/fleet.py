@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import (
+    DeadlineExceededError,
     FleetTransportError,
     ReproError,
     TaskTimeoutError,
@@ -59,7 +60,7 @@ from repro.errors import (
 from repro.obs.logs import get_logger
 from repro.obs.trace import activate_worker_context, get_tracer
 from repro.runtime.chaos import ChaosMonkey, ChaosPlan
-from repro.runtime.engine import _run_group_remote
+from repro.runtime.engine import SweepPoint, _run_group_remote
 from repro.runtime.journal import (
     atomic_write_text,
     decode_payload,
@@ -72,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
 __all__ = [
     "PROTOCOL_VERSION",
     "FleetCoordinator",
+    "ServiceFleet",
     "execute_fleet",
     "parse_address",
     "run_worker",
@@ -778,6 +780,585 @@ def execute_fleet(
         coordinator.close()
         state.fleet_workers.extend(coordinator.accounting())
     return leftovers
+
+
+# ----------------------------------------------------------------------
+# Service fleet (persistent coordinator for the exploration service)
+# ----------------------------------------------------------------------
+
+class _ServiceTask:
+    """One service cache-miss waiting on (or out to) a fleet worker."""
+
+    def __init__(
+        self,
+        task_id: str,
+        spec: Any,
+        activities: Optional[Tuple[float, ...]],
+        solver: Optional[str],
+        label: str,
+    ):
+        self.id = task_id
+        self.spec = spec
+        self.activities = activities
+        self.solver = solver
+        self.label = label
+        self.attempts = 0
+        self.enqueued_at = time.monotonic()
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.cancelled = False
+
+    def complete(self, value: Any) -> None:
+        if not self.done.is_set():
+            self.value = value
+            self.done.set()
+
+    def fail(self, error: BaseException) -> None:
+        if not self.done.is_set():
+            self.error = error
+            self.done.set()
+
+
+class ServiceFleet:
+    """A long-lived lease coordinator for ``repro serve --fleet``.
+
+    :class:`FleetCoordinator` is bound to one supervised *run*: it leases
+    a fixed task list, then tells every worker ``done``.  A service has
+    no such end — queries arrive forever — so this variant keeps the
+    exact worker-facing wire protocol (``hello``/``request``/``result``/
+    ``failure``/``heartbeat``/``goodbye``, protocol v2; a stock
+    ``repro worker`` attaches to either without knowing which) but runs
+    an open-ended queue: :meth:`solve` blocks one server thread until a
+    worker returns the answer, a lease expires too many times, or the
+    query's deadline passes.  ``done`` is sent only at :meth:`close`,
+    so attached workers exit through their clean-shutdown path.
+
+    At-least-once semantics carry over: an expired lease or a dead
+    worker charges the task one attempt and requeues it; the *caller*
+    (the service's solver worker) owns idempotency, which it gets for
+    free from the fingerprint-keyed cache write.  When no worker is
+    attached for longer than ``wait_s``, queued solves fail with
+    :class:`~repro.errors.FleetTransportError` — the server catches
+    that and falls back to its local executor, so a fleet-less
+    ``--fleet`` server degrades to a plain one instead of hanging.
+    """
+
+    def __init__(
+        self,
+        bind: str,
+        extract: Any,
+        lease_timeout_s: float = 60.0,
+        heartbeat_s: float = 2.0,
+        heartbeat_grace: float = 4.0,
+        max_attempts: int = 3,
+        wait_s: float = 10.0,
+        worker_max_failures: int = 3,
+    ):
+        self.bind_address = bind
+        self._extract = extract
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_grace = heartbeat_grace
+        self.max_attempts = max(1, int(max_attempts))
+        self.wait_s = wait_s
+        self.worker_max_failures = worker_max_failures
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._queue: List[_ServiceTask] = []
+        self._leases: Dict[str, _Lease] = {}
+        self._workers: Dict[str, _WorkerInfo] = {}
+        self._threads: List[threading.Thread] = []
+        self._server: Optional[socket.socket] = None
+        self._seq = 0
+        self._trace_ctx = get_tracer().worker_context()
+        self._run_fp = f"service-{os.getpid()}"
+        self._last_worker_seen = time.monotonic()
+        self.address: Optional[str] = None
+        # Counters (read by the server's metrics endpoint).
+        self.tasks_done = 0
+        self.task_failures = 0
+        self.leases_expired = 0
+        self.worker_deaths = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> str:
+        """Bind, listen, start accept + reaper threads; returns address."""
+        host, port = parse_address(self.bind_address)
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((host, port))
+            server.listen(16)
+        except OSError as exc:
+            server.close()
+            raise FleetTransportError(
+                f"cannot bind service fleet on {host}:{port}: {exc}",
+                address=f"{host}:{port}",
+            ) from None
+        server.settimeout(0.25)
+        self._server = server
+        self.address = f"{server.getsockname()[0]}:{server.getsockname()[1]}"
+        self._last_worker_seen = time.monotonic()
+        for name, target in (
+            ("service-fleet-accept", self._accept_loop),
+            ("service-fleet-reaper", self._reaper_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        _log.info(
+            "service fleet listening",
+            extra={"address": self.address, "run_fingerprint": self._run_fp},
+        )
+        return self.address
+
+    def close(self) -> None:
+        """Stop leasing: fail queued work, release workers, close sockets."""
+        self._stop.set()
+        with self._lock:
+            pending = list(self._queue) + [l.task for l in self._leases.values()]
+            self._queue.clear()
+            self._leases.clear()
+            workers = list(self._workers.values())
+        for task in pending:
+            task.fail(
+                FleetTransportError(
+                    "service fleet is shutting down", address=self.address
+                )
+            )
+        # Let attached workers pick up their "done" reply before the
+        # sockets drop (mirrors FleetCoordinator.linger, shortened).
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not any(w.status == "active" for w in workers):
+                    break
+            time.sleep(0.05)
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        for worker in workers:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def workers_connected(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._workers.values() if w.leasable())
+
+    def counters(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "address": self.address,
+                "workers": sum(
+                    1 for w in self._workers.values() if w.leasable()
+                ),
+                "workers_ever": len(self._workers),
+                "queue_depth": len(self._queue),
+                "leased": len(self._leases),
+                "tasks_done": self.tasks_done,
+                "task_failures": self.task_failures,
+                "leases_expired": self.leases_expired,
+                "worker_deaths": self.worker_deaths,
+            }
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        spec: Any,
+        activities: Optional[Tuple[float, ...]] = None,
+        timeout_s: Optional[float] = None,
+        solver: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> Any:
+        """Fan one query out to the fleet; blocks the calling thread.
+
+        Raises :class:`FleetTransportError` when no worker is attached
+        within ``wait_s`` (the server's cue to solve locally instead)
+        and :class:`~repro.errors.DeadlineExceededError` when
+        ``timeout_s`` runs out first.
+        """
+        if self._stop.is_set():
+            raise FleetTransportError(
+                "service fleet is not running", address=self.address
+            )
+        with self._lock:
+            self._seq += 1
+            task = _ServiceTask(
+                task_id=f"svc-{os.getpid()}-{self._seq}",
+                spec=spec,
+                activities=activities,
+                solver=solver,
+                label=label or f"query-{self._seq}",
+            )
+            self._queue.append(task)
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        try:
+            while not task.done.wait(0.05):
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    self._abandon(task)
+                    raise DeadlineExceededError(
+                        f"fleet solve of {task.label} exceeded its "
+                        f"{timeout_s:g}s budget",
+                        task=task.id,
+                        timeout_s=timeout_s,
+                    )
+                with self._lock:
+                    leased = task.id in self._leases
+                    starved = (
+                        not leased
+                        and not any(
+                            w.leasable() for w in self._workers.values()
+                        )
+                        and now - max(
+                            task.enqueued_at, self._last_worker_seen
+                        ) > self.wait_s
+                    )
+                if starved:
+                    self._abandon(task)
+                    raise FleetTransportError(
+                        f"no fleet worker attached within "
+                        f"{self.wait_s:g}s; falling back",
+                        address=self.address,
+                    )
+                if self._stop.is_set() and not task.done.is_set():
+                    raise FleetTransportError(
+                        "service fleet stopped mid-solve",
+                        address=self.address,
+                    )
+        finally:
+            if not task.done.is_set():
+                self._abandon(task)
+        if task.error is not None:
+            raise task.error
+        return task.value
+
+    def _abandon(self, task: _ServiceTask) -> None:
+        """Stop tracking a task whose caller gave up (late results drop)."""
+        with self._lock:
+            task.cancelled = True
+            if task in self._queue:
+                self._queue.remove(task)
+            self._leases.pop(task.id, None)
+
+    # ------------------------------------------------------------------
+    # Transport (mirrors FleetCoordinator's loops on simpler state)
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, f"{peer[0]}:{peer[1]}"),
+                name=f"service-fleet-conn-{peer[1]}",
+                daemon=True,
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _reaper_loop(self) -> None:
+        while not self._stop.wait(0.25):
+            with self._lock:
+                now = time.monotonic()
+                self._expire_leases(now)
+                self._scan_heartbeats(now)
+
+    def _serve_connection(self, conn: socket.socket, peer: str) -> None:
+        worker: Optional[_WorkerInfo] = None
+        reader = conn.makefile("r", encoding="utf-8")
+        try:
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                try:
+                    worker, keep = self._dispatch(conn, peer, worker, message)
+                except OSError:
+                    break
+                if not keep:
+                    break
+        finally:
+            try:
+                reader.close()
+                conn.close()
+            except OSError:
+                pass
+            if worker is not None:
+                with self._lock:
+                    if worker.status == "active" and not self._stop.is_set():
+                        self._declare_dead(worker, "connection lost")
+
+    def _dispatch(
+        self,
+        conn: socket.socket,
+        peer: str,
+        worker: Optional[_WorkerInfo],
+        message: Dict[str, Any],
+    ) -> Tuple[Optional[_WorkerInfo], bool]:
+        kind = message.get("kind")
+        with self._lock:
+            if kind == "hello":
+                if message.get("protocol") != PROTOCOL_VERSION:
+                    _send(conn, {
+                        "kind": "refused",
+                        "reason": (
+                            f"protocol {message.get('protocol')!r} != "
+                            f"{PROTOCOL_VERSION}"
+                        ),
+                    })
+                    return None, False
+                worker_id = str(message.get("worker") or peer)
+                existing = self._workers.get(worker_id)
+                if existing is not None:
+                    existing.conn = conn
+                    existing.address = peer
+                    existing.last_seen = time.monotonic()
+                    if existing.status in ("dead", "gone"):
+                        existing.status = "active"
+                    worker = existing
+                else:
+                    worker = _WorkerInfo(
+                        id=worker_id,
+                        address=peer,
+                        conn=conn,
+                        last_seen=time.monotonic(),
+                    )
+                    self._workers[worker_id] = worker
+                self._last_worker_seen = time.monotonic()
+                _send(conn, {
+                    "kind": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "run_fingerprint": self._run_fp,
+                    "heartbeat_s": self.heartbeat_s,
+                })
+                _log.info(
+                    "service fleet: worker joined",
+                    extra={"worker": worker_id, "peer": peer},
+                )
+                return worker, True
+            if worker is None:
+                return None, False
+            worker.last_seen = time.monotonic()
+            self._last_worker_seen = worker.last_seen
+            if kind == "heartbeat":
+                return worker, True
+            if kind == "request":
+                reply = self._grant(worker)
+                if reply.get("kind") == "done" and worker.status == "active":
+                    worker.status = "gone"
+                _send(conn, reply)
+                return worker, reply.get("kind") != "done"
+            if kind == "result":
+                self._on_result(worker, message)
+                return worker, True
+            if kind == "failure":
+                self._on_failure(worker, message)
+                return worker, True
+            if kind == "goodbye":
+                worker.status = "gone"
+                self._release_worker_leases(worker, "worker shut down")
+                return worker, False
+        return worker, True
+
+    # ------------------------------------------------------------------
+    # Lease management (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _grant(self, worker: _WorkerInfo) -> Dict[str, Any]:
+        if self._stop.is_set() or not worker.leasable():
+            return {"kind": "done"}
+        if not self._queue:
+            return {"kind": "idle", "wait_s": 0.25}
+        task = self._queue.pop(0)
+        task.attempts += 1
+        now = time.monotonic()
+        self._leases[task.id] = _Lease(
+            task=task,  # type: ignore[arg-type]
+            worker_id=worker.id,
+            deadline=now + self.lease_timeout_s,
+        )
+        points = (
+            SweepPoint(spec=task.spec, layer_activities=task.activities),
+        )
+        payload = encode_payload((
+            task.spec,
+            None,
+            points,
+            False,
+            self._extract,
+            task.label,
+            self._trace_ctx,
+            task.solver,
+        ))
+        return {
+            "kind": "lease",
+            "task": task.id,
+            "label": task.label,
+            "attempt": task.attempts,
+            "lease_timeout_s": self.lease_timeout_s,
+            "payload": payload,
+        }
+
+    def _take_lease(
+        self, worker: _WorkerInfo, message: Dict[str, Any]
+    ) -> Optional[_ServiceTask]:
+        lease = self._leases.get(str(message.get("task")))
+        if lease is None or lease.worker_id != worker.id:
+            return None  # late reply after expiry/abandon: drop it
+        del self._leases[lease.task.id]  # type: ignore[union-attr]
+        return lease.task  # type: ignore[return-value]
+
+    def _on_result(self, worker: _WorkerInfo, message: Dict[str, Any]) -> None:
+        task = self._take_lease(worker, message)
+        if task is None or task.cancelled:
+            return
+        try:
+            values, _group_metrics, spans = decode_payload(
+                message.get("payload") or ""
+            )
+        except Exception as exc:
+            self._charge(
+                task,
+                worker,
+                WorkerLostError(
+                    f"worker {worker.id} returned an unreadable payload "
+                    f"for {task.label}: {exc}",
+                    worker=worker.id,
+                    task=task.id,
+                ),
+            )
+            return
+        get_tracer().adopt(spans)
+        worker.tasks_done += 1
+        self.tasks_done += 1
+        task.complete(values[0])
+
+    def _on_failure(self, worker: _WorkerInfo, message: Dict[str, Any]) -> None:
+        task = self._take_lease(worker, message)
+        if task is None or task.cancelled:
+            return
+        self._charge(
+            task,
+            worker,
+            ReproError(
+                f"{message.get('error_type', 'Error')}: "
+                f"{message.get('error', 'worker-side failure')}"
+            ),
+        )
+
+    def _charge(
+        self,
+        task: _ServiceTask,
+        worker: Optional[_WorkerInfo],
+        error: BaseException,
+    ) -> None:
+        """One failed attempt: requeue, or fail out at max_attempts."""
+        if worker is not None:
+            worker.failures += 1
+            if (
+                worker.status == "active"
+                and worker.failures >= self.worker_max_failures
+            ):
+                worker.status = "quarantined"
+                _log.warning(
+                    "service fleet: worker quarantined",
+                    extra={"worker": worker.id, "failures": worker.failures},
+                )
+        if task.cancelled:
+            return
+        if task.attempts >= self.max_attempts:
+            self.task_failures += 1
+            task.fail(error)
+            return
+        self._queue.append(task)
+
+    def _release_worker_leases(
+        self, worker: _WorkerInfo, reason: str, charge: bool = False
+    ) -> None:
+        held = [
+            lease for lease in self._leases.values()
+            if lease.worker_id == worker.id
+        ]
+        for lease in held:
+            task: _ServiceTask = lease.task  # type: ignore[assignment]
+            del self._leases[task.id]
+            if charge:
+                self._charge(
+                    task,
+                    worker,
+                    WorkerLostError(
+                        f"worker {worker.id} lost while solving "
+                        f"{task.label}: {reason}",
+                        worker=worker.id,
+                        task=task.id,
+                    ),
+                )
+            elif not task.cancelled:
+                # Clean goodbye mid-lease: requeue without a charge.
+                task.attempts -= 1
+                self._queue.append(task)
+
+    def _declare_dead(self, worker: _WorkerInfo, reason: str) -> None:
+        worker.status = "dead"
+        self.worker_deaths += 1
+        _log.warning(
+            "service fleet: worker died",
+            extra={"worker": worker.id, "reason": reason},
+        )
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self._release_worker_leases(worker, reason, charge=True)
+
+    def _expire_leases(self, now: float) -> None:
+        expired = [
+            lease for lease in self._leases.values() if now > lease.deadline
+        ]
+        for lease in expired:
+            task: _ServiceTask = lease.task  # type: ignore[assignment]
+            del self._leases[task.id]
+            self.leases_expired += 1
+            holder = self._workers.get(lease.worker_id)
+            self._charge(
+                task,
+                holder,
+                TaskTimeoutError(
+                    f"fleet lease on {task.label} held by worker "
+                    f"{lease.worker_id} exceeded its "
+                    f"{self.lease_timeout_s:g}s deadline",
+                    task=task.id,
+                    timeout_s=self.lease_timeout_s,
+                ),
+            )
+
+    def _scan_heartbeats(self, now: float) -> None:
+        grace = self.heartbeat_s * self.heartbeat_grace
+        for worker in list(self._workers.values()):
+            if worker.status != "active":
+                continue
+            if now - worker.last_seen > grace:
+                self._declare_dead(
+                    worker,
+                    f"no heartbeat for {now - worker.last_seen:.1f}s",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -51,6 +51,7 @@ def atomic_write_text(
     path: Union[str, pathlib.Path],
     text: str,
     durable: bool = True,
+    tmp_token: Optional[str] = None,
 ) -> pathlib.Path:
     """Write ``text`` to ``path`` atomically (tmp file, fsync, rename).
 
@@ -60,9 +61,17 @@ def atomic_write_text(
     what guarantees that), but an OS crash may lose the write — the
     right trade for advisory artifacts like trace flushes, where the
     fsync would dominate the cost of the write itself.
+
+    ``tmp_token`` makes the scratch name writer-unique
+    (``<name>.<token>.tmp``).  Required whenever *several processes*
+    may write the same path concurrently — service replicas sharing a
+    cache directory — because two writers interleaving on one shared
+    tmp file could rename a torn mix of both payloads.  Tokened tmp
+    files still match the ``*.tmp`` glob of :func:`clean_stale_tmp`.
     """
     path = pathlib.Path(path)
-    tmp = path.with_name(path.name + ".tmp")
+    suffix = f".{tmp_token}.tmp" if tmp_token else ".tmp"
+    tmp = path.with_name(path.name + suffix)
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()

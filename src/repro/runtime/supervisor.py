@@ -411,6 +411,10 @@ class RunSupervisor:
             resume=False,
             salvage=False,
             verbose=False,
+            # A per-query clone must never spin up its own one-run fleet
+            # coordinator: the service fans misses out through its own
+            # persistent ServiceFleet instead.
+            fleet=None,
         )
         clone = RunSupervisor(engine=self.engine, config=config)
         # Share report history so service callers see per-query reports.

@@ -5,9 +5,12 @@ design-exploration-as-a-service: an asyncio newline-JSON TCP server
 (:mod:`~repro.service.server`) answering PDNSpec queries from a
 persistent fingerprint-keyed cache (:mod:`~repro.service.cache`),
 with bounded admission + per-request deadlines
-(:mod:`~repro.service.admission`) and circuit-breaker degradation
-(:mod:`~repro.service.breaker`).  ``repro serve`` / ``repro query``
-are the CLI entry points; docs/SERVICE.md documents the protocol.
+(:mod:`~repro.service.admission`), circuit-breaker degradation
+(:mod:`~repro.service.breaker`), code-version cache coherence
+(:mod:`~repro.service.epoch`) and multi-replica operation over one
+shared cache directory (:mod:`~repro.service.replica`).
+``repro serve`` / ``repro query`` / ``repro cache`` are the CLI entry
+points; docs/SERVICE.md documents the protocol and the HA semantics.
 """
 
 from repro.service.admission import AdmissionQueue, Deadline
@@ -16,9 +19,24 @@ from repro.service.cache import (
     CACHE_SCHEMA,
     CacheEntry,
     ResultCache,
+    payload_checksum,
     query_fingerprint,
 )
-from repro.service.client import ServiceClient, discover_address
+from repro.service.client import (
+    ServiceClient,
+    connect_any,
+    discover_address,
+    discover_addresses,
+    robust_query,
+)
+from repro.service.epoch import EPOCH_ENV, code_epoch, compute_epoch
+from repro.service.replica import (
+    FlightClaim,
+    ReplicaFlights,
+    deregister_replica,
+    live_replicas,
+    register_replica,
+)
 from repro.service.server import (
     SERVICE_FILE,
     SERVICE_PROTOCOL,
@@ -41,9 +59,21 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheEntry",
     "ResultCache",
+    "payload_checksum",
     "query_fingerprint",
     "ServiceClient",
+    "connect_any",
     "discover_address",
+    "discover_addresses",
+    "robust_query",
+    "EPOCH_ENV",
+    "code_epoch",
+    "compute_epoch",
+    "FlightClaim",
+    "ReplicaFlights",
+    "register_replica",
+    "deregister_replica",
+    "live_replicas",
     "SERVICE_FILE",
     "SERVICE_PROTOCOL",
     "ExplorationService",

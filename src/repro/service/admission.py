@@ -88,6 +88,14 @@ class AdmissionQueue:
     plain ints read by the service's metrics endpoint.
     """
 
+    #: Retry-hint ramp: first shed suggests ``retry_base_s``, and each
+    #: consecutive shed doubles the hint up to ``retry_cap_s``.  Under
+    #: sustained overload clients are pushed further and further out
+    #: (the hint is monotone non-decreasing while the streak lasts);
+    #: one successful admission resets the ramp.
+    retry_base_s = 0.5
+    retry_cap_s = 30.0
+
     def __init__(self, max_queue: int = 64):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -96,10 +104,18 @@ class AdmissionQueue:
         self.admitted = 0
         self.shed = 0
         self.expired_in_queue = 0
+        self._shed_streak = 0
 
     # ------------------------------------------------------------------
     def depth(self) -> int:
         return self._queue.qsize()
+
+    def retry_after_s(self) -> float:
+        """The current backoff hint (doubles per consecutive shed)."""
+        if self._shed_streak <= 0:
+            return self.retry_base_s
+        exponent = min(self._shed_streak - 1, 16)  # cap 2**k, not min()
+        return min(self.retry_cap_s, self.retry_base_s * (2 ** exponent))
 
     def submit(self, item: Any, deadline: Deadline) -> None:
         """Admit one query or shed it with a typed overload error."""
@@ -108,14 +124,16 @@ class AdmissionQueue:
             self._queue.put_nowait(entry)
         except asyncio.QueueFull:
             self.shed += 1
+            self._shed_streak += 1
             raise ServiceOverloadError(
                 f"admission queue full ({self.max_queue} waiting); "
                 "query shed — retry with backoff",
                 queue_depth=self.max_queue,
                 limit=self.max_queue,
-                retry_after_s=0.5,
+                retry_after_s=self.retry_after_s(),
             ) from None
         self.admitted += 1
+        self._shed_streak = 0
 
     async def next(self) -> _Admitted:
         """Wait for the next admitted query (worker side)."""
@@ -135,4 +153,5 @@ class AdmissionQueue:
             "admitted": self.admitted,
             "shed": self.shed,
             "expired_in_queue": self.expired_in_queue,
+            "retry_after_s": self.retry_after_s(),
         }

@@ -9,13 +9,27 @@ record and a trace file of the same design point all share one key.
 Robustness properties:
 
 * **Atomic writes.**  Every entry lands through
-  :func:`repro.runtime.journal.atomic_write_text` (tmp + rename), so a
-  SIGKILL mid-write never leaves a torn entry; readers see the previous
-  entry or the new one.
+  :func:`repro.runtime.journal.atomic_write_text` (tmp + rename) with a
+  writer-unique tmp token, so a SIGKILL mid-write never leaves a torn
+  entry and two *replicas* writing the same fingerprint concurrently
+  never interleave on a shared scratch file; readers see one writer's
+  complete entry or the other's.
 * **Crash hygiene.**  :meth:`ResultCache.open` sweeps stale ``*.tmp``
   files stranded by an interrupted write — the same
   :func:`repro.runtime.journal.clean_stale_tmp` sweep ``--resume`` runs
   on run directories — so a long-lived server never accumulates junk.
+* **Integrity.**  Every entry carries a checksum over its payload; a
+  truncated or bit-flipped entry is detected on read, evicted, and
+  counted (``corrupt``) instead of crashing the server or poisoning an
+  answer.  ``repro cache verify`` runs the same check over the whole
+  directory offline.
+* **Version coherence.**  Every entry is stamped with the code-version
+  epoch (:func:`repro.service.epoch.code_epoch`) that produced it.  An
+  entry from a *different* epoch is stale-but-keepable: never served as
+  fresh (the query re-solves under the new code), but still reachable
+  through the breaker-open degraded stale path — old numbers beat no
+  numbers when the backend is down.  ``repro cache invalidate --epoch``
+  removes a generation explicitly.
 * **Bounded size.**  ``max_mb`` caps the directory; inserts evict the
   least-recently-*used* entries (hits bump an entry's mtime) until the
   cap holds, with evictions counted in the service metrics.  A
@@ -26,11 +40,15 @@ Robustness properties:
   (``degraded: true, stale: true``) rather than failing closed.
 
 All methods are thread-safe; the service calls them from the event loop
-and from solve-completion callbacks.
+and from solve-completion callbacks.  Several server *processes* may
+share one directory (see :mod:`repro.service.replica`): writes are
+atomic renames, and the index tolerates entries appearing or vanishing
+underneath it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -43,18 +61,23 @@ from repro.obs.logs import get_logger
 from repro.runtime.fingerprint import task_fingerprint
 from repro.runtime.journal import atomic_write_text, clean_stale_tmp
 from repro.runtime.spec import PDNSpec
+from repro.service.epoch import code_epoch
 
 __all__ = [
     "CACHE_SCHEMA",
     "CacheEntry",
     "ResultCache",
+    "payload_checksum",
     "query_fingerprint",
 ]
 
 _log = get_logger(__name__)
 
 #: Schema version of the on-disk entry layout; bump on record changes.
-CACHE_SCHEMA = 1
+#: v2 added the code-version ``epoch`` stamp and the payload
+#: ``checksum`` (pre-epoch v1 entries are dropped on first read: with
+#: no epoch recorded their provenance is unknowable).
+CACHE_SCHEMA = 2
 
 _PREFIX = "result-"
 _SUFFIX = ".json"
@@ -71,6 +94,11 @@ def query_fingerprint(
     single-point pristine group, so a service cache key is bit-for-bit
     the fingerprint the supervisor would journal for the same solve —
     default-solver queries match pre-service journals exactly.
+
+    Deliberately *not* epoch-aware: folding the code epoch in here
+    would break the journal-resume bit-for-bit guarantee and make
+    old-epoch entries unreachable for the degraded stale path.  Version
+    coherence lives in the cache entry metadata instead.
     """
     from repro.runtime.engine import SweepPoint
 
@@ -82,6 +110,16 @@ def query_fingerprint(
     return task_fingerprint(key, [(0, point)])
 
 
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """Integrity checksum of one entry's payload (16 hex chars).
+
+    Over the canonical (sorted-keys) JSON text, so the check is stable
+    across dict ordering and a JSON round trip through the wire.
+    """
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass
 class CacheEntry:
     """One cache lookup's answer: the stored payload plus freshness."""
@@ -90,9 +128,14 @@ class CacheEntry:
     payload: Dict[str, Any]
     #: Seconds since the entry was written (0.0 for a fresh write).
     age_s: float = 0.0
-    #: True when the entry outlived the cache TTL (served only as a
+    #: True when the entry is not servable as fresh (served only as a
     #: degraded answer while the breaker is open).
     stale: bool = False
+    #: Why it is stale: "ttl" (outlived the freshness window) or
+    #: "epoch" (written by a different code version); None when fresh.
+    stale_reason: Optional[str] = None
+    #: The code-version epoch stamped into the entry.
+    epoch: Optional[str] = None
 
 
 @dataclass
@@ -114,12 +157,16 @@ class ResultCache:
         directory: Union[str, pathlib.Path],
         max_mb: Optional[float] = None,
         ttl_s: Optional[float] = None,
+        epoch: Optional[str] = None,
     ):
         self.directory = pathlib.Path(directory)
         self.max_bytes = (
             None if max_mb is None else max(0, int(max_mb * 1024 * 1024))
         )
         self.ttl_s = ttl_s
+        #: The epoch entries are judged fresh against (and stamped with
+        #: on write); defaults to this process's code epoch.
+        self.epoch = epoch or code_epoch()
         self._index: Dict[str, _Stored] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -127,6 +174,12 @@ class ResultCache:
         self.stale_hits = 0
         self.writes = 0
         self.evictions = 0
+        #: Entries dropped because they failed integrity (unreadable,
+        #: truncated, checksum mismatch) — each one is evicted on sight.
+        self.corrupt = 0
+        #: Fast-path misses caused purely by an epoch mismatch (the
+        #: entry was intact and within TTL, but from other code).
+        self.epoch_misses = 0
 
     # ------------------------------------------------------------------
     def open(self) -> "ResultCache":
@@ -154,6 +207,7 @@ class ResultCache:
                     "directory": str(self.directory),
                     "entries": len(self._index),
                     "swept_tmp": len(swept),
+                    "epoch": self.epoch,
                 },
             )
         return self
@@ -176,49 +230,118 @@ class ResultCache:
             "stale_hits": self.stale_hits,
             "writes": self.writes,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "epoch_misses": self.epoch_misses,
         }
 
     # ------------------------------------------------------------------
+    def _index_from_disk(self, fingerprint: str) -> Optional[_Stored]:
+        """Adopt an entry a peer replica wrote after we indexed (lock held)."""
+        path = self.directory / f"{_PREFIX}{fingerprint}{_SUFFIX}"
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        stored = _Stored(
+            path=path,
+            size=stat.st_size,
+            used_at=stat.st_mtime,
+            created_at=stat.st_mtime,
+        )
+        self._index[fingerprint] = stored
+        return stored
+
+    def _load_record(
+        self, fingerprint: str, stored: _Stored
+    ) -> Optional[Dict[str, Any]]:
+        """Read + integrity-check one entry (lock held); None = dropped.
+
+        Every failure mode — unreadable file, torn JSON, wrong schema,
+        checksum mismatch — evicts the entry so it cannot fail again.
+        Integrity failures count in ``corrupt``; a wrong-schema entry is
+        not corruption (it is a legacy layout) and is dropped silently.
+        """
+        try:
+            record = json.loads(stored.path.read_text(encoding="utf-8"))
+            if not isinstance(record, dict):
+                raise json.JSONDecodeError("not an object", "", 0)
+        except (OSError, json.JSONDecodeError) as exc:
+            _log.warning(
+                "service cache: dropping unreadable entry",
+                extra={"fingerprint": fingerprint, "error": str(exc)},
+            )
+            self._discard(fingerprint, stored)
+            self.corrupt += 1
+            return None
+        if record.get("schema") != CACHE_SCHEMA:
+            self._discard(fingerprint, stored)
+            return None
+        payload = record.get("payload")
+        if not isinstance(payload, dict) or (
+            record.get("checksum") != payload_checksum(payload)
+        ):
+            _log.warning(
+                "service cache: dropping corrupt entry (checksum mismatch)",
+                extra={"fingerprint": fingerprint},
+            )
+            self._discard(fingerprint, stored)
+            self.corrupt += 1
+            return None
+        return record
+
     def get(
-        self, fingerprint: str, allow_stale: bool = False
+        self,
+        fingerprint: str,
+        allow_stale: bool = False,
+        count: bool = True,
     ) -> Optional[CacheEntry]:
-        """Look one fingerprint up; None on miss (or unreadable entry).
+        """Look one fingerprint up; None on miss (or unusable entry).
 
         A fresh hit bumps the entry's recency (both in the index and on
         disk, so LRU ordering survives a restart).  An entry older than
-        ``ttl_s`` is a miss unless ``allow_stale`` — the breaker-open
-        degraded path — in which case it comes back flagged ``stale``.
+        ``ttl_s`` *or written under a different code epoch* is a miss
+        unless ``allow_stale`` — the breaker-open degraded path — in
+        which case it comes back flagged ``stale`` with its
+        ``stale_reason``.  Corrupt entries are evicted and counted,
+        never returned.
+
+        An index miss falls through to disk: a *peer replica* sharing
+        this directory may have written the entry after :meth:`open`
+        indexed it.  ``count=False`` keeps a lookup out of the hit/miss
+        counters — the replica peer-wait poll probes the same
+        fingerprint many times per answer and must not skew the stats.
         """
         with self._lock:
             stored = self._index.get(fingerprint)
             if stored is None:
-                self.misses += 1
+                stored = self._index_from_disk(fingerprint)
+            if stored is None:
+                if count:
+                    self.misses += 1
                 return None
-            try:
-                record = json.loads(stored.path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError) as exc:
-                # A corrupted entry must never poison answers: drop it
-                # and treat the query as a miss.
-                _log.warning(
-                    "service cache: dropping unreadable entry",
-                    extra={"fingerprint": fingerprint, "error": str(exc)},
-                )
-                self._discard(fingerprint, stored)
-                self.misses += 1
+            record = self._load_record(fingerprint, stored)
+            if record is None:
+                if count:
+                    self.misses += 1
                 return None
-            if record.get("schema") != CACHE_SCHEMA:
-                self._discard(fingerprint, stored)
-                self.misses += 1
-                return None
-            age_s = max(0.0, time.time() - stored.created_at)
-            stale = self.ttl_s is not None and age_s > self.ttl_s
+            entry_epoch = record.get("epoch")
+            created = record.get("created") or stored.created_at
+            age_s = max(0.0, time.time() - created)
+            ttl_stale = self.ttl_s is not None and age_s > self.ttl_s
+            epoch_stale = entry_epoch != self.epoch
+            stale = ttl_stale or epoch_stale
             if stale and not allow_stale:
-                self.misses += 1
+                if count:
+                    self.misses += 1
+                    if epoch_stale:
+                        self.epoch_misses += 1
                 return None
             if stale:
-                self.stale_hits += 1
+                if count:
+                    self.stale_hits += 1
             else:
-                self.hits += 1
+                if count:
+                    self.hits += 1
                 stored.used_at = time.time()
                 try:
                     os.utime(stored.path)
@@ -229,19 +352,35 @@ class ResultCache:
                 payload=record.get("payload", {}),
                 age_s=age_s,
                 stale=stale,
+                stale_reason=(
+                    "epoch" if epoch_stale else ("ttl" if ttl_stale else None)
+                ),
+                epoch=entry_epoch,
             )
 
     def put(self, fingerprint: str, payload: Dict[str, Any]) -> pathlib.Path:
-        """Store one answer atomically; evicts LRU entries over the cap."""
+        """Store one answer atomically; evicts LRU entries over the cap.
+
+        The record is stamped with this cache's epoch and a payload
+        checksum; the tmp token makes concurrent same-fingerprint
+        writes from different replica processes collision-free.
+        """
         record = {
             "schema": CACHE_SCHEMA,
             "fingerprint": fingerprint,
             "payload": payload,
             "created": time.time(),
+            "epoch": self.epoch,
+            "checksum": payload_checksum(payload),
         }
         text = json.dumps(record, sort_keys=True) + "\n"
         path = self.directory / f"{_PREFIX}{fingerprint}{_SUFFIX}"
-        atomic_write_text(path, text, durable=False)
+        atomic_write_text(
+            path,
+            text,
+            durable=False,
+            tmp_token=f"{os.getpid()}-{threading.get_ident()}",
+        )
         now = time.time()
         with self._lock:
             self._index[fingerprint] = _Stored(
@@ -253,6 +392,96 @@ class ResultCache:
             self.writes += 1
             self._evict_over_cap(protect=fingerprint)
         return path
+
+    # ------------------------------------------------------------------
+    # Offline inspection (the ``repro cache`` CLI)
+    # ------------------------------------------------------------------
+    def verify(self) -> Dict[str, Any]:
+        """Integrity-check every entry; evict what fails.
+
+        Returns ``{"checked", "ok", "evicted", "by_epoch"}`` —
+        ``evicted`` counts entries dropped for *any* reason (torn JSON,
+        checksum mismatch, legacy schema), ``by_epoch`` histograms the
+        surviving entries' code epochs.
+        """
+        with self._lock:
+            items = list(self._index.items())
+        checked = ok = evicted = 0
+        by_epoch: Dict[str, int] = {}
+        for fingerprint, stored in items:
+            checked += 1
+            with self._lock:
+                if fingerprint not in self._index:
+                    continue  # evicted underneath us
+                record = self._load_record(fingerprint, stored)
+            if record is None:
+                evicted += 1
+                continue
+            ok += 1
+            epoch = str(record.get("epoch"))
+            by_epoch[epoch] = by_epoch.get(epoch, 0) + 1
+        return {
+            "checked": checked,
+            "ok": ok,
+            "evicted": evicted,
+            "by_epoch": by_epoch,
+            "epoch": self.epoch,
+        }
+
+    def invalidate(self, epoch: Optional[str] = None) -> int:
+        """Remove entries by code epoch; returns how many were dropped.
+
+        ``epoch`` names one generation to remove; ``None`` removes every
+        entry *not* written under the cache's current epoch (the
+        "purge everything stale" operation after a code upgrade).
+        Unreadable entries are dropped too (and counted ``corrupt``).
+        """
+        with self._lock:
+            items = list(self._index.items())
+        removed = 0
+        for fingerprint, stored in items:
+            with self._lock:
+                if fingerprint not in self._index:
+                    continue
+                record = self._load_record(fingerprint, stored)
+                if record is None:
+                    removed += 1
+                    continue
+                entry_epoch = record.get("epoch")
+                drop = (
+                    entry_epoch != self.epoch
+                    if epoch is None
+                    else entry_epoch == epoch
+                )
+                if drop:
+                    self._discard(fingerprint, stored)
+                    removed += 1
+        if removed:
+            _log.info(
+                "service cache: invalidated entries",
+                extra={"removed": removed, "epoch": epoch or "stale"},
+            )
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Directory-level summary for ``repro cache stats``."""
+        verify_free = self.verify()  # also reports by-epoch, evicts junk
+        now = time.time()
+        with self._lock:
+            ages = [
+                max(0.0, now - s.created_at) for s in self._index.values()
+            ]
+        return {
+            "directory": str(self.directory),
+            "entries": len(self),
+            "size_bytes": self.size_bytes(),
+            "epoch": self.epoch,
+            "by_epoch": verify_free["by_epoch"],
+            "ttl_s": self.ttl_s,
+            "max_bytes": self.max_bytes,
+            "oldest_age_s": round(max(ages), 3) if ages else None,
+            "newest_age_s": round(min(ages), 3) if ages else None,
+        }
 
     # ------------------------------------------------------------------
     def _discard(self, fingerprint: str, stored: _Stored) -> None:

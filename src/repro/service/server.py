@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    FleetTransportError,
     ReproError,
     ServiceOverloadError,
     ServiceProtocolError,
@@ -56,13 +57,19 @@ from repro.grid.backends import default_backend_name, resolve_backend
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import get_tracer
-from repro.runtime.fleet import parse_address
-from repro.runtime.journal import atomic_write_text
+from repro.runtime.fleet import ServiceFleet, parse_address
 from repro.runtime.metrics import BENCH_SCHEMA, write_bench_json
 from repro.runtime.spec import ARRANGEMENTS, PDNSpec
 from repro.service.admission import AdmissionQueue, Deadline
 from repro.service.breaker import STATE_CODES, CircuitBreaker
 from repro.service.cache import ResultCache, query_fingerprint
+from repro.service.epoch import code_epoch
+from repro.service.replica import (
+    SERVICE_FILE,
+    ReplicaFlights,
+    deregister_replica,
+    register_replica,
+)
 
 __all__ = [
     "SERVICE_PROTOCOL",
@@ -82,9 +89,10 @@ _log = get_logger(__name__)
 #: version rides in every response envelope instead.
 SERVICE_PROTOCOL = 1
 
-#: Discovery file written into the cache directory (like fleet.json):
-#: names the bound address so ``repro query`` finds a port-0 server.
-SERVICE_FILE = "service.json"
+# SERVICE_FILE (the service.json discovery basename) now lives in
+# repro.service.replica, which owns the multi-replica registry; it is
+# re-exported here for pre-HA importers.
+assert SERVICE_FILE == "service.json"
 
 #: Fields a query's "spec" object may carry (the PDNSpec surface).
 _SPEC_FIELDS = (
@@ -202,6 +210,20 @@ class ServiceConfig:
     #: Basename of the BENCH counters file written at shutdown into
     #: ``cache_dir`` (None disables).
     bench_name: Optional[str] = "service"
+    #: ``HOST:PORT`` to bind a :class:`repro.runtime.fleet.ServiceFleet`
+    #: on: cache misses fan out to attached ``repro worker`` processes,
+    #: degrading to the local executor when none is connected.
+    fleet: Optional[str] = None
+    #: Per-miss fleet lease deadline (expired leases re-lease).
+    lease_timeout_s: float = 60.0
+    #: Grace window with zero attached workers before a fleet solve
+    #: falls back to the local executor.
+    fleet_wait_s: float = 10.0
+    #: Stable identity in the replica registry (default: pid-derived).
+    replica_id: Optional[str] = None
+    #: Code-version epoch override for the cache (tests/CI; normally
+    #: computed from the source tree, see :mod:`repro.service.epoch`).
+    epoch: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -300,11 +322,17 @@ class ExplorationService:
         solve_fn: Optional[Callable[..., Dict[str, Any]]] = None,
     ):
         self.config = config or ServiceConfig()
+        self.epoch = self.config.epoch or code_epoch()
+        self.replica_id = self.config.replica_id or f"replica-{os.getpid()}"
         self.cache = ResultCache(
             self.config.cache_dir,
             max_mb=self.config.cache_max_mb,
             ttl_s=self.config.cache_ttl_s,
+            epoch=self.epoch,
         )
+        self.flights = ReplicaFlights(self.cache.directory)
+        self.fleet: Optional[ServiceFleet] = None
+        self.fleet_address: Optional[str] = None
         self.admission = AdmissionQueue(max_queue=self.config.max_queue)
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
@@ -333,6 +361,12 @@ class ExplorationService:
         self.degraded: Dict[str, int] = {}
         self.coalesced = 0
         self.inflight = 0
+        #: Queries answered by waiting out a peer replica's flight.
+        self.replica_hits = 0
+        #: Times this replica deferred a solve to a peer's flight claim.
+        self.replica_waits = 0
+        #: Fleet solves that fell back to the local executor.
+        self.fleet_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -341,6 +375,23 @@ class ExplorationService:
         """Open the cache, bind, start workers; returns ``host:port``."""
         host, port = parse_address(self.config.bind)
         self.cache.open()
+        self.flights.open()
+        if self.config.fleet:
+            fleet = ServiceFleet(
+                self.config.fleet,
+                extract=extract_summary,
+                lease_timeout_s=self.config.lease_timeout_s,
+                wait_s=self.config.fleet_wait_s,
+            )
+            try:
+                self.fleet_address = fleet.start()
+            except FleetTransportError as exc:
+                _log.warning(
+                    "service fleet unavailable; solving locally",
+                    extra={"error": str(exc)},
+                )
+            else:
+                self.fleet = fleet
         self._server = await asyncio.start_server(
             self._serve_connection, host=host, port=port
         )
@@ -356,6 +407,9 @@ class ExplorationService:
             "exploration service listening",
             extra={
                 "address": self.address,
+                "replica": self.replica_id,
+                "epoch": self.epoch,
+                "fleet": self.fleet_address,
                 "cache_dir": str(self.cache.directory),
                 "max_queue": self.admission.max_queue,
             },
@@ -363,18 +417,13 @@ class ExplorationService:
         return self.address
 
     def _write_discovery(self) -> None:
-        atomic_write_text(
-            self.cache.directory / SERVICE_FILE,
-            json.dumps(
-                {
-                    "address": self.address,
-                    "protocol": SERVICE_PROTOCOL,
-                    "pid": os.getpid(),
-                },
-                sort_keys=True,
-            )
-            + "\n",
-            durable=False,
+        register_replica(
+            self.cache.directory,
+            replica_id=self.replica_id,
+            address=self.address,
+            epoch=self.epoch,
+            fleet=self.fleet_address if self.fleet else None,
+            protocol=SERVICE_PROTOCOL,
         )
 
     async def serve_forever(self) -> None:
@@ -411,6 +460,12 @@ class ExplorationService:
                 pass
         if self._server is not None:
             await self._server.wait_closed()
+        if self.fleet is not None:
+            await asyncio.to_thread(self.fleet.close)
+        try:
+            deregister_replica(self.cache.directory, self.replica_id)
+        except OSError:  # pragma: no cover - registry dir gone
+            pass
         self._write_bench()
         self._stopped.set()
         _log.info("exploration service stopped", extra={"drained": drain})
@@ -434,8 +489,9 @@ class ExplorationService:
         table[key] = table.get(key, 0) + n
 
     def counters(self) -> Dict[str, Any]:
-        return {
+        counters = {
             "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "epoch": self.epoch,
             "requests": dict(self.requests),
             "responses": dict(self.responses),
             "cache": self.cache.counters(),
@@ -445,7 +501,19 @@ class ExplorationService:
             "degraded": dict(self.degraded),
             "coalesced": self.coalesced,
             "inflight": self.inflight,
+            "replica": {
+                "id": self.replica_id,
+                "waits": self.replica_waits,
+                "hits": self.replica_hits,
+                **self.flights.counters(),
+            },
         }
+        if self.fleet is not None:
+            counters["fleet"] = {
+                **self.fleet.counters(),
+                "fallbacks": self.fleet_fallbacks,
+            }
+        return counters
 
     def registry(self) -> MetricsRegistry:
         """The service counters as a typed registry (Prometheus-ready)."""
@@ -464,8 +532,31 @@ class ExplorationService:
             "service_cache_total", "cache events (hit/miss/stale/write/evict)"
         )
         cache_counters = self.cache.counters()
-        for event in ("hits", "misses", "stale_hits", "writes", "evictions"):
+        for event in (
+            "hits",
+            "misses",
+            "stale_hits",
+            "writes",
+            "evictions",
+            "corrupt",
+            "epoch_misses",
+        ):
             cache.inc(cache_counters[event], event=event)
+        replica = registry.counter(
+            "service_replica_total", "cross-replica flight events"
+        )
+        replica.inc(self.replica_waits, event="waits")
+        replica.inc(self.replica_hits, event="hits")
+        replica.inc(self.flights.busy, event="busy")
+        if self.fleet is not None:
+            fleet = registry.counter(
+                "service_fleet_total", "fleet fan-out events"
+            )
+            fleet.inc(self.fleet.tasks_done, event="tasks_done")
+            fleet.inc(self.fleet.task_failures, event="task_failures")
+            fleet.inc(self.fleet.leases_expired, event="leases_expired")
+            fleet.inc(self.fleet.worker_deaths, event="worker_deaths")
+            fleet.inc(self.fleet_fallbacks, event="fallbacks")
         shed = registry.counter(
             "service_shed_total", "queries shed by admission control"
         )
@@ -497,6 +588,8 @@ class ExplorationService:
         gauge.set(len(self.cache), field="cache_entries")
         gauge.set(self.cache.size_bytes(), field="cache_size_bytes")
         gauge.set(time.monotonic() - self._started_at, field="uptime_s")
+        if self.fleet is not None:
+            gauge.set(self.fleet.workers_connected(), field="fleet_workers")
         return registry
 
     def bench_payload(self) -> Dict[str, Any]:
@@ -589,7 +682,7 @@ class ExplorationService:
         )
 
     def _handle_health(self) -> Dict[str, Any]:
-        return {
+        response = {
             "kind": "health",
             "status": "ok",
             "code": 200,
@@ -599,7 +692,12 @@ class ExplorationService:
             "inflight": self.inflight,
             "cache_entries": len(self.cache),
             "draining": self._draining,
+            "replica": self.replica_id,
+            "epoch": self.epoch,
         }
+        if self.fleet is not None:
+            response["fleet_workers"] = self.fleet.workers_connected()
+        return response
 
     def _handle_ready(self) -> Dict[str, Any]:
         reasons = []
@@ -776,10 +874,91 @@ class ExplorationService:
         return await self._solve(item, probe=probe)
 
     async def _solve(self, item: _WorkItem, probe: bool) -> Dict[str, Any]:
+        # Cross-replica single-flight: claim the fingerprint before
+        # solving.  A refused claim means a peer replica is already
+        # solving the same query — wait for its cache write instead of
+        # duplicating the solve.  Claims are flock-held, so a peer dying
+        # mid-solve auto-releases and the waiter promotes itself.
+        claim = self.flights.try_claim(item.fingerprint)
+        if claim is None:
+            self.replica_waits += 1
+            outcome = await self._await_peer_flight(item)
+            if isinstance(outcome, dict):
+                return outcome
+            claim = outcome  # the peer vanished: this replica leads now
         try:
-            summary = await asyncio.to_thread(
-                self.solve_fn, item.spec, item.activities, item.deadline
-            )
+            return await self._solve_as_leader(item, probe)
+        finally:
+            # Released only after the cache write (inside the leader
+            # path), so a waiter that sees the claim free finds either
+            # the entry or a dead leader — never a silent gap.
+            claim.release()
+
+    async def _await_peer_flight(self, item: _WorkItem):
+        """Poll the shared cache while a peer replica solves ``item``.
+
+        Returns a ready response dict (peer finished, or this query's
+        deadline ran out) or a :class:`FlightClaim` when the peer
+        released without caching (it crashed, or its solve failed) and
+        this replica should lead the solve itself.
+        """
+        while True:
+            entry = self.cache.get(item.fingerprint, count=False)
+            if entry is not None:
+                self.replica_hits += 1
+                response = self._ok_response(
+                    item.fingerprint, entry.payload, item.solver, cached=True
+                )
+                response["coalesced"] = True
+                response["coalesced_with"] = "replica"
+                return response
+            if item.deadline.expired():
+                return self._error_response(
+                    item.fingerprint,
+                    DeadlineExceededError(
+                        f"query {item.fingerprint} spent its "
+                        f"{item.deadline.budget_s:g}s deadline waiting on "
+                        "a peer replica's solve",
+                        task=item.fingerprint,
+                        timeout_s=item.deadline.budget_s,
+                    ),
+                    status="deadline",
+                    code=504,
+                )
+            claim = self.flights.try_claim(item.fingerprint)
+            if claim is not None:
+                return claim
+            await asyncio.sleep(0.05)
+
+    def _run_backend(self, item: _WorkItem) -> Dict[str, Any]:
+        """One miss's solve: fleet fan-out when workers are attached,
+        the local executor otherwise (and on fleet transport trouble)."""
+        fleet = self.fleet
+        if fleet is not None and fleet.workers_connected() > 0:
+            try:
+                return fleet.solve(
+                    item.spec,
+                    item.activities,
+                    timeout_s=item.deadline.remaining_s(),
+                    solver=item.solver,
+                    label=item.fingerprint,
+                )
+            except FleetTransportError as exc:
+                self.fleet_fallbacks += 1
+                _log.warning(
+                    "fleet solve fell back to local executor",
+                    extra={
+                        "fingerprint": item.fingerprint,
+                        "error": str(exc),
+                    },
+                )
+        return self.solve_fn(item.spec, item.activities, item.deadline)
+
+    async def _solve_as_leader(
+        self, item: _WorkItem, probe: bool
+    ) -> Dict[str, Any]:
+        try:
+            summary = await asyncio.to_thread(self._run_backend, item)
         except (DeadlineExceededError, TaskTimeoutError) as exc:
             # A timeout says nothing about backend health: the breaker
             # sees neither success nor failure.  A probe stays pending —

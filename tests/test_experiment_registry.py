@@ -34,6 +34,7 @@ EXPECTED_ORDER = [
     "worker",
     "serve",
     "query",
+    "cache",
 ]
 
 

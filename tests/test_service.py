@@ -167,7 +167,7 @@ class TestResultCache:
         counters = cache.counters()
         assert set(counters) == {
             "entries", "size_bytes", "hits", "misses", "stale_hits",
-            "writes", "evictions",
+            "writes", "evictions", "corrupt", "epoch_misses",
         }
 
 
@@ -281,6 +281,63 @@ class TestCircuitBreaker:
         clock.now += 3.0
         assert breaker.retry_after_s() == pytest.approx(5.0)
 
+    def test_half_open_race_grants_exactly_one_probe(self):
+        """Concurrent allow() at the half-open instant: one probe, ever.
+
+        Many worker threads can observe the cooldown expiring at the
+        same moment; the probe slot must be handed out exactly once or
+        a still-broken backend gets hammered by N probes at once.
+        """
+        import threading
+
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.now += 5.0
+        start = threading.Barrier(8)
+        verdicts = []
+        lock = threading.Lock()
+
+        def contender():
+            start.wait()
+            verdict = breaker.allow()
+            with lock:
+                verdicts.append(verdict)
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert verdicts.count((True, True)) == 1
+        assert verdicts.count((False, False)) == 7
+
+    def test_probe_slot_not_leaked_across_reopen(self):
+        """A failed probe must free the slot for the NEXT window's probe.
+
+        If ``_probe_inflight`` leaked True through the open->half-open
+        cycle the breaker would never probe again and stay effectively
+        open forever.
+        """
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        for _ in range(3):  # several probe windows in a row
+            clock.now += 5.0
+            assert breaker.allow() == (True, True)
+            # Concurrent caller while the probe is in flight: rejected.
+            assert breaker.allow() == (False, False)
+            breaker.record_failure()
+            assert breaker.state == OPEN
+        clock.now += 5.0
+        assert breaker.allow() == (True, True)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
     def test_snapshot_and_transitions(self):
         breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0)
         breaker.record_failure()
@@ -317,6 +374,37 @@ class TestAdmissionQueue:
             counters = queue.counters()
             assert counters["shed"] == 1 and counters["admitted"] == 2
             assert counters["depth"] == 2
+
+        asyncio.run(scenario())
+
+    def test_retry_hint_monotone_under_sustained_overload(self):
+        """Consecutive sheds ramp the hint; it never decreases mid-storm.
+
+        A client obeying the hints therefore backs off further and
+        further instead of hammering an overloaded server at a fixed
+        cadence; one successful admission resets the ramp.
+        """
+        import asyncio
+
+        from repro.service import AdmissionQueue
+
+        async def scenario():
+            queue = AdmissionQueue(max_queue=1)
+            queue.submit("fill", Deadline.after(None))
+            hints = []
+            for _ in range(12):
+                with pytest.raises(ServiceOverloadError) as exc_info:
+                    queue.submit("again", Deadline.after(None))
+                hints.append(exc_info.value.retry_after_s)
+            assert hints[0] == pytest.approx(queue.retry_base_s)
+            assert all(b >= a for a, b in zip(hints, hints[1:]))
+            assert hints[-1] == pytest.approx(queue.retry_cap_s)
+            assert max(hints) <= queue.retry_cap_s
+            # The ramp resets once a query actually gets in.
+            await queue.next()
+            queue.task_done()
+            queue.submit("admitted", Deadline.after(None))
+            assert queue.retry_after_s() == pytest.approx(queue.retry_base_s)
 
         asyncio.run(scenario())
 
