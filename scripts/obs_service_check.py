@@ -1,0 +1,404 @@
+#!/usr/bin/env python
+"""End-to-end proof of the service tier's observability claims.
+
+Boots a *traced* ``repro serve`` replica with an attached fleet
+coordinator, a ``repro worker`` joined to it, and a second (untraced)
+replica sharing the same cache directory, then asserts the three
+claims docs/OBSERVABILITY.md makes about the distributed pipeline:
+
+1. **One connected span tree** — a traced client query dispatched
+   through the fleet yields, after stitching the client's spans with
+   the replica's flushed ``trace-<replica>.jsonl``, a single tree
+   rooted at the client hop that crosses the TCP boundary and reaches
+   the fleet worker's solver spans (``fleet.task``/``group``/``rung``),
+   with consistent parent ids and at least two distinct pids.
+2. **Typed telemetry + fleet aggregation** — every replica's
+   ``/metrics`` exposes the latency histogram buckets, and ``repro
+   dash``'s merged registry reproduces the per-replica sums exactly.
+3. **Tracing is free-of-charge on answers and cheap on latency** —
+   trace-on and trace-off answers for the same spec are bit-identical,
+   and the paired traced/untraced overhead on the cached query path
+   stays under the same budget ``scripts/obs_overhead_check.py``
+   enforces for the engine (default 3%, ``REPRO_OBS_MAX_OVERHEAD``).
+
+Exit status 0 = all three proofs hold.
+
+Usage::
+
+    python scripts/obs_service_check.py [work_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.experiments.traceview import (  # noqa: E402
+    count_tcp_hops,
+    find_trace_files,
+    stitch_traces,
+)
+from repro.obs.export import flush_spans  # noqa: E402
+from repro.obs.trace import get_tracer  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.dash import (  # noqa: E402
+    fleet_summary,
+    merge_scrapes,
+    render_dashboard,
+    scrape_fleet,
+)
+
+GRID_NODES = int(os.environ.get("REPRO_BENCH_GRID", "16"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "0.03"))
+PAIRS = int(os.environ.get("REPRO_OBS_SERVICE_PAIRS", "40"))
+
+#: Span names the connected tree must contain, client through solver.
+REQUIRED_SPANS = (
+    "service.client",
+    "service.request",
+    "service.fleet",
+    "fleet.task",
+    "group",
+    "rung",
+)
+
+
+def log(message: str) -> None:
+    print(f"[obs-service-check] {message}", flush=True)
+
+
+def fail(message: str) -> None:
+    print(f"[obs-service-check] FAIL: {message}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+def spec_payload(n_layers: int) -> dict:
+    return {
+        "arrangement": "regular",
+        "n_layers": n_layers,
+        "grid_nodes": GRID_NODES,
+    }
+
+
+# ----------------------------------------------------------------------
+# process plumbing
+# ----------------------------------------------------------------------
+
+def _env(traced: bool, trace_dir: pathlib.Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if traced:
+        env["REPRO_TRACE"] = "1"
+        env["REPRO_TRACE_DIR"] = str(trace_dir)
+    else:
+        env.pop("REPRO_TRACE", None)
+        env.pop("REPRO_TRACE_DIR", None)
+    return env
+
+
+def start_replica(
+    work: pathlib.Path,
+    name: str,
+    traced: bool,
+    fleet: bool,
+) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--bind", "127.0.0.1:0",
+        "--cache-dir", str(work / "cache"),
+        "--replica-id", name,
+    ]
+    if fleet:
+        command += ["--fleet", "127.0.0.1:0"]
+    return subprocess.Popen(
+        command,
+        env=_env(traced, work / "traces"),
+        stdout=(work / f"{name}.log").open("w"),
+        stderr=subprocess.STDOUT,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def start_worker(work: pathlib.Path, fleet_address: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", fleet_address],
+        env=_env(True, work / "traces"),
+        stdout=(work / "worker.log").open("w"),
+        stderr=subprocess.STDOUT,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def wait_for_replicas(
+    work: pathlib.Path, count: int, timeout_s: float = 45.0
+) -> dict:
+    """Replica-id -> entry once ``count`` replicas have registered."""
+    discovery = work / "cache" / "service.json"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if discovery.exists():
+            try:
+                record = json.loads(discovery.read_text())
+            except json.JSONDecodeError:
+                record = None  # torn read during atomic publish; retry
+            if record:
+                replicas = {
+                    r["id"]: r
+                    for r in record.get("replicas") or []
+                    if isinstance(r, dict) and r.get("address")
+                }
+                if len(replicas) >= count:
+                    return replicas
+        time.sleep(0.1)
+    fail(f"{count} replica(s) never registered in {discovery}")
+
+
+def one_query(address: str, spec: dict) -> dict:
+    with ServiceClient(address, timeout_s=300.0) as client:
+        return client.query(spec)
+
+
+# ----------------------------------------------------------------------
+# Proof 1: one connected span tree across client/replica/fleet worker
+# ----------------------------------------------------------------------
+
+def check_span_tree(work: pathlib.Path) -> None:
+    spans, report = stitch_traces(find_trace_files(work / "traces"))
+    if not spans:
+        fail(f"no spans in {work / 'traces'}")
+    log("stitched: " + "; ".join(report))
+
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    missing = [name for name in REQUIRED_SPANS if name not in by_name]
+    if missing:
+        fail(f"span tree is missing {missing}; have {sorted(by_name)}")
+
+    # Walk down from the client hop: everything the query touched must
+    # be reachable through consistent parent ids.
+    client = by_name["service.client"][0]
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    reachable = {}
+    stack = [client.span_id]
+    while stack:
+        span_id = stack.pop()
+        for child in children.get(span_id, []):
+            if child.span_id not in reachable:
+                reachable[child.span_id] = child
+                stack.append(child.span_id)
+    reachable[client.span_id] = client
+    names = {span.name for span in reachable.values()}
+    unreachable = [name for name in REQUIRED_SPANS if name not in names]
+    if unreachable:
+        fail(
+            f"spans {unreachable} exist but are not reachable from the "
+            "client hop: broken parent ids"
+        )
+    trace_ids = {
+        span.trace_id for span in reachable.values() if span.trace_id
+    }
+    if len(trace_ids) != 1:
+        fail(f"connected tree spans {len(trace_ids)} trace ids: {trace_ids}")
+    pids = {span.pid for span in reachable.values()}
+    if len(pids) < 2:
+        fail(f"tree never crossed a process boundary (pids {pids})")
+    hops = count_tcp_hops(spans)
+    if hops < 1:
+        fail("no labelled client->replica TCP hop in the stitched trace")
+    log(
+        f"span tree ok: {len(reachable)} connected spans, "
+        f"{len(pids)} processes, {hops} tcp hop(s), trace {trace_ids.pop()}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Proof 2: histograms exposed + dash aggregation matches per-replica sums
+# ----------------------------------------------------------------------
+
+def check_metrics_and_dash(work: pathlib.Path, addresses: list) -> None:
+    for address in addresses:
+        with ServiceClient(address) as client:
+            text = client.metrics()["prometheus"]
+        if "repro_service_query_latency_seconds_bucket" not in text:
+            fail(f"{address} /metrics lacks latency histogram buckets")
+        if 'repro_service_replica_total{event="claims"}' not in text:
+            fail(f"{address} /metrics lacks the flights claims counter")
+
+    scrapes = scrape_fleet(work / "cache")
+    live = [s for s in scrapes if s.ok]
+    if len(live) < 2:
+        fail(f"dash scraped {len(live)} live replicas, wanted >= 2")
+    merged = merge_scrapes(scrapes)
+    summary = fleet_summary(merged)
+    expected_queries = sum(
+        s.counters["requests"].get("query", 0) for s in live
+    )
+    if summary["queries"] != expected_queries:
+        fail(
+            f"merged query total {summary['queries']} != per-replica "
+            f"sum {expected_queries}"
+        )
+    expected_latency = sum(s.counters["latency"]["count"] for s in live)
+    if summary["latency_count"] != expected_latency:
+        fail(
+            f"merged latency count {summary['latency_count']} != "
+            f"per-replica sum {expected_latency}"
+        )
+    if summary["latency_count"] and summary["p95_s"] is None:
+        fail("merged histogram produced no p95 despite observations")
+    table = render_dashboard(scrapes, merged)
+    if f"fleet: {len(live)}/{len(scrapes)} replicas" not in table:
+        fail(f"dash table lacks the fleet summary line:\n{table}")
+    log(
+        f"dash ok: {len(live)} replicas, fleet queries={summary['queries']} "
+        f"latency n={summary['latency_count']} p95={summary['p95_s']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Proof 3: bit-identical answers + overhead budget on the cached path
+# ----------------------------------------------------------------------
+
+def check_identity_and_overhead(work: pathlib.Path, address: str) -> None:
+    tracer = get_tracer()
+    spec = spec_payload(6)
+
+    tracer.disable()
+    untraced = one_query(address, spec)  # miss: solved through the fleet
+    tracer.enable()
+    traced = one_query(address, spec)
+    tracer.disable()
+    if untraced.get("status") != "ok" or traced.get("status") != "ok":
+        fail(f"identity queries failed: {untraced} / {traced}")
+    if traced["result"] != untraced["result"]:
+        fail(
+            "trace-on answer differs from trace-off answer:\n"
+            f"  on : {traced['result']}\n  off: {untraced['result']}"
+        )
+    log("identity ok: traced and untraced answers bit-identical")
+
+    # Paired traced/untraced cached queries; the trimmed mean of the
+    # per-pair deltas over the median untraced wall is the overhead
+    # (same estimator as scripts/obs_overhead_check.py, same budget).
+    deltas, off_walls = [], []
+    for _ in range(PAIRS):
+        tracer.disable()
+        start = time.perf_counter()
+        one_query(address, spec)
+        off = time.perf_counter() - start
+        tracer.enable()
+        start = time.perf_counter()
+        one_query(address, spec)
+        on = time.perf_counter() - start
+        tracer.disable()
+        tracer.drain()
+        off_walls.append(off)
+        deltas.append(on - off)
+    trim = max(1, len(deltas) // 10)
+    kept = sorted(deltas)[trim:-trim] or sorted(deltas)
+    mean_delta = sum(kept) / len(kept)
+    median_off = sorted(off_walls)[len(off_walls) // 2]
+    stderr = (
+        statistics.stdev(kept) / (len(kept) ** 0.5) if len(kept) > 1 else 0.0
+    )
+    overhead = mean_delta / median_off
+    overhead_low = (mean_delta - 2.0 * stderr) / median_off
+    log(
+        f"overhead: median cached wall {median_off * 1000:.2f}ms, "
+        f"traced delta {mean_delta * 1e6:+.0f}us +- {stderr * 1e6:.0f}us "
+        f"({overhead:+.2%}, budget {MAX_OVERHEAD:.0%})"
+    )
+    if overhead_low >= MAX_OVERHEAD:
+        fail(
+            f"service-path tracing costs {overhead:.2%} "
+            f"(lower bound {overhead_low:.2%}) >= {MAX_OVERHEAD:.0%}"
+        )
+
+
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        work = pathlib.Path(argv[0]).resolve()
+        work.mkdir(parents=True, exist_ok=True)
+    else:
+        work = pathlib.Path(tempfile.mkdtemp(prefix="obs-service-check-"))
+    (work / "traces").mkdir(exist_ok=True)
+    log(f"work dir: {work}")
+
+    processes = []
+    try:
+        processes.append(start_replica(work, "traced-a", True, fleet=True))
+        replicas = wait_for_replicas(work, 1)
+        fleet_address = replicas["traced-a"].get("fleet")
+        if not fleet_address:
+            fail("traced replica published no fleet address")
+        processes.append(start_worker(work, fleet_address))
+        processes.append(
+            start_replica(work, "plain-b", False, fleet=False)
+        )
+        replicas = wait_for_replicas(work, 2)
+        address_a = replicas["traced-a"]["address"]
+        address_b = replicas["plain-b"]["address"]
+        log(f"replicas up: traced-a={address_a} plain-b={address_b}")
+        time.sleep(1.0)  # let the worker finish joining the fleet
+
+        tracer = get_tracer()
+        tracer.drain()
+        tracer.enable()
+        response = one_query(address_a, spec_payload(4))
+        tracer.disable()
+        if response.get("status") != "ok":
+            fail(f"traced fleet query failed: {response}")
+        client_spans = tracer.drain()
+        flush_spans(client_spans, "client", trace_dir=work / "traces")
+
+        # Exercise replica B untraced so dash has two live datasets.
+        plain = one_query(address_b, spec_payload(5))
+        if plain.get("status") != "ok":
+            fail(f"untraced query failed: {plain}")
+
+        check_identity_and_overhead(work, address_a)
+        check_metrics_and_dash(work, [address_a, address_b])
+
+        # Drain-stop the traced replica so its final trace flush lands,
+        # then stitch its file with the client's.
+        with ServiceClient(address_a) as client:
+            client.shutdown(drain=True)
+        deadline = time.monotonic() + 30.0
+        while processes[0].poll() is None and time.monotonic() < deadline:
+            time.sleep(0.2)
+        if processes[0].poll() is None:
+            fail("traced replica did not exit after drain shutdown")
+        check_span_tree(work)
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+    log("all observability proofs hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

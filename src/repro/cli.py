@@ -49,6 +49,10 @@ circuit-breaker degradation — and ``repro query`` is its client::
     python -m repro query --cache-dir runs/svc --stop
 
 See docs/SERVICE.md for the wire protocol and degradation semantics.
+``repro dash`` watches the whole replica set at once — it scrapes every
+replica in the discovery file and renders one merged fleet table::
+
+    python -m repro dash --cache-dir runs/svc --watch 2
 
 Every subcommand also takes ``--solver {lu,cholesky,iterative}`` (env:
 ``REPRO_SOLVER``) selecting the linear-solver backend from the registry

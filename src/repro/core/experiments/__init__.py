@@ -15,6 +15,7 @@ Module         Reproduces
 ``traceview``  Profiler over flushed run traces (``repro trace``)
 ``worker``     Fleet worker joining a ``--fleet`` coordinator (new)
 ``service``    Exploration service: ``repro serve`` / ``repro query`` (new)
+``dash``       Fleet-wide service dashboard (``repro dash``) (new)
 =============  ==========================================================
 
 Every driver is an :class:`repro.core.experiments.base.Experiment`
@@ -68,6 +69,7 @@ from repro.core.experiments.tools import (
     ReportExperiment,
     SensitivityExperiment,
 )
+from repro.core.experiments.dash import DashExperiment
 from repro.core.experiments.service import (
     CacheExperiment,
     QueryExperiment,
@@ -97,6 +99,7 @@ for _cls in (
     ServeExperiment,
     QueryExperiment,
     CacheExperiment,
+    DashExperiment,
 ):
     register(_cls)
 del _cls
@@ -146,4 +149,5 @@ __all__ = [
     "ServeExperiment",
     "QueryExperiment",
     "CacheExperiment",
+    "DashExperiment",
 ]

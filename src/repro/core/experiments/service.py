@@ -136,6 +136,26 @@ class ServeExperiment(Experiment):
             default=1, metavar="N",
             help="queue-draining solver workers (default 1)",
         )
+        parser.add_argument(
+            "--slo-latency",
+            type=typed_float("--slo-latency", minimum=0.0, exclusive=True),
+            default=None, metavar="SECONDS",
+            help="per-query latency objective: slower (or non-200) "
+            "answers burn SLO error budget in the metrics endpoint "
+            "(default: SLO tracking off)",
+        )
+        parser.add_argument(
+            "--flight-recorder",
+            type=typed_int("--flight-recorder", minimum=0),
+            default=256, metavar="N",
+            help="ring buffer of recent query events, dumped atomically "
+            "on any 5xx and at shutdown (default 256; 0 disables)",
+        )
+        parser.add_argument(
+            "--replica-id", type=str, default=None, metavar="NAME",
+            help="stable replica name in discovery, metrics and trace "
+            "files (default replica-<pid>)",
+        )
 
     @classmethod
     def config_from_args(cls, args) -> ExperimentConfig:
@@ -143,7 +163,8 @@ class ServeExperiment(Experiment):
         for key in (
             "bind", "cache_dir", "cache_max_mb", "cache_ttl", "max_queue",
             "deadline", "breaker_threshold", "breaker_cooldown",
-            "coarse_grid", "solve_workers",
+            "coarse_grid", "solve_workers", "slo_latency", "flight_recorder",
+            "replica_id",
         ):
             config.options[key] = getattr(args, key)
         return config
@@ -184,6 +205,9 @@ class ServeExperiment(Experiment):
             fleet=fleet,
             lease_timeout_s=lease_timeout_s,
             fleet_wait_s=fleet_wait_s,
+            slo_latency_s=config.option("slo_latency"),
+            flight_recorder=int(config.option("flight_recorder", 256)),
+            replica_id=config.option("replica_id"),
         )
         service = ExplorationService(config=service_config)
 

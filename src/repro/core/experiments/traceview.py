@@ -6,6 +6,15 @@ boundaries, and prints the profiling report: a flamegraph-style
 self/total-time table, the top-N slowest topology groups, and
 retry / escalation-ladder / contract-violation attribution.
 
+A directory holding *several* traces is stitched into one view: a
+distributed service query scatters its spans across files — the client
+flushes ``trace-<trace_id>.jsonl``, each replica its
+``trace-<replica>.jsonl``, fleet workers their own — all sharing one
+trace id.  Spans are deduplicated by id (a span adopted over a remote
+anchor can be flushed by more than one process) and the client→replica
+TCP hops are labelled in the report.  ``--run FINGERPRINT`` still
+narrows to a single run's trace.
+
 When the trace lives next to a ``BENCH_*.json`` (same run directory),
 the report also cross-checks the span-derived stage totals against the
 BENCH ``stage_totals`` — by construction they are the same measurements,
@@ -29,9 +38,15 @@ from repro.core.experiments.base import (
     ExperimentResult,
     typed_int,
 )
-from repro.errors import ReproError, TraceDataError
+from repro.errors import TraceDataError
 
-__all__ = ["TraceExperiment", "find_trace_files", "bench_stage_totals"]
+__all__ = [
+    "TraceExperiment",
+    "find_trace_files",
+    "bench_stage_totals",
+    "stitch_traces",
+    "count_tcp_hops",
+]
 
 
 def find_trace_files(path: Path) -> List[Path]:
@@ -44,6 +59,53 @@ def find_trace_files(path: Path) -> List[Path]:
             return direct
         return sorted(path.glob("**/trace-*.jsonl"))
     return []
+
+
+def stitch_traces(paths: List[Path]):
+    """Merge several trace files into one deduplicated span list.
+
+    Returns ``(spans, report)`` where ``report`` is one human line per
+    file (span count, duplicates dropped, or why it was skipped).
+    First occurrence of a span id wins; torn files are skipped with a
+    note rather than failing the stitch — a post-mortem must render
+    whatever survived.
+    """
+    from repro.obs.export import load_trace
+
+    spans, seen, report = [], set(), []
+    for path in paths:
+        try:
+            loaded = load_trace(path)
+        except TraceDataError as exc:
+            report.append(f"{path.name}: skipped ({exc})")
+            continue
+        fresh = [span for span in loaded if span.span_id not in seen]
+        seen.update(span.span_id for span in fresh)
+        spans.extend(fresh)
+        duplicates = len(loaded) - len(fresh)
+        line = f"{path.name}: {len(fresh)} spans"
+        if duplicates:
+            line += f" ({duplicates} duplicate span ids dropped)"
+        report.append(line)
+    return spans, report
+
+
+def count_tcp_hops(spans) -> int:
+    """Client→replica wire crossings in a stitched service trace.
+
+    A hop is a span whose parent is a ``service.client`` span from a
+    *different process* — the replica-side ``service.request`` anchored
+    under the client's hop span via the request's trace envelope.
+    """
+    clients = {
+        span.span_id: span for span in spans if span.name == "service.client"
+    }
+    return sum(
+        1
+        for span in spans
+        if span.parent_id in clients
+        and span.pid != clients[span.parent_id].pid
+    )
 
 
 def bench_stage_totals(trace_file: Path, run_fingerprint: Optional[str]):
@@ -141,30 +203,43 @@ class TraceExperiment(Experiment):
                 "(run with --trace or REPRO_TRACE=1 first)",
                 path=str(path),
             )
-        if len(traces) > 1:
-            names = ", ".join(t.name for t in traces)
-            raise ReproError(
-                f"{len(traces)} traces found ({names}); "
-                "pick one with --run FINGERPRINT"
-            )
         trace_file = traces[0]
-        # load_trace raises a typed TraceDataError on torn files; the
-        # CLI renders it as a one-line diagnostic, not a traceback.
-        spans = load_trace(trace_file)
+        stitch_report: List[str] = []
+        if len(traces) > 1:
+            # Several traces: a distributed service run (client +
+            # replicas + fleet workers), or just many runs in one dir.
+            # Stitch them into one deduplicated tree; --run narrows.
+            spans, stitch_report = stitch_traces(traces)
+            run_fp = None
+        else:
+            # load_trace raises a typed TraceDataError on torn files;
+            # the CLI renders it as a one-line diagnostic, no traceback.
+            spans = load_trace(trace_file)
+            header = load_trace_header(trace_file) or {}
+            run_fp = header.get("run_fingerprint")
         if not spans:
             raise TraceDataError(
                 f"trace {trace_file} holds no spans (empty or header-only "
                 "file — did the traced run crash before its flush?)",
                 path=str(trace_file),
             )
-        header = load_trace_header(trace_file) or {}
-        run_fp = header.get("run_fingerprint")
 
         notes: List[str] = []
         table = render_profile(
             spans, top=config.option("top", 10), run_fingerprint=run_fp
         )
         span_totals = stage_totals_from_spans(spans)
+
+        tcp_hops = count_tcp_hops(spans)
+        if stitch_report:
+            lines = ["", f"-- stitched {len(traces)} trace files --"]
+            lines += [f"  {line}" for line in stitch_report]
+            if tcp_hops:
+                lines.append(
+                    f"  tcp hops: {tcp_hops} "
+                    "(service.client -> service.request across processes)"
+                )
+            table += "\n" + "\n".join(lines)
 
         bench = bench_stage_totals(trace_file, run_fp)
         comparison = None
@@ -210,6 +285,8 @@ class TraceExperiment(Experiment):
                 "n_spans": len(spans),
                 "stage_totals": span_totals,
                 "bench_comparison": comparison,
+                "stitched": [str(t) for t in traces] if stitch_report else None,
+                "tcp_hops": tcp_hops,
             },
             raw=spans,
             notes=notes,

@@ -48,6 +48,7 @@ __all__ = [
     "configure",
     "span",
     "activate_worker_context",
+    "new_trace_id",
 ]
 
 #: Enable tracing process-wide: "1"/"true"/"on", or a directory path
@@ -139,6 +140,44 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _RemoteAnchor:
+    """A stand-in for a span that lives in *another* process.
+
+    Installed into the current-span contextvar by
+    :meth:`Tracer.remote_context`, it gives spans opened underneath it a
+    remote parent id and a remote trace id without opening a local span.
+    This is how a service replica anchors one request's spans under the
+    client's ``service.client`` span: contextvars keep concurrent asyncio
+    requests isolated, so N in-flight queries anchor to N different
+    remote parents simultaneously.
+    """
+
+    __slots__ = ("span_id", "trace_id")
+
+    def __init__(self, span_id: Optional[str], trace_id: Optional[str]):
+        self.span_id = span_id
+        self.trace_id = trace_id
+
+
+class _RemoteContext:
+    """Context manager installing/removing one :class:`_RemoteAnchor`."""
+
+    __slots__ = ("_tracer", "_anchor", "_token")
+
+    def __init__(self, tracer: "Tracer", anchor: _RemoteAnchor):
+        self._tracer = tracer
+        self._anchor = anchor
+        self._token = None
+
+    def __enter__(self) -> _RemoteAnchor:
+        self._token = self._tracer._current.set(self._anchor)
+        return self._anchor
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._current.reset(self._token)
+        return False
+
+
 class _ActiveSpan:
     """A live span: context manager measuring one code region."""
 
@@ -147,6 +186,7 @@ class _ActiveSpan:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "attributes",
         "status",
         "duration_s",
@@ -160,6 +200,7 @@ class _ActiveSpan:
         self.name = name
         self.span_id = _new_id()
         self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
         self.attributes = attributes
         self.status = "ok"
         self.duration_s = 0.0
@@ -168,7 +209,15 @@ class _ActiveSpan:
     def __enter__(self) -> "_ActiveSpan":
         tracer = self._tracer
         parent = tracer._current.get()
-        self.parent_id = parent.span_id if parent is not None else tracer._root_parent
+        if parent is not None:
+            self.parent_id = parent.span_id
+            # Inherit the chain's trace id (set by a remote anchor); a
+            # None here falls back to the tracer-global id at __exit__,
+            # preserving the engine behavior where set_trace_id() names
+            # the run only partway through it.
+            self.trace_id = parent.trace_id
+        else:
+            self.parent_id = tracer._root_parent
         self._token = tracer._current.set(self)
         self._start_wall = time.time()
         self._start_perf = time.perf_counter()
@@ -190,7 +239,7 @@ class _ActiveSpan:
                 name=self.name,
                 span_id=self.span_id,
                 parent_id=self.parent_id,
-                trace_id=tracer._trace_id,
+                trace_id=self.trace_id or tracer._trace_id,
                 start_s=self._start_wall,
                 duration_s=self.duration_s,
                 pid=tracer._pid,
@@ -252,6 +301,22 @@ class Tracer:
             return _NULL_SPAN
         return _ActiveSpan(self, name, attributes)
 
+    def remote_context(
+        self,
+        trace_id: Optional[str],
+        parent_id: Optional[str],
+    ):
+        """Anchor this thread/task's spans under a remote span.
+
+        Spans opened inside the returned context manager parent onto
+        ``parent_id`` and stamp ``trace_id`` — the server side of
+        trace-context propagation over a wire protocol.  No-op (but
+        still a valid context manager) while disabled.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return _RemoteContext(self, _RemoteAnchor(parent_id, trace_id))
+
     def record(
         self,
         name: str,
@@ -273,7 +338,8 @@ class Tracer:
             name=name,
             span_id=_new_id(),
             parent_id=parent.span_id if parent is not None else self._root_parent,
-            trace_id=self._trace_id,
+            trace_id=(parent.trace_id if parent is not None else None)
+            or self._trace_id,
             start_s=(time.time() - duration_s) if start_s is None else start_s,
             duration_s=float(duration_s),
             pid=self._pid,
@@ -288,6 +354,13 @@ class Tracer:
         if active is not None:
             return active.span_id
         return self._root_parent
+
+    def current_trace_id(self) -> Optional[str]:
+        """The effective trace id: the span chain's, else the global."""
+        active = self._current.get()
+        if active is not None and active.trace_id:
+            return active.trace_id
+        return self._trace_id
 
     def current(self) -> Optional[_ActiveSpan]:
         """The innermost live span of this thread/task, if any."""
@@ -326,7 +399,7 @@ class Tracer:
             return None
         return {
             "enabled": True,
-            "trace_id": self._trace_id,
+            "trace_id": self.current_trace_id(),
             "parent_id": self.current_span_id(),
             "attrs": attributes or {},
         }
@@ -343,6 +416,15 @@ def get_tracer() -> Tracer:
 def span(name: str, **attributes):
     """Module-level convenience for ``get_tracer().span(...)``."""
     return _TRACER.span(name, **attributes)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh trace id (same id space as span ids).
+
+    Used by clients that originate a distributed trace — ``repro query``
+    mints one here and carries it in the request envelope.
+    """
+    return _new_id()
 
 
 def configure(

@@ -796,12 +796,17 @@ class _ServiceTask:
         activities: Optional[Tuple[float, ...]],
         solver: Optional[str],
         label: str,
+        trace_ctx: Optional[Dict[str, Any]] = None,
     ):
         self.id = task_id
         self.spec = spec
         self.activities = activities
         self.solver = solver
         self.label = label
+        #: Per-query trace context (the replica's in-request span chain);
+        #: forwarded to whichever worker leases this task so its spans
+        #: attach under the query's span tree, not the fleet's startup.
+        self.trace_ctx = trace_ctx
         self.attempts = 0
         self.enqueued_at = time.monotonic()
         self.done = threading.Event()
@@ -976,8 +981,13 @@ class ServiceFleet:
         timeout_s: Optional[float] = None,
         solver: Optional[str] = None,
         label: Optional[str] = None,
+        trace_ctx: Optional[Dict[str, Any]] = None,
     ) -> Any:
         """Fan one query out to the fleet; blocks the calling thread.
+
+        ``trace_ctx`` (a :meth:`Tracer.worker_context` dict) rides the
+        lease to the worker, so worker-side spans join the query's
+        distributed trace rather than the fleet-construction context.
 
         Raises :class:`FleetTransportError` when no worker is attached
         within ``wait_s`` (the server's cue to solve locally instead)
@@ -996,6 +1006,7 @@ class ServiceFleet:
                 activities=activities,
                 solver=solver,
                 label=label or f"query-{self._seq}",
+                trace_ctx=trace_ctx,
             )
             self._queue.append(task)
         deadline = (
@@ -1204,7 +1215,7 @@ class ServiceFleet:
             False,
             self._extract,
             task.label,
-            self._trace_ctx,
+            task.trace_ctx if task.trace_ctx is not None else self._trace_ctx,
             task.solver,
         ))
         return {
@@ -1547,11 +1558,26 @@ def run_worker(
                     spec, plan, points, resilient, extract, label, ctx, solver = (
                         decode_payload(reply["payload"])
                     )
-                    activate_worker_context(ctx)
-                    values, group_metrics, spans = _run_group_remote(
-                        spec, plan, points, resilient, extract, label, ctx,
-                        solver,
-                    )
+                    tracing = activate_worker_context(ctx)
+                    tracer = get_tracer()
+                    # Label the TCP hop: one `fleet.task` span per lease,
+                    # re-parenting the solve's `group` span under it so
+                    # the reassembled tree shows coordinator → worker.
+                    with tracer.span(
+                        "fleet.task",
+                        worker=worker_id,
+                        task=fingerprint,
+                        attempt=int(reply.get("attempt", 1) or 1),
+                    ) as task_span:
+                        if task_span.span_id is not None:
+                            ctx = dict(ctx)
+                            ctx["parent_id"] = task_span.span_id
+                        values, group_metrics, spans = _run_group_remote(
+                            spec, plan, points, resilient, extract, label,
+                            ctx, solver,
+                        )
+                    if tracing:
+                        spans = list(spans) + tracer.drain()
                 except Exception as exc:
                     failures += 1
                     _log.warning(

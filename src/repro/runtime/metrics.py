@@ -39,7 +39,12 @@ from repro.obs.metrics import MetricsRegistry
 #: solve and breaker-transition counters plus the breaker state).
 #: Sweep-level BENCH files are unchanged — additive, v6 readers keep
 #: working.
-BENCH_SCHEMA = 7
+#: v8 extended the "service" section with typed-telemetry views:
+#: "latency" (per-query histogram count/sum, outcome breakdown and
+#: p50/p95/p99 bucket estimates) and "slo" (latency objective, ok vs
+#: breached counts, error-budget burn fraction) — additive, v7 readers
+#: keep working.
+BENCH_SCHEMA = 8
 
 #: Environment variable naming a directory to auto-write BENCH files to.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"

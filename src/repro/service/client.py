@@ -189,7 +189,16 @@ class ServiceClient:
         envelopes (``kind: "error"`` with ``status``/``code``/
         ``error_type``) — so callers can distinguish a shed from a
         deadline from a degraded answer.
+
+        While tracing is enabled the TCP hop runs inside a
+        ``service.client`` span and the request carries a ``trace``
+        envelope (``{"id", "parent"}``): the replica anchors its own
+        spans under this one, so ``repro trace`` reassembles one tree
+        spanning client, replica, and any fleet workers.  A client that
+        is not already inside a trace mints a fresh trace id here.
         """
+        from repro.obs.trace import get_tracer, new_trace_id
+
         if isinstance(spec, PDNSpec):
             spec = spec.to_dict()
         message: Dict[str, Any] = {"kind": "query", "spec": spec}
@@ -199,7 +208,26 @@ class ServiceClient:
             message["deadline_s"] = deadline_s
         if request_id is not None:
             message["id"] = request_id
-        return self.request(message)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self.request(message)
+        trace_id = tracer.current_trace_id() or new_trace_id()
+        if tracer.trace_id is None:
+            # Name this process's trace after the minted id so the CLI's
+            # exit-time flush lands in trace-<id>.jsonl, not trace-cli.
+            tracer.set_trace_id(trace_id)
+        with tracer.span(
+            "service.client", address=self.address, transport="tcp"
+        ) as hop:
+            hop.trace_id = hop.trace_id or trace_id
+            message["trace"] = {"id": trace_id, "parent": hop.span_id}
+            response = self.request(message)
+            hop.set(
+                status=response.get("status"),
+                code=response.get("code"),
+                cached=response.get("cached", False),
+            )
+        return response
 
     def health(self) -> Dict[str, Any]:
         return self.request({"kind": "health"})

@@ -1,0 +1,211 @@
+"""Fleet-wide telemetry aggregation behind ``repro dash``.
+
+One replica's ``metrics`` response carries three renderings of the same
+registry: a nested ``counters`` dict (human/BENCH view), Prometheus text
+(scrape view), and a mergeable ``series`` wire form
+(:meth:`repro.obs.metrics.MetricsRegistry.to_wire`).  The dashboard
+discovers every replica in ``service.json``, scrapes each ``metrics``
+endpoint, rebuilds the wire registries and folds them with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge` — counters add exactly,
+and histogram *buckets* add, so fleet-wide latency quantiles are
+estimated from the true combined distribution rather than averaged
+per-replica percentiles (which would be statistically meaningless).
+
+Dead replicas in a stale discovery file are reported as unreachable
+rows, never an error: a dashboard must render the fleet you have.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.client import ServiceClient, discover_addresses
+
+__all__ = [
+    "ReplicaScrape",
+    "scrape_fleet",
+    "merge_scrapes",
+    "render_dashboard",
+]
+
+
+@dataclass
+class ReplicaScrape:
+    """One replica's scrape: its counters + rebuilt wire registry."""
+
+    address: str
+    ok: bool = False
+    error: Optional[str] = None
+    replica_id: str = ""
+    counters: Dict[str, Any] = field(default_factory=dict)
+    registry: Optional[MetricsRegistry] = None
+
+
+def scrape_fleet(
+    cache_dir: Union[str, pathlib.Path], timeout_s: float = 5.0
+) -> List[ReplicaScrape]:
+    """Scrape every replica registered in ``cache_dir``'s service.json.
+
+    Raises :class:`repro.errors.ServiceUnavailableError` when no
+    discovery file exists at all; individual dead replicas come back as
+    ``ok=False`` rows instead of failing the whole scrape.
+    """
+    _path, addresses = discover_addresses(cache_dir)
+    scrapes: List[ReplicaScrape] = []
+    for address in addresses:
+        scrape = ReplicaScrape(address=address)
+        try:
+            with ServiceClient(address, timeout_s=timeout_s) as client:
+                metrics = client.metrics()
+        except Exception as exc:  # noqa: BLE001 - any dead peer is a row
+            scrape.error = f"{type(exc).__name__}: {exc}"
+            scrapes.append(scrape)
+            continue
+        counters = metrics.get("counters")
+        scrape.counters = counters if isinstance(counters, dict) else {}
+        series = metrics.get("series")
+        if isinstance(series, dict):
+            try:
+                scrape.registry = MetricsRegistry.from_wire(series)
+            except (TypeError, ValueError, KeyError) as exc:
+                scrape.error = f"bad series payload: {exc}"
+                scrapes.append(scrape)
+                continue
+        replica = scrape.counters.get("replica")
+        scrape.replica_id = (
+            str(replica.get("id")) if isinstance(replica, dict) else address
+        )
+        scrape.ok = True
+        scrapes.append(scrape)
+    return scrapes
+
+
+def merge_scrapes(scrapes: List[ReplicaScrape]) -> MetricsRegistry:
+    """Fold every reachable replica's registry into one fleet registry."""
+    merged = MetricsRegistry()
+    for scrape in scrapes:
+        if scrape.ok and scrape.registry is not None:
+            merged.merge(scrape.registry)
+    return merged
+
+
+def _counter_value(registry: MetricsRegistry, name: str, **labels) -> int:
+    metric = registry.get(name)
+    if metric is None:
+        return 0
+    if labels:
+        return int(metric.value(**labels))
+    return int(metric.total())
+
+
+def _quantile(registry: MetricsRegistry, q: float) -> Optional[float]:
+    metric = registry.get("service_query_latency")
+    if metric is None:
+        return None
+    return metric.quantile(q)
+
+
+def fleet_summary(merged: MetricsRegistry) -> Dict[str, Any]:
+    """The headline fleet-wide numbers from the merged registry."""
+    latency = merged.get("service_query_latency")
+    cache = merged.get("service_cache_total")
+    summary: Dict[str, Any] = {
+        "queries": _counter_value(
+            merged, "service_requests_total", kind="query"
+        ),
+        "responses": _counter_value(merged, "service_responses_total"),
+        "shed": _counter_value(merged, "service_shed_total"),
+        "coalesced": _counter_value(merged, "service_coalesced_total"),
+        "slo_ok": _counter_value(merged, "service_slo_total", result="ok"),
+        "slo_breached": _counter_value(
+            merged, "service_slo_total", result="breached"
+        ),
+        "cache": (
+            {k: int(v) for k, v in cache.by_label("event").items()}
+            if cache is not None
+            else {}
+        ),
+        "outcomes": (
+            {k: int(v) for k, v in latency.count_by_label("outcome").items()}
+            if latency is not None
+            else {}
+        ),
+        "latency_count": latency.total_count() if latency is not None else 0,
+        "latency_sum_s": (
+            round(latency.total_sum(), 6) if latency is not None else 0.0
+        ),
+    }
+    for q, name in ((0.5, "p50_s"), (0.95, "p95_s"), (0.99, "p99_s")):
+        estimate = _quantile(merged, q)
+        summary[name] = None if estimate is None else round(estimate, 6)
+    return summary
+
+
+def _fmt_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_dashboard(
+    scrapes: List[ReplicaScrape], merged: MetricsRegistry
+) -> str:
+    """One fleet-wide table: a row per replica, then merged totals."""
+    header = (
+        f"{'replica':<20} {'address':<21} {'up_s':>8} {'queries':>8} "
+        f"{'hits':>6} {'misses':>7} {'shed':>5} {'inflight':>8} "
+        f"{'breaker':<9} {'p95':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for scrape in scrapes:
+        if not scrape.ok:
+            lines.append(
+                f"{'(unreachable)':<20} {scrape.address:<21} "
+                f"{scrape.error or 'no response'}"
+            )
+            continue
+        counters = scrape.counters
+        cache = counters.get("cache", {})
+        latency = counters.get("latency", {})
+        breaker = counters.get("breaker", {})
+        lines.append(
+            f"{scrape.replica_id:<20.20} {scrape.address:<21} "
+            f"{counters.get('uptime_s', 0):>8.1f} "
+            f"{counters.get('requests', {}).get('query', 0):>8} "
+            f"{cache.get('hits', 0):>6} {cache.get('misses', 0):>7} "
+            f"{counters.get('admission', {}).get('shed', 0):>5} "
+            f"{counters.get('inflight', 0):>8} "
+            f"{str(breaker.get('state', '?')):<9} "
+            f"{_fmt_latency(latency.get('p95_s')):>8}"
+        )
+    summary = fleet_summary(merged)
+    reachable = sum(1 for s in scrapes if s.ok)
+    outcomes = summary["outcomes"]
+    outcome_text = (
+        " ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+        or "no queries yet"
+    )
+    slo_total = summary["slo_ok"] + summary["slo_breached"]
+    slo_text = (
+        f"slo ok={summary['slo_ok']} breached={summary['slo_breached']} "
+        f"burn={summary['slo_breached'] / slo_total:.1%}"
+        if slo_total
+        else "slo: (no objective set)"
+    )
+    lines += [
+        "-" * len(header),
+        f"fleet: {reachable}/{len(scrapes)} replicas | "
+        f"queries={summary['queries']} "
+        f"coalesced={summary['coalesced']} shed={summary['shed']}",
+        f"outcomes: {outcome_text}",
+        f"latency: n={summary['latency_count']} "
+        f"p50={_fmt_latency(summary['p50_s'])} "
+        f"p95={_fmt_latency(summary['p95_s'])} "
+        f"p99={_fmt_latency(summary['p99_s'])} | {slo_text}",
+    ]
+    return "\n".join(lines)

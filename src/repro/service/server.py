@@ -28,10 +28,22 @@ cache and a ladder of robustness primitives:
    coarse-grid solve, flagged ``degraded: true``, and one probe per
    cooldown window tests recovery (:mod:`repro.service.breaker`).
 
+Observability is first-class: the server's tallies live in a typed
+:class:`~repro.obs.metrics.MetricsRegistry` (per-query latency
+histograms by outcome and by stage, SLO error-budget counters), exposed
+through ``metrics`` requests as counters, Prometheus text *and* a
+mergeable wire form that ``repro dash`` folds into one fleet-wide view.
+A query may carry a ``trace`` envelope (``{"id", "parent"}``): the
+replica anchors its spans under the client's span, forwards the context
+to fleet workers, and flushes the reassembled spans to
+``trace-<replica_id>.jsonl``.  A bounded flight recorder keeps the last
+N query events in memory, dumped atomically on any 5xx and at shutdown.
+
 ``health`` / ``ready`` / ``metrics`` requests expose liveness,
 readiness and the full counter set (Prometheus text included); the
-counters also land in ``BENCH_service.json`` (schema v7) at shutdown.
-See docs/SERVICE.md for the wire protocol and failure semantics.
+counters also land in ``BENCH_service.json`` (schema v8) at shutdown.
+See docs/SERVICE.md for the wire protocol and failure semantics, and
+docs/OBSERVABILITY.md for the distributed-tracing story.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ import json
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -54,9 +67,10 @@ from repro.errors import (
     TaskTimeoutError,
 )
 from repro.grid.backends import default_backend_name, resolve_backend
+from repro.obs.export import flush_spans
 from repro.obs.logs import get_logger
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import get_tracer
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import TRACE_DIR_ENV, get_tracer
 from repro.runtime.fleet import ServiceFleet, parse_address
 from repro.runtime.metrics import BENCH_SCHEMA, write_bench_json
 from repro.runtime.spec import ARRANGEMENTS, PDNSpec
@@ -224,6 +238,17 @@ class ServiceConfig:
     #: Code-version epoch override for the cache (tests/CI; normally
     #: computed from the source tree, see :mod:`repro.service.epoch`).
     epoch: Optional[str] = None
+    #: Latency objective (seconds) for SLO accounting: a query answered
+    #: slower than this — or not answered 200 at all — burns error
+    #: budget (``service_slo_total{result="breached"}``).  None disables.
+    slo_latency_s: Optional[float] = None
+    #: Flight-recorder ring size: the last N query events kept in
+    #: memory and dumped atomically on any 5xx response and at shutdown
+    #: (``flight-recorder-<replica_id>.json``).  0 disables.
+    flight_recorder: int = 256
+    #: Seconds between background flushes of finished spans to this
+    #: replica's ``trace-<replica_id>.jsonl`` (tracing enabled only).
+    trace_flush_s: float = 5.0
 
 
 # ----------------------------------------------------------------------
@@ -306,6 +331,10 @@ class _WorkItem:
     deadline: Deadline
     future: "asyncio.Future"
     solver: str
+    #: The admitting request's trace context (a ``worker_context`` dict)
+    #: so the solver worker — a different asyncio task — re-anchors its
+    #: spans under the request's span chain.  None when tracing is off.
+    trace: Optional[Dict[str, Any]] = None
 
 
 class ExplorationService:
@@ -354,19 +383,71 @@ class ExplorationService:
         self._draining = False
         self._started_at = time.monotonic()
         self.address: Optional[str] = None
-        # Counters (read by metrics/health; plain ints under the GIL).
-        self.requests: Dict[str, int] = {}
-        self.responses: Dict[str, int] = {}
-        self.solves: Dict[str, int] = {}
-        self.degraded: Dict[str, int] = {}
-        self.coalesced = 0
         self.inflight = 0
-        #: Queries answered by waiting out a peer replica's flight.
-        self.replica_hits = 0
-        #: Times this replica deferred a solve to a peer's flight claim.
-        self.replica_waits = 0
-        #: Fleet solves that fell back to the local executor.
-        self.fleet_fallbacks = 0
+        # Typed telemetry: one live registry mutated on the hot path
+        # (event loop *and* to_thread solver threads — the metric types
+        # are lock-protected).  The legacy counters() dict is a view.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "service_requests_total", "requests received, by kind"
+        )
+        self._m_responses = self.metrics.counter(
+            "service_responses_total", "responses sent, by status"
+        )
+        self._m_solves = self.metrics.counter(
+            "service_solves_total", "backend solves, by outcome"
+        )
+        self._m_degraded = self.metrics.counter(
+            "service_degraded_total", "degraded answers, by mode"
+        )
+        self._m_coalesced = self.metrics.counter(
+            "service_coalesced_total", "queries coalesced into a flight"
+        )
+        self._m_replica = self.metrics.counter(
+            "service_replica_total", "cross-replica flight events"
+        )
+        self._m_fleet = self.metrics.counter(
+            "service_fleet_total", "fleet fan-out events"
+        )
+        self._m_slo = self.metrics.counter(
+            "service_slo_total", "queries vs the latency objective"
+        )
+        self._m_query_latency = self.metrics.histogram(
+            "service_query_latency",
+            "per-query wall time, by outcome",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_stage_latency = self.metrics.histogram(
+            "service_stage_latency",
+            "per-stage wall time (cache/queue/flight-wait/solve/fleet)",
+            buckets=LATENCY_BUCKETS,
+        )
+        #: Flight recorder: recent query events for post-mortems.
+        self._recorder: Optional[deque] = (
+            deque(maxlen=int(self.config.flight_recorder))
+            if int(self.config.flight_recorder) > 0
+            else None
+        )
+
+    # Legacy int counters survive as views over the typed registry.
+    @property
+    def coalesced(self) -> int:
+        return int(self._m_coalesced.total())
+
+    @property
+    def replica_hits(self) -> int:
+        """Queries answered by waiting out a peer replica's flight."""
+        return int(self._m_replica.value(event="hits"))
+
+    @property
+    def replica_waits(self) -> int:
+        """Times this replica deferred a solve to a peer's flight claim."""
+        return int(self._m_replica.value(event="waits"))
+
+    @property
+    def fleet_fallbacks(self) -> int:
+        """Fleet solves that fell back to the local executor."""
+        return int(self._m_fleet.value(event="fallbacks"))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -401,6 +482,10 @@ class ExplorationService:
         for i in range(max(1, int(self.config.solve_workers))):
             self._workers.append(
                 asyncio.create_task(self._solver_worker(), name=f"solver-{i}")
+            )
+        if get_tracer().enabled:
+            self._workers.append(
+                asyncio.create_task(self._trace_flusher(), name="trace-flush")
             )
         self._write_discovery()
         _log.info(
@@ -466,6 +551,8 @@ class ExplorationService:
             deregister_replica(self.cache.directory, self.replica_id)
         except OSError:  # pragma: no cover - registry dir gone
             pass
+        self._flush_trace()
+        self._dump_recorder(reason="shutdown")
         self._write_bench()
         self._stopped.set()
         _log.info("exploration service stopped", extra={"drained": drain})
@@ -483,24 +570,110 @@ class ExplorationService:
             _log.warning("could not write service BENCH file")
 
     # ------------------------------------------------------------------
+    # Tracing + flight recorder
+    # ------------------------------------------------------------------
+    async def _trace_flusher(self) -> None:
+        """Periodic span flush: keeps trace files fresh without a
+        per-request rewrite (flush_spans rewrites the whole file)."""
+        interval = max(0.5, float(self.config.trace_flush_s))
+        while True:
+            await asyncio.sleep(interval)
+            await asyncio.to_thread(self._flush_trace)
+
+    def _flush_trace(self) -> None:
+        """Drain finished spans into ``trace-<replica_id>.jsonl``."""
+        tracer = get_tracer()
+        if not tracer.enabled or len(tracer) == 0:
+            return
+        trace_dir = (
+            os.environ.get(TRACE_DIR_ENV, "").strip()
+            or str(self.cache.directory)
+        )
+        try:
+            flush_spans(tracer.drain(), self.replica_id, trace_dir=trace_dir)
+        except OSError:  # pragma: no cover - disk trouble mid-run
+            _log.warning("could not flush service trace spans")
+
+    def _record_flight(
+        self,
+        message: Dict[str, Any],
+        response: Dict[str, Any],
+        outcome: str,
+        wall_s: float,
+        peer: Any,
+    ) -> None:
+        if self._recorder is None:
+            return
+        trace = message.get("trace")
+        self._recorder.append(
+            {
+                "t": round(time.time(), 6),
+                "fingerprint": response.get("fingerprint"),
+                "status": response.get("status"),
+                "code": response.get("code"),
+                "outcome": outcome,
+                "wall_s": round(wall_s, 6),
+                "cached": bool(response.get("cached", False)),
+                "degraded": bool(response.get("degraded", False)),
+                "coalesced": bool(response.get("coalesced", False)),
+                "peer": str(peer) if peer else None,
+                "trace": trace.get("id") if isinstance(trace, dict) else None,
+            }
+        )
+        code = int(response.get("code", 0) or 0)
+        if code >= 500:
+            self._dump_recorder(reason=f"status-{code}")
+
+    def _dump_recorder(self, reason: str) -> None:
+        """Atomically dump the ring buffer for post-mortems."""
+        if self._recorder is None or not self._recorder:
+            return
+        path = (
+            self.cache.directory / f"flight-recorder-{self.replica_id}.json"
+        )
+        payload = {
+            "kind": "flight-recorder",
+            "replica": self.replica_id,
+            "reason": reason,
+            "dumped_at": round(time.time(), 3),
+            "capacity": self._recorder.maxlen,
+            "events": list(self._recorder),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - disk trouble
+            _log.warning(
+                "could not dump flight recorder", extra={"reason": reason}
+            )
+
+    # ------------------------------------------------------------------
     # Counters / metrics
     # ------------------------------------------------------------------
-    def _count(self, table: Dict[str, int], key: str, n: int = 1) -> None:
-        table[key] = table.get(key, 0) + n
-
     def counters(self) -> Dict[str, Any]:
+        def by(counter, label: str) -> Dict[str, int]:
+            return {
+                key: int(value)
+                for key, value in counter.by_label(label).items()
+            }
+
         counters = {
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "epoch": self.epoch,
-            "requests": dict(self.requests),
-            "responses": dict(self.responses),
+            "requests": by(self._m_requests, "kind"),
+            "responses": by(self._m_responses, "status"),
             "cache": self.cache.counters(),
             "admission": self.admission.counters(),
             "breaker": self.breaker.snapshot(),
-            "solves": dict(self.solves),
-            "degraded": dict(self.degraded),
+            "solves": by(self._m_solves, "status"),
+            "degraded": by(self._m_degraded, "mode"),
             "coalesced": self.coalesced,
             "inflight": self.inflight,
+            "latency": self._latency_summary(),
+            "slo": self._slo_summary(),
             "replica": {
                 "id": self.replica_id,
                 "waits": self.replica_waits,
@@ -515,19 +688,40 @@ class ExplorationService:
             }
         return counters
 
+    def _latency_summary(self) -> Dict[str, Any]:
+        histogram = self._m_query_latency
+        summary: Dict[str, Any] = {
+            "count": histogram.total_count(),
+            "sum_s": round(histogram.total_sum(), 6),
+            "by_outcome": {
+                outcome: int(count)
+                for outcome, count in histogram.count_by_label(
+                    "outcome"
+                ).items()
+            },
+        }
+        for q, name in ((0.5, "p50_s"), (0.95, "p95_s"), (0.99, "p99_s")):
+            estimate = histogram.quantile(q)
+            summary[name] = None if estimate is None else round(estimate, 6)
+        return summary
+
+    def _slo_summary(self) -> Dict[str, Any]:
+        ok = int(self._m_slo.value(result="ok"))
+        breached = int(self._m_slo.value(result="breached"))
+        total = ok + breached
+        return {
+            "objective_s": self.config.slo_latency_s,
+            "ok": ok,
+            "breached": breached,
+            "budget_burn": round(breached / total, 6) if total else 0.0,
+        }
+
     def registry(self) -> MetricsRegistry:
-        """The service counters as a typed registry (Prometheus-ready)."""
+        """One scrape snapshot: the live typed registry merged with the
+        component counters (cache/admission/breaker/flights/fleet) and
+        point-in-time state gauges (Prometheus- and wire-ready)."""
         registry = MetricsRegistry()
-        requests = registry.counter(
-            "service_requests_total", "requests received, by kind"
-        )
-        for kind, count in self.requests.items():
-            requests.inc(count, kind=kind)
-        responses = registry.counter(
-            "service_responses_total", "responses sent, by status"
-        )
-        for status, count in self.responses.items():
-            responses.inc(count, status=status)
+        registry.merge(self.metrics)
         cache = registry.counter(
             "service_cache_total", "cache events (hit/miss/stale/write/evict)"
         )
@@ -545,9 +739,8 @@ class ExplorationService:
         replica = registry.counter(
             "service_replica_total", "cross-replica flight events"
         )
-        replica.inc(self.replica_waits, event="waits")
-        replica.inc(self.replica_hits, event="hits")
-        replica.inc(self.flights.busy, event="busy")
+        for event, count in self.flights.counters().items():
+            replica.inc(count, event=event)
         if self.fleet is not None:
             fleet = registry.counter(
                 "service_fleet_total", "fleet fan-out events"
@@ -556,26 +749,11 @@ class ExplorationService:
             fleet.inc(self.fleet.task_failures, event="task_failures")
             fleet.inc(self.fleet.leases_expired, event="leases_expired")
             fleet.inc(self.fleet.worker_deaths, event="worker_deaths")
-            fleet.inc(self.fleet_fallbacks, event="fallbacks")
         shed = registry.counter(
             "service_shed_total", "queries shed by admission control"
         )
         shed.inc(self.admission.shed, reason="queue_full")
         shed.inc(self.admission.expired_in_queue, reason="deadline_in_queue")
-        solves = registry.counter(
-            "service_solves_total", "backend solves, by outcome"
-        )
-        for status, count in self.solves.items():
-            solves.inc(count, status=status)
-        degraded = registry.counter(
-            "service_degraded_total", "degraded answers, by mode"
-        )
-        for mode, count in self.degraded.items():
-            degraded.inc(count, mode=mode)
-        coalesced = registry.counter(
-            "service_coalesced_total", "queries coalesced into a flight"
-        )
-        coalesced.inc(self.coalesced)
         transitions = registry.counter(
             "service_breaker_transitions_total", "breaker transitions, by state"
         )
@@ -588,12 +766,13 @@ class ExplorationService:
         gauge.set(len(self.cache), field="cache_entries")
         gauge.set(self.cache.size_bytes(), field="cache_size_bytes")
         gauge.set(time.monotonic() - self._started_at, field="uptime_s")
+        gauge.set(self._slo_summary()["budget_burn"], field="slo_budget_burn")
         if self.fleet is not None:
             gauge.set(self.fleet.workers_connected(), field="fleet_workers")
         return registry
 
     def bench_payload(self) -> Dict[str, Any]:
-        """The BENCH schema-v7 counter block (see runtime.metrics)."""
+        """The BENCH schema-v8 counter block (see runtime.metrics)."""
         return {
             "schema": BENCH_SCHEMA,
             "service": self.counters(),
@@ -628,7 +807,7 @@ class ExplorationService:
                         ServiceProtocolError(f"unparsable request: {exc.msg}"),
                     )
                 else:
-                    response = await self._dispatch(message)
+                    response = await self._dispatch(message, peer=peer)
                 response.setdefault("protocol", SERVICE_PROTOCOL)
                 if "id" in message:
                     response["id"] = message["id"]
@@ -652,22 +831,28 @@ class ExplorationService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    async def _dispatch(
+        self, message: Dict[str, Any], peer: Any = None
+    ) -> Dict[str, Any]:
         kind = message.get("kind")
-        self._count(self.requests, str(kind))
+        self._m_requests.inc(kind=str(kind))
         if kind == "query":
-            return await self._handle_query(message)
+            return await self._handle_query(message, peer=peer)
         if kind == "health":
             return self._handle_health()
         if kind == "ready":
             return self._handle_ready()
         if kind == "metrics":
+            registry = self.registry()
             return {
                 "kind": "metrics",
                 "status": "ok",
                 "code": 200,
                 "counters": self.counters(),
-                "prometheus": self.registry().to_prometheus(),
+                "prometheus": registry.to_prometheus(),
+                # Mergeable wire form: `repro dash` folds these across
+                # replicas without parsing the Prometheus text.
+                "series": registry.to_wire(),
             }
         if kind == "shutdown":
             drain = bool(message.get("drain", True))
@@ -720,22 +905,60 @@ class ExplorationService:
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
-    async def _handle_query(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    async def _handle_query(
+        self, message: Dict[str, Any], peer: Any = None
+    ) -> Dict[str, Any]:
+        tracer = get_tracer()
+        trace = message.get("trace")
+        trace = trace if isinstance(trace, dict) else {}
         t0 = time.perf_counter()
-        response = await self._answer_query(message)
+        # Anchor this request's spans under the client's span (when the
+        # envelope carries trace context) — contextvars keep concurrent
+        # requests on separate anchors.
+        with tracer.remote_context(trace.get("id"), trace.get("parent")):
+            with tracer.span(
+                "service.request",
+                transport="tcp",
+                replica=self.replica_id,
+                peer=str(peer) if peer else "",
+            ) as request_span:
+                response = await self._answer_query(message)
+                request_span.set(
+                    fingerprint=response.get("fingerprint"),
+                    status=response.get("status"),
+                    code=response.get("code"),
+                    cached=response.get("cached", False),
+                    degraded=response.get("degraded", False),
+                )
         wall = time.perf_counter() - t0
         response["wall_s"] = round(wall, 6)
-        self._count(self.responses, response.get("status", "unknown"))
-        get_tracer().record(
-            "service.request",
-            wall,
-            fingerprint=response.get("fingerprint"),
-            status=response.get("status"),
-            code=response.get("code"),
-            cached=response.get("cached", False),
-            degraded=response.get("degraded", False),
-        )
+        status = str(response.get("status", "unknown"))
+        self._m_responses.inc(status=status)
+        outcome = self._classify(response)
+        self._m_query_latency.observe(wall, outcome=outcome)
+        if self.config.slo_latency_s is not None:
+            code = int(response.get("code", 0) or 0)
+            breached = code != 200 or wall > self.config.slo_latency_s
+            self._m_slo.inc(result="breached" if breached else "ok")
+        self._record_flight(message, response, outcome, wall, peer)
         return response
+
+    @staticmethod
+    def _classify(response: Dict[str, Any]) -> str:
+        """The latency-histogram outcome label for one response:
+        ``hit|miss|stale|degraded|shed|timeout|error``."""
+        status = response.get("status")
+        if status == "ok":
+            if response.get("degraded"):
+                if response.get("degraded_mode") == "stale-cache":
+                    return "stale"
+                return "degraded"
+            return "hit" if response.get("cached") else "miss"
+        if status == "overloaded":
+            return "shed"
+        if status == "deadline":
+            return "timeout"
+        return "error"
 
     async def _answer_query(self, message: Dict[str, Any]) -> Dict[str, Any]:
         try:
@@ -753,9 +976,19 @@ class ExplorationService:
             return self._error_response(None, exc)
         solver = resolve_backend(default_backend_name()).name
         fingerprint = query_fingerprint(spec, activities, solver)
+        tracer = get_tracer()
 
         # 1. Cache fast path: repeated queries never touch admission.
+        probe_t0 = time.perf_counter()
         entry = self.cache.get(fingerprint)
+        probe_s = time.perf_counter() - probe_t0
+        self._m_stage_latency.observe(probe_s, stage="cache")
+        tracer.record(
+            "service.cache_probe",
+            probe_s,
+            fingerprint=fingerprint,
+            hit=entry is not None,
+        )
         if entry is not None:
             return self._ok_response(
                 fingerprint, entry.payload, solver, cached=True
@@ -784,6 +1017,7 @@ class ExplorationService:
                 deadline=deadline,
                 future=flight,
                 solver=solver,
+                trace=tracer.worker_context(),
             )
             try:
                 # 3. Bounded admission: full queue = typed shed.
@@ -795,9 +1029,10 @@ class ExplorationService:
                     fingerprint, exc, status="overloaded", code=429
                 )
         else:
-            self.coalesced += 1
+            self._m_coalesced.inc()
 
         # 4. Await the flight under *this* request's own deadline.
+        wait_t0 = time.perf_counter()
         try:
             remaining = deadline.remaining_s()
             payload = await asyncio.wait_for(
@@ -825,6 +1060,12 @@ class ExplorationService:
             )
         response = dict(payload)
         if coalesced:
+            # Followers spent their wall waiting on the leader's flight.
+            wait_s = time.perf_counter() - wait_t0
+            self._m_stage_latency.observe(wait_s, stage="flight-wait")
+            tracer.record(
+                "service.flight_wait", wait_s, fingerprint=fingerprint
+            )
             response["coalesced"] = True
         return response
 
@@ -832,12 +1073,27 @@ class ExplorationService:
     # Solver workers
     # ------------------------------------------------------------------
     async def _solver_worker(self) -> None:
+        tracer = get_tracer()
         while True:
             admitted = await self.admission.next()
             item: _WorkItem = admitted.item
+            queued_s = max(0.0, time.monotonic() - admitted.admitted_at)
+            self._m_stage_latency.observe(queued_s, stage="queue")
             self.inflight += 1
+            trace_ctx = item.trace or {}
             try:
-                payload = await self._execute(item)
+                # Re-anchor under the admitting request's span chain:
+                # this worker is a different asyncio task, so the
+                # request's contextvars do not reach here on their own.
+                with tracer.remote_context(
+                    trace_ctx.get("trace_id"), trace_ctx.get("parent_id")
+                ):
+                    tracer.record(
+                        "service.queued",
+                        queued_s,
+                        fingerprint=item.fingerprint,
+                    )
+                    payload = await self._execute(item)
             except Exception as exc:  # pragma: no cover - worker armor
                 payload = self._error_response(
                     item.fingerprint,
@@ -881,7 +1137,7 @@ class ExplorationService:
         # mid-solve auto-releases and the waiter promotes itself.
         claim = self.flights.try_claim(item.fingerprint)
         if claim is None:
-            self.replica_waits += 1
+            self._m_replica.inc(event="waits")
             outcome = await self._await_peer_flight(item)
             if isinstance(outcome, dict):
                 return outcome
@@ -905,7 +1161,7 @@ class ExplorationService:
         while True:
             entry = self.cache.get(item.fingerprint, count=False)
             if entry is not None:
-                self.replica_hits += 1
+                self._m_replica.inc(event="hits")
                 response = self._ok_response(
                     item.fingerprint, entry.payload, item.solver, cached=True
                 )
@@ -932,19 +1188,31 @@ class ExplorationService:
 
     def _run_backend(self, item: _WorkItem) -> Dict[str, Any]:
         """One miss's solve: fleet fan-out when workers are attached,
-        the local executor otherwise (and on fleet transport trouble)."""
+        the local executor otherwise (and on fleet transport trouble).
+
+        Runs on a ``to_thread`` worker; ``asyncio.to_thread`` copied the
+        solver task's contextvars, so spans opened here chain under the
+        request's anchor, and ``worker_context()`` hands the fleet the
+        per-query trace context to forward over the wire.
+        """
+        tracer = get_tracer()
         fleet = self.fleet
         if fleet is not None and fleet.workers_connected() > 0:
+            stage_t0 = time.perf_counter()
             try:
-                return fleet.solve(
-                    item.spec,
-                    item.activities,
-                    timeout_s=item.deadline.remaining_s(),
-                    solver=item.solver,
-                    label=item.fingerprint,
-                )
+                with tracer.span(
+                    "service.fleet", fingerprint=item.fingerprint
+                ):
+                    result = fleet.solve(
+                        item.spec,
+                        item.activities,
+                        timeout_s=item.deadline.remaining_s(),
+                        solver=item.solver,
+                        label=item.fingerprint,
+                        trace_ctx=tracer.worker_context(),
+                    )
             except FleetTransportError as exc:
-                self.fleet_fallbacks += 1
+                self._m_fleet.inc(event="fallbacks")
                 _log.warning(
                     "fleet solve fell back to local executor",
                     extra={
@@ -952,7 +1220,20 @@ class ExplorationService:
                         "error": str(exc),
                     },
                 )
-        return self.solve_fn(item.spec, item.activities, item.deadline)
+            else:
+                self._m_stage_latency.observe(
+                    time.perf_counter() - stage_t0, stage="fleet"
+                )
+                return result
+        stage_t0 = time.perf_counter()
+        with tracer.span(
+            "service.solve", fingerprint=item.fingerprint, backend=item.solver
+        ):
+            result = self.solve_fn(item.spec, item.activities, item.deadline)
+        self._m_stage_latency.observe(
+            time.perf_counter() - stage_t0, stage="solve"
+        )
+        return result
 
     async def _solve_as_leader(
         self, item: _WorkItem, probe: bool
@@ -965,13 +1246,13 @@ class ExplorationService:
             # release it so the next query may probe again.
             if probe:
                 self.breaker.record_failure()
-            self._count(self.solves, "timeout")
+            self._m_solves.inc(status="timeout")
             return self._error_response(
                 item.fingerprint, exc, status="deadline", code=504
             )
         except ReproError as exc:
             self.breaker.record_failure()
-            self._count(self.solves, "error")
+            self._m_solves.inc(status="error")
             _log.warning(
                 "service solve failed",
                 extra={
@@ -984,7 +1265,7 @@ class ExplorationService:
             )
         except Exception as exc:
             self.breaker.record_failure()
-            self._count(self.solves, "error")
+            self._m_solves.inc(status="error")
             return self._error_response(
                 item.fingerprint,
                 ReproError(f"{type(exc).__name__}: {exc}"),
@@ -992,7 +1273,7 @@ class ExplorationService:
                 code=500,
             )
         self.breaker.record_success()
-        self._count(self.solves, "ok")
+        self._m_solves.inc(status="ok")
         self.cache.put(item.fingerprint, summary)
         return self._ok_response(
             item.fingerprint, summary, item.solver, cached=False
@@ -1002,7 +1283,7 @@ class ExplorationService:
         """Breaker-open path: stale cache, then coarse grid, then 503."""
         stale = self.cache.get(item.fingerprint, allow_stale=True)
         if stale is not None:
-            self._count(self.degraded, "stale-cache")
+            self._m_degraded.inc(mode="stale-cache")
             response = self._ok_response(
                 item.fingerprint, stale.payload, item.solver, cached=True
             )
@@ -1029,7 +1310,7 @@ class ExplorationService:
                     },
                 )
             else:
-                self._count(self.degraded, "coarse-grid")
+                self._m_degraded.inc(mode="coarse-grid")
                 response = self._ok_response(
                     item.fingerprint, summary, item.solver, cached=False
                 )
@@ -1039,7 +1320,7 @@ class ExplorationService:
                     coarse_grid=coarse,
                 )
                 return response
-        self._count(self.degraded, "unavailable")
+        self._m_degraded.inc(mode="unavailable")
         snapshot = self.breaker.snapshot()
         return self._error_response(
             item.fingerprint,

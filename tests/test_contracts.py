@@ -355,7 +355,7 @@ class TestContractMetrics:
         assert histogram.get("pass", 0) > 0
         assert run.metrics.contracts_s >= 0.0
         payload = run.metrics.to_json()
-        assert payload["schema"] == 7
+        assert payload["schema"] == 8
         assert payload["contracts"] == histogram
 
     def test_supervisor_report_carries_histogram(self, tmp_path):

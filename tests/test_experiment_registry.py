@@ -35,6 +35,7 @@ EXPECTED_ORDER = [
     "serve",
     "query",
     "cache",
+    "dash",
 ]
 
 

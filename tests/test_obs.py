@@ -159,6 +159,75 @@ class TestMetrics:
         assert 'repro_stage_seconds_count{stage="build"} 1' in text
 
 
+class TestHistogramBuckets:
+    """Bucketed histograms: rendering, monotonicity, merge, quantiles."""
+
+    BUCKETS = (0.1, 0.5, 1.0, 5.0)
+
+    def _hist(self):
+        h = Histogram("latency", "query wall time", buckets=self.BUCKETS)
+        for value in (0.05, 0.3, 0.3, 0.7, 2.0):
+            h.observe(value, outcome="miss")
+        h.observe(0.01, outcome="hit")
+        return h
+
+    def test_bucket_rendering_labels_and_le(self):
+        lines = self._hist().to_prometheus("repro_")
+        text = "\n".join(lines)
+        assert "# TYPE repro_latency_seconds histogram" in text
+        # Every bucket line carries both the series labels and le=.
+        assert 'repro_latency_seconds_bucket{outcome="miss",le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{outcome="miss",le="0.5"} 3' in text
+        assert 'repro_latency_seconds_bucket{outcome="miss",le="1"} 4' in text
+        assert 'repro_latency_seconds_bucket{outcome="miss",le="5"} 5' in text
+        assert 'repro_latency_seconds_bucket{outcome="miss",le="+Inf"} 5' in text
+        assert 'repro_latency_seconds_bucket{outcome="hit",le="0.1"} 1' in text
+        assert 'repro_latency_seconds_count{outcome="miss"} 5' in text
+
+    def test_bucket_counts_monotone_and_closed_by_inf(self):
+        h = self._hist()
+        for labels, series in h.series().items():
+            cumulative = series.cumulative()
+            assert all(
+                a <= b for a, b in zip(cumulative, cumulative[1:])
+            ), f"non-monotone buckets for {labels}: {cumulative}"
+            # +Inf bucket == observation count: nothing falls off the end.
+            assert cumulative[-1] == series.count
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", "x", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", "x", buckets=(2.0, 1.0))
+
+    def test_merge_adds_buckets_and_quantiles_follow(self):
+        a = self._hist()
+        b = self._hist()
+        a.merge(b)
+        assert a.total_count() == 12
+        for _labels, series in a.series().items():
+            assert series.cumulative()[-1] == series.count
+        # Quantile interpolates the merged distribution, inside range.
+        p50 = a.quantile(0.5)
+        assert p50 is not None and 0.1 <= p50 <= 1.0
+        assert a.quantile(0.0) is not None
+        mismatched = Histogram("latency", "x", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(mismatched)
+
+    def test_wire_round_trip_preserves_rendering(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", "wall", buckets=self.BUCKETS)
+        h.observe(0.3, outcome="miss")
+        reg.counter("requests_total", "reqs").inc(2, kind="query")
+        clone = MetricsRegistry.from_wire(reg.to_wire())
+        assert clone.to_prometheus() == reg.to_prometheus()
+        # Merging the clone doubles every count exactly.
+        reg.merge(clone)
+        assert reg.histogram("latency").total_count() == 2
+        assert reg.counter("requests_total").total() == 4
+
+
 class TestLogs:
     def test_json_line_formatter_includes_extras(self):
         record = logging.LogRecord(

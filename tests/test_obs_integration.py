@@ -147,7 +147,7 @@ class TestBenchAgreement:
         payload = json.loads(
             (bench_dir / "BENCH_obs_agreement.json").read_text()
         )
-        assert payload["schema"] == 7
+        assert payload["schema"] == 8
         assert payload["run_fingerprint"] == run.metrics.run_fingerprint
 
         spans = load_trace(trace_path(run.metrics.run_fingerprint, traced))

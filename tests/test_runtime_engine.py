@@ -228,7 +228,7 @@ class TestMetrics:
         group = metrics.groups[0]
         assert group.build_s > 0 and group.factorize_s > 0 and group.solve_s > 0
         payload = metrics.to_json()
-        assert payload["schema"] == 7
+        assert payload["schema"] == 8
         assert len(payload["run_fingerprint"]) == 16
         assert payload["totals"]["n_points"] == 4
         assert payload["totals"]["retries"] == 0

@@ -363,7 +363,7 @@ class TestMetricsSchemaParity:
         ]
         sup.run(points, extract=_fail_tagged_extract, bench_name="sup_unit")
         payload = json.loads((tmp_path / "BENCH_sup_unit.json").read_text())
-        assert payload["schema"] == 7
+        assert payload["schema"] == 8
         assert payload["run_fingerprint"] == sup.last_report.run_fingerprint
         assert payload["totals"]["retries"] == 1
         assert payload["totals"]["quarantined"] == 1
